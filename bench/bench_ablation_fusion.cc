@@ -1,0 +1,85 @@
+// Design-choice ablation (DESIGN.md §4): similarity calibration and
+// channel-fusion strategies.
+//
+// The paper fuses M = M_s + M_n with equal weights and decodes by row
+// argmax. This bench isolates the calibration/decoding choices this
+// implementation makes on top:
+//   * CSLS hubness correction of M_s (on by default) vs. raw M_s;
+//   * Sinkhorn (approximately 1-to-1) decoding of the fused matrix vs.
+//     plain argmax;
+//   * the name-fusion weight γ of STNS inside NFF;
+//   * structural-model choice (RREA vs. GCN vs. TransE) under identical
+//     channels.
+//
+// Flags: --scale, --pair (default enfr), --epochs.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/evaluator.h"
+#include "src/sim/sinkhorn.h"
+
+using namespace largeea;
+using namespace largeea::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 1.0);
+  const auto epochs = static_cast<int32_t>(flags.GetInt("epochs", 50));
+  const LanguagePair pair = SelectedPairs(flags).front();
+  const Tier tier = Tier::kIds15k;
+  const EaDataset dataset = GenerateBenchmark(TierSpec(tier, pair, scale));
+
+  std::printf("=== Fusion/calibration ablation (%s) ===\n",
+              dataset.name.c_str());
+  std::printf("%-44s %7s %7s %7s\n", "Configuration", "H@1", "H@5", "MRR");
+  PrintRule(70);
+  const auto report = [](const char* label, const EvalMetrics& m) {
+    std::printf("%-44s %6.1f%% %6.1f%% %7.3f\n", label, 100 * m.hits_at_1,
+                100 * m.hits_at_5, m.mrr);
+    std::fflush(stdout);
+  };
+
+  // Baseline configuration.
+  const LargeEaOptions base =
+      DefaultOptions(tier, dataset, ModelKind::kRrea, epochs);
+  const LargeEaResult with_csls = RunLargeEa(dataset, base);
+  report("default (RREA, CSLS on M_s, argmax)", with_csls.metrics);
+
+  {
+    LargeEaOptions options = base;
+    options.structure_channel.apply_csls = false;
+    report("w/o CSLS on M_s",
+           RunLargeEa(dataset, options).metrics);
+  }
+  {
+    const SparseSimMatrix sinkhorn = SinkhornNormalize(with_csls.fused);
+    report("+ Sinkhorn decoding of fused M",
+           Evaluate(sinkhorn, dataset.split.test));
+  }
+  for (const float gamma : {0.0f, 0.05f, 0.3f}) {
+    LargeEaOptions options = base;
+    options.name_channel.nff.string_weight = gamma;
+    char label[64];
+    std::snprintf(label, sizeof(label), "NFF string weight gamma = %.2f",
+                  gamma);
+    report(label, RunLargeEa(dataset, options).metrics);
+  }
+  for (const ModelKind model :
+       {ModelKind::kGcnAlign, ModelKind::kTransE}) {
+    LargeEaOptions options =
+        DefaultOptions(tier, dataset, model, epochs);
+    char label[64];
+    std::snprintf(label, sizeof(label), "structural model = %s",
+                  ModelKindName(model));
+    report(label, RunLargeEa(dataset, options).metrics);
+  }
+
+  std::printf(
+      "\nReading guide: CSLS calibration matters when the structure channel\n"
+      "is weak/noisy (small batches; see tests) and is ~neutral when it is\n"
+      "strong; Sinkhorn's global 1-to-1 competition typically gains a few\n"
+      "H@1 points over per-row argmax; gamma = 0.05 (the paper's choice)\n"
+      "sits near the optimum; RREA > GCN > TransE as the structural\n"
+      "plug-in, matching the EA literature.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Figure 5: ablation studies (H@1 on every dataset).
+//
+// Four configurations per dataset: full LargeEA, w/o structure channel,
+// w/o name channel, and w/o name-based data augmentation (DA). The paper
+// observes: removing the name channel hurts most (3-37%), removing DA
+// hurts 2-14% (more on IDS than DBP1M), removing the structure channel
+// hurts least on DBP1M.
+//
+// Flags: --scale, --pair, --epochs, --tier=ids15k|ids100k|dbp1m|all.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/common/string_util.h"
+
+using namespace largeea;
+using namespace largeea::bench;
+
+namespace {
+
+double RunWith(Tier tier, const EaDataset& dataset, int32_t epochs,
+               bool fuse_name, bool structure_channel, bool augment) {
+  LargeEaOptions options =
+      DefaultOptions(tier, dataset, ModelKind::kRrea, epochs);
+  // "w/o name channel" in the paper removes M_n from the fusion but keeps
+  // Algorithm 1 intact — the name-based DA still supplies pseudo seeds
+  // (DA removal is its own ablation).
+  options.fuse_name_similarity = fuse_name;
+  options.use_structure_channel = structure_channel;
+  options.name_channel.enable_augmentation = augment;
+  return RunLargeEa(dataset, options).metrics.hits_at_1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.6);
+  const auto epochs = static_cast<int32_t>(flags.GetInt("epochs", 50));
+  const std::string tier_filter = flags.GetString("tier", "all");
+
+  std::printf("=== Figure 5: Ablation studies (H@1, LargeEA-R) ===\n");
+  std::printf("%-18s %8s %14s %12s %15s %10s\n", "Dataset", "Full",
+              "w/o structure", "w/o name", "w/o name&DA", "w/o DA");
+  PrintRule(82);
+  for (const Tier tier : {Tier::kIds15k, Tier::kIds100k, Tier::kDbp1m}) {
+    if (tier_filter != "all" && tier_filter != AsciiToLower(TierName(tier))) {
+      continue;
+    }
+    for (const LanguagePair pair : SelectedPairs(flags)) {
+      const EaDataset dataset =
+          GenerateBenchmark(TierSpec(tier, pair, scale));
+      const double full = RunWith(tier, dataset, epochs, true, true, true);
+      const double wo_structure =
+          RunWith(tier, dataset, epochs, true, false, true);
+      // Two readings of "w/o name channel": keep the DA pseudo seeds
+      // (Algorithm 1 still runs; only the M_n fusion is dropped) or
+      // remove the name channel entirely (structure + human seeds only).
+      const double wo_name = RunWith(tier, dataset, epochs, false, true,
+                                     /*augment=*/true);
+      const double wo_name_da = RunWith(tier, dataset, epochs, false, true,
+                                        /*augment=*/false);
+      const double wo_da = RunWith(tier, dataset, epochs, true, true, false);
+      std::printf("%-18s %7.1f%% %13.1f%% %11.1f%% %14.1f%% %9.1f%%\n",
+                  dataset.name.c_str(), 100 * full, 100 * wo_structure,
+                  100 * wo_name, 100 * wo_name_da, 100 * wo_da);
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nShape checks: every ablation drops H@1; removing the name channel\n"
+      "entirely (w/o name&DA) hurts by far the most; w/o DA hurts more on\n"
+      "IDS than on DBP1M; w/o structure hurts least on DBP1M\n"
+      "(heterogeneity limits what structure can add there).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Figure 8 (Appendix C): overlapping mini-batches.
+//
+// Sweeps the overlap degree D_ov and reports structure-channel H@1 plus
+// per-batch sizes. The paper's observation: accuracy stays essentially
+// flat as D_ov grows (more equivalent entities co-batched, but more
+// invalid candidates too), while batches — and therefore training memory
+// — grow, which is why LargeEA uses disjoint batches.
+//
+// Flags: --scale, --pair, --epochs.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/evaluator.h"
+
+using namespace largeea;
+using namespace largeea::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 1.0);
+  const auto epochs = static_cast<int32_t>(flags.GetInt("epochs", 40));
+  const LanguagePair pair = SelectedPairs(flags).front();
+
+  const EaDataset dataset =
+      GenerateBenchmark(TierSpec(Tier::kIds15k, pair, scale));
+  std::printf(
+      "=== Figure 8: mini-batch generation vs. overlapping (%s) ===\n",
+      dataset.name.c_str());
+  std::printf("%-5s %10s %16s %18s %14s\n", "D_ov", "H@1",
+              "avg batch size", "test same-batch", "train time(s)");
+  PrintRule(70);
+
+  for (const int32_t d_ov : {1, 2, 3}) {
+    StructureChannelOptions options;
+    options.model = ModelKind::kRrea;
+    options.num_batches = TierBatchCount(Tier::kIds15k);
+    options.overlap_degree = d_ov;
+    options.train.epochs = epochs;
+    const StructureChannelResult result = RunStructureChannel(
+        dataset.source, dataset.target, dataset.split.train, options);
+    const double h1 =
+        Evaluate(result.similarity, dataset.split.test).hits_at_1;
+    int64_t total_entities = 0;
+    for (const auto& [s, t] : BatchSizes(result.batches)) {
+      total_entities += s + t;
+    }
+    const double retention = SameBatchFraction(
+        result.batches, dataset.split.test, dataset.source.num_entities(),
+        dataset.target.num_entities());
+    std::printf("%-5d %9.1f%% %16ld %17.1f%% %14.2f\n", d_ov, 100 * h1,
+                static_cast<long>(total_entities /
+                                  static_cast<int64_t>(
+                                      result.batches.size())),
+                100 * retention, result.training_seconds);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nShape notes: batches, training time, and memory all grow with\n"
+      "D_ov — the cost half of the paper's argument for disjoint batches\n"
+      "reproduces directly. The accuracy half diverges at our scale: the\n"
+      "paper measures H@1 as almost flat, while here overlap still helps\n"
+      "because same-batch retention (not in-batch discrimination) is the\n"
+      "binding constraint for the scaled-down KGs; see EXPERIMENTS.md.\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Component micro-benchmarks (google-benchmark): scaling behaviour of the
+// substrates behind the headline experiments — the multilevel
+// partitioner, top-k similarity search (exact vs. LSH), MinHash,
+// Levenshtein, the semantic encoder, and one training epoch per model.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "src/common/rng.h"
+#include "src/gen/benchmark_gen.h"
+#include "src/la/ops.h"
+#include "src/name/levenshtein.h"
+#include "src/name/minhash.h"
+#include "src/name/semantic_encoder.h"
+#include "src/nn/batch_graph.h"
+#include "src/nn/ea_model.h"
+#include "src/partition/metis.h"
+#include "src/sim/lsh.h"
+#include "src/sim/topk_search.h"
+
+namespace largeea {
+namespace {
+
+CsrGraph RandomGraph(int32_t n, int32_t edges_per_vertex, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<size_t>(n) * edges_per_vertex);
+  for (int32_t v = 1; v < n; ++v) {
+    for (int32_t j = 0; j < edges_per_vertex; ++j) {
+      edges.push_back({v, static_cast<int32_t>(rng.Uniform(v)), 1});
+    }
+  }
+  return CsrGraph::FromEdges(n, edges);
+}
+
+void BM_MetisPartition(benchmark::State& state) {
+  const auto n = static_cast<int32_t>(state.range(0));
+  const CsrGraph graph = RandomGraph(n, 3, 11);
+  MetisOptions options;
+  options.num_parts = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MetisPartition(graph, options));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MetisPartition)->Arg(2000)->Arg(8000)->Arg(32000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExactTopK(benchmark::State& state) {
+  const auto n = static_cast<int32_t>(state.range(0));
+  Rng rng(13);
+  Matrix a(n, 64), b(n, 64);
+  a.GlorotInit(rng);
+  b.GlorotInit(rng);
+  const TopKOptions options{.k = 50, .metric = SimMetric::kManhattan};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactTopK(a, b, options));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n);
+}
+BENCHMARK(BM_ExactTopK)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_LshTopK(benchmark::State& state) {
+  const auto n = static_cast<int32_t>(state.range(0));
+  Rng rng(13);
+  Matrix a(n, 64), b(n, 64);
+  a.GlorotInit(rng);
+  b.GlorotInit(rng);
+  L2NormalizeRows(a);
+  L2NormalizeRows(b);
+  const LshIndex index(b, LshOptions{});
+  std::vector<EntityId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  const TopKOptions options{.k = 50, .metric = SimMetric::kManhattan};
+  for (auto _ : state) {
+    SparseSimMatrix out(n, n, options.k);
+    LshTopKInto(a, ids, b, ids, index, options, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n);
+}
+BENCHMARK(BM_LshTopK)->Arg(500)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MinHashSignature(benchmark::State& state) {
+  const MinHasher hasher(64, 7);
+  const std::vector<std::string> tokens = TokenizeName(
+      "a moderately long entity name with several words attached");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.Signature(tokens));
+  }
+}
+BENCHMARK(BM_MinHashSignature);
+
+void BM_Levenshtein(benchmark::State& state) {
+  const std::string a(state.range(0), 'a');
+  std::string b(state.range(0), 'a');
+  for (size_t i = 0; i < b.size(); i += 3) b[i] = 'b';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SemanticEncode(benchmark::State& state) {
+  const SemanticEncoder encoder(SemanticEncoderOptions{});
+  std::vector<float> out(encoder.dim());
+  for (auto _ : state) {
+    encoder.EncodeName("barack hussein obama the second", out.data());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SemanticEncode);
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<int32_t>(state.range(0));
+  Rng rng(17);
+  Matrix a(n, n), b(n, n), c(n, n);
+  a.GlorotInit(rng);
+  b.GlorotInit(rng);
+  for (auto _ : state) {
+    Gemm(a, b, c);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_TrainEpoch(benchmark::State& state) {
+  const auto kind = static_cast<ModelKind>(state.range(0));
+  BenchmarkSpec spec = Ids15kSpec(LanguagePair::kEnFr);
+  spec.world.num_entities = 1000;
+  const EaDataset ds = GenerateBenchmark(spec);
+  std::vector<EntityId> all_s(ds.source.num_entities());
+  std::iota(all_s.begin(), all_s.end(), 0);
+  std::vector<EntityId> all_t(ds.target.num_entities());
+  std::iota(all_t.begin(), all_t.end(), 0);
+  const LocalGraph source = BuildLocalGraph(ds.source, all_s);
+  const LocalGraph target = BuildLocalGraph(ds.target, all_t);
+  const auto seeds = LocalizeSeeds(source, target, ds.split.train);
+  TrainOptions options;
+  options.epochs = 1;
+  const auto model = MakeModel(kind);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->Train(source, target, seeds, options));
+  }
+  state.SetLabel(ModelKindName(kind));
+}
+BENCHMARK(BM_TrainEpoch)
+    ->Arg(static_cast<int>(ModelKind::kGcnAlign))
+    ->Arg(static_cast<int>(ModelKind::kRrea))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace largeea
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Reproduces Table 1: statistics of the datasets used in experiments.
+//
+// Generates the six benchmark datasets (IDS15K / IDS100K / DBP1M, each
+// EN-FR and EN-DE) and prints entity/relation/triple counts per side,
+// plus the size of the EA ground truth. Our tiers are scaled for a single
+// CPU core; the "paper" column shows the entity counts of the original
+// datasets each tier models.
+//
+// Flags: --scale (default 1.0), --pair=enfr|ende|both.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/timer.h"
+
+using namespace largeea;
+using namespace largeea::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 1.0);
+
+  std::printf("=== Table 1: Statistics of the datasets ===\n");
+  std::printf("%-18s %21s %13s %19s %11s %21s\n", "Dataset",
+              "#Entities(src-tgt)", "#Relations", "#Triples", "#Aligned",
+              "paper #entities");
+  PrintRule(110);
+  for (const Tier tier : {Tier::kIds15k, Tier::kIds100k, Tier::kDbp1m}) {
+    for (const LanguagePair pair : SelectedPairs(flags)) {
+      const BenchmarkSpec spec = TierSpec(tier, pair, scale);
+      Timer timer;
+      const EaDataset dataset = GenerateBenchmark(spec);
+      const DatasetStats stats = ComputeStats(dataset);
+      std::printf(
+          "%-18s %10d-%-10d %6d-%-6d %9ld-%-9ld %11ld %10ld-%-10ld\n",
+          dataset.name.c_str(), stats.source_entities, stats.target_entities,
+          stats.source_relations, stats.target_relations,
+          static_cast<long>(stats.source_triples),
+          static_cast<long>(stats.target_triples),
+          static_cast<long>(stats.alignment_pairs),
+          static_cast<long>(spec.paper_source_entities),
+          static_cast<long>(spec.paper_target_entities));
+      std::fflush(stdout);
+      (void)timer;
+    }
+  }
+  PrintRule(110);
+  std::printf(
+      "Shape checks vs. the paper: EN sides have more relations/triples;\n"
+      "DBP1M sides are unbalanced and contain unknown entities (aligned <\n"
+      "entities); DE KGs are sparser than FR KGs at the same tier.\n");
+  return 0;
+}

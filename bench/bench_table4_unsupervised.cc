@@ -1,0 +1,83 @@
+// Reproduces Table 4 + the Section 3.5 case study: unsupervised EA on
+// DBP1M.
+//
+// No human seed alignment at all: the name-based data augmentation
+// generates pseudo seeds (the case study reports ~500k seeds at ~94%
+// precision at paper scale), and the full pipeline runs on them alone.
+// The paper's claim: unsupervised results are comparable to supervised.
+//
+// Flags: --scale, --pair, --epochs.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/timer.h"
+#include "src/name/data_augmentation.h"
+
+using namespace largeea;
+using namespace largeea::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.6);
+  const auto epochs = static_cast<int32_t>(flags.GetInt("epochs", 50));
+
+  std::printf("=== Table 4: Unsupervised EA results on DBP1M ===\n");
+  for (const LanguagePair pair : SelectedPairs(flags)) {
+    const EaDataset supervised =
+        GenerateBenchmark(TierSpec(Tier::kDbp1m, pair, scale));
+    // Unsupervised variant: every ground-truth pair is held out.
+    EaDataset dataset = supervised;
+    dataset.split.test.insert(dataset.split.test.end(),
+                              dataset.split.train.begin(),
+                              dataset.split.train.end());
+    dataset.split.train.clear();
+
+    std::printf("\n--- %s ---\n", dataset.name.c_str());
+    std::printf("%-22s %6s %6s %6s %9s %10s\n", "Method", "H@1", "H@5",
+                "MRR", "Time(s)", "Mem(meas)");
+    PrintRule();
+
+    struct Run {
+      ModelKind model;
+      bool reversed;
+      const char* label;
+    };
+    const Run runs[] = {
+        {ModelKind::kGcnAlign, false, "LargeEA-G EN->L"},
+        {ModelKind::kGcnAlign, true, "LargeEA-G L->EN"},
+        {ModelKind::kRrea, false, "LargeEA-R EN->L"},
+        {ModelKind::kRrea, true, "LargeEA-R L->EN"},
+    };
+    bool reported_da = false;
+    for (const Run& run : runs) {
+      const EaDataset working = run.reversed ? dataset.Reversed() : dataset;
+      const LargeEaOptions options =
+          DefaultOptions(Tier::kDbp1m, working, run.model, epochs);
+      Timer timer;
+      const LargeEaResult result = RunLargeEa(working, options);
+      if (!reported_da) {
+        // Section 3.5's case-study numbers: pseudo-seed count + precision.
+        const EntityPairList& truth = run.reversed
+                                          ? working.split.test
+                                          : dataset.split.test;
+        const double precision =
+            PseudoSeedPrecision(result.name_channel.pseudo_seeds, truth);
+        std::printf(
+            "data augmentation: %zu pseudo seeds, precision %.2f%%\n",
+            result.name_channel.pseudo_seeds.size(), 100.0 * precision);
+        reported_da = true;
+      }
+      std::printf("%-22s %6.1f %6.1f %6.3f %9.2f %10s\n", run.label,
+                  100.0 * result.metrics.hits_at_1,
+                  100.0 * result.metrics.hits_at_5, result.metrics.mrr,
+                  timer.Seconds(),
+                  FormatBytes(result.peak_bytes).c_str());
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nShape checks: pseudo-seed precision is high (paper: ~94%%) and the\n"
+      "unsupervised H@1/H@5/MRR sit within a point or two of the\n"
+      "supervised Table 3 numbers.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces Table 5 (Appendix D): percentage of equivalent entities
+// placed into the same mini-batch.
+//
+// For every dataset and both directions, reports the same-batch fraction
+// of all / training / test pairs under METIS-CPS and VPS. The paper's
+// findings: VPS is perfect on the training set (by construction) but
+// collapses to ~1/K on the test set; METIS-CPS sacrifices some training
+// retention to preserve far more *test* pairs — the ones that actually
+// matter for alignment.
+//
+// Flags: --scale, --pair.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/partition/metis_cps.h"
+#include "src/partition/vps.h"
+
+using namespace largeea;
+using namespace largeea::bench;
+
+namespace {
+
+struct Fractions {
+  double total, train, test;
+};
+
+Fractions Measure(const MiniBatchSet& batches, const EaDataset& ds) {
+  const int32_t ns = ds.source.num_entities();
+  const int32_t nt = ds.target.num_entities();
+  return Fractions{
+      SameBatchFraction(batches, ds.split.All(), ns, nt),
+      SameBatchFraction(batches, ds.split.train, ns, nt),
+      SameBatchFraction(batches, ds.split.test, ns, nt),
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 1.0);
+
+  std::printf(
+      "=== Table 5: %% of equivalent entities placed into the same "
+      "mini-batch ===\n");
+  std::printf("%-18s %-6s %-10s | %7s %7s %7s\n", "Dataset", "dir",
+              "method", "Total", "Train", "Test");
+  PrintRule(70);
+  for (const Tier tier : {Tier::kIds15k, Tier::kIds100k, Tier::kDbp1m}) {
+    for (const LanguagePair pair : SelectedPairs(flags)) {
+      const EaDataset forward =
+          GenerateBenchmark(TierSpec(tier, pair, scale));
+      const int32_t k = TierBatchCount(tier);
+      for (const bool reversed : {false, true}) {
+        const EaDataset& ds = reversed
+                                  ? forward.Reversed()
+                                  : forward;
+        const char* dir = reversed ? "L->EN" : "EN->L";
+
+        MetisCpsOptions cps_options;
+        cps_options.num_batches = k;
+        const Fractions cps = Measure(
+            MetisCpsPartition(ds.source, ds.target, ds.split.train,
+                              cps_options),
+            ds);
+        VpsOptions vps_options;
+        vps_options.num_batches = k;
+        const Fractions vps = Measure(
+            VpsPartition(ds.source, ds.target, ds.split.train, vps_options),
+            ds);
+        std::printf("%-18s %-6s %-10s | %6.1f%% %6.1f%% %6.1f%%\n",
+                    forward.name.c_str(), dir, "METIS-CPS", 100 * cps.total,
+                    100 * cps.train, 100 * cps.test);
+        std::printf("%-18s %-6s %-10s | %6.1f%% %6.1f%% %6.1f%%\n",
+                    forward.name.c_str(), dir, "VPS", 100 * vps.total,
+                    100 * vps.train, 100 * vps.test);
+        std::fflush(stdout);
+      }
+    }
+  }
+  std::printf(
+      "\nShape checks: VPS = 100%% on Train and ~1/K on Test; METIS-CPS\n"
+      "keeps most Train pairs and several times VPS's Test retention;\n"
+      "DBP1M retention is below IDS (sparser, more heterogeneous KGs).\n");
+  return 0;
+}

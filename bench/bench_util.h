@@ -1,0 +1,126 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper (see
+// DESIGN.md §3). These helpers centralise tier construction, the default
+// LargeEA configuration per tier, and table formatting, so every bench
+// reports comparable numbers.
+#ifndef LARGEEA_BENCH_BENCH_UTIL_H_
+#define LARGEEA_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/core/large_ea.h"
+#include "src/gen/benchmark_gen.h"
+
+namespace largeea::bench {
+
+/// The three benchmark tiers of the paper.
+enum class Tier { kIds15k, kIds100k, kDbp1m };
+
+inline const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kIds15k:
+      return "IDS15K";
+    case Tier::kIds100k:
+      return "IDS100K";
+    case Tier::kDbp1m:
+      return "DBP1M";
+  }
+  return "?";
+}
+
+/// Builds the spec for a tier/pair at the given scale.
+inline BenchmarkSpec TierSpec(Tier tier, LanguagePair pair, double scale) {
+  switch (tier) {
+    case Tier::kIds15k:
+      return Ids15kSpec(pair, scale);
+    case Tier::kIds100k:
+      return Ids100kSpec(pair, scale);
+    case Tier::kDbp1m:
+      return Dbp1mSpec(pair, scale);
+  }
+  return Ids15kSpec(pair, scale);
+}
+
+/// The paper's per-tier mini-batch counts (Section 3.1).
+inline int32_t TierBatchCount(Tier tier) {
+  switch (tier) {
+    case Tier::kIds15k:
+      return 5;
+    case Tier::kIds100k:
+      return 10;
+    case Tier::kDbp1m:
+      return 20;
+  }
+  return 5;
+}
+
+/// LSH table width scaled so the expected bucket occupancy stays ~4
+/// points regardless of dataset size — this is what keeps the ANN path's
+/// per-query cost near-constant and Figure 4 near-linear.
+inline int32_t LshBitsForSize(int32_t n) {
+  int32_t bits = 8;
+  while ((n >> bits) > 4 && bits < 16) ++bits;
+  return bits;
+}
+
+/// Default LargeEA configuration for a generated dataset: the paper's K
+/// per tier, and the approximate (LSH) semantic search once exact search
+/// stops being affordable — the role Faiss-IVF plays in the paper.
+inline LargeEaOptions DefaultOptions(Tier tier, const EaDataset& dataset,
+                                     ModelKind model, int32_t epochs) {
+  LargeEaOptions options;
+  options.structure_channel.model = model;
+  options.structure_channel.train.epochs = epochs;
+  const int32_t n = std::max(dataset.source.num_entities(),
+                             dataset.target.num_entities());
+  // The paper's K per tier, capped so that scaled-down runs (--scale < 1)
+  // keep mini-batches large enough to train on (>= ~600 entities).
+  options.structure_channel.num_batches =
+      std::max(2, std::min(TierBatchCount(tier), n / 600));
+  if (n > 8000) {
+    auto& sens = options.name_channel.nff.sens;
+    sens.use_lsh = true;
+    sens.lsh.bits_per_table = LshBitsForSize(n);
+    sens.lsh.num_tables = 24;
+  }
+  return options;
+}
+
+/// Formats bytes as "12.3MB".
+inline std::string FormatBytes(int64_t bytes) {
+  char buf[32];
+  if (bytes >= (1LL << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2fGB",
+                  static_cast<double>(bytes) / (1LL << 30));
+  } else if (bytes >= (1LL << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB",
+                  static_cast<double>(bytes) / (1LL << 20));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fKB",
+                  static_cast<double>(bytes) / (1LL << 10));
+  }
+  return buf;
+}
+
+/// Prints a horizontal rule sized for the standard result table.
+inline void PrintRule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Language pairs selected by --pair=enfr|ende|both (default both).
+inline std::vector<LanguagePair> SelectedPairs(const Flags& flags) {
+  const std::string pair = flags.GetString("pair", "both");
+  if (pair == "enfr") return {LanguagePair::kEnFr};
+  if (pair == "ende") return {LanguagePair::kEnDe};
+  return {LanguagePair::kEnFr, LanguagePair::kEnDe};
+}
+
+}  // namespace largeea::bench
+
+#endif  // LARGEEA_BENCH_BENCH_UTIL_H_

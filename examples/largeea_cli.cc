@@ -1,0 +1,199 @@
+// largeea_cli — command-line front end for the library.
+//
+//   largeea_cli generate  --tier ids15k|ids100k|dbp1m --pair enfr|ende
+//                         [--scale 1.0] --out_dir DIR
+//       writes source.tsv / target.tsv / train.tsv / test.tsv
+//
+//   largeea_cli align     --source A.tsv --target B.tsv --seeds S.tsv
+//                         [--test T.tsv] [--model rrea|gcn|transe]
+//                         [--batches K] [--epochs N] [--out pred.tsv]
+//       runs LargeEA, optionally evaluates and/or writes predictions
+//
+//   largeea_cli partition --source A.tsv --target B.tsv --seeds S.tsv
+//                         [--batches K]
+//       reports METIS-CPS vs VPS partition quality
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/core/large_ea.h"
+#include "src/gen/benchmark_gen.h"
+#include "src/kg/kg_io.h"
+#include "src/partition/metis_cps.h"
+#include "src/partition/vps.h"
+
+using namespace largeea;
+
+namespace {
+
+int Fail(const char* message) {
+  std::fprintf(stderr, "error: %s\n", message);
+  return 1;
+}
+
+EaDataset LoadDatasetOrDie(const Flags& flags, bool need_seeds) {
+  auto source = LoadTriples(flags.GetString("source", ""));
+  auto target = LoadTriples(flags.GetString("target", ""));
+  if (!source || !target) {
+    std::fprintf(stderr, "error: cannot load --source/--target triples\n");
+    std::exit(1);
+  }
+  EaDataset dataset;
+  dataset.name = "cli";
+  dataset.source = std::move(*source);
+  dataset.target = std::move(*target);
+  const std::string seeds_path = flags.GetString("seeds", "");
+  if (!seeds_path.empty()) {
+    const auto seeds =
+        LoadAlignment(seeds_path, dataset.source, dataset.target);
+    if (!seeds) {
+      std::fprintf(stderr, "error: cannot load --seeds\n");
+      std::exit(1);
+    }
+    dataset.split.train = *seeds;
+  } else if (need_seeds) {
+    std::fprintf(stderr, "error: --seeds is required\n");
+    std::exit(1);
+  }
+  const std::string test_path = flags.GetString("test", "");
+  if (!test_path.empty()) {
+    const auto test =
+        LoadAlignment(test_path, dataset.source, dataset.target);
+    if (!test) {
+      std::fprintf(stderr, "error: cannot load --test\n");
+      std::exit(1);
+    }
+    dataset.split.test = *test;
+  }
+  return dataset;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string tier = flags.GetString("tier", "ids15k");
+  const LanguagePair pair = flags.GetString("pair", "enfr") == "ende"
+                                ? LanguagePair::kEnDe
+                                : LanguagePair::kEnFr;
+  const double scale = flags.GetDouble("scale", 1.0);
+  BenchmarkSpec spec;
+  if (tier == "ids15k") {
+    spec = Ids15kSpec(pair, scale);
+  } else if (tier == "ids100k") {
+    spec = Ids100kSpec(pair, scale);
+  } else if (tier == "dbp1m") {
+    spec = Dbp1mSpec(pair, scale);
+  } else {
+    return Fail("--tier must be ids15k, ids100k, or dbp1m");
+  }
+  const std::string dir = flags.GetString("out_dir", "");
+  if (dir.empty()) return Fail("--out_dir is required");
+
+  const EaDataset dataset = GenerateBenchmark(spec);
+  if (!SaveTriples(dataset.source, dir + "/source.tsv") ||
+      !SaveTriples(dataset.target, dir + "/target.tsv") ||
+      !SaveAlignment(dataset.split.train, dataset.source, dataset.target,
+                     dir + "/train.tsv") ||
+      !SaveAlignment(dataset.split.test, dataset.source, dataset.target,
+                     dir + "/test.tsv")) {
+    return Fail("failed to write output files (does --out_dir exist?)");
+  }
+  std::printf("%s: wrote %d+%d entities, %ld+%ld triples, %zu/%zu pairs\n",
+              dataset.name.c_str(), dataset.source.num_entities(),
+              dataset.target.num_entities(),
+              static_cast<long>(dataset.source.num_triples()),
+              static_cast<long>(dataset.target.num_triples()),
+              dataset.split.train.size(), dataset.split.test.size());
+  return 0;
+}
+
+int CmdAlign(const Flags& flags) {
+  const EaDataset dataset = LoadDatasetOrDie(flags, /*need_seeds=*/false);
+  LargeEaOptions options;
+  const std::string model = flags.GetString("model", "rrea");
+  if (model == "rrea") {
+    options.structure_channel.model = ModelKind::kRrea;
+  } else if (model == "gcn") {
+    options.structure_channel.model = ModelKind::kGcnAlign;
+  } else if (model == "transe") {
+    options.structure_channel.model = ModelKind::kTransE;
+  } else {
+    return Fail("--model must be rrea, gcn, or transe");
+  }
+  options.structure_channel.num_batches =
+      static_cast<int32_t>(flags.GetInt("batches", 5));
+  options.structure_channel.train.epochs =
+      static_cast<int32_t>(flags.GetInt("epochs", 60));
+  if (std::max(dataset.source.num_entities(),
+               dataset.target.num_entities()) > 8000) {
+    options.name_channel.nff.sens.use_lsh = true;
+  }
+
+  const LargeEaResult result = RunLargeEa(dataset, options);
+  std::printf("pseudo seeds: %zu; effective seeds: %zu\n",
+              result.name_channel.pseudo_seeds.size(),
+              result.effective_seeds.size());
+  if (result.metrics.num_test_pairs > 0) {
+    std::printf("H@1 %.2f%%  H@5 %.2f%%  MRR %.4f  (%ld test pairs)\n",
+                100 * result.metrics.hits_at_1,
+                100 * result.metrics.hits_at_5, result.metrics.mrr,
+                static_cast<long>(result.metrics.num_test_pairs));
+  }
+  const std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    EntityPairList predictions;
+    for (int32_t s = 0; s < result.fused.num_rows(); ++s) {
+      const EntityId t = result.fused.ArgmaxOfRow(s);
+      if (t != kInvalidEntity) predictions.push_back(EntityPair{s, t});
+    }
+    if (!SaveAlignment(predictions, dataset.source, dataset.target, out)) {
+      return Fail("failed to write --out");
+    }
+    std::printf("wrote %zu predictions to %s\n", predictions.size(),
+                out.c_str());
+  }
+  return 0;
+}
+
+int CmdPartition(const Flags& flags) {
+  const EaDataset dataset = LoadDatasetOrDie(flags, /*need_seeds=*/true);
+  const auto k = static_cast<int32_t>(flags.GetInt("batches", 5));
+  const int32_t ns = dataset.source.num_entities();
+  const int32_t nt = dataset.target.num_entities();
+
+  MetisCpsOptions cps;
+  cps.num_batches = k;
+  MetisCpsReport report;
+  const MiniBatchSet cps_batches = MetisCpsPartition(
+      dataset.source, dataset.target, dataset.split.train, cps, &report);
+  VpsOptions vps;
+  vps.num_batches = k;
+  const MiniBatchSet vps_batches = VpsPartition(
+      dataset.source, dataset.target, dataset.split.train, vps);
+
+  std::printf("METIS-CPS: seed retention %.1f%%, edge-cut rate %.1f%%/%.1f%%\n",
+              100 * SameBatchFraction(cps_batches, dataset.split.train, ns,
+                                      nt),
+              100 * report.source_edge_cut_rate,
+              100 * report.target_edge_cut_rate);
+  std::printf("VPS:       seed retention %.1f%%\n",
+              100 * SameBatchFraction(vps_batches, dataset.split.train, ns,
+                                      nt));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: largeea_cli generate|align|partition [--flags]\n");
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags(argc - 1, argv + 1);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "align") return CmdAlign(flags);
+  if (command == "partition") return CmdPartition(flags);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 2;
+}

@@ -1,0 +1,99 @@
+// Partition explorer: inspects what METIS-CPS actually does to a KG pair.
+//
+// Compares METIS-CPS against VPS and plain (non-collaborative) METIS on
+// the mini-batch quality metrics that drive EA accuracy: edge-cut rate,
+// batch balance, and the fraction of seed/test pairs kept co-batched.
+// Also demonstrates the phase-1/phase-2 ablation switches.
+//
+//   ./build/examples/partition_explorer [--entities 4000] [--batches 5]
+#include <cstdio>
+
+#include "src/common/flags.h"
+#include "src/gen/benchmark_gen.h"
+#include "src/partition/metis.h"
+#include "src/partition/metis_cps.h"
+#include "src/partition/vps.h"
+
+using namespace largeea;
+
+namespace {
+
+void Report(const char* label, const MiniBatchSet& batches,
+            const EaDataset& ds) {
+  const int32_t ns = ds.source.num_entities();
+  const int32_t nt = ds.target.num_entities();
+  int64_t min_size = INT64_MAX, max_size = 0;
+  for (const auto& [s, t] : BatchSizes(batches)) {
+    min_size = std::min(min_size, s + t);
+    max_size = std::max(max_size, s + t);
+  }
+  std::printf("%-24s train %5.1f%%  test %5.1f%%  batch sizes %ld..%ld\n",
+              label,
+              100 * SameBatchFraction(batches, ds.split.train, ns, nt),
+              100 * SameBatchFraction(batches, ds.split.test, ns, nt),
+              static_cast<long>(min_size), static_cast<long>(max_size));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  BenchmarkSpec spec = Ids15kSpec(LanguagePair::kEnFr);
+  spec.world.num_entities =
+      static_cast<int32_t>(flags.GetInt("entities", 4000));
+  const auto k = static_cast<int32_t>(flags.GetInt("batches", 5));
+  const EaDataset ds = GenerateBenchmark(spec);
+
+  std::printf("KG pair: %d vs %d entities, %ld vs %ld triples, K=%d\n",
+              ds.source.num_entities(), ds.target.num_entities(),
+              static_cast<long>(ds.source.num_triples()),
+              static_cast<long>(ds.target.num_triples()), k);
+
+  // Raw METIS quality on each side, for reference.
+  for (const auto* side : {&ds.source, &ds.target}) {
+    const CsrGraph graph = side->ToUndirectedGraph();
+    MetisOptions metis;
+    metis.num_parts = k;
+    const PartitionResult result = MetisPartition(graph, metis);
+    std::printf("raw METIS (%s side): edge-cut rate %.1f%%, components %d\n",
+                side == &ds.source ? "source" : "target",
+                100 * EdgeCutRate(graph, result.assignment),
+                graph.CountConnectedComponents());
+  }
+  std::printf("\nsame-batch retention by strategy:\n");
+
+  MetisCpsOptions cps;
+  cps.num_batches = k;
+  Report("METIS-CPS", MetisCpsPartition(ds.source, ds.target,
+                                        ds.split.train, cps),
+         ds);
+
+  MetisCpsOptions no_p1 = cps;
+  no_p1.enable_phase1 = false;
+  Report("METIS-CPS w/o phase 1",
+         MetisCpsPartition(ds.source, ds.target, ds.split.train, no_p1), ds);
+
+  MetisCpsOptions no_p2 = cps;
+  no_p2.enable_phase2 = false;
+  Report("METIS-CPS w/o phase 2",
+         MetisCpsPartition(ds.source, ds.target, ds.split.train, no_p2), ds);
+
+  MetisCpsOptions independent = cps;
+  independent.enable_phase1 = false;
+  independent.enable_phase2 = false;
+  Report("independent METIS",
+         MetisCpsPartition(ds.source, ds.target, ds.split.train,
+                           independent),
+         ds);
+
+  VpsOptions vps;
+  vps.num_batches = k;
+  Report("VPS (random)",
+         VpsPartition(ds.source, ds.target, ds.split.train, vps), ds);
+
+  std::printf(
+      "\nReading guide: collaborative reweighting (phases 1+2) is what\n"
+      "lifts test retention above independent METIS; VPS is perfect on\n"
+      "train (by construction) but near 1/K on test.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Structure-only EA via bootstrapped self-training — the direction the
+// paper's conclusion names as future work ("EA approaches that solely
+// rely on the KG's structure, to support EA between KGs whose entities do
+// not share the same naming convention").
+//
+// The name channel is never used: starting from a small human seed set,
+// each round trains the structure channel, harvests confident mutual-
+// nearest structural matches as new pseudo seeds, and retrains.
+//
+//   ./build/examples/structure_only_bootstrap [--entities 2000]
+//       [--rounds 4] [--seed_ratio 0.2]
+#include <cstdio>
+
+#include "src/common/flags.h"
+#include "src/core/bootstrap.h"
+#include "src/core/evaluator.h"
+#include "src/gen/benchmark_gen.h"
+
+using namespace largeea;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  BenchmarkSpec spec = Ids15kSpec(LanguagePair::kEnFr);
+  spec.world.num_entities =
+      static_cast<int32_t>(flags.GetInt("entities", 2000));
+  spec.train_ratio = flags.GetDouble("seed_ratio", 0.2);
+  const EaDataset dataset = GenerateBenchmark(spec);
+  std::printf(
+      "structure-only EA on %s: %d vs %d entities, %zu seeds, no names\n",
+      dataset.name.c_str(), dataset.source.num_entities(),
+      dataset.target.num_entities(), dataset.split.train.size());
+
+  BootstrapOptions options;
+  options.structure.model = ModelKind::kRrea;
+  options.structure.num_batches =
+      static_cast<int32_t>(flags.GetInt("batches", 3));
+  options.structure.train.epochs =
+      static_cast<int32_t>(flags.GetInt("epochs", 60));
+  options.rounds = static_cast<int32_t>(flags.GetInt("rounds", 4));
+
+  // Baseline: one plain round, no self-training.
+  const StructureChannelResult plain = RunStructureChannel(
+      dataset.source, dataset.target, dataset.split.train,
+      options.structure);
+  const double plain_h1 =
+      Evaluate(plain.similarity, dataset.split.test).hits_at_1;
+  std::printf("single round (no bootstrapping): H@1 %.1f%%\n",
+              100 * plain_h1);
+
+  const BootstrapResult result = RunBootstrappedStructureChannel(
+      dataset.source, dataset.target, dataset.split.train, options);
+  for (size_t r = 0; r < result.seeds_per_round.size(); ++r) {
+    std::printf("round %zu: %ld seeds\n", r + 1,
+                static_cast<long>(result.seeds_per_round[r]));
+  }
+  const double boot_h1 =
+      Evaluate(result.similarity, dataset.split.test).hits_at_1;
+  std::printf("after %d self-training rounds: H@1 %.1f%% (%+.1f points)\n",
+              options.rounds, 100 * boot_h1,
+              100 * (boot_h1 - plain_h1));
+  std::printf(
+      "(no entity name was read at any point — this is the paper's\n"
+      " future-work setting for KGs without a shared naming convention)\n");
+  return 0;
+}

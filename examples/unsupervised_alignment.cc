@@ -1,0 +1,58 @@
+// Unsupervised entity alignment (the paper's Section 3.5 case study).
+//
+// No seed alignment is provided at all. The name-based data augmentation
+// manufactures pseudo seeds from mutual-nearest name matches, the
+// structure channel trains on those, and the fused result is evaluated
+// against the full ground truth.
+//
+//   ./build/examples/unsupervised_alignment [--entities 3000]
+#include <cstdio>
+
+#include "src/common/flags.h"
+#include "src/core/large_ea.h"
+#include "src/gen/benchmark_gen.h"
+#include "src/name/data_augmentation.h"
+
+using namespace largeea;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  BenchmarkSpec spec = Dbp1mSpec(LanguagePair::kEnFr, 0.15);
+  if (flags.Has("entities")) {
+    spec.world.num_entities =
+        static_cast<int32_t>(flags.GetInt("entities", 3000));
+  }
+  spec.train_ratio = 0.0;  // every ground-truth pair is held out
+  const EaDataset dataset = GenerateBenchmark(spec);
+  std::printf("unsupervised EA on %s: %d vs %d entities, 0 seeds\n",
+              dataset.name.c_str(), dataset.source.num_entities(),
+              dataset.target.num_entities());
+
+  LargeEaOptions options;
+  options.structure_channel.model = ModelKind::kRrea;
+  options.structure_channel.num_batches =
+      static_cast<int32_t>(flags.GetInt("batches", 4));
+  options.structure_channel.train.epochs =
+      static_cast<int32_t>(flags.GetInt("epochs", 50));
+  const LargeEaResult result = RunLargeEa(dataset, options);
+
+  const double precision = PseudoSeedPrecision(
+      result.name_channel.pseudo_seeds, dataset.split.test);
+  std::printf(
+      "data augmentation generated %zu pseudo seeds at %.1f%% precision\n",
+      result.name_channel.pseudo_seeds.size(), 100 * precision);
+  std::printf("unsupervised result: H@1 %.1f%%  H@5 %.1f%%  MRR %.3f\n",
+              100 * result.metrics.hits_at_1,
+              100 * result.metrics.hits_at_5, result.metrics.mrr);
+
+  // Compare with the supervised run (20% seeds) on the same data.
+  BenchmarkSpec supervised_spec = spec;
+  supervised_spec.train_ratio = 0.2;
+  const EaDataset supervised = GenerateBenchmark(supervised_spec);
+  const LargeEaResult supervised_result = RunLargeEa(supervised, options);
+  std::printf("supervised (20%% seeds) for comparison: H@1 %.1f%%\n",
+              100 * supervised_result.metrics.hits_at_1);
+  std::printf(
+      "(the paper's Table 4 finding: the two are nearly identical)\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "src/common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "src/common/string_util.h"
+
+namespace largeea {
+namespace {
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "flag error: %s\n", message.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) Die("expected --flag, got '" + std::string(arg) + "'");
+    arg.remove_prefix(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      continue;
+    }
+    // `--name value` if the next token is not itself a flag; bare boolean
+    // otherwise.
+    if (i + 1 < argc && !std::string_view(argv[i + 1]).starts_with("--")) {
+      values_[std::string(arg)] = argv[++i];
+    } else {
+      values_[std::string(arg)] = "true";
+    }
+  }
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const auto parsed = ParseInt(it->second);
+  if (!parsed) Die("flag --" + name + " is not an integer: " + it->second);
+  return *parsed;
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const auto parsed = ParseDouble(it->second);
+  if (!parsed) Die("flag --" + name + " is not a number: " + it->second);
+  return *parsed;
+}
+
+bool Flags::GetBool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  Die("flag --" + name + " is not a boolean: " + it->second);
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+}  // namespace largeea

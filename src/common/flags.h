@@ -1,0 +1,36 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+//
+// Accepted forms: --name=value, --name value, and bare --name for booleans.
+// Unknown flags abort with a message listing what was seen, so typos in a
+// bench invocation fail loudly instead of silently running the default.
+#ifndef LARGEEA_COMMON_FLAGS_H_
+#define LARGEEA_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace largeea {
+
+/// Parses argv into a name->value map and serves typed lookups.
+class Flags {
+ public:
+  /// Parses the command line. Aborts on malformed arguments.
+  Flags(int argc, char** argv);
+
+  /// Returns the flag value or `def` if the flag was not passed.
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+
+  /// True if the flag appeared on the command line.
+  bool Has(const std::string& name) const { return values_.contains(name); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace largeea
+
+#endif  // LARGEEA_COMMON_FLAGS_H_

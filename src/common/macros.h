@@ -1,0 +1,42 @@
+// Assertion macros used across the library.
+//
+// The library does not use exceptions (see DESIGN.md §5). Programmer errors
+// — violated preconditions, broken invariants — abort the process through
+// the LARGEEA_CHECK family, printing the failing condition and location.
+// Recoverable conditions (bad input files, missing entities) are reported
+// through return values instead.
+#ifndef LARGEEA_COMMON_MACROS_H_
+#define LARGEEA_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace largeea::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, condition);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace largeea::internal
+
+// Aborts if `condition` is false. Enabled in all build types: the cost is
+// negligible next to the graph/matrix work this library does, and silent
+// corruption in a research library is far worse than an abort.
+#define LARGEEA_CHECK(condition)                                        \
+  do {                                                                  \
+    if (!(condition)) {                                                 \
+      ::largeea::internal::CheckFailed(__FILE__, __LINE__, #condition); \
+    }                                                                   \
+  } while (false)
+
+#define LARGEEA_CHECK_EQ(a, b) LARGEEA_CHECK((a) == (b))
+#define LARGEEA_CHECK_NE(a, b) LARGEEA_CHECK((a) != (b))
+#define LARGEEA_CHECK_LT(a, b) LARGEEA_CHECK((a) < (b))
+#define LARGEEA_CHECK_LE(a, b) LARGEEA_CHECK((a) <= (b))
+#define LARGEEA_CHECK_GT(a, b) LARGEEA_CHECK((a) > (b))
+#define LARGEEA_CHECK_GE(a, b) LARGEEA_CHECK((a) >= (b))
+
+#endif  // LARGEEA_COMMON_MACROS_H_

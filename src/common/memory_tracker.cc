@@ -1,0 +1,52 @@
+#include "src/common/memory_tracker.h"
+
+namespace largeea {
+
+MemoryTracker& MemoryTracker::Get() {
+  // Function-local static pointer: trivially-destructible global per the
+  // style guide's static-storage rules.
+  static MemoryTracker* const tracker = new MemoryTracker();
+  return *tracker;
+}
+
+void MemoryTracker::Add(int64_t bytes) {
+  const int64_t now = current_.fetch_add(bytes) + bytes;
+  // Lock-free peak update.
+  int64_t prev_peak = peak_.load();
+  while (now > prev_peak && !peak_.compare_exchange_weak(prev_peak, now)) {
+  }
+}
+
+void MemoryTracker::Remove(int64_t bytes) { current_.fetch_sub(bytes); }
+
+void MemoryTracker::ResetPeak() { peak_.store(current_.load()); }
+
+TrackedAllocation::TrackedAllocation(int64_t bytes) : bytes_(bytes) {
+  MemoryTracker::Get().Add(bytes_);
+}
+
+TrackedAllocation::~TrackedAllocation() {
+  if (bytes_ != 0) MemoryTracker::Get().Remove(bytes_);
+}
+
+TrackedAllocation::TrackedAllocation(TrackedAllocation&& other) noexcept
+    : bytes_(other.bytes_) {
+  other.bytes_ = 0;
+}
+
+TrackedAllocation& TrackedAllocation::operator=(
+    TrackedAllocation&& other) noexcept {
+  if (this != &other) {
+    if (bytes_ != 0) MemoryTracker::Get().Remove(bytes_);
+    bytes_ = other.bytes_;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+void TrackedAllocation::Resize(int64_t bytes) {
+  MemoryTracker::Get().Add(bytes - bytes_);
+  bytes_ = bytes;
+}
+
+}  // namespace largeea

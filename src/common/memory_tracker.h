@@ -1,0 +1,72 @@
+// Working-set accounting, the stand-in for the paper's GPU-memory probe.
+//
+// The paper reports the maximum GPU memory each method needs (Table 2/3/6,
+// measured with NVIDIA Nsight). This repo runs on CPU, so instead every
+// large buffer — entity embeddings, optimizer state, similarity matrices —
+// registers its byte count with the process-wide MemoryTracker. Benches
+// reset the peak before a phase and read it afterwards; the *relative*
+// numbers (mini-batch vs. whole-graph, name channel vs. structure channel)
+// are what the paper's tables demonstrate, and those ratios are preserved.
+#ifndef LARGEEA_COMMON_MEMORY_TRACKER_H_
+#define LARGEEA_COMMON_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace largeea {
+
+/// Process-wide tracker of bytes in registered large buffers.
+/// All methods are thread-safe.
+class MemoryTracker {
+ public:
+  /// Returns the singleton tracker.
+  static MemoryTracker& Get();
+
+  /// Records that `bytes` of tracked memory were allocated.
+  void Add(int64_t bytes);
+
+  /// Records that `bytes` of tracked memory were released.
+  void Remove(int64_t bytes);
+
+  /// Currently-live tracked bytes.
+  int64_t CurrentBytes() const { return current_.load(); }
+
+  /// Highest value CurrentBytes() has reached since the last ResetPeak().
+  int64_t PeakBytes() const { return peak_.load(); }
+
+  /// Sets the peak to the current live amount (start of a measured phase).
+  void ResetPeak();
+
+ private:
+  MemoryTracker() = default;
+
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// RAII registration of an externally-owned buffer with the tracker.
+/// Move-only; the moved-from object stops tracking.
+class TrackedAllocation {
+ public:
+  TrackedAllocation() = default;
+  explicit TrackedAllocation(int64_t bytes);
+  ~TrackedAllocation();
+
+  TrackedAllocation(TrackedAllocation&& other) noexcept;
+  TrackedAllocation& operator=(TrackedAllocation&& other) noexcept;
+  TrackedAllocation(const TrackedAllocation&) = delete;
+  TrackedAllocation& operator=(const TrackedAllocation&) = delete;
+
+  /// Changes the registered size to `bytes` (e.g. after a resize).
+  void Resize(int64_t bytes);
+
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  int64_t bytes_ = 0;
+};
+
+}  // namespace largeea
+
+#endif  // LARGEEA_COMMON_MEMORY_TRACKER_H_

@@ -1,0 +1,16 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace largeea {
+
+double Rng::Gaussian() {
+  // Box–Muller transform. u1 is nudged away from zero so log() is finite.
+  double u1 = UniformDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace largeea

@@ -1,0 +1,117 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library takes an explicit seed and
+// derives all randomness from an Rng instance, so that identical seeds
+// reproduce identical results bit-for-bit across runs (the test suite
+// relies on this). The generator is xoshiro256**, seeded via SplitMix64.
+#ifndef LARGEEA_COMMON_RNG_H_
+#define LARGEEA_COMMON_RNG_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/macros.h"
+
+namespace largeea {
+
+/// Fast, deterministic PRNG (xoshiro256**). Not cryptographic.
+class Rng {
+ public:
+  /// Creates a generator whose entire stream is a function of `seed`.
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state; this is the
+    // initialisation recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Returns the next 64 uniformly random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Returns a uniform integer in [0, bound). `bound` must be positive.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t Uniform(uint64_t bound) {
+    LARGEEA_CHECK_GT(bound, 0u);
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Returns a uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    LARGEEA_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns a uniform float in [0, 1).
+  float UniformFloat() {
+    return static_cast<float>(Next() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Returns a sample from the standard normal distribution
+  /// (Box–Muller; one of the two generated values is discarded for
+  /// simplicity — throughput is not a concern here).
+  double Gaussian();
+
+  /// Fisher–Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = Uniform(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator. Children with distinct tags
+  /// from the same parent produce independent streams; used to give each
+  /// mini-batch its own deterministic randomness.
+  Rng Fork(uint64_t tag) {
+    return Rng(Next() ^ (0x9e3779b97f4a7c15ULL * (tag + 1)));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace largeea
+
+#endif  // LARGEEA_COMMON_RNG_H_

@@ -1,0 +1,36 @@
+// Small string helpers shared by the tokenizer, IO, and CLI code.
+#ifndef LARGEEA_COMMON_STRING_UTIL_H_
+#define LARGEEA_COMMON_STRING_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace largeea {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits `s` on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Returns `s` with leading/trailing ASCII whitespace removed.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Returns a lower-cased copy (ASCII only; bytes >= 0x80 pass through,
+/// which is the right behaviour for UTF-8 payloads).
+std::string AsciiToLower(std::string_view s);
+
+/// Parses a decimal integer; returns nullopt on any malformed input.
+std::optional<int64_t> ParseInt(std::string_view s);
+
+/// Parses a floating-point number; returns nullopt on any malformed input.
+std::optional<double> ParseDouble(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_COMMON_STRING_UTIL_H_

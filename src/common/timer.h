@@ -1,0 +1,32 @@
+// Wall-clock timing used by the benchmark harnesses.
+#ifndef LARGEEA_COMMON_TIMER_H_
+#define LARGEEA_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace largeea {
+
+/// Measures elapsed wall-clock time from construction (or the last Reset).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Returns seconds elapsed since construction / last Reset.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Returns milliseconds elapsed since construction / last Reset.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace largeea
+
+#endif  // LARGEEA_COMMON_TIMER_H_

@@ -1,0 +1,45 @@
+// Core identifier types shared by every module.
+#ifndef LARGEEA_COMMON_TYPES_H_
+#define LARGEEA_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace largeea {
+
+/// Dense 0-based entity identifier, local to one KnowledgeGraph.
+using EntityId = int32_t;
+
+/// Dense 0-based relation identifier, local to one KnowledgeGraph.
+using RelationId = int32_t;
+
+/// Sentinel for "no entity".
+inline constexpr EntityId kInvalidEntity = -1;
+
+/// Sentinel for "no relation".
+inline constexpr RelationId kInvalidRelation = -1;
+
+/// A directed labelled edge (h, r, t): head entity, relation, tail entity.
+struct Triple {
+  EntityId head = kInvalidEntity;
+  RelationId relation = kInvalidRelation;
+  EntityId tail = kInvalidEntity;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+/// An aligned entity pair: `source` lives in the source KG, `target` in the
+/// target KG.
+struct EntityPair {
+  EntityId source = kInvalidEntity;
+  EntityId target = kInvalidEntity;
+
+  friend bool operator==(const EntityPair&, const EntityPair&) = default;
+};
+
+using EntityPairList = std::vector<EntityPair>;
+
+}  // namespace largeea
+
+#endif  // LARGEEA_COMMON_TYPES_H_

@@ -1,0 +1,56 @@
+#include "src/core/bootstrap.h"
+
+#include <algorithm>
+
+#include "src/name/data_augmentation.h"
+
+namespace largeea {
+
+BootstrapResult RunBootstrappedStructureChannel(
+    const KnowledgeGraph& source, const KnowledgeGraph& target,
+    const EntityPairList& seeds, const BootstrapOptions& options) {
+  BootstrapResult result;
+  result.final_seeds = seeds;
+
+  for (int32_t round = 0; round < options.rounds; ++round) {
+    StructureChannelOptions structure = options.structure;
+    structure.seed = options.structure.seed + static_cast<uint64_t>(round);
+    StructureChannelResult channel = RunStructureChannel(
+        source, target, result.final_seeds, structure);
+
+    const bool last = (round == options.rounds - 1);
+    if (!last) {
+      // Harvest mutual-nearest structural matches as new pseudo seeds.
+      // GeneratePseudoSeeds already enforces mutuality, 1-1-ness, and
+      // non-conflict with existing seeds; it returns pairs sorted by
+      // source id, so re-rank by score before applying the growth cap.
+      EntityPairList mutual =
+          GeneratePseudoSeeds(channel.similarity, result.final_seeds);
+      std::sort(mutual.begin(), mutual.end(),
+                [&](const EntityPair& a, const EntityPair& b) {
+                  const auto row_a = channel.similarity.Row(a.source);
+                  const auto row_b = channel.similarity.Row(b.source);
+                  const float sa = row_a.empty() ? 0.0f : row_a[0].score;
+                  const float sb = row_b.empty() ? 0.0f : row_b[0].score;
+                  if (sa != sb) return sa > sb;
+                  return a.source < b.source;
+                });
+      if (options.max_growth_per_round > 0) {
+        const auto cap = static_cast<size_t>(
+            options.max_growth_per_round *
+            std::max<double>(1.0,
+                             static_cast<double>(result.final_seeds.size())));
+        if (mutual.size() > cap) mutual.resize(cap);
+      }
+      result.final_seeds.insert(result.final_seeds.end(), mutual.begin(),
+                                mutual.end());
+    } else {
+      result.similarity = std::move(channel.similarity);
+    }
+    result.seeds_per_round.push_back(
+        static_cast<int64_t>(result.final_seeds.size()));
+  }
+  return result;
+}
+
+}  // namespace largeea

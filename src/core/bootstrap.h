@@ -1,0 +1,48 @@
+// Bootstrapped (self-training) structure-only EA.
+//
+// The paper's conclusion names, as future work, "effective and scalable
+// EA approaches that solely rely on the KG's structure, to support EA
+// between KGs whose entities do not share the same naming convention".
+// This module implements that direction on top of LargeEA's structure
+// channel: train on the current seeds, harvest confident mutual-nearest
+// structural matches as new pseudo seeds (the BootEA-style self-training
+// loop), and retrain — no name information anywhere.
+#ifndef LARGEEA_CORE_BOOTSTRAP_H_
+#define LARGEEA_CORE_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/structure_channel.h"
+
+namespace largeea {
+
+struct BootstrapOptions {
+  StructureChannelOptions structure;
+  /// Self-training rounds (each runs the full structure channel).
+  int32_t rounds = 3;
+  /// New pseudo seeds accepted per round: mutual-nearest pairs, ranked by
+  /// score, capped at this fraction of the current seed count (growing
+  /// too fast admits noise). <= 0 disables the cap.
+  double max_growth_per_round = 1.0;
+};
+
+struct BootstrapResult {
+  /// Final-round structural similarity matrix.
+  SparseSimMatrix similarity;
+  /// ψ' after all rounds (input seeds + harvested pseudo seeds).
+  EntityPairList final_seeds;
+  /// Seed-count trajectory, one entry per round (after harvesting).
+  std::vector<int64_t> seeds_per_round;
+};
+
+/// Runs the self-training loop. Works with an empty `seeds` only if the
+/// structure channel can find mutual matches by chance — in practice,
+/// structure-only bootstrapping needs a small seed set to start from.
+BootstrapResult RunBootstrappedStructureChannel(
+    const KnowledgeGraph& source, const KnowledgeGraph& target,
+    const EntityPairList& seeds, const BootstrapOptions& options);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_CORE_BOOTSTRAP_H_

@@ -1,0 +1,27 @@
+#include "src/core/evaluator.h"
+
+namespace largeea {
+
+EvalMetrics Evaluate(const SparseSimMatrix& similarity,
+                     const EntityPairList& test_pairs) {
+  EvalMetrics metrics;
+  metrics.num_test_pairs = static_cast<int64_t>(test_pairs.size());
+  if (test_pairs.empty()) return metrics;
+
+  int64_t hits1 = 0, hits5 = 0;
+  double reciprocal_sum = 0.0;
+  for (const EntityPair& p : test_pairs) {
+    const int32_t rank = similarity.RankInRow(p.source, p.target);
+    if (rank == 0) continue;  // not in the candidate list
+    if (rank == 1) ++hits1;
+    if (rank <= 5) ++hits5;
+    reciprocal_sum += 1.0 / rank;
+  }
+  const auto n = static_cast<double>(test_pairs.size());
+  metrics.hits_at_1 = hits1 / n;
+  metrics.hits_at_5 = hits5 / n;
+  metrics.mrr = reciprocal_sum / n;
+  return metrics;
+}
+
+}  // namespace largeea

@@ -1,0 +1,28 @@
+// EA evaluation: Hits@N and MRR over a sparse similarity matrix.
+#ifndef LARGEEA_CORE_EVALUATOR_H_
+#define LARGEEA_CORE_EVALUATOR_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/sim/sparse_sim.h"
+
+namespace largeea {
+
+/// Standard EA metrics. A test pair whose true target is absent from the
+/// source row's candidate list counts as unranked (contributes 0 to every
+/// metric) — the sparse-matrix convention the paper's pipeline uses.
+struct EvalMetrics {
+  double hits_at_1 = 0.0;
+  double hits_at_5 = 0.0;
+  double mrr = 0.0;
+  int64_t num_test_pairs = 0;
+};
+
+/// Evaluates `similarity` against the held-out `test_pairs`.
+EvalMetrics Evaluate(const SparseSimMatrix& similarity,
+                     const EntityPairList& test_pairs);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_CORE_EVALUATOR_H_

@@ -1,0 +1,58 @@
+#include "src/core/large_ea.h"
+
+#include "src/common/macros.h"
+#include "src/common/memory_tracker.h"
+#include "src/common/timer.h"
+
+namespace largeea {
+
+LargeEaResult RunLargeEa(const EaDataset& dataset,
+                         const LargeEaOptions& options) {
+  LARGEEA_CHECK(options.use_name_channel || options.use_structure_channel);
+  LargeEaResult result;
+  Timer timer;
+  MemoryTracker::Get().ResetPeak();
+
+  // --- Name channel: M_n and pseudo seeds. ---
+  if (options.use_name_channel) {
+    result.name_channel =
+        RunNameChannel(dataset.source, dataset.target, dataset.split.train,
+                       options.name_channel);
+  }
+
+  // --- Seed augmentation: ψ' ← ψ' + ψ'_p. ---
+  result.effective_seeds = dataset.split.train;
+  result.effective_seeds.insert(result.effective_seeds.end(),
+                                result.name_channel.pseudo_seeds.begin(),
+                                result.name_channel.pseudo_seeds.end());
+
+  // --- Structure channel: mini-batch training, M_s. ---
+  if (options.use_structure_channel) {
+    result.structure_channel =
+        RunStructureChannel(dataset.source, dataset.target,
+                            result.effective_seeds,
+                            options.structure_channel);
+  }
+
+  // --- Channel fusion: M = M_s + M_n. ---
+  if (options.use_name_channel && options.use_structure_channel &&
+      !options.fuse_name_similarity) {
+    // "w/o name channel": DA already fed ψ'; only M_s is scored.
+    result.fused = result.structure_channel.similarity;
+  } else if (options.use_name_channel && options.use_structure_channel) {
+    result.fused = result.structure_channel.similarity.Fuse(
+        result.name_channel.nff.fused, options.structure_weight,
+        options.name_weight, options.fused_top_k);
+  } else if (options.use_structure_channel) {
+    result.fused = result.structure_channel.similarity;
+  } else {
+    result.fused = result.name_channel.nff.fused;
+  }
+
+  result.metrics = Evaluate(result.fused, dataset.split.test);
+  result.total_seconds = timer.Seconds();
+  result.peak_bytes = MemoryTracker::Get().PeakBytes();
+  return result;
+}
+
+}  // namespace largeea

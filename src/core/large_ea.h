@@ -1,0 +1,53 @@
+// LargeEA — the full two-channel pipeline (Figure 2).
+//
+// Run order follows Algorithm 1: the name channel produces M_n and pseudo
+// seeds; the pseudo seeds join ψ'; the structure channel trains per
+// mini-batch and produces M_s; the channels fuse as M = M_s + M_n; the
+// fused matrix is evaluated against the held-out test pairs.
+#ifndef LARGEEA_CORE_LARGE_EA_H_
+#define LARGEEA_CORE_LARGE_EA_H_
+
+#include "src/core/evaluator.h"
+#include "src/core/name_channel.h"
+#include "src/core/structure_channel.h"
+#include "src/kg/dataset.h"
+
+namespace largeea {
+
+struct LargeEaOptions {
+  NameChannelOptions name_channel;
+  StructureChannelOptions structure_channel;
+  /// Ablation switches (Figure 5): disable a whole channel.
+  bool use_name_channel = true;
+  bool use_structure_channel = true;
+  /// "w/o name channel" in the paper's sense: the name channel still runs
+  /// (its data augmentation feeds pseudo seeds into Algorithm 1), but M_n
+  /// is NOT fused into the final similarity. Only meaningful while
+  /// use_name_channel && use_structure_channel.
+  bool fuse_name_similarity = true;
+  /// Entries per row kept in the fused matrix M.
+  int32_t fused_top_k = 50;
+  /// Channel fusion weights; the paper uses equal weights (1, 1).
+  float structure_weight = 1.0f;
+  float name_weight = 1.0f;
+};
+
+struct LargeEaResult {
+  SparseSimMatrix fused;  ///< M = M_s + M_n
+  EvalMetrics metrics;
+  NameChannelResult name_channel;
+  StructureChannelResult structure_channel;
+  /// ψ' actually used by the structure channel (seeds + pseudo seeds).
+  EntityPairList effective_seeds;
+  double total_seconds = 0.0;
+  int64_t peak_bytes = 0;
+};
+
+/// Runs LargeEA on `dataset` (dataset.split.train as ψ', possibly empty
+/// for unsupervised EA) and evaluates on dataset.split.test.
+LargeEaResult RunLargeEa(const EaDataset& dataset,
+                         const LargeEaOptions& options);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_CORE_LARGE_EA_H_

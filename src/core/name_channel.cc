@@ -1,0 +1,25 @@
+#include "src/core/name_channel.h"
+
+#include "src/common/memory_tracker.h"
+#include "src/common/timer.h"
+
+namespace largeea {
+
+NameChannelResult RunNameChannel(const KnowledgeGraph& source,
+                                 const KnowledgeGraph& target,
+                                 const EntityPairList& existing_seeds,
+                                 const NameChannelOptions& options) {
+  NameChannelResult result;
+  Timer timer;
+  MemoryTracker::Get().ResetPeak();
+  result.nff = ComputeNameFeatures(source, target, options.nff);
+  if (options.enable_augmentation) {
+    result.pseudo_seeds = GeneratePseudoSeeds(
+        result.nff.fused, existing_seeds, options.augmentation_margin);
+  }
+  result.total_seconds = timer.Seconds();
+  result.peak_bytes = MemoryTracker::Get().PeakBytes();
+  return result;
+}
+
+}  // namespace largeea

@@ -1,0 +1,37 @@
+// Name channel (Section 2.3): NFF name features plus the name-based data
+// augmentation producing pseudo seeds.
+#ifndef LARGEEA_CORE_NAME_CHANNEL_H_
+#define LARGEEA_CORE_NAME_CHANNEL_H_
+
+#include "src/name/data_augmentation.h"
+#include "src/name/nff.h"
+
+namespace largeea {
+
+struct NameChannelOptions {
+  NffOptions nff;
+  /// Generate pseudo seeds by mutual nearest neighbours on M_n.
+  bool enable_augmentation = true;
+  /// Relative top1-vs-top2 margin required of a pseudo seed (see
+  /// GeneratePseudoSeeds); trades recall for precision on noisy names.
+  float augmentation_margin = 0.08f;
+};
+
+struct NameChannelResult {
+  NffResult nff;  ///< M_se, M_st, fused M_n, component timings
+  /// Mutual-NN pseudo seeds not conflicting with the supplied seeds.
+  EntityPairList pseudo_seeds;
+  double total_seconds = 0.0;
+  int64_t peak_bytes = 0;
+};
+
+/// Runs the name channel. `existing_seeds` keeps the augmentation from
+/// duplicating already-seeded entities (pass empty for unsupervised EA).
+NameChannelResult RunNameChannel(const KnowledgeGraph& source,
+                                 const KnowledgeGraph& target,
+                                 const EntityPairList& existing_seeds,
+                                 const NameChannelOptions& options);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_CORE_NAME_CHANNEL_H_

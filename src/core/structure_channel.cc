@@ -1,0 +1,102 @@
+#include "src/core/structure_channel.h"
+
+#include <numeric>
+
+#include "src/common/memory_tracker.h"
+#include "src/common/rng.h"
+#include "src/common/timer.h"
+#include "src/partition/overlap.h"
+#include "src/sim/csls.h"
+#include "src/sim/topk_search.h"
+
+namespace largeea {
+namespace {
+
+MiniBatchSet GenerateBatches(const KnowledgeGraph& source,
+                             const KnowledgeGraph& target,
+                             const EntityPairList& seeds,
+                             const StructureChannelOptions& options) {
+  switch (options.strategy) {
+    case PartitionStrategy::kMetisCps: {
+      MetisCpsOptions cps = options.metis_cps;
+      cps.num_batches = options.num_batches;
+      cps.seed = options.seed;
+      return MetisCpsPartition(source, target, seeds, cps);
+    }
+    case PartitionStrategy::kVps: {
+      VpsOptions vps = options.vps;
+      vps.num_batches = options.num_batches;
+      vps.seed = options.seed;
+      return VpsPartition(source, target, seeds, vps);
+    }
+    case PartitionStrategy::kNone: {
+      MiniBatch batch;
+      batch.source_entities.resize(source.num_entities());
+      std::iota(batch.source_entities.begin(), batch.source_entities.end(),
+                0);
+      batch.target_entities.resize(target.num_entities());
+      std::iota(batch.target_entities.begin(), batch.target_entities.end(),
+                0);
+      batch.seeds = seeds;
+      return MiniBatchSet{batch};
+    }
+  }
+  return {};  // unreachable
+}
+
+}  // namespace
+
+StructureChannelResult RunStructureChannel(
+    const KnowledgeGraph& source, const KnowledgeGraph& target,
+    const EntityPairList& seeds, const StructureChannelOptions& options) {
+  StructureChannelResult result;
+  Timer timer;
+  result.batches = GenerateBatches(source, target, seeds, options);
+  if (options.overlap_degree > 1) {
+    result.batches = MakeOverlappingBatches(result.batches, source, target,
+                                            options.overlap_degree);
+  }
+  result.partition_seconds = timer.Seconds();
+
+  timer.Reset();
+  MemoryTracker::Get().ResetPeak();
+  result.similarity = SparseSimMatrix(source.num_entities(),
+                                      target.num_entities(), options.top_k);
+  const std::unique_ptr<EaModel> model = MakeModel(options.model);
+  Rng rng(options.seed);
+  const TopKOptions topk{.k = options.top_k,
+                         .metric = SimMetric::kManhattan};
+  for (size_t b = 0; b < result.batches.size(); ++b) {
+    const MiniBatch& batch = result.batches[b];
+    if (batch.source_entities.size() < 2 ||
+        batch.target_entities.size() < 2) {
+      continue;
+    }
+    const LocalGraph local_source =
+        BuildLocalGraph(source, batch.source_entities);
+    const LocalGraph local_target =
+        BuildLocalGraph(target, batch.target_entities);
+    const auto local_seeds =
+        LocalizeSeeds(local_source, local_target, batch.seeds);
+
+    TrainOptions train = options.train;
+    train.seed = rng.Fork(b).Next();
+    const TrainedEmbeddings embeddings =
+        model->Train(local_source, local_target, local_seeds, train);
+
+    // Similarity only *within* the batch: M_s stays block-diagonal, the
+    // memory-saving property Section 2.2.2 highlights.
+    ExactTopKInto(embeddings.source, local_source.global_ids,
+                  embeddings.target, local_target.global_ids, topk,
+                  result.similarity);
+  }
+  if (options.apply_csls) {
+    result.similarity = CslsRescale(result.similarity);
+  }
+  result.similarity.RefreshMemoryTracking();
+  result.training_seconds = timer.Seconds();
+  result.peak_training_bytes = MemoryTracker::Get().PeakBytes();
+  return result;
+}
+
+}  // namespace largeea

@@ -1,0 +1,131 @@
+#include "src/gen/name_model.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/macros.h"
+
+namespace largeea {
+namespace {
+
+constexpr char kConsonants[] = "bcdfghjklmnprstvwz";
+constexpr char kVowels[] = "aeiou";
+
+// Alternating consonant/vowel word of the requested length.
+std::string MakeWord(Rng& rng, int length) {
+  std::string w;
+  w.reserve(length);
+  bool consonant = rng.Bernoulli(0.7);
+  for (int i = 0; i < length; ++i) {
+    if (consonant) {
+      w.push_back(kConsonants[rng.Uniform(sizeof(kConsonants) - 1)]);
+    } else {
+      w.push_back(kVowels[rng.Uniform(sizeof(kVowels) - 1)]);
+    }
+    consonant = !consonant;
+  }
+  return w;
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  // 64-bit mix (based on splitmix64 finalizer).
+  uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashString(uint64_t seed, const std::string& s) {
+  uint64_t h = seed;
+  for (const char c : s) h = HashCombine(h, static_cast<uint64_t>(c));
+  return h;
+}
+
+// Applies `edits` deterministic single-character edits to `word`.
+std::string ApplyCharEdits(const std::string& word, Rng& rng, int edits) {
+  std::string out = word;
+  for (int e = 0; e < edits && !out.empty(); ++e) {
+    const size_t pos = rng.Uniform(out.size());
+    switch (rng.Uniform(3)) {
+      case 0:  // substitute
+        out[pos] = "abcdefghijklmnopqrstuvwxyz"[rng.Uniform(26)];
+        break;
+      case 1:  // insert
+        out.insert(out.begin() + pos,
+                   "abcdefghijklmnopqrstuvwxyz"[rng.Uniform(26)]);
+        break;
+      default:  // delete (keep words non-empty)
+        if (out.size() > 2) out.erase(out.begin() + pos);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary(int32_t size, uint64_t seed) {
+  LARGEEA_CHECK_GT(size, 0);
+  Rng rng(seed);
+  std::unordered_set<std::string> seen;
+  words_.reserve(size);
+  while (static_cast<int32_t>(words_.size()) < size) {
+    const int length = 3 + static_cast<int>(rng.Uniform(7));
+    std::string w = MakeWord(rng, length);
+    if (seen.insert(w).second) words_.push_back(std::move(w));
+  }
+}
+
+int32_t Vocabulary::SampleZipf(Rng& rng) const {
+  // Mild power-law skew (u^1.5): common words recur across entity names
+  // (as in real KGs) without collapsing the effective vocabulary so far
+  // that entity names stop being discriminative.
+  const double u = rng.UniformDouble();
+  const double skewed = std::pow(u, 1.5);
+  return static_cast<int32_t>(skewed * size()) % size();
+}
+
+NameTranslator::NameTranslator(const Vocabulary* vocabulary,
+                               LanguageNameStyle style, uint64_t seed)
+    : vocabulary_(vocabulary), style_(std::move(style)), seed_(seed) {
+  LARGEEA_CHECK(vocabulary_ != nullptr);
+}
+
+std::string NameTranslator::TranslateWord(int32_t word_index) const {
+  const std::string& root = vocabulary_->Word(word_index);
+  Rng rng(HashCombine(HashString(seed_, style_.code),
+                      static_cast<uint64_t>(word_index)));
+  if (!rng.Bernoulli(style_.cognate_prob)) {
+    // Opaque translation: an unrelated word of similar length.
+    return MakeWord(rng, 3 + static_cast<int>(rng.Uniform(7)));
+  }
+  // Cognate: 0-2 character edits of the shared root. Half of cognates are
+  // identical — matching real cross-lingual DBpedia, where proper names
+  // usually carry over verbatim.
+  const double u = rng.UniformDouble();
+  const int edits = u < 0.5 ? 0 : (u < 0.85 ? 1 : 2);
+  return ApplyCharEdits(root, rng, edits);
+}
+
+std::string NameTranslator::Render(const std::vector<int32_t>& tokens,
+                                   uint64_t entity_salt) const {
+  Rng noise_rng(HashCombine(HashString(seed_ + 1, style_.code), entity_salt));
+  std::string name;
+  if (!style_.article.empty() && noise_rng.Bernoulli(style_.article_prob)) {
+    name += style_.article;
+  }
+  for (const int32_t token : tokens) {
+    if (!name.empty()) name.push_back(' ');
+    std::string word = TranslateWord(token);
+    // Per-entity rendering typos.
+    for (char& c : word) {
+      if (noise_rng.Bernoulli(style_.char_noise_prob)) {
+        c = "abcdefghijklmnopqrstuvwxyz"[noise_rng.Uniform(26)];
+      }
+    }
+    name += word;
+  }
+  return name;
+}
+
+}  // namespace largeea

@@ -1,0 +1,84 @@
+// Synthetic entity-name model for the benchmark generator.
+//
+// Real cross-lingual DBpedia entity names are mostly cognates: "Barack
+// Obama" is identical across EN/FR/DE, "Allemagne"/"Deutschland" are not.
+// The paper's name channel exploits precisely this: multilingual-BERT
+// semantics plus raw string similarity. This model reproduces the regime:
+//
+//   * a shared base vocabulary of word roots;
+//   * per (word, language), a deterministic translation that is either a
+//     *cognate* (systematic + random character edits of the root, so
+//     character n-grams largely survive) or *opaque* (an unrelated word,
+//     so neither semantic hashing nor edit distance can link it);
+//   * per-language rendering noise (occasional article prefix, character
+//     typos) controlling how hard string matching is.
+//
+// All randomness is hash-derived from (seed, word, language), so the same
+// word translates identically wherever it appears — exactly like a real
+// translation dictionary.
+#ifndef LARGEEA_GEN_NAME_MODEL_H_
+#define LARGEEA_GEN_NAME_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace largeea {
+
+/// A fixed list of synthetic word roots shared by all languages.
+class Vocabulary {
+ public:
+  /// Generates `size` distinct pronounceable-ish lowercase words of 3-9
+  /// characters.
+  Vocabulary(int32_t size, uint64_t seed);
+
+  int32_t size() const { return static_cast<int32_t>(words_.size()); }
+  const std::string& Word(int32_t index) const { return words_[index]; }
+
+  /// Samples a word index with a Zipf-like bias toward low indices, which
+  /// makes common words reappear across entity names (as in real KGs).
+  int32_t SampleZipf(Rng& rng) const;
+
+ private:
+  std::vector<std::string> words_;
+};
+
+/// Per-language rendering parameters.
+struct LanguageNameStyle {
+  std::string code;          ///< e.g. "EN", "FR"
+  double cognate_prob = 0.85;  ///< word translated as a cognate vs. opaque
+  double char_noise_prob = 0.03;  ///< per-character typo rate when rendering
+  double article_prob = 0.0;  ///< chance of a language article prefix
+  std::string article;        ///< e.g. "le" for FR, "der" for DE
+};
+
+/// Renders canonical token sequences into language-specific entity names.
+class NameTranslator {
+ public:
+  NameTranslator(const Vocabulary* vocabulary, LanguageNameStyle style,
+                 uint64_t seed);
+
+  /// Renders the entity whose canonical name is `tokens` (vocabulary
+  /// indices) in this translator's language. `entity_salt` seeds the
+  /// per-entity rendering noise so distinct entities with the same tokens
+  /// still get deterministic (but different) noise.
+  std::string Render(const std::vector<int32_t>& tokens,
+                     uint64_t entity_salt) const;
+
+  /// The translation of a single word root in this language (no rendering
+  /// noise). Exposed for tests.
+  std::string TranslateWord(int32_t word_index) const;
+
+  const LanguageNameStyle& style() const { return style_; }
+
+ private:
+  const Vocabulary* vocabulary_;  // not owned
+  LanguageNameStyle style_;
+  uint64_t seed_;
+};
+
+}  // namespace largeea
+
+#endif  // LARGEEA_GEN_NAME_MODEL_H_

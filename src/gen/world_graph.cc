@@ -1,0 +1,85 @@
+#include "src/gen/world_graph.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+#include "src/common/rng.h"
+#include "src/gen/name_model.h"
+
+namespace largeea {
+
+WorldKg GenerateWorldKg(const WorldSpec& spec, const Vocabulary& vocabulary) {
+  LARGEEA_CHECK_GT(spec.num_entities, 1);
+  LARGEEA_CHECK_GT(spec.edges_per_entity, 0);
+  LARGEEA_CHECK_GT(spec.num_relations, 0);
+  Rng rng(spec.seed);
+
+  WorldKg world;
+  world.num_relations = spec.num_relations;
+
+  // Canonical names.
+  LARGEEA_CHECK_GE(spec.max_name_tokens, spec.min_name_tokens);
+  LARGEEA_CHECK_GT(spec.min_name_tokens, 0);
+  world.entity_tokens.resize(spec.num_entities);
+  for (auto& tokens : world.entity_tokens) {
+    const int32_t count =
+        spec.min_name_tokens +
+        static_cast<int32_t>(rng.Uniform(
+            spec.max_name_tokens - spec.min_name_tokens + 1));
+    tokens.reserve(count);
+    for (int32_t i = 0; i < count; ++i) {
+      tokens.push_back(vocabulary.SampleZipf(rng));
+    }
+  }
+
+  // Preferential-attachment triples with community structure: entity i
+  // (i >= 1) attaches edges_per_entity edges whose other endpoint is
+  // sampled from a repeat list (each prior edge endpoint appears once),
+  // giving a power-law-ish degree distribution; with probability
+  // intra_community_prob the endpoint is drawn from the entity's own
+  // community, which gives the graph the topical clusters real KGs have.
+  // Relations are drawn with a head-heavy skew so a few dominate.
+  const int32_t communities =
+      spec.num_communities > 0
+          ? spec.num_communities
+          : std::max(1, spec.num_entities / 150);
+  std::vector<int32_t> community(spec.num_entities);
+  for (auto& c : community) {
+    c = static_cast<int32_t>(rng.Uniform(communities));
+  }
+  std::vector<EntityId> repeat;
+  repeat.reserve(static_cast<size_t>(spec.num_entities) *
+                 spec.edges_per_entity * 2);
+  repeat.push_back(0);
+  std::vector<std::vector<EntityId>> community_repeat(communities);
+  community_repeat[community[0]].push_back(0);
+  for (EntityId e = 1; e < spec.num_entities; ++e) {
+    for (int32_t j = 0; j < spec.edges_per_entity; ++j) {
+      const std::vector<EntityId>& own =
+          community_repeat[community[e]];
+      const bool intra =
+          !own.empty() && rng.Bernoulli(spec.intra_community_prob);
+      const EntityId other =
+          intra ? own[rng.Uniform(own.size())]
+                : repeat[rng.Uniform(repeat.size())];
+      if (other == e) continue;
+      const double u = rng.UniformDouble();
+      const RelationId r =
+          static_cast<RelationId>(u * u * spec.num_relations) %
+          spec.num_relations;
+      // Direction chosen at random so both in- and out-degrees grow.
+      if (rng.Bernoulli(0.5)) {
+        world.triples.push_back(Triple{e, r, other});
+      } else {
+        world.triples.push_back(Triple{other, r, e});
+      }
+      repeat.push_back(e);
+      repeat.push_back(other);
+      community_repeat[community[e]].push_back(e);
+      community_repeat[community[other]].push_back(other);
+    }
+  }
+  return world;
+}
+
+}  // namespace largeea

@@ -1,0 +1,56 @@
+// Latent "world" knowledge graph from which both language KGs are sampled.
+#ifndef LARGEEA_GEN_WORLD_GRAPH_H_
+#define LARGEEA_GEN_WORLD_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace largeea {
+
+/// The shared latent KG. Entities carry canonical names as vocabulary
+/// token sequences; language derivation renders them per language.
+struct WorldKg {
+  /// Canonical name of each entity, as vocabulary word indices.
+  std::vector<std::vector<int32_t>> entity_tokens;
+  /// World-level relation count; relations are abstract ids [0, n).
+  int32_t num_relations = 0;
+  /// World triples over world entity/relation ids.
+  std::vector<Triple> triples;
+
+  int32_t num_entities() const {
+    return static_cast<int32_t>(entity_tokens.size());
+  }
+};
+
+/// Parameters for world-graph generation.
+struct WorldSpec {
+  int32_t num_entities = 1000;
+  /// Average out-edges attached per entity (preferential attachment), so
+  /// the degree distribution is power-law-ish like real KGs.
+  int32_t edges_per_entity = 3;
+  int32_t num_relations = 50;
+  int32_t vocab_size = 2000;
+  /// Real KGs have topical community structure (which is what makes them
+  /// partitionable at all — Figure 7's low edge-cut rates rely on it).
+  /// Entities are assigned to communities and attach mostly within them.
+  /// 0 = choose automatically (~150 entities per community).
+  int32_t num_communities = 0;
+  /// Probability an edge stays inside its head's community.
+  double intra_community_prob = 0.85;
+  /// Tokens per canonical entity name (uniform min..max). Real entity
+  /// names are rarely a single word, so the default minimum is 2.
+  int32_t min_name_tokens = 2;
+  int32_t max_name_tokens = 3;
+  uint64_t seed = 1;
+};
+
+class Vocabulary;
+
+/// Generates the world KG. `vocabulary` must outlive the call only.
+WorldKg GenerateWorldKg(const WorldSpec& spec, const Vocabulary& vocabulary);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_GEN_WORLD_GRAPH_H_

@@ -1,0 +1,108 @@
+#include "src/graph/csr_graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/macros.h"
+
+namespace largeea {
+
+CsrGraph CsrGraph::FromEdges(int32_t num_vertices,
+                             std::span<const WeightedEdge> edges) {
+  LARGEEA_CHECK_GE(num_vertices, 0);
+  // Count directed half-edges per vertex (self-loops dropped).
+  std::vector<int64_t> counts(num_vertices + 1, 0);
+  for (const WeightedEdge& e : edges) {
+    LARGEEA_CHECK_GE(e.u, 0);
+    LARGEEA_CHECK_LT(e.u, num_vertices);
+    LARGEEA_CHECK_GE(e.v, 0);
+    LARGEEA_CHECK_LT(e.v, num_vertices);
+    if (e.u == e.v) continue;
+    ++counts[e.u + 1];
+    ++counts[e.v + 1];
+  }
+  std::partial_sum(counts.begin(), counts.end(), counts.begin());
+
+  CsrGraph g;
+  g.offsets_ = counts;  // will stay valid: we fill via a cursor copy
+  g.targets_.resize(static_cast<size_t>(counts[num_vertices]));
+  g.edge_weights_.resize(g.targets_.size());
+  std::vector<int64_t> cursor(counts.begin(), counts.end() - 1);
+  for (const WeightedEdge& e : edges) {
+    if (e.u == e.v) continue;
+    g.targets_[cursor[e.u]] = e.v;
+    g.edge_weights_[cursor[e.u]++] = e.weight;
+    g.targets_[cursor[e.v]] = e.u;
+    g.edge_weights_[cursor[e.v]++] = e.weight;
+  }
+
+  // Sort each adjacency list and merge parallel edges by summing weights.
+  std::vector<int64_t> new_offsets(num_vertices + 1, 0);
+  std::vector<int32_t> merged_targets;
+  std::vector<int64_t> merged_weights;
+  merged_targets.reserve(g.targets_.size());
+  merged_weights.reserve(g.targets_.size());
+  std::vector<std::pair<int32_t, int64_t>> scratch;
+  for (int32_t v = 0; v < num_vertices; ++v) {
+    scratch.clear();
+    for (int64_t i = g.offsets_[v]; i < g.offsets_[v + 1]; ++i) {
+      scratch.emplace_back(g.targets_[i], g.edge_weights_[i]);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    for (size_t i = 0; i < scratch.size();) {
+      int64_t w = scratch[i].second;
+      size_t j = i + 1;
+      while (j < scratch.size() && scratch[j].first == scratch[i].first) {
+        w += scratch[j].second;
+        ++j;
+      }
+      merged_targets.push_back(scratch[i].first);
+      merged_weights.push_back(w);
+      i = j;
+    }
+    new_offsets[v + 1] = static_cast<int64_t>(merged_targets.size());
+  }
+  g.offsets_ = std::move(new_offsets);
+  g.targets_ = std::move(merged_targets);
+  g.edge_weights_ = std::move(merged_weights);
+  g.vertex_weights_.assign(num_vertices, 1);
+  return g;
+}
+
+int64_t CsrGraph::TotalVertexWeight() const {
+  int64_t total = 0;
+  for (const int64_t w : vertex_weights_) total += w;
+  return total;
+}
+
+int64_t CsrGraph::WeightedDegree(int32_t v) const {
+  int64_t total = 0;
+  for (const int64_t w : EdgeWeights(v)) total += w;
+  return total;
+}
+
+int32_t CsrGraph::CountConnectedComponents() const {
+  const int32_t n = num_vertices();
+  std::vector<bool> visited(n, false);
+  std::vector<int32_t> stack;
+  int32_t components = 0;
+  for (int32_t start = 0; start < n; ++start) {
+    if (visited[start]) continue;
+    ++components;
+    stack.push_back(start);
+    visited[start] = true;
+    while (!stack.empty()) {
+      const int32_t v = stack.back();
+      stack.pop_back();
+      for (const int32_t u : Neighbors(v)) {
+        if (!visited[u]) {
+          visited[u] = true;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace largeea

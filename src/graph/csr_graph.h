@@ -1,0 +1,79 @@
+// Compressed-sparse-row undirected weighted graph.
+//
+// This is the representation the multilevel partitioner (src/partition)
+// works on. Vertices carry integer weights (coarsened super-vertices
+// accumulate them); edges carry integer weights (METIS-CPS manipulates
+// these: w' >> 1 for virtual-hub edges, 0 for cross-batch seed edges).
+#ifndef LARGEEA_GRAPH_CSR_GRAPH_H_
+#define LARGEEA_GRAPH_CSR_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace largeea {
+
+/// One endpoint of an undirected weighted edge during graph construction.
+struct WeightedEdge {
+  int32_t u = 0;
+  int32_t v = 0;
+  int64_t weight = 1;
+};
+
+/// Immutable CSR adjacency structure for an undirected weighted graph.
+/// Parallel edges given to the builder are merged by summing weights;
+/// self-loops are dropped.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from an edge list over vertices [0, num_vertices). Each edge is
+  /// stored in both directions. All vertex weights default to 1.
+  static CsrGraph FromEdges(int32_t num_vertices,
+                            std::span<const WeightedEdge> edges);
+
+  int32_t num_vertices() const {
+    return static_cast<int32_t>(offsets_.size()) - 1;
+  }
+  int64_t num_edges() const {
+    return static_cast<int64_t>(targets_.size()) / 2;
+  }
+
+  /// Neighbour vertex ids of `v`.
+  std::span<const int32_t> Neighbors(int32_t v) const {
+    return {targets_.data() + offsets_[v],
+            targets_.data() + offsets_[v + 1]};
+  }
+
+  /// Edge weights aligned with Neighbors(v).
+  std::span<const int64_t> EdgeWeights(int32_t v) const {
+    return {edge_weights_.data() + offsets_[v],
+            edge_weights_.data() + offsets_[v + 1]};
+  }
+
+  int32_t Degree(int32_t v) const {
+    return static_cast<int32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  int64_t VertexWeight(int32_t v) const { return vertex_weights_[v]; }
+  void SetVertexWeight(int32_t v, int64_t w) { vertex_weights_[v] = w; }
+
+  /// Sum of all vertex weights.
+  int64_t TotalVertexWeight() const;
+
+  /// Sum of weights of edges incident to `v`.
+  int64_t WeightedDegree(int32_t v) const;
+
+  /// Number of connected components (ignoring edge weights).
+  int32_t CountConnectedComponents() const;
+
+ private:
+  std::vector<int64_t> offsets_;       // size num_vertices + 1
+  std::vector<int32_t> targets_;       // size 2 * num_edges
+  std::vector<int64_t> edge_weights_;  // aligned with targets_
+  std::vector<int64_t> vertex_weights_;
+};
+
+}  // namespace largeea
+
+#endif  // LARGEEA_GRAPH_CSR_GRAPH_H_

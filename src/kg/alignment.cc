@@ -1,0 +1,39 @@
+#include "src/kg/alignment.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/macros.h"
+
+namespace largeea {
+
+EntityPairList AlignmentSplit::All() const {
+  EntityPairList all = train;
+  all.insert(all.end(), test.begin(), test.end());
+  return all;
+}
+
+AlignmentSplit SplitAlignment(const EntityPairList& ground_truth,
+                              double train_ratio, Rng& rng) {
+  LARGEEA_CHECK_GE(train_ratio, 0.0);
+  LARGEEA_CHECK_LE(train_ratio, 1.0);
+  EntityPairList shuffled = ground_truth;
+  rng.Shuffle(shuffled);
+  const size_t train_count = static_cast<size_t>(
+      std::llround(train_ratio * static_cast<double>(shuffled.size())));
+  AlignmentSplit split;
+  split.train.assign(shuffled.begin(), shuffled.begin() + train_count);
+  split.test.assign(shuffled.begin() + train_count, shuffled.end());
+  return split;
+}
+
+bool IsOneToOne(const EntityPairList& pairs) {
+  std::unordered_set<EntityId> sources, targets;
+  for (const EntityPair& p : pairs) {
+    if (!sources.insert(p.source).second) return false;
+    if (!targets.insert(p.target).second) return false;
+  }
+  return true;
+}
+
+}  // namespace largeea

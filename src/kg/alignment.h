@@ -1,0 +1,34 @@
+// Ground-truth alignment handling: train/test splits of aligned pairs.
+#ifndef LARGEEA_KG_ALIGNMENT_H_
+#define LARGEEA_KG_ALIGNMENT_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace largeea {
+
+/// The full 1-to-1 ground-truth alignment ψ between a source and a target
+/// KG, split into a training portion (seed alignment ψ') and a held-out
+/// test portion used for evaluation.
+struct AlignmentSplit {
+  EntityPairList train;
+  EntityPairList test;
+
+  /// All pairs (train then test).
+  EntityPairList All() const;
+};
+
+/// Randomly splits `ground_truth` so that round(train_ratio * |ψ|) pairs
+/// become seeds. The paper uses train_ratio = 0.2 by convention.
+AlignmentSplit SplitAlignment(const EntityPairList& ground_truth,
+                              double train_ratio, Rng& rng);
+
+/// Validates the 1-to-1 constraint: no source or target entity may appear
+/// in more than one pair. Returns false on duplicates.
+bool IsOneToOne(const EntityPairList& pairs);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_KG_ALIGNMENT_H_

@@ -1,0 +1,42 @@
+#include "src/kg/dataset.h"
+
+namespace largeea {
+namespace {
+
+EntityPairList ReversePairs(const EntityPairList& pairs) {
+  EntityPairList out;
+  out.reserve(pairs.size());
+  for (const EntityPair& p : pairs) {
+    out.push_back(EntityPair{p.target, p.source});
+  }
+  return out;
+}
+
+}  // namespace
+
+EaDataset EaDataset::Reversed() const {
+  EaDataset out;
+  out.name = name + "-reversed";
+  out.source = target;
+  out.target = source;
+  out.split.train = ReversePairs(split.train);
+  out.split.test = ReversePairs(split.test);
+  return out;
+}
+
+DatasetStats ComputeStats(const EaDataset& dataset) {
+  DatasetStats stats;
+  stats.source_entities = dataset.source.num_entities();
+  stats.target_entities = dataset.target.num_entities();
+  stats.source_relations = dataset.source.num_relations();
+  stats.target_relations = dataset.target.num_relations();
+  stats.source_triples = dataset.source.num_triples();
+  stats.target_triples = dataset.target.num_triples();
+  stats.alignment_pairs =
+      static_cast<int64_t>(dataset.split.train.size() +
+                           dataset.split.test.size());
+  stats.seed_pairs = static_cast<int64_t>(dataset.split.train.size());
+  return stats;
+}
+
+}  // namespace largeea

@@ -1,0 +1,42 @@
+// An entity-alignment dataset: two KGs plus ground truth.
+#ifndef LARGEEA_KG_DATASET_H_
+#define LARGEEA_KG_DATASET_H_
+
+#include <string>
+
+#include "src/kg/alignment.h"
+#include "src/kg/knowledge_graph.h"
+
+namespace largeea {
+
+/// A complete EA task instance. `source` plays the role of G_s and
+/// `target` of G_t; `split.train` is the seed alignment ψ'.
+struct EaDataset {
+  std::string name;
+  KnowledgeGraph source;
+  KnowledgeGraph target;
+  AlignmentSplit split;
+
+  /// Swaps the roles of the two KGs (the paper evaluates both EN→L and
+  /// L→EN directions).
+  EaDataset Reversed() const;
+};
+
+/// Summary statistics in the shape of the paper's Table 1.
+struct DatasetStats {
+  int32_t source_entities = 0;
+  int32_t target_entities = 0;
+  int32_t source_relations = 0;
+  int32_t target_relations = 0;
+  int64_t source_triples = 0;
+  int64_t target_triples = 0;
+  int64_t alignment_pairs = 0;
+  int64_t seed_pairs = 0;
+};
+
+/// Computes Table-1-style statistics for `dataset`.
+DatasetStats ComputeStats(const EaDataset& dataset);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_KG_DATASET_H_

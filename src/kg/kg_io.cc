@@ -1,0 +1,69 @@
+#include "src/kg/kg_io.h"
+
+#include <fstream>
+
+#include "src/common/string_util.h"
+
+namespace largeea {
+
+std::optional<KnowledgeGraph> LoadTriples(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  KnowledgeGraph kg;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty()) continue;
+    const std::vector<std::string> fields = Split(stripped, '\t');
+    if (fields.size() != 3) return std::nullopt;
+    const EntityId h = kg.AddEntity(fields[0]);
+    const RelationId r = kg.AddRelation(fields[1]);
+    const EntityId t = kg.AddEntity(fields[2]);
+    kg.AddTriple(h, r, t);
+  }
+  kg.BuildAdjacency();
+  return kg;
+}
+
+bool SaveTriples(const KnowledgeGraph& kg, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const Triple& t : kg.triples()) {
+    out << kg.EntityName(t.head) << '\t' << kg.RelationName(t.relation)
+        << '\t' << kg.EntityName(t.tail) << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<EntityPairList> LoadAlignment(const std::string& path,
+                                            const KnowledgeGraph& source,
+                                            const KnowledgeGraph& target) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  EntityPairList pairs;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty()) continue;
+    const std::vector<std::string> fields = Split(stripped, '\t');
+    if (fields.size() != 2) return std::nullopt;
+    const auto s = source.FindEntity(fields[0]);
+    const auto t = target.FindEntity(fields[1]);
+    if (!s || !t) return std::nullopt;
+    pairs.push_back(EntityPair{*s, *t});
+  }
+  return pairs;
+}
+
+bool SaveAlignment(const EntityPairList& pairs, const KnowledgeGraph& source,
+                   const KnowledgeGraph& target, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const EntityPair& p : pairs) {
+    out << source.EntityName(p.source) << '\t' << target.EntityName(p.target)
+        << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace largeea

@@ -1,0 +1,36 @@
+// TSV load/save for KGs and alignments (OpenEA-style file layout).
+//
+// Triples:    one "head<TAB>relation<TAB>tail" line per triple, all three
+//             fields entity/relation *names*.
+// Alignments: one "source_entity<TAB>target_entity" line per pair.
+#ifndef LARGEEA_KG_KG_IO_H_
+#define LARGEEA_KG_KG_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "src/kg/alignment.h"
+#include "src/kg/knowledge_graph.h"
+
+namespace largeea {
+
+/// Reads a triples file into a fresh KnowledgeGraph (adjacency built).
+/// Returns nullopt if the file cannot be opened or any line is malformed.
+std::optional<KnowledgeGraph> LoadTriples(const std::string& path);
+
+/// Writes `kg` to `path`. Returns false on IO failure.
+bool SaveTriples(const KnowledgeGraph& kg, const std::string& path);
+
+/// Reads an alignment file; names are resolved against the two KGs.
+/// Returns nullopt on IO failure, malformed lines, or unknown entities.
+std::optional<EntityPairList> LoadAlignment(const std::string& path,
+                                            const KnowledgeGraph& source,
+                                            const KnowledgeGraph& target);
+
+/// Writes `pairs` (as entity names) to `path`. Returns false on failure.
+bool SaveAlignment(const EntityPairList& pairs, const KnowledgeGraph& source,
+                   const KnowledgeGraph& target, const std::string& path);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_KG_KG_IO_H_

@@ -1,0 +1,107 @@
+#include "src/kg/knowledge_graph.h"
+
+#include <numeric>
+
+#include "src/common/macros.h"
+
+namespace largeea {
+
+EntityId KnowledgeGraph::AddEntity(std::string_view name) {
+  const auto it = entity_index_.find(std::string(name));
+  if (it != entity_index_.end()) return it->second;
+  const EntityId id = static_cast<EntityId>(entity_names_.size());
+  entity_names_.emplace_back(name);
+  entity_index_.emplace(entity_names_.back(), id);
+  return id;
+}
+
+RelationId KnowledgeGraph::AddRelation(std::string_view name) {
+  const auto it = relation_index_.find(std::string(name));
+  if (it != relation_index_.end()) return it->second;
+  const RelationId id = static_cast<RelationId>(relation_names_.size());
+  relation_names_.emplace_back(name);
+  relation_index_.emplace(relation_names_.back(), id);
+  return id;
+}
+
+void KnowledgeGraph::AddTriple(EntityId h, RelationId r, EntityId t) {
+  LARGEEA_CHECK_GE(h, 0);
+  LARGEEA_CHECK_LT(h, num_entities());
+  LARGEEA_CHECK_GE(t, 0);
+  LARGEEA_CHECK_LT(t, num_entities());
+  LARGEEA_CHECK_GE(r, 0);
+  LARGEEA_CHECK_LT(r, num_relations());
+  triples_.push_back(Triple{h, r, t});
+  adjacency_built_ = false;
+}
+
+void KnowledgeGraph::BuildAdjacency() {
+  if (adjacency_built_) return;
+  const int32_t n = num_entities();
+  std::vector<int64_t> counts(n + 1, 0);
+  for (const Triple& t : triples_) {
+    ++counts[t.head + 1];
+    ++counts[t.tail + 1];
+  }
+  std::partial_sum(counts.begin(), counts.end(), counts.begin());
+  adj_offsets_ = counts;
+  adj_edges_.assign(static_cast<size_t>(counts[n]), NeighborEdge{});
+  std::vector<int64_t> cursor(counts.begin(), counts.end() - 1);
+  for (const Triple& t : triples_) {
+    adj_edges_[cursor[t.head]++] =
+        NeighborEdge{t.tail, t.relation, /*inverse=*/false};
+    adj_edges_[cursor[t.tail]++] =
+        NeighborEdge{t.head, t.relation, /*inverse=*/true};
+  }
+  adjacency_built_ = true;
+}
+
+const std::string& KnowledgeGraph::EntityName(EntityId e) const {
+  LARGEEA_CHECK_GE(e, 0);
+  LARGEEA_CHECK_LT(e, num_entities());
+  return entity_names_[e];
+}
+
+const std::string& KnowledgeGraph::RelationName(RelationId r) const {
+  LARGEEA_CHECK_GE(r, 0);
+  LARGEEA_CHECK_LT(r, num_relations());
+  return relation_names_[r];
+}
+
+std::optional<EntityId> KnowledgeGraph::FindEntity(
+    std::string_view name) const {
+  const auto it = entity_index_.find(std::string(name));
+  if (it == entity_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<RelationId> KnowledgeGraph::FindRelation(
+    std::string_view name) const {
+  const auto it = relation_index_.find(std::string(name));
+  if (it == relation_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::span<const NeighborEdge> KnowledgeGraph::Neighbors(EntityId e) const {
+  LARGEEA_CHECK(adjacency_built_);
+  LARGEEA_CHECK_GE(e, 0);
+  LARGEEA_CHECK_LT(e, num_entities());
+  return {adj_edges_.data() + adj_offsets_[e],
+          adj_edges_.data() + adj_offsets_[e + 1]};
+}
+
+int32_t KnowledgeGraph::Degree(EntityId e) const {
+  LARGEEA_CHECK(adjacency_built_);
+  return static_cast<int32_t>(adj_offsets_[e + 1] - adj_offsets_[e]);
+}
+
+CsrGraph KnowledgeGraph::ToUndirectedGraph() const {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(triples_.size());
+  for (const Triple& t : triples_) {
+    edges.push_back(WeightedEdge{t.head, t.tail, 1});
+  }
+  return CsrGraph::FromEdges(num_entities(), edges);
+}
+
+}  // namespace largeea

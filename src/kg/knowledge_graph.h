@@ -1,0 +1,92 @@
+// In-memory knowledge graph: entity/relation vocabularies plus triples.
+#ifndef LARGEEA_KG_KNOWLEDGE_GRAPH_H_
+#define LARGEEA_KG_KNOWLEDGE_GRAPH_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/graph/csr_graph.h"
+
+namespace largeea {
+
+/// One entry in an entity's adjacency list.
+struct NeighborEdge {
+  EntityId neighbor = kInvalidEntity;
+  RelationId relation = kInvalidRelation;
+  /// True if the stored triple is (neighbor, relation, self) — i.e. this
+  /// entity is the tail and the edge is traversed against its direction.
+  bool inverse = false;
+};
+
+/// A knowledge graph G = (E, R, T). Entities and relations are interned
+/// strings with dense ids; triples are directed labelled edges.
+///
+/// Usage: add entities/relations/triples, then call BuildAdjacency() once
+/// before using Neighbors()/ToUndirectedGraph(). Adding more triples after
+/// BuildAdjacency() invalidates the index (checked).
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph() = default;
+
+  /// Interns `name`, returning the existing id if already present.
+  EntityId AddEntity(std::string_view name);
+
+  /// Interns `name`, returning the existing id if already present.
+  RelationId AddRelation(std::string_view name);
+
+  /// Appends the triple (h, r, t). Ids must be valid.
+  void AddTriple(EntityId h, RelationId r, EntityId t);
+
+  /// Builds the per-entity adjacency index. Idempotent until new triples
+  /// are added.
+  void BuildAdjacency();
+
+  int32_t num_entities() const {
+    return static_cast<int32_t>(entity_names_.size());
+  }
+  int32_t num_relations() const {
+    return static_cast<int32_t>(relation_names_.size());
+  }
+  int64_t num_triples() const {
+    return static_cast<int64_t>(triples_.size());
+  }
+
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  const std::string& EntityName(EntityId e) const;
+  const std::string& RelationName(RelationId r) const;
+
+  /// Returns the id for `name`, or nullopt if absent.
+  std::optional<EntityId> FindEntity(std::string_view name) const;
+  std::optional<RelationId> FindRelation(std::string_view name) const;
+
+  /// Incoming + outgoing edges of `e`. Requires BuildAdjacency().
+  std::span<const NeighborEdge> Neighbors(EntityId e) const;
+
+  /// Degree (in + out) of `e`. Requires BuildAdjacency().
+  int32_t Degree(EntityId e) const;
+
+  /// Projects the KG to an undirected, unlabelled CsrGraph with unit edge
+  /// weights (parallel edges merged) — the input to graph partitioning.
+  CsrGraph ToUndirectedGraph() const;
+
+ private:
+  std::vector<std::string> entity_names_;
+  std::vector<std::string> relation_names_;
+  std::unordered_map<std::string, EntityId> entity_index_;
+  std::unordered_map<std::string, RelationId> relation_index_;
+  std::vector<Triple> triples_;
+
+  bool adjacency_built_ = false;
+  std::vector<int64_t> adj_offsets_;
+  std::vector<NeighborEdge> adj_edges_;
+};
+
+}  // namespace largeea
+
+#endif  // LARGEEA_KG_KNOWLEDGE_GRAPH_H_

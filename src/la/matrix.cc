@@ -1,0 +1,26 @@
+#include "src/la/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace largeea {
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::GlorotInit(Rng& rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(std::max<int64_t>(rows_ + cols_, 1)));
+  for (float& v : data_) {
+    v = (2.0f * rng.UniformFloat() - 1.0f) * limit;
+  }
+}
+
+void Matrix::GaussianInit(Rng& rng, float stddev) {
+  for (float& v : data_) {
+    v = static_cast<float>(rng.Gaussian()) * stddev;
+  }
+}
+
+}  // namespace largeea

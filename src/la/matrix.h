@@ -1,0 +1,97 @@
+// Dense row-major float matrix used for embeddings and GNN weights.
+//
+// This is deliberately a small, predictable container — no expression
+// templates, no lazy evaluation. All bulk math lives in free functions in
+// ops.h so the data layout stays obvious. Buffers register with the
+// MemoryTracker so the Table-6 bench can report working-set peaks.
+#ifndef LARGEEA_LA_MATRIX_H_
+#define LARGEEA_LA_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/common/memory_tracker.h"
+#include "src/common/rng.h"
+
+namespace largeea {
+
+/// Row-major dense matrix of float. Movable and copyable; copies duplicate
+/// the buffer (and its tracker registration).
+class Matrix {
+ public:
+  /// An empty 0x0 matrix.
+  Matrix() = default;
+
+  /// A `rows` x `cols` matrix initialised to zero.
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0f),
+        tracked_(static_cast<int64_t>(data_.size() * sizeof(float))) {
+    LARGEEA_CHECK_GE(rows, 0);
+    LARGEEA_CHECK_GE(cols, 0);
+  }
+
+  Matrix(const Matrix& other)
+      : rows_(other.rows_),
+        cols_(other.cols_),
+        data_(other.data_),
+        tracked_(static_cast<int64_t>(data_.size() * sizeof(float))) {}
+
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) {
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      data_ = other.data_;
+      tracked_.Resize(static_cast<int64_t>(data_.size() * sizeof(float)));
+    }
+    return *this;
+  }
+
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float& At(int64_t r, int64_t c) { return data_[Index(r, c)]; }
+  float At(int64_t r, int64_t c) const { return data_[Index(r, c)]; }
+
+  /// Pointer to the start of row `r`.
+  float* Row(int64_t r) { return data_.data() + Index(r, 0); }
+  const float* Row(int64_t r) const { return data_.data() + Index(r, 0); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Glorot/Xavier-uniform initialisation: U(-limit, limit) with
+  /// limit = sqrt(6 / (rows + cols)). Standard for GNN weight matrices.
+  void GlorotInit(Rng& rng);
+
+  /// Gaussian initialisation with the given standard deviation.
+  void GaussianInit(Rng& rng, float stddev);
+
+ private:
+  int64_t Index(int64_t r, int64_t c) const {
+    LARGEEA_CHECK_GE(r, 0);
+    LARGEEA_CHECK_LT(r, rows_);
+    LARGEEA_CHECK_GE(c, 0);
+    LARGEEA_CHECK_LT(c, cols_);
+    return r * cols_ + c;
+  }
+
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<float> data_;
+  TrackedAllocation tracked_;
+};
+
+}  // namespace largeea
+
+#endif  // LARGEEA_LA_MATRIX_H_

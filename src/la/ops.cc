@@ -1,0 +1,120 @@
+#include "src/la/ops.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/common/macros.h"
+
+namespace largeea {
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  LARGEEA_CHECK_EQ(a.cols(), b.rows());
+  LARGEEA_CHECK_EQ(c.rows(), a.rows());
+  LARGEEA_CHECK_EQ(c.cols(), b.cols());
+  c.Fill(0.0f);
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(p);
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix& c) {
+  LARGEEA_CHECK_EQ(a.cols(), b.cols());
+  LARGEEA_CHECK_EQ(c.rows(), a.rows());
+  LARGEEA_CHECK_EQ(c.cols(), b.rows());
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (int64_t j = 0; j < n; ++j) {
+      crow[j] = Dot(arow, b.Row(j), k);
+    }
+  }
+}
+
+void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix& c) {
+  LARGEEA_CHECK_EQ(a.rows(), b.rows());
+  LARGEEA_CHECK_EQ(c.rows(), a.cols());
+  LARGEEA_CHECK_EQ(c.cols(), b.cols());
+  c.Fill(0.0f);
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    const float* brow = b.Row(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = c.Row(p);
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void Axpy(float alpha, const Matrix& x, Matrix& y) {
+  LARGEEA_CHECK_EQ(x.rows(), y.rows());
+  LARGEEA_CHECK_EQ(x.cols(), y.cols());
+  const int64_t size = x.size();
+  const float* xv = x.data();
+  float* yv = y.data();
+  for (int64_t i = 0; i < size; ++i) yv[i] += alpha * xv[i];
+}
+
+void Scale(Matrix& m, float alpha) {
+  float* v = m.data();
+  const int64_t size = m.size();
+  for (int64_t i = 0; i < size; ++i) v[i] *= alpha;
+}
+
+void L2NormalizeRows(Matrix& m, float epsilon) {
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    float* row = m.Row(r);
+    const float norm = Norm2(row, m.cols()) + epsilon;
+    for (int64_t c = 0; c < m.cols(); ++c) row[c] /= norm;
+  }
+}
+
+void ReluInPlace(Matrix& m) {
+  float* v = m.data();
+  const int64_t size = m.size();
+  for (int64_t i = 0; i < size; ++i) {
+    if (v[i] < 0.0f) v[i] = 0.0f;
+  }
+}
+
+void ReluBackwardInPlace(const Matrix& pre_activation, Matrix& grad) {
+  LARGEEA_CHECK_EQ(pre_activation.rows(), grad.rows());
+  LARGEEA_CHECK_EQ(pre_activation.cols(), grad.cols());
+  const float* pre = pre_activation.data();
+  float* g = grad.data();
+  const int64_t size = grad.size();
+  for (int64_t i = 0; i < size; ++i) {
+    if (pre[i] <= 0.0f) g[i] = 0.0f;
+  }
+}
+
+float Dot(const float* a, const float* b, int64_t dim) {
+  float sum = 0.0f;
+  for (int64_t i = 0; i < dim; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+float ManhattanDistance(const float* a, const float* b, int64_t dim) {
+  float sum = 0.0f;
+  for (int64_t i = 0; i < dim; ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+float Norm2(const float* a, int64_t dim) {
+  return std::sqrt(Dot(a, a, dim));
+}
+
+float FrobeniusNorm(const Matrix& m) { return Norm2(m.data(), m.size()); }
+
+}  // namespace largeea

@@ -1,0 +1,62 @@
+// Bulk math on dense matrices and rows.
+//
+// These free functions are the only place the library does dense numeric
+// work, so they are written with simple cache-friendly loops (ikj GEMM)
+// rather than clever abstractions.
+#ifndef LARGEEA_LA_OPS_H_
+#define LARGEEA_LA_OPS_H_
+
+#include <cstdint>
+
+#include "src/la/matrix.h"
+
+namespace largeea {
+
+/// C = A * B. Shapes must agree; C is overwritten.
+void Gemm(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A * B^T. Shapes must agree; C is overwritten.
+void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A^T * B. Shapes must agree; C is overwritten.
+void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// y += alpha * x, over whole matrices of identical shape.
+void Axpy(float alpha, const Matrix& x, Matrix& y);
+
+/// Scales every element of `m` by `alpha`.
+void Scale(Matrix& m, float alpha);
+
+/// L2-normalises every row in place: row /= (||row||_2 + epsilon).
+/// This is the normalisation NFF applies to semantic name embeddings.
+void L2NormalizeRows(Matrix& m, float epsilon = 1e-12f);
+
+/// Element-wise ReLU in place.
+void ReluInPlace(Matrix& m);
+
+/// Writes the ReLU derivative mask of `pre` (1 where pre>0) times `grad`
+/// into `grad` (in place backward pass helper).
+void ReluBackwardInPlace(const Matrix& pre_activation, Matrix& grad);
+
+/// Dot product of two length-`dim` rows.
+float Dot(const float* a, const float* b, int64_t dim);
+
+/// L1 (Manhattan) distance between two length-`dim` rows. The paper uses
+/// Manhattan distance for both structural and semantic similarity.
+float ManhattanDistance(const float* a, const float* b, int64_t dim);
+
+/// L2 norm of a length-`dim` row.
+float Norm2(const float* a, int64_t dim);
+
+/// Frobenius norm of the whole matrix.
+float FrobeniusNorm(const Matrix& m);
+
+/// Converts a Manhattan distance into a similarity in (0, 1]:
+/// sim = 1 / (1 + d). Monotone-decreasing in d, so rankings match.
+inline float ManhattanSimilarity(float distance) {
+  return 1.0f / (1.0f + distance);
+}
+
+}  // namespace largeea
+
+#endif  // LARGEEA_LA_OPS_H_

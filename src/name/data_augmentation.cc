@@ -1,0 +1,54 @@
+#include "src/name/data_augmentation.h"
+
+#include <unordered_set>
+
+namespace largeea {
+
+EntityPairList GeneratePseudoSeeds(const SparseSimMatrix& name_sim,
+                                   const EntityPairList& existing_seeds,
+                                   float min_margin) {
+  std::unordered_set<EntityId> seeded_sources, seeded_targets;
+  for (const EntityPair& p : existing_seeds) {
+    seeded_sources.insert(p.source);
+    seeded_targets.insert(p.target);
+  }
+
+  const std::vector<EntityId> best_row_of_col = name_sim.ArgmaxPerColumn();
+  EntityPairList pseudo;
+  for (int32_t s = 0; s < name_sim.num_rows(); ++s) {
+    const auto row = name_sim.Row(s);
+    if (row.empty()) continue;
+    const EntityId t = row[0].column;
+    if (best_row_of_col[t] != s) continue;  // not mutual
+    if (min_margin > 0.0f && row.size() > 1) {
+      // Require a clear winner over the runner-up candidate.
+      if (row[0].score < (1.0f + min_margin) * row[1].score) continue;
+    }
+    if (seeded_sources.contains(s) || seeded_targets.contains(t)) continue;
+    pseudo.push_back(EntityPair{s, t});
+  }
+  return pseudo;
+}
+
+double PseudoSeedPrecision(const EntityPairList& pseudo_seeds,
+                           const EntityPairList& ground_truth) {
+  if (pseudo_seeds.empty()) return 0.0;
+  // 64-bit key per pair for set membership.
+  std::unordered_set<int64_t> truth;
+  truth.reserve(ground_truth.size());
+  for (const EntityPair& p : ground_truth) {
+    truth.insert((static_cast<int64_t>(p.source) << 32) |
+                 static_cast<uint32_t>(p.target));
+  }
+  int64_t correct = 0;
+  for (const EntityPair& p : pseudo_seeds) {
+    if (truth.contains((static_cast<int64_t>(p.source) << 32) |
+                       static_cast<uint32_t>(p.target))) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(pseudo_seeds.size());
+}
+
+}  // namespace largeea

@@ -1,0 +1,35 @@
+#include "src/name/levenshtein.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace largeea {
+
+int32_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter
+  if (b.empty()) return static_cast<int32_t>(a.size());
+
+  std::vector<int32_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = static_cast<int32_t>(j);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    int32_t diagonal = row[0];  // D[i-1][j-1]
+    row[0] = static_cast<int32_t>(i);
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const int32_t up = row[j];  // D[i-1][j]
+      const int32_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j - 1] + 1, up + 1, substitution});
+      diagonal = up;
+    }
+  }
+  return row[b.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+}  // namespace largeea

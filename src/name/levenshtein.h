@@ -1,0 +1,20 @@
+// Levenshtein edit distance and the derived string similarity.
+#ifndef LARGEEA_NAME_LEVENSHTEIN_H_
+#define LARGEEA_NAME_LEVENSHTEIN_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace largeea {
+
+/// Classic edit distance (insert/delete/substitute, all cost 1).
+/// O(|a| * |b|) time, O(min) memory.
+int32_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Normalised similarity in [0, 1]: 1 - distance / max(|a|, |b|).
+/// Two empty strings score 1.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_NAME_LEVENSHTEIN_H_

@@ -1,0 +1,87 @@
+#include "src/name/minhash.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/macros.h"
+#include "src/common/rng.h"
+
+namespace largeea {
+
+MinHasher::MinHasher(int32_t num_permutations, uint64_t seed) {
+  LARGEEA_CHECK_GT(num_permutations, 0);
+  Rng rng(seed);
+  mult_.resize(num_permutations);
+  add_.resize(num_permutations);
+  for (int32_t i = 0; i < num_permutations; ++i) {
+    mult_[i] = rng.Next() | 1;  // odd multiplier: bijective mod 2^64
+    add_[i] = rng.Next();
+  }
+}
+
+std::vector<uint64_t> MinHasher::Signature(
+    const std::vector<std::string>& tokens) const {
+  std::vector<uint64_t> signature(mult_.size(),
+                                  std::numeric_limits<uint64_t>::max());
+  for (const std::string& token : tokens) {
+    const uint64_t h = TokenHash(token);
+    for (size_t i = 0; i < mult_.size(); ++i) {
+      const uint64_t permuted = h * mult_[i] + add_[i];
+      if (permuted < signature[i]) signature[i] = permuted;
+    }
+  }
+  return signature;
+}
+
+double MinHasher::EstimateJaccard(const std::vector<uint64_t>& a,
+                                  const std::vector<uint64_t>& b) {
+  LARGEEA_CHECK_EQ(a.size(), b.size());
+  LARGEEA_CHECK(!a.empty());
+  int64_t equal = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++equal;
+  }
+  return static_cast<double>(equal) / static_cast<double>(a.size());
+}
+
+MinHashLsh::MinHashLsh(int32_t num_bands, int32_t rows_per_band)
+    : num_bands_(num_bands),
+      rows_per_band_(rows_per_band),
+      buckets_(num_bands) {
+  LARGEEA_CHECK_GT(num_bands, 0);
+  LARGEEA_CHECK_GT(rows_per_band, 0);
+}
+
+uint64_t MinHashLsh::BandKey(const std::vector<uint64_t>& signature,
+                             int32_t band) const {
+  LARGEEA_CHECK_EQ(static_cast<int32_t>(signature.size()),
+                   num_bands_ * rows_per_band_);
+  uint64_t key = 0xcbf29ce484222325ULL;
+  for (int32_t r = 0; r < rows_per_band_; ++r) {
+    key ^= signature[static_cast<size_t>(band) * rows_per_band_ + r];
+    key *= 0x100000001b3ULL;
+  }
+  return key;
+}
+
+void MinHashLsh::Insert(int32_t id, const std::vector<uint64_t>& signature) {
+  for (int32_t band = 0; band < num_bands_; ++band) {
+    buckets_[band][BandKey(signature, band)].push_back(id);
+  }
+}
+
+std::vector<int32_t> MinHashLsh::Query(
+    const std::vector<uint64_t>& signature) const {
+  std::vector<int32_t> candidates;
+  for (int32_t band = 0; band < num_bands_; ++band) {
+    const auto it = buckets_[band].find(BandKey(signature, band));
+    if (it == buckets_[band].end()) continue;
+    candidates.insert(candidates.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+}  // namespace largeea

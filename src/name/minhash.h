@@ -1,0 +1,68 @@
+// MinHash signatures and LSH banding (datasketch substitute).
+//
+// STNS needs the Jaccard-similar name pairs without comparing all
+// |Es| x |Et| names. MinHash signatures estimate Jaccard similarity of
+// token sets; LSH banding buckets signatures so that pairs above the
+// threshold collide in at least one band with high probability.
+#ifndef LARGEEA_NAME_MINHASH_H_
+#define LARGEEA_NAME_MINHASH_H_
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/name/tokenizer.h"
+
+namespace largeea {
+
+/// A fixed family of `num_permutations` universal hash functions; all
+/// signatures meant to be compared must come from the same family.
+class MinHasher {
+ public:
+  MinHasher(int32_t num_permutations, uint64_t seed);
+
+  /// Signature of a token multiset (duplicates are irrelevant). An empty
+  /// token list yields the all-max signature (similar to nothing).
+  std::vector<uint64_t> Signature(
+      const std::vector<std::string>& tokens) const;
+
+  /// Jaccard estimate: fraction of positions where signatures agree.
+  static double EstimateJaccard(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b);
+
+  int32_t num_permutations() const {
+    return static_cast<int32_t>(mult_.size());
+  }
+
+ private:
+  std::vector<uint64_t> mult_;
+  std::vector<uint64_t> add_;
+};
+
+/// LSH banding over MinHash signatures: signatures are split into
+/// `num_bands` bands of `rows_per_band` values; two items collide if any
+/// band hashes identically.
+class MinHashLsh {
+ public:
+  /// num_bands * rows_per_band must equal the signature length used.
+  MinHashLsh(int32_t num_bands, int32_t rows_per_band);
+
+  /// Inserts an item with the given signature.
+  void Insert(int32_t id, const std::vector<uint64_t>& signature);
+
+  /// Returns the de-duplicated ids colliding with `signature`.
+  std::vector<int32_t> Query(const std::vector<uint64_t>& signature) const;
+
+ private:
+  uint64_t BandKey(const std::vector<uint64_t>& signature,
+                   int32_t band) const;
+
+  int32_t num_bands_;
+  int32_t rows_per_band_;
+  std::vector<std::unordered_map<uint64_t, std::vector<int32_t>>> buckets_;
+};
+
+}  // namespace largeea
+
+#endif  // LARGEEA_NAME_MINHASH_H_

@@ -1,0 +1,23 @@
+#include "src/name/nff.h"
+
+#include "src/common/timer.h"
+
+namespace largeea {
+
+NffResult ComputeNameFeatures(const KnowledgeGraph& source,
+                              const KnowledgeGraph& target,
+                              const NffOptions& options) {
+  NffResult result;
+  Timer timer;
+  result.semantic = ComputeSemanticSimilarity(source, target, options.sens);
+  result.sens_seconds = timer.Seconds();
+  timer.Reset();
+  result.string = ComputeStringSimilarity(source, target, options.stns);
+  result.stns_seconds = timer.Seconds();
+  result.fused = result.semantic.Fuse(result.string, 1.0f,
+                                      options.string_weight,
+                                      options.max_entries_per_row);
+  return result;
+}
+
+}  // namespace largeea

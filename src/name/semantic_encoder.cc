@@ -1,0 +1,104 @@
+#include "src/name/semantic_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/macros.h"
+#include "src/kg/knowledge_graph.h"
+#include "src/la/ops.h"
+
+namespace largeea {
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Heuristic: word tokens were requested with include_words and are
+// distinguishable from padded n-grams by the absence of the '#' pad.
+bool IsWordToken(const std::string& token) {
+  return token.find('#') == std::string::npos;
+}
+
+}  // namespace
+
+SemanticEncoder::SemanticEncoder(const SemanticEncoderOptions& options)
+    : options_(options) {
+  LARGEEA_CHECK_GT(options.dim, 0);
+  LARGEEA_CHECK_GT(options.active_slots_per_token, 0);
+  LARGEEA_CHECK_LE(options.active_slots_per_token, options.dim);
+}
+
+void SemanticEncoder::FitIdf(const std::vector<const KnowledgeGraph*>& kgs) {
+  std::unordered_map<uint64_t, int64_t> document_frequency;
+  idf_documents_ = 0;
+  std::unordered_set<uint64_t> seen_in_name;
+  for (const KnowledgeGraph* kg : kgs) {
+    LARGEEA_CHECK(kg != nullptr);
+    for (EntityId e = 0; e < kg->num_entities(); ++e) {
+      ++idf_documents_;
+      seen_in_name.clear();
+      for (const std::string& token :
+           TokenizeName(kg->EntityName(e), options_.tokenizer)) {
+        const uint64_t h = TokenHash(token);
+        if (seen_in_name.insert(h).second) ++document_frequency[h];
+      }
+    }
+  }
+  idf_.clear();
+  idf_.reserve(document_frequency.size());
+  for (const auto& [hash, df] : document_frequency) {
+    idf_[hash] = static_cast<float>(
+        std::log(1.0 + static_cast<double>(idf_documents_) /
+                           (1.0 + static_cast<double>(df))));
+  }
+}
+
+void SemanticEncoder::AddTokenFeature(uint64_t token_hash, float weight,
+                                      float* out) const {
+  // Each token activates `active_slots_per_token` pseudo-random
+  // dimensions with ±1 values — signed feature hashing.
+  uint64_t state = token_hash ^ options_.seed;
+  for (int32_t s = 0; s < options_.active_slots_per_token; ++s) {
+    state = Mix(state + 0x9e3779b97f4a7c15ULL);
+    const auto slot = static_cast<int32_t>(state % options_.dim);
+    const float sign = (state >> 60) & 1 ? 1.0f : -1.0f;
+    out[slot] += weight * sign;
+  }
+}
+
+void SemanticEncoder::EncodeName(std::string_view name, float* out) const {
+  std::fill(out, out + options_.dim, 0.0f);
+  const std::vector<std::string> tokens =
+      TokenizeName(name, options_.tokenizer);
+  if (tokens.empty()) return;
+  for (const std::string& token : tokens) {
+    const uint64_t h = TokenHash(token);
+    float weight = IsWordToken(token) ? options_.word_token_weight : 1.0f;
+    if (!idf_.empty()) {
+      const auto it = idf_.find(h);
+      // Unseen tokens get the maximal IDF (they are maximally rare).
+      weight *= it != idf_.end()
+                    ? it->second
+                    : static_cast<float>(
+                          std::log(1.0 + static_cast<double>(
+                                             idf_documents_)));
+    }
+    AddTokenFeature(h, weight, out);
+  }
+  const float norm = Norm2(out, options_.dim) + options_.epsilon;
+  for (int32_t i = 0; i < options_.dim; ++i) out[i] /= norm;
+}
+
+Matrix SemanticEncoder::EncodeAllNames(const KnowledgeGraph& kg) const {
+  Matrix embeddings(kg.num_entities(), options_.dim);
+  for (EntityId e = 0; e < kg.num_entities(); ++e) {
+    EncodeName(kg.EntityName(e), embeddings.Row(e));
+  }
+  return embeddings;
+}
+
+}  // namespace largeea

@@ -1,0 +1,80 @@
+// SENS semantic name encoder (the paper's BERT substitute).
+//
+// The paper feeds entity names through BERT, pools the token embeddings,
+// and L2-normalises — *without fine-tuning*, because training is
+// unaffordable at DBP1M scale. The only property SENS needs from the
+// encoder is that names sharing meaning land close in embedding space
+// and unrelated names land far apart.
+//
+// This encoder gets that property without pretrained weights via signed
+// feature hashing: every token (word or character n-gram) activates a few
+// pseudo-random dimensions with ±1 values, an entity embedding is the
+// (optionally IDF-weighted) sum of its token features, and rows are
+// L2-normalised (the paper's h_e / (||h_e|| + eps)). Cognate names share
+// most n-gram tokens and therefore most active features; unrelated names
+// collide only by chance. See DESIGN.md §1 for the substitution rationale.
+#ifndef LARGEEA_NAME_SEMANTIC_ENCODER_H_
+#define LARGEEA_NAME_SEMANTIC_ENCODER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/la/matrix.h"
+#include "src/name/tokenizer.h"
+
+namespace largeea {
+
+class KnowledgeGraph;
+
+struct SemanticEncoderOptions {
+  int32_t dim = 192;
+  /// Dimensions each token activates (signed feature hashing).
+  int32_t active_slots_per_token = 4;
+  /// Weight multiplier for whole-word tokens relative to n-grams; exact
+  /// word matches are stronger evidence than shared n-grams.
+  float word_token_weight = 1.0f;
+  TokenizerOptions tokenizer;
+  /// Seed of the hashing family. Must be identical for the two KGs being
+  /// aligned (it defines the shared semantic space).
+  uint64_t seed = 42;
+  float epsilon = 1e-6f;
+};
+
+/// Deterministic, training-free name embedder.
+///
+/// Optionally IDF-weighted: FitIdf() counts token document frequencies
+/// over the KGs being aligned so that distinctive tokens dominate the
+/// embedding (no training involved — pure corpus statistics, computed the
+/// same way for both sides).
+class SemanticEncoder {
+ public:
+  explicit SemanticEncoder(const SemanticEncoderOptions& options);
+
+  /// Computes IDF weights from the entity names of the given KGs.
+  /// Call before encoding; both aligned KGs should be passed.
+  void FitIdf(const std::vector<const KnowledgeGraph*>& kgs);
+
+  /// Embeds one name into `out` (length dim()): weighted sum of hashed
+  /// token features, L2-normalised. A token-less name embeds to zero.
+  void EncodeName(std::string_view name, float* out) const;
+
+  /// Embeds every entity name of `kg`; row e is entity e.
+  Matrix EncodeAllNames(const KnowledgeGraph& kg) const;
+
+  int32_t dim() const { return options_.dim; }
+
+ private:
+  /// Adds `weight` times the signed hashed feature of `token_hash`.
+  void AddTokenFeature(uint64_t token_hash, float weight, float* out) const;
+
+  SemanticEncoderOptions options_;
+  /// token hash -> IDF weight; empty when FitIdf was not called.
+  std::unordered_map<uint64_t, float> idf_;
+  int64_t idf_documents_ = 0;
+};
+
+}  // namespace largeea
+
+#endif  // LARGEEA_NAME_SEMANTIC_ENCODER_H_

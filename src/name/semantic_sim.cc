@@ -1,0 +1,72 @@
+#include "src/name/semantic_sim.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "src/common/macros.h"
+
+namespace largeea {
+namespace {
+
+// Copies rows [begin, end) of `all` into a fresh matrix.
+Matrix SliceRows(const Matrix& all, int64_t begin, int64_t end) {
+  Matrix slice(end - begin, all.cols());
+  for (int64_t r = begin; r < end; ++r) {
+    std::copy(all.Row(r), all.Row(r) + all.cols(), slice.Row(r - begin));
+  }
+  return slice;
+}
+
+}  // namespace
+
+SparseSimMatrix ComputeSemanticSimilarity(const KnowledgeGraph& source,
+                                          const KnowledgeGraph& target,
+                                          const SensOptions& options) {
+  LARGEEA_CHECK_GE(options.num_segments, 1);
+  SemanticEncoder encoder(options.encoder);
+  if (options.use_idf) encoder.FitIdf({&source, &target});
+  const Matrix source_emb = encoder.EncodeAllNames(source);
+  const Matrix target_emb = encoder.EncodeAllNames(target);
+
+  SparseSimMatrix m_se(source.num_entities(), target.num_entities(),
+                       options.top_k);
+  const TopKOptions topk{.k = options.top_k, .metric = options.metric};
+
+  if (options.use_lsh) {
+    const LshIndex index(target_emb, options.lsh);
+    std::vector<EntityId> row_ids(source.num_entities());
+    std::vector<EntityId> col_ids(target.num_entities());
+    std::iota(row_ids.begin(), row_ids.end(), 0);
+    std::iota(col_ids.begin(), col_ids.end(), 0);
+    LshTopKInto(source_emb, row_ids, target_emb, col_ids, index, topk, m_se);
+    m_se.RefreshMemoryTracking();
+    return m_se;
+  }
+
+  // Exact search, one (source segment, target segment) block at a time.
+  // Because the sparse matrix keeps a global top-k per row, iterating
+  // block pairs yields exactly the unsegmented result.
+  const int32_t segments = options.num_segments;
+  const int64_t src_step =
+      (source_emb.rows() + segments - 1) / segments;
+  const int64_t tgt_step =
+      (target_emb.rows() + segments - 1) / segments;
+  for (int64_t sb = 0; sb < source_emb.rows(); sb += src_step) {
+    const int64_t se = std::min(sb + src_step, source_emb.rows());
+    const Matrix src_slice = SliceRows(source_emb, sb, se);
+    std::vector<EntityId> row_ids(se - sb);
+    std::iota(row_ids.begin(), row_ids.end(), static_cast<EntityId>(sb));
+    for (int64_t tb = 0; tb < target_emb.rows(); tb += tgt_step) {
+      const int64_t te = std::min(tb + tgt_step, target_emb.rows());
+      const Matrix tgt_slice = SliceRows(target_emb, tb, te);
+      std::vector<EntityId> col_ids(te - tb);
+      std::iota(col_ids.begin(), col_ids.end(), static_cast<EntityId>(tb));
+      ExactTopKInto(src_slice, row_ids, tgt_slice, col_ids, topk, m_se);
+    }
+  }
+  m_se.RefreshMemoryTracking();
+  return m_se;
+}
+
+}  // namespace largeea

@@ -1,0 +1,51 @@
+#include "src/name/string_sim.h"
+
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/name/levenshtein.h"
+#include "src/name/minhash.h"
+
+namespace largeea {
+
+SparseSimMatrix ComputeStringSimilarity(const KnowledgeGraph& source,
+                                        const KnowledgeGraph& target,
+                                        const StnsOptions& options) {
+  LARGEEA_CHECK_GT(options.jaccard_threshold, 0.0);
+  const int32_t signature_length = options.num_bands * options.rows_per_band;
+  const MinHasher hasher(signature_length, options.seed);
+  MinHashLsh lsh(options.num_bands, options.rows_per_band);
+
+  // Index the target names.
+  std::vector<std::vector<uint64_t>> target_signatures(
+      target.num_entities());
+  for (EntityId t = 0; t < target.num_entities(); ++t) {
+    target_signatures[t] =
+        hasher.Signature(TokenizeName(target.EntityName(t),
+                                      options.tokenizer));
+    lsh.Insert(t, target_signatures[t]);
+  }
+
+  SparseSimMatrix m_st(source.num_entities(), target.num_entities(),
+                       options.max_entries_per_row);
+  for (EntityId s = 0; s < source.num_entities(); ++s) {
+    const std::string& source_name = source.EntityName(s);
+    const std::vector<uint64_t> signature =
+        hasher.Signature(TokenizeName(source_name, options.tokenizer));
+    for (const int32_t t : lsh.Query(signature)) {
+      if (MinHasher::EstimateJaccard(signature, target_signatures[t]) <
+          options.jaccard_threshold) {
+        continue;
+      }
+      const double sim =
+          LevenshteinSimilarity(source_name, target.EntityName(t));
+      if (sim > 0.0) {
+        m_st.Accumulate(s, t, static_cast<float>(sim));
+      }
+    }
+  }
+  m_st.RefreshMemoryTracking();
+  return m_st;
+}
+
+}  // namespace largeea

@@ -1,0 +1,42 @@
+// STNS — string-based name similarity (Section 2.3).
+//
+// Computing Levenshtein distance for all |Es| x |Et| name pairs is
+// intractable, so STNS first finds candidate pairs whose token-set Jaccard
+// similarity is at least θ using MinHash-LSH, then scores only those
+// candidates with normalised Levenshtein similarity. The result is the
+// sparse string similarity matrix M_st.
+#ifndef LARGEEA_NAME_STRING_SIM_H_
+#define LARGEEA_NAME_STRING_SIM_H_
+
+#include <cstdint>
+
+#include "src/kg/knowledge_graph.h"
+#include "src/name/tokenizer.h"
+#include "src/sim/sparse_sim.h"
+
+namespace largeea {
+
+struct StnsOptions {
+  /// θ — candidate pairs below this (estimated) Jaccard are discarded.
+  double jaccard_threshold = 0.5;
+  /// MinHash signature length = num_bands * rows_per_band.
+  int32_t num_bands = 16;
+  int32_t rows_per_band = 4;
+  /// Cap on stored candidates per source entity.
+  int32_t max_entries_per_row = 50;
+  /// Shingling used for the Jaccard universe (character n-grams only, the
+  /// datasketch-on-names convention).
+  TokenizerOptions tokenizer{.ngram_size = 3,
+                             .include_words = false,
+                             .include_ngrams = true};
+  uint64_t seed = 17;
+};
+
+/// Computes M_st between the entity names of the two KGs.
+SparseSimMatrix ComputeStringSimilarity(const KnowledgeGraph& source,
+                                        const KnowledgeGraph& target,
+                                        const StnsOptions& options);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_NAME_STRING_SIM_H_

@@ -1,0 +1,55 @@
+#include "src/name/tokenizer.h"
+
+#include <cctype>
+
+#include "src/common/macros.h"
+
+namespace largeea {
+
+std::vector<std::string> TokenizeName(std::string_view name,
+                                      const TokenizerOptions& options) {
+  LARGEEA_CHECK_GT(options.ngram_size, 0);
+  std::vector<std::string> tokens;
+
+  // Split into lower-cased words on non-alphanumeric boundaries.
+  std::vector<std::string> words;
+  std::string current;
+  for (const char raw : name) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      words.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) words.push_back(std::move(current));
+
+  for (const std::string& word : words) {
+    if (options.include_words) tokens.push_back(word);
+    if (options.include_ngrams) {
+      // Pad with '#' so prefixes/suffixes are distinguishable.
+      const std::string padded = "#" + word + "#";
+      const auto n = static_cast<size_t>(options.ngram_size);
+      if (padded.size() <= n) {
+        tokens.push_back(padded);
+      } else {
+        for (size_t i = 0; i + n <= padded.size(); ++i) {
+          tokens.push_back(padded.substr(i, n));
+        }
+      }
+    }
+  }
+  return tokens;
+}
+
+uint64_t TokenHash(std::string_view token) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const char c : token) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace largeea

@@ -1,0 +1,36 @@
+// Name tokenisation for the semantic encoder and MinHash.
+//
+// Mirrors what a subword tokenizer gives BERT: lower-cased word tokens
+// plus character n-grams, so cognate names in different languages share
+// many tokens even when whole words differ slightly.
+#ifndef LARGEEA_NAME_TOKENIZER_H_
+#define LARGEEA_NAME_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace largeea {
+
+struct TokenizerOptions {
+  /// Character n-gram length (3 is the classic choice).
+  int32_t ngram_size = 3;
+  /// Emit whole lower-cased words as tokens too.
+  bool include_words = true;
+  /// Emit character n-grams (with word-boundary padding '#').
+  bool include_ngrams = true;
+};
+
+/// Lower-cases `name`, splits into words on non-alphanumeric characters,
+/// and returns word tokens and/or padded character n-grams per `options`.
+std::vector<std::string> TokenizeName(std::string_view name,
+                                      const TokenizerOptions& options = {});
+
+/// Stable 64-bit hash of a token (FNV-1a); used to map tokens into the
+/// hashed embedding table and MinHash universe.
+uint64_t TokenHash(std::string_view token);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_NAME_TOKENIZER_H_

@@ -1,0 +1,41 @@
+#include "src/nn/adam.h"
+
+#include <cmath>
+
+#include "src/common/macros.h"
+
+namespace largeea {
+
+AdamState::AdamState(int64_t rows, int64_t cols, const AdamOptions& options)
+    : options_(options), m_(rows, cols), v_(rows, cols) {}
+
+void AdamState::Step(Matrix& param, const Matrix& grad) {
+  LARGEEA_CHECK_EQ(param.rows(), m_.rows());
+  LARGEEA_CHECK_EQ(param.cols(), m_.cols());
+  LARGEEA_CHECK_EQ(grad.rows(), m_.rows());
+  LARGEEA_CHECK_EQ(grad.cols(), m_.cols());
+  ++step_;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float bias1 =
+      1.0f - std::pow(b1, static_cast<float>(step_));
+  const float bias2 =
+      1.0f - std::pow(b2, static_cast<float>(step_));
+  const float lr = options_.learning_rate;
+  const float eps = options_.epsilon;
+
+  float* p = param.data();
+  const float* g = grad.data();
+  float* m = m_.data();
+  float* v = v_.data();
+  const int64_t size = param.size();
+  for (int64_t i = 0; i < size; ++i) {
+    m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+    v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+    const float m_hat = m[i] / bias1;
+    const float v_hat = v[i] / bias2;
+    p[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+  }
+}
+
+}  // namespace largeea

@@ -1,0 +1,39 @@
+// Adam optimizer state for a dense parameter matrix.
+#ifndef LARGEEA_NN_ADAM_H_
+#define LARGEEA_NN_ADAM_H_
+
+#include <cstdint>
+
+#include "src/la/matrix.h"
+
+namespace largeea {
+
+struct AdamOptions {
+  float learning_rate = 0.005f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+};
+
+/// Per-parameter Adam moments. One instance per parameter matrix; Step()
+/// applies an update in place.
+class AdamState {
+ public:
+  AdamState(int64_t rows, int64_t cols, const AdamOptions& options);
+
+  /// Applies one Adam update: param -= lr * m_hat / (sqrt(v_hat) + eps).
+  /// Shapes of `param` and `grad` must match the constructor's.
+  void Step(Matrix& param, const Matrix& grad);
+
+  int64_t step_count() const { return step_; }
+
+ private:
+  AdamOptions options_;
+  Matrix m_;
+  Matrix v_;
+  int64_t step_ = 0;
+};
+
+}  // namespace largeea
+
+#endif  // LARGEEA_NN_ADAM_H_

@@ -1,0 +1,60 @@
+#include "src/nn/batch_graph.h"
+
+#include <unordered_map>
+
+#include "src/common/macros.h"
+
+namespace largeea {
+
+LocalGraph BuildLocalGraph(const KnowledgeGraph& kg,
+                           std::span<const EntityId> entities) {
+  LocalGraph graph;
+  graph.global_ids.assign(entities.begin(), entities.end());
+  graph.num_relations = kg.num_relations();
+
+  std::unordered_map<EntityId, int32_t> to_local;
+  to_local.reserve(entities.size());
+  for (size_t i = 0; i < entities.size(); ++i) {
+    LARGEEA_CHECK_GE(entities[i], 0);
+    LARGEEA_CHECK_LT(entities[i], kg.num_entities());
+    const bool inserted =
+        to_local.emplace(entities[i], static_cast<int32_t>(i)).second;
+    LARGEEA_CHECK(inserted);  // duplicate entity in batch
+  }
+
+  graph.degree.assign(entities.size(), 0);
+  for (const Triple& t : kg.triples()) {
+    const auto head_it = to_local.find(t.head);
+    if (head_it == to_local.end()) continue;
+    const auto tail_it = to_local.find(t.tail);
+    if (tail_it == to_local.end()) continue;
+    graph.edges.push_back(
+        LocalEdge{head_it->second, t.relation, tail_it->second});
+    ++graph.degree[head_it->second];
+    ++graph.degree[tail_it->second];
+  }
+  return graph;
+}
+
+std::vector<std::pair<int32_t, int32_t>> LocalizeSeeds(
+    const LocalGraph& source, const LocalGraph& target,
+    const EntityPairList& seeds) {
+  std::unordered_map<EntityId, int32_t> source_local, target_local;
+  for (size_t i = 0; i < source.global_ids.size(); ++i) {
+    source_local.emplace(source.global_ids[i], static_cast<int32_t>(i));
+  }
+  for (size_t i = 0; i < target.global_ids.size(); ++i) {
+    target_local.emplace(target.global_ids[i], static_cast<int32_t>(i));
+  }
+  std::vector<std::pair<int32_t, int32_t>> local;
+  local.reserve(seeds.size());
+  for (const EntityPair& p : seeds) {
+    const auto s = source_local.find(p.source);
+    const auto t = target_local.find(p.target);
+    if (s == source_local.end() || t == target_local.end()) continue;
+    local.emplace_back(s->second, t->second);
+  }
+  return local;
+}
+
+}  // namespace largeea

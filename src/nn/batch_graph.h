@@ -1,0 +1,57 @@
+// Local re-indexed training graph for one side of a mini-batch.
+//
+// Mini-batch training never touches global KG ids: the batch's entity
+// list defines a dense local id space, and only triples with both
+// endpoints inside the batch survive (edges cut by partitioning are
+// exactly the structural information the batch loses — the paper's
+// accuracy-vs-K trade-off).
+#ifndef LARGEEA_NN_BATCH_GRAPH_H_
+#define LARGEEA_NN_BATCH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/kg/knowledge_graph.h"
+
+namespace largeea {
+
+/// A directed labelled edge in local id space.
+struct LocalEdge {
+  int32_t head = 0;
+  RelationId relation = 0;
+  int32_t tail = 0;
+};
+
+/// One KG restricted to a batch's entities, re-indexed to [0, n).
+struct LocalGraph {
+  /// global_ids[local] = the KG entity id of local vertex `local`.
+  std::vector<EntityId> global_ids;
+  /// Surviving triples in local ids.
+  std::vector<LocalEdge> edges;
+  /// Number of relations in the parent KG (relation ids are global).
+  int32_t num_relations = 0;
+  /// Undirected degree (in+out, counting both edge directions) per local
+  /// vertex — used for mean-aggregation normalisation.
+  std::vector<int32_t> degree;
+
+  int32_t num_vertices() const {
+    return static_cast<int32_t>(global_ids.size());
+  }
+};
+
+/// Restricts `kg` to `entities` and re-indexes.
+LocalGraph BuildLocalGraph(const KnowledgeGraph& kg,
+                           std::span<const EntityId> entities);
+
+/// Maps `seeds` (global ids) into local (source_local, target_local)
+/// index pairs given the two local graphs. Seeds with either endpoint
+/// outside the batch are dropped.
+std::vector<std::pair<int32_t, int32_t>> LocalizeSeeds(
+    const LocalGraph& source, const LocalGraph& target,
+    const EntityPairList& seeds);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_NN_BATCH_GRAPH_H_

@@ -1,0 +1,79 @@
+// Common interface of the structural EA models (mini-batch black box).
+//
+// LargeEA treats the structural trainer as a pluggable black box
+// (Section 2.2.2); this interface is that plug. Both bundled models learn
+// free entity embeddings for the two local graphs, tied only through the
+// margin ranking loss on the batch's seed pairs.
+#ifndef LARGEEA_NN_EA_MODEL_H_
+#define LARGEEA_NN_EA_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/la/matrix.h"
+#include "src/nn/batch_graph.h"
+
+namespace largeea {
+
+/// Hyper-parameters shared by the structural models.
+struct TrainOptions {
+  int32_t dim = 48;
+  int32_t epochs = 60;
+  float margin = 2.0f;
+  float learning_rate = 0.02f;
+  int32_t negatives_per_seed = 4;
+  /// Nearest-neighbour negatives are refreshed every this many epochs
+  /// (RREA's truncated sampling); 0 disables and uses random negatives.
+  int32_t hard_negative_refresh = 10;
+  /// Candidate pool size for nearest-negative search.
+  int32_t hard_negative_pool = 256;
+  uint64_t seed = 1;
+  /// Optional initial entity features (RDGCN-style name initialisation).
+  /// When set, must have one row per local vertex and `dim` columns, and
+  /// must outlive Train(). Null means Glorot-random initialisation.
+  const Matrix* source_init = nullptr;
+  const Matrix* target_init = nullptr;
+};
+
+/// Final embeddings for one trained batch, row-aligned with the local
+/// graphs' vertex order, L2-normalised for similarity scoring.
+struct TrainedEmbeddings {
+  Matrix source;
+  Matrix target;
+  double final_loss = 0.0;
+};
+
+/// A structural EA model trainable on one (source, target) graph pair.
+class EaModel {
+ public:
+  virtual ~EaModel() = default;
+
+  /// Trains on the pair of local graphs using `seeds` (local index pairs)
+  /// and returns the aligned embeddings. Deterministic in options.seed.
+  virtual TrainedEmbeddings Train(
+      const LocalGraph& source, const LocalGraph& target,
+      const std::vector<std::pair<int32_t, int32_t>>& seeds,
+      const TrainOptions& options) = 0;
+
+  /// Model name for reporting ("GCN-Align", "RREA").
+  virtual const char* name() const = 0;
+};
+
+/// Which bundled model to use.
+enum class ModelKind {
+  kGcnAlign,  ///< vanilla 2-layer GCN (LargeEA-G)
+  kRrea,      ///< relational-reflection aggregation (LargeEA-R)
+  kTransE,    ///< translational embeddings (LargeEA-T)
+};
+
+/// Factory for the bundled models.
+std::unique_ptr<EaModel> MakeModel(ModelKind kind);
+
+/// Human-readable model name.
+const char* ModelKindName(ModelKind kind);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_NN_EA_MODEL_H_

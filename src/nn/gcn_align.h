@@ -1,0 +1,27 @@
+// GCN-Align-style structural model (LargeEA-G's plug-in).
+//
+// A 2-layer graph convolutional network per KG with shared weight
+// matrices: Z = Â · relu(Â X W1) · W2, where Â is the symmetric-normalised
+// adjacency with self-loops and X are free (learned) entity features.
+// Gradients are hand-derived; Â's symmetry makes the backward aggregation
+// identical to the forward one.
+#ifndef LARGEEA_NN_GCN_ALIGN_H_
+#define LARGEEA_NN_GCN_ALIGN_H_
+
+#include "src/nn/ea_model.h"
+
+namespace largeea {
+
+class GcnAlignModel final : public EaModel {
+ public:
+  TrainedEmbeddings Train(
+      const LocalGraph& source, const LocalGraph& target,
+      const std::vector<std::pair<int32_t, int32_t>>& seeds,
+      const TrainOptions& options) override;
+
+  const char* name() const override { return "GCN-Align"; }
+};
+
+}  // namespace largeea
+
+#endif  // LARGEEA_NN_GCN_ALIGN_H_

@@ -1,0 +1,81 @@
+#include "src/nn/loss.h"
+
+#include "src/common/macros.h"
+#include "src/la/ops.h"
+
+namespace largeea {
+namespace {
+
+float Sign(float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); }
+
+}  // namespace
+
+MarginLossResult MarginLossAndGrad(
+    const Matrix& source_embeddings, const Matrix& target_embeddings,
+    std::span<const std::pair<int32_t, int32_t>> seeds,
+    const NegativeSamples& negatives, float margin,
+    Matrix& source_grad, Matrix& target_grad) {
+  LARGEEA_CHECK_EQ(source_embeddings.cols(), target_embeddings.cols());
+  LARGEEA_CHECK_EQ(negatives.target_negatives.size(), seeds.size());
+  LARGEEA_CHECK_EQ(negatives.source_negatives.size(), seeds.size());
+  const int64_t dim = source_embeddings.cols();
+
+  // Triplet count for gradient averaging.
+  int64_t total_triplets = 0;
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    total_triplets +=
+        static_cast<int64_t>(negatives.target_negatives[i].size()) +
+        static_cast<int64_t>(negatives.source_negatives[i].size());
+  }
+  MarginLossResult result;
+  if (total_triplets == 0) return result;
+  const float scale = 1.0f / static_cast<float>(total_triplets);
+
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    const auto [s, t] = seeds[i];
+    const float* zs = source_embeddings.Row(s);
+    const float* zt = target_embeddings.Row(t);
+    const float d_pos = ManhattanDistance(zs, zt, dim);
+
+    // Corrupted target: d(z_s, z_t').
+    for (const int32_t tn : negatives.target_negatives[i]) {
+      const float* ztn = target_embeddings.Row(tn);
+      const float v = d_pos + margin - ManhattanDistance(zs, ztn, dim);
+      if (v <= 0.0f) continue;
+      result.loss += v * scale;
+      ++result.active_triplets;
+      float* gs = source_grad.Row(s);
+      float* gt = target_grad.Row(t);
+      float* gtn = target_grad.Row(tn);
+      for (int64_t k = 0; k < dim; ++k) {
+        const float sp = Sign(zs[k] - zt[k]);
+        const float sn = Sign(zs[k] - ztn[k]);
+        gs[k] += scale * (sp - sn);
+        gt[k] -= scale * sp;
+        gtn[k] += scale * sn;
+      }
+    }
+
+    // Corrupted source: d(z_s', z_t).
+    for (const int32_t sn : negatives.source_negatives[i]) {
+      const float* zsn = source_embeddings.Row(sn);
+      const float v = d_pos + margin - ManhattanDistance(zsn, zt, dim);
+      if (v <= 0.0f) continue;
+      result.loss += v * scale;
+      ++result.active_triplets;
+      float* gs = source_grad.Row(s);
+      float* gt = target_grad.Row(t);
+      float* gsn = source_grad.Row(sn);
+      for (int64_t k = 0; k < dim; ++k) {
+        const float sp = Sign(zs[k] - zt[k]);
+        const float sneg = Sign(zsn[k] - zt[k]);
+        gs[k] += scale * sp;
+        gt[k] += scale * (-sp + sneg);
+        gsn[k] -= scale * sneg;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace largeea

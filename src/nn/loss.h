@@ -1,0 +1,33 @@
+// Margin ranking (triplet) loss over aligned entity embeddings.
+//
+// L = Σ_seeds Σ_negatives [ d(z_s, z_t) + γ − d(neg) ]₊  with L1 distance,
+// the loss family shared by GCN-Align and RREA.
+#ifndef LARGEEA_NN_LOSS_H_
+#define LARGEEA_NN_LOSS_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "src/la/matrix.h"
+#include "src/nn/negative_sampler.h"
+
+namespace largeea {
+
+struct MarginLossResult {
+  double loss = 0.0;
+  int64_t active_triplets = 0;
+};
+
+/// Computes the loss and *accumulates* dL/dZ into the gradient matrices
+/// (caller zeroes them). Gradients are averaged over the triplet count so
+/// the learning rate is insensitive to batch size.
+MarginLossResult MarginLossAndGrad(
+    const Matrix& source_embeddings, const Matrix& target_embeddings,
+    std::span<const std::pair<int32_t, int32_t>> seeds,
+    const NegativeSamples& negatives, float margin,
+    Matrix& source_grad, Matrix& target_grad);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_NN_LOSS_H_

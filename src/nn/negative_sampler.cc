@@ -1,0 +1,77 @@
+#include "src/nn/negative_sampler.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+#include "src/la/ops.h"
+
+namespace largeea {
+namespace {
+
+// `count` hardest candidates for `anchor` among `pool_size` random rows of
+// `candidates`, excluding `exclude`.
+std::vector<int32_t> NearestFromPool(const float* anchor,
+                                     const Matrix& candidates,
+                                     int32_t exclude, int32_t count,
+                                     int32_t pool_size, Rng& rng) {
+  const int32_t n = static_cast<int32_t>(candidates.rows());
+  std::vector<std::pair<float, int32_t>> scored;
+  scored.reserve(pool_size);
+  for (int32_t i = 0; i < pool_size; ++i) {
+    const int32_t cand = static_cast<int32_t>(rng.Uniform(n));
+    if (cand == exclude) continue;
+    scored.emplace_back(
+        ManhattanDistance(anchor, candidates.Row(cand), candidates.cols()),
+        cand);
+  }
+  const size_t take = std::min<size_t>(count, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end());
+  std::vector<int32_t> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+}  // namespace
+
+NegativeSamples SampleRandomNegatives(
+    std::span<const std::pair<int32_t, int32_t>> seeds, int32_t num_source,
+    int32_t num_target, int32_t negatives_per_seed, Rng& rng) {
+  LARGEEA_CHECK_GT(num_source, 1);
+  LARGEEA_CHECK_GT(num_target, 1);
+  NegativeSamples samples;
+  samples.target_negatives.resize(seeds.size());
+  samples.source_negatives.resize(seeds.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    for (int32_t j = 0; j < negatives_per_seed; ++j) {
+      int32_t t = static_cast<int32_t>(rng.Uniform(num_target));
+      if (t == seeds[i].second) t = (t + 1) % num_target;
+      samples.target_negatives[i].push_back(t);
+      int32_t s = static_cast<int32_t>(rng.Uniform(num_source));
+      if (s == seeds[i].first) s = (s + 1) % num_source;
+      samples.source_negatives[i].push_back(s);
+    }
+  }
+  return samples;
+}
+
+NegativeSamples SampleNearestNegatives(
+    std::span<const std::pair<int32_t, int32_t>> seeds,
+    const Matrix& source_embeddings, const Matrix& target_embeddings,
+    int32_t negatives_per_seed, int32_t pool_size, Rng& rng) {
+  NegativeSamples samples;
+  samples.target_negatives.resize(seeds.size());
+  samples.source_negatives.resize(seeds.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    const auto [s, t] = seeds[i];
+    samples.target_negatives[i] = NearestFromPool(
+        source_embeddings.Row(s), target_embeddings, t, negatives_per_seed,
+        pool_size, rng);
+    samples.source_negatives[i] = NearestFromPool(
+        target_embeddings.Row(t), source_embeddings, s, negatives_per_seed,
+        pool_size, rng);
+  }
+  return samples;
+}
+
+}  // namespace largeea

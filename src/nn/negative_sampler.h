@@ -1,0 +1,42 @@
+// Negative sampling for the margin ranking loss.
+//
+// Two flavours: uniform random corruption, and (approximate) nearest-
+// neighbour sampling à la RREA — for each seed the hardest negatives are
+// picked from a random candidate pool by current embedding distance, which
+// keeps the cost bounded on large batches.
+#ifndef LARGEEA_NN_NEGATIVE_SAMPLER_H_
+#define LARGEEA_NN_NEGATIVE_SAMPLER_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/la/matrix.h"
+
+namespace largeea {
+
+/// Per-seed negatives. target_negatives[i] corrupt the target side of
+/// seed i; source_negatives[i] corrupt the source side.
+struct NegativeSamples {
+  std::vector<std::vector<int32_t>> target_negatives;
+  std::vector<std::vector<int32_t>> source_negatives;
+};
+
+/// Uniform random corruption (excludes the true counterpart).
+NegativeSamples SampleRandomNegatives(
+    std::span<const std::pair<int32_t, int32_t>> seeds, int32_t num_source,
+    int32_t num_target, int32_t negatives_per_seed, Rng& rng);
+
+/// Approximate nearest-neighbour corruption: for each seed, negatives are
+/// the `negatives_per_seed` closest (L1) entities to the anchor among
+/// `pool_size` random candidates. Requires current embeddings.
+NegativeSamples SampleNearestNegatives(
+    std::span<const std::pair<int32_t, int32_t>> seeds,
+    const Matrix& source_embeddings, const Matrix& target_embeddings,
+    int32_t negatives_per_seed, int32_t pool_size, Rng& rng);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_NN_NEGATIVE_SAMPLER_H_

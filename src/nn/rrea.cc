@@ -1,0 +1,233 @@
+#include "src/nn/rrea.h"
+
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/la/ops.h"
+#include "src/nn/adam.h"
+#include "src/nn/gcn_align.h"
+#include "src/nn/transe.h"
+#include "src/nn/loss.h"
+#include "src/nn/negative_sampler.h"
+
+namespace largeea {
+namespace {
+
+// out = h - 2 (n·h) n, written into dst (+= if accumulate).
+inline void ReflectInto(const float* n, const float* h, int64_t dim,
+                        float scale, float* dst) {
+  const float nh = Dot(n, h, dim);
+  for (int64_t k = 0; k < dim; ++k) {
+    dst[k] += scale * (h[k] - 2.0f * nh * n[k]);
+  }
+}
+
+// One KG's state: embeddings, per-relation unit normals, layer buffers.
+struct RreaSide {
+  RreaSide(const LocalGraph& graph_in, int32_t dim, Rng& rng)
+      : graph(&graph_in),
+        x(graph_in.num_vertices(), dim),
+        normals(std::max(graph_in.num_relations, 1), dim),
+        h1(graph_in.num_vertices(), dim),
+        h2(graph_in.num_vertices(), dim),
+        dx(graph_in.num_vertices(), dim),
+        dh1(graph_in.num_vertices(), dim),
+        dh2(graph_in.num_vertices(), dim),
+        dn(std::max(graph_in.num_relations, 1), dim),
+        coeff(graph_in.num_vertices()) {
+    x.GlorotInit(rng);
+    normals.GaussianInit(rng, 1.0f);
+    L2NormalizeRows(normals);
+    for (int32_t v = 0; v < graph_in.num_vertices(); ++v) {
+      coeff[v] = 1.0f / static_cast<float>(graph_in.degree[v] + 1);
+    }
+  }
+
+  // dst = layer(src): dst[i] = c_i (src[i] + Σ reflections of neighbours).
+  void ForwardLayer(const Matrix& src, Matrix& dst) const {
+    const int64_t dim = src.cols();
+    dst.Fill(0.0f);
+    for (const LocalEdge& e : graph->edges) {
+      const float* n = normals.Row(e.relation);
+      ReflectInto(n, src.Row(e.head), dim, coeff[e.tail], dst.Row(e.tail));
+      ReflectInto(n, src.Row(e.tail), dim, coeff[e.head], dst.Row(e.head));
+    }
+    for (int32_t v = 0; v < graph->num_vertices(); ++v) {
+      const float c = coeff[v];
+      const float* s = src.Row(v);
+      float* d = dst.Row(v);
+      for (int64_t k = 0; k < dim; ++k) d[k] += c * s[k];
+    }
+  }
+
+  // Backward of one layer: given d(out) and the layer input `src`,
+  // accumulates d(src) into dsrc (overwritten) and dL/dn into dn.
+  void BackwardLayer(const Matrix& src, const Matrix& dout, Matrix& dsrc) {
+    const int64_t dim = src.cols();
+    dsrc.Fill(0.0f);
+    for (int32_t v = 0; v < graph->num_vertices(); ++v) {
+      const float c = coeff[v];
+      const float* g = dout.Row(v);
+      float* d = dsrc.Row(v);
+      for (int64_t k = 0; k < dim; ++k) d[k] += c * g[k];
+    }
+    std::vector<float> g(dim);
+    for (const LocalEdge& e : graph->edges) {
+      const float* n = normals.Row(e.relation);
+      float* dnr = dn.Row(e.relation);
+      // Direction tail <- head.
+      {
+        const float c = coeff[e.tail];
+        const float* gout = dout.Row(e.tail);
+        const float* h = src.Row(e.head);
+        for (int64_t k = 0; k < dim; ++k) g[k] = c * gout[k];
+        // d(src[head]) += Reflect(n, g): reflections are symmetric.
+        ReflectInto(n, g.data(), dim, 1.0f, dsrc.Row(e.head));
+        const float gn = Dot(g.data(), n, dim);
+        const float nh = Dot(n, h, dim);
+        for (int64_t k = 0; k < dim; ++k) {
+          dnr[k] += -2.0f * (gn * h[k] + nh * g[k]);
+        }
+      }
+      // Direction head <- tail.
+      {
+        const float c = coeff[e.head];
+        const float* gout = dout.Row(e.head);
+        const float* h = src.Row(e.tail);
+        for (int64_t k = 0; k < dim; ++k) g[k] = c * gout[k];
+        ReflectInto(n, g.data(), dim, 1.0f, dsrc.Row(e.tail));
+        const float gn = Dot(g.data(), n, dim);
+        const float nh = Dot(n, h, dim);
+        for (int64_t k = 0; k < dim; ++k) {
+          dnr[k] += -2.0f * (gn * h[k] + nh * g[k]);
+        }
+      }
+    }
+  }
+
+  void Forward() {
+    ForwardLayer(x, h1);
+    ForwardLayer(h1, h2);
+  }
+
+  // Backward from dh2 into dx and dn (dn zeroed here).
+  void Backward() {
+    dn.Fill(0.0f);
+    BackwardLayer(h1, dh2, dh1);
+    BackwardLayer(x, dh1, dx);
+  }
+
+  const LocalGraph* graph;
+  Matrix x;
+  Matrix normals;
+  Matrix h1, h2;
+  Matrix dx, dh1, dh2, dn;
+  std::vector<float> coeff;
+};
+
+}  // namespace
+
+TrainedEmbeddings RreaModel::Train(
+    const LocalGraph& source, const LocalGraph& target,
+    const std::vector<std::pair<int32_t, int32_t>>& seeds,
+    const TrainOptions& options) {
+  LARGEEA_CHECK_GT(source.num_vertices(), 1);
+  LARGEEA_CHECK_GT(target.num_vertices(), 1);
+  Rng rng(options.seed);
+
+  RreaSide src_side(source, options.dim, rng);
+  RreaSide tgt_side(target, options.dim, rng);
+  if (options.source_init != nullptr) {
+    LARGEEA_CHECK_EQ(options.source_init->rows(), src_side.x.rows());
+    LARGEEA_CHECK_EQ(options.source_init->cols(), options.dim);
+    src_side.x = *options.source_init;
+  }
+  if (options.target_init != nullptr) {
+    LARGEEA_CHECK_EQ(options.target_init->rows(), tgt_side.x.rows());
+    LARGEEA_CHECK_EQ(options.target_init->cols(), options.dim);
+    tgt_side.x = *options.target_init;
+  }
+
+  const AdamOptions adam_options{.learning_rate = options.learning_rate};
+  AdamState adam_xs(src_side.x.rows(), options.dim, adam_options);
+  AdamState adam_xt(tgt_side.x.rows(), options.dim, adam_options);
+  AdamState adam_ns(src_side.normals.rows(), options.dim, adam_options);
+  AdamState adam_nt(tgt_side.normals.rows(), options.dim, adam_options);
+
+  NegativeSamples negatives;
+  double last_loss = 0.0;
+  for (int32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    src_side.Forward();
+    tgt_side.Forward();
+
+    const bool refresh =
+        options.hard_negative_refresh > 0
+            ? (epoch % options.hard_negative_refresh == 0)
+            : (epoch == 0);
+    if (refresh) {
+      if (options.hard_negative_refresh > 0 && epoch > 0) {
+        negatives = SampleNearestNegatives(
+            seeds, src_side.h2, tgt_side.h2, options.negatives_per_seed,
+            options.hard_negative_pool, rng);
+      } else {
+        negatives = SampleRandomNegatives(
+            seeds, source.num_vertices(), target.num_vertices(),
+            options.negatives_per_seed, rng);
+      }
+    }
+
+    src_side.dh2.Fill(0.0f);
+    tgt_side.dh2.Fill(0.0f);
+    const MarginLossResult loss =
+        MarginLossAndGrad(src_side.h2, tgt_side.h2, seeds, negatives,
+                          options.margin, src_side.dh2, tgt_side.dh2);
+    last_loss = loss.loss;
+
+    src_side.Backward();
+    tgt_side.Backward();
+
+    adam_xs.Step(src_side.x, src_side.dx);
+    adam_xt.Step(tgt_side.x, tgt_side.dx);
+    adam_ns.Step(src_side.normals, src_side.dn);
+    adam_nt.Step(tgt_side.normals, tgt_side.dn);
+    // Keep the reflections orthogonal: project normals back to unit norm.
+    L2NormalizeRows(src_side.normals);
+    L2NormalizeRows(tgt_side.normals);
+  }
+
+  src_side.Forward();
+  tgt_side.Forward();
+  TrainedEmbeddings result;
+  result.source = src_side.h2;
+  result.target = tgt_side.h2;
+  L2NormalizeRows(result.source);
+  L2NormalizeRows(result.target);
+  result.final_loss = last_loss;
+  return result;
+}
+
+std::unique_ptr<EaModel> MakeModel(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kGcnAlign:
+      return std::make_unique<GcnAlignModel>();
+    case ModelKind::kRrea:
+      return std::make_unique<RreaModel>();
+    case ModelKind::kTransE:
+      return std::make_unique<TransEModel>();
+  }
+  return nullptr;  // unreachable
+}
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kGcnAlign:
+      return "GCN-Align";
+    case ModelKind::kRrea:
+      return "RREA";
+    case ModelKind::kTransE:
+      return "TransE";
+  }
+  return "?";
+}
+
+}  // namespace largeea

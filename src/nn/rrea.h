@@ -1,0 +1,32 @@
+// RREA-style structural model (LargeEA-R's plug-in).
+//
+// Captures RREA's core idea — relation-specific *reflection* transforms.
+// A reflection M_r = I − 2 n_r n_rᵀ (unit normal n_r, learned) is
+// orthogonal, so neighbour messages keep their norms, which is the
+// property the RREA paper credits for its stability. Aggregation:
+//
+//   h⁰ = X,   h^{l+1}_i = c_i ( h^l_i + Σ_{(j,r)∈N(i)} Reflect(n_r, h^l_j) )
+//
+// with c_i = 1/(deg_i + 1), two rounds, free X per KG and per-relation
+// normals per KG; gradients (including dL/dn_r) are hand-derived, and the
+// normals are re-projected to unit norm after every optimizer step.
+#ifndef LARGEEA_NN_RREA_H_
+#define LARGEEA_NN_RREA_H_
+
+#include "src/nn/ea_model.h"
+
+namespace largeea {
+
+class RreaModel final : public EaModel {
+ public:
+  TrainedEmbeddings Train(
+      const LocalGraph& source, const LocalGraph& target,
+      const std::vector<std::pair<int32_t, int32_t>>& seeds,
+      const TrainOptions& options) override;
+
+  const char* name() const override { return "RREA"; }
+};
+
+}  // namespace largeea
+
+#endif  // LARGEEA_NN_RREA_H_

@@ -1,0 +1,29 @@
+// TransE-style translational structural model (MTransE-like plug-in).
+//
+// The paper's related work splits structural EA into GNN-based and
+// *translational* families; this model covers the latter so LargeEA can
+// be instantiated with either. Each KG learns entity embeddings X and
+// relation translation vectors R under the classic TransE objective
+// (h + r ≈ t, margin ranking with corrupted triples), while the alignment
+// margin loss on seed pairs ties the two spaces together — the MTransE /
+// BootEA recipe reduced to its core.
+#ifndef LARGEEA_NN_TRANSE_H_
+#define LARGEEA_NN_TRANSE_H_
+
+#include "src/nn/ea_model.h"
+
+namespace largeea {
+
+class TransEModel final : public EaModel {
+ public:
+  TrainedEmbeddings Train(
+      const LocalGraph& source, const LocalGraph& target,
+      const std::vector<std::pair<int32_t, int32_t>>& seeds,
+      const TrainOptions& options) override;
+
+  const char* name() const override { return "TransE"; }
+};
+
+}  // namespace largeea
+
+#endif  // LARGEEA_NN_TRANSE_H_

@@ -1,0 +1,363 @@
+#include "src/partition/metis.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/macros.h"
+#include "src/common/rng.h"
+
+namespace largeea {
+namespace {
+
+// Heavy-edge *clustering* coarsening. Unlike classic pairwise matching,
+// an unassigned vertex may join an existing cluster, so dense groups and
+// hub stars (METIS-CPS phase-1 virtual stars in particular) collapse into
+// one super-vertex in a single level instead of shrinking by one member
+// per level. Cluster weight is capped so super-vertices stay far below a
+// part's weight budget. Returns the number of coarse vertices and fills
+// `fine_to_coarse`.
+int32_t HeavyEdgeCluster(const CsrGraph& graph, int64_t max_cluster_weight,
+                         Rng& rng, std::vector<int32_t>& fine_to_coarse) {
+  const int32_t n = graph.num_vertices();
+  std::vector<int32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  std::vector<int32_t> cluster_of(n, -1);
+  std::vector<int64_t> cluster_weight;
+  for (const int32_t u : order) {
+    if (cluster_of[u] != -1) continue;
+    const int64_t uw = graph.VertexWeight(u);
+    const auto neighbors = graph.Neighbors(u);
+    const auto weights = graph.EdgeWeights(u);
+    // Best neighbour by edge weight whose cluster (existing, or a fresh
+    // pair if the neighbour is free) still has room for u.
+    int32_t best = -1;
+    int64_t best_weight = 0;  // require a strictly positive edge
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      const int32_t v = neighbors[i];
+      if (v == u || weights[i] <= best_weight) continue;
+      const int64_t joined_weight =
+          cluster_of[v] != -1
+              ? cluster_weight[cluster_of[v]] + uw
+              : graph.VertexWeight(v) + uw;
+      if (joined_weight > max_cluster_weight) continue;
+      best_weight = weights[i];
+      best = v;
+    }
+    if (best == -1) {
+      cluster_of[u] = static_cast<int32_t>(cluster_weight.size());
+      cluster_weight.push_back(uw);
+    } else if (cluster_of[best] != -1) {
+      cluster_of[u] = cluster_of[best];
+      cluster_weight[cluster_of[best]] += uw;
+    } else {
+      const auto c = static_cast<int32_t>(cluster_weight.size());
+      cluster_of[u] = c;
+      cluster_of[best] = c;
+      cluster_weight.push_back(uw + graph.VertexWeight(best));
+    }
+  }
+  fine_to_coarse = std::move(cluster_of);
+  return static_cast<int32_t>(cluster_weight.size());
+}
+
+// Collapses `graph` through `fine_to_coarse` into a coarse graph with
+// summed vertex and edge weights.
+CsrGraph Coarsen(const CsrGraph& graph,
+                 const std::vector<int32_t>& fine_to_coarse,
+                 int32_t coarse_count) {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<size_t>(graph.num_edges()));
+  for (int32_t u = 0; u < graph.num_vertices(); ++u) {
+    const auto neighbors = graph.Neighbors(u);
+    const auto weights = graph.EdgeWeights(u);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      const int32_t v = neighbors[i];
+      if (v <= u) continue;  // each undirected edge once
+      const int32_t cu = fine_to_coarse[u];
+      const int32_t cv = fine_to_coarse[v];
+      if (cu == cv) continue;
+      edges.push_back(WeightedEdge{cu, cv, weights[i]});
+    }
+  }
+  CsrGraph coarse = CsrGraph::FromEdges(coarse_count, edges);
+  std::vector<int64_t> vertex_weights(coarse_count, 0);
+  for (int32_t u = 0; u < graph.num_vertices(); ++u) {
+    vertex_weights[fine_to_coarse[u]] += graph.VertexWeight(u);
+  }
+  for (int32_t c = 0; c < coarse_count; ++c) {
+    coarse.SetVertexWeight(c, vertex_weights[c]);
+  }
+  return coarse;
+}
+
+// Greedy graph-growing initial partition of the coarsest graph.
+std::vector<int32_t> InitialPartition(const CsrGraph& graph, int32_t k,
+                                      Rng& rng) {
+  const int32_t n = graph.num_vertices();
+  const int64_t total = graph.TotalVertexWeight();
+  const double ideal = static_cast<double>(total) / k;
+
+  std::vector<int32_t> assignment(n, -1);
+  std::vector<int32_t> frontier;
+  int32_t assigned = 0;
+  std::vector<int32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  size_t seed_cursor = 0;
+
+  for (int32_t part = 0; part < k; ++part) {
+    const bool last = (part == k - 1);
+    int64_t part_weight = 0;
+    frontier.clear();
+    while (last ? (assigned < n) : (part_weight < ideal && assigned < n)) {
+      int32_t v = -1;
+      // Prefer growing from the BFS frontier to keep the region connected.
+      while (!frontier.empty()) {
+        const int32_t cand = frontier.back();
+        frontier.pop_back();
+        if (assignment[cand] == -1) {
+          v = cand;
+          break;
+        }
+      }
+      if (v == -1) {
+        while (seed_cursor < order.size() &&
+               assignment[order[seed_cursor]] != -1) {
+          ++seed_cursor;
+        }
+        if (seed_cursor >= order.size()) break;
+        v = order[seed_cursor];
+      }
+      assignment[v] = part;
+      part_weight += graph.VertexWeight(v);
+      ++assigned;
+      for (const int32_t u : graph.Neighbors(v)) {
+        if (assignment[u] == -1) frontier.push_back(u);
+      }
+      // Leave room for the remaining parts.
+      const int32_t parts_left = k - part - 1;
+      if (!last && n - assigned <= parts_left) break;
+    }
+  }
+  // Anything left (possible when the loop broke early) goes to the
+  // lightest part.
+  std::vector<int64_t> weights(k, 0);
+  for (int32_t v = 0; v < n; ++v) {
+    if (assignment[v] != -1) weights[assignment[v]] += graph.VertexWeight(v);
+  }
+  for (int32_t v = 0; v < n; ++v) {
+    if (assignment[v] == -1) {
+      const int32_t lightest = static_cast<int32_t>(
+          std::min_element(weights.begin(), weights.end()) - weights.begin());
+      assignment[v] = lightest;
+      weights[lightest] += graph.VertexWeight(v);
+    }
+  }
+  return assignment;
+}
+
+// One greedy boundary-refinement sweep. Returns number of moves made.
+int64_t RefineSweep(const CsrGraph& graph, int32_t k, int64_t max_part_weight,
+                    Rng& rng, std::vector<int32_t>& assignment,
+                    std::vector<int64_t>& part_weights,
+                    std::vector<int32_t>& part_sizes) {
+  const int32_t n = graph.num_vertices();
+  std::vector<int32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  std::vector<int64_t> conn(k, 0);
+  std::vector<int32_t> touched;
+  int64_t moves = 0;
+  for (const int32_t v : order) {
+    const auto neighbors = graph.Neighbors(v);
+    const auto weights = graph.EdgeWeights(v);
+    if (neighbors.empty()) continue;
+    const int32_t from = assignment[v];
+    if (part_sizes[from] <= 1) continue;  // never empty a part
+    touched.clear();
+    bool has_external = false;
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      const int32_t p = assignment[neighbors[i]];
+      if (conn[p] == 0) touched.push_back(p);
+      conn[p] += weights[i];
+      if (p != from) has_external = true;
+    }
+    if (has_external) {
+      const int64_t vw = graph.VertexWeight(v);
+      int32_t best_part = from;
+      int64_t best_gain = 0;
+      const bool from_overweight = part_weights[from] > max_part_weight;
+      for (const int32_t p : touched) {
+        if (p == from) continue;
+        if (part_weights[p] + vw > max_part_weight && !from_overweight) {
+          continue;
+        }
+        const int64_t gain = conn[p] - conn[from];
+        const bool better =
+            gain > best_gain ||
+            (gain == best_gain && from_overweight &&
+             part_weights[p] + vw < part_weights[from]);
+        if (better) {
+          best_gain = gain;
+          best_part = p;
+        }
+      }
+      // When the home part is overweight, accept zero/negative-gain moves
+      // that restore balance (cheapest boundary vertex drains first over
+      // repeated sweeps).
+      if (best_part == from && from_overweight) {
+        int64_t best_balance_gain = 0;
+        for (const int32_t p : touched) {
+          if (p == from) continue;
+          if (part_weights[p] + vw >= part_weights[from]) continue;
+          const int64_t gain = conn[p] - conn[from];
+          if (best_part == from || gain > best_balance_gain) {
+            best_balance_gain = gain;
+            best_part = p;
+          }
+        }
+      }
+      if (best_part != from) {
+        assignment[v] = best_part;
+        part_weights[from] -= vw;
+        part_weights[best_part] += vw;
+        --part_sizes[from];
+        ++part_sizes[best_part];
+        ++moves;
+      }
+    }
+    for (const int32_t p : touched) conn[p] = 0;
+  }
+  return moves;
+}
+
+void Refine(const CsrGraph& graph, const MetisOptions& options, Rng& rng,
+            std::vector<int32_t>& assignment) {
+  const int32_t k = options.num_parts;
+  std::vector<int64_t> part_weights(k, 0);
+  std::vector<int32_t> part_sizes(k, 0);
+  for (int32_t v = 0; v < graph.num_vertices(); ++v) {
+    part_weights[assignment[v]] += graph.VertexWeight(v);
+    ++part_sizes[assignment[v]];
+  }
+  const int64_t total = graph.TotalVertexWeight();
+  const int64_t max_part_weight = static_cast<int64_t>(
+      (1.0 + options.imbalance) * static_cast<double>(total) / k) + 1;
+  for (int32_t pass = 0; pass < options.refinement_passes; ++pass) {
+    const int64_t moves = RefineSweep(graph, k, max_part_weight, rng,
+                                      assignment, part_weights, part_sizes);
+    if (moves == 0) break;
+  }
+}
+
+}  // namespace
+
+PartitionResult MetisPartition(const CsrGraph& graph,
+                               const MetisOptions& options) {
+  LARGEEA_CHECK_GE(options.num_parts, 1);
+  LARGEEA_CHECK_GE(graph.num_vertices(), options.num_parts);
+  Rng rng(options.seed);
+
+  if (options.num_parts == 1) {
+    PartitionResult result;
+    result.assignment.assign(graph.num_vertices(), 0);
+    result.edge_cut = 0;
+    return result;
+  }
+
+  // --- Coarsening ---
+  std::vector<CsrGraph> levels;
+  std::vector<std::vector<int32_t>> maps;  // maps[i]: levels[i] -> levels[i+1]
+  levels.push_back(graph);
+  const int32_t coarsen_target = std::max(
+      options.num_parts * options.coarsen_vertices_per_part, 48);
+  // A cluster must stay well below one part's weight budget, or the
+  // initial partition cannot balance.
+  const int64_t max_cluster_weight = std::max<int64_t>(
+      graph.TotalVertexWeight() / (2 * static_cast<int64_t>(
+                                           options.num_parts)),
+      1);
+  while (levels.back().num_vertices() > coarsen_target) {
+    std::vector<int32_t> fine_to_coarse;
+    const int32_t coarse_count = HeavyEdgeCluster(
+        levels.back(), max_cluster_weight, rng, fine_to_coarse);
+    // Stop if clustering stalled (almost no reduction).
+    if (coarse_count >
+        static_cast<int32_t>(0.95 * levels.back().num_vertices())) {
+      break;
+    }
+    CsrGraph coarse = Coarsen(levels.back(), fine_to_coarse, coarse_count);
+    maps.push_back(std::move(fine_to_coarse));
+    levels.push_back(std::move(coarse));
+  }
+
+  // --- Initial partition on the coarsest graph ---
+  std::vector<int32_t> assignment =
+      InitialPartition(levels.back(), options.num_parts, rng);
+  Refine(levels.back(), options, rng, assignment);
+
+  // --- Uncoarsen and refine ---
+  for (int64_t level = static_cast<int64_t>(maps.size()) - 1; level >= 0;
+       --level) {
+    const std::vector<int32_t>& fine_to_coarse = maps[level];
+    std::vector<int32_t> fine_assignment(fine_to_coarse.size());
+    for (size_t v = 0; v < fine_to_coarse.size(); ++v) {
+      fine_assignment[v] = assignment[fine_to_coarse[v]];
+    }
+    assignment = std::move(fine_assignment);
+    Refine(levels[level], options, rng, assignment);
+  }
+
+  PartitionResult result;
+  result.edge_cut = ComputeEdgeCut(graph, assignment);
+  result.assignment = std::move(assignment);
+  return result;
+}
+
+int64_t ComputeEdgeCut(const CsrGraph& graph,
+                       const std::vector<int32_t>& assignment) {
+  LARGEEA_CHECK_EQ(static_cast<int32_t>(assignment.size()),
+                   graph.num_vertices());
+  int64_t cut = 0;
+  for (int32_t u = 0; u < graph.num_vertices(); ++u) {
+    const auto neighbors = graph.Neighbors(u);
+    const auto weights = graph.EdgeWeights(u);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      const int32_t v = neighbors[i];
+      if (v > u && assignment[u] != assignment[v]) cut += weights[i];
+    }
+  }
+  return cut;
+}
+
+double EdgeCutRate(const CsrGraph& graph,
+                   const std::vector<int32_t>& assignment) {
+  LARGEEA_CHECK_EQ(static_cast<int32_t>(assignment.size()),
+                   graph.num_vertices());
+  int64_t cut_edges = 0;
+  int64_t total_edges = 0;
+  for (int32_t u = 0; u < graph.num_vertices(); ++u) {
+    for (const int32_t v : graph.Neighbors(u)) {
+      if (v <= u) continue;
+      ++total_edges;
+      if (assignment[u] != assignment[v]) ++cut_edges;
+    }
+  }
+  if (total_edges == 0) return 0.0;
+  return static_cast<double>(cut_edges) / static_cast<double>(total_edges);
+}
+
+std::vector<int64_t> PartWeights(const CsrGraph& graph,
+                                 const std::vector<int32_t>& assignment,
+                                 int32_t num_parts) {
+  std::vector<int64_t> weights(num_parts, 0);
+  for (int32_t v = 0; v < graph.num_vertices(); ++v) {
+    weights[assignment[v]] += graph.VertexWeight(v);
+  }
+  return weights;
+}
+
+}  // namespace largeea

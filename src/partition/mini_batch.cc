@@ -1,0 +1,55 @@
+#include "src/partition/mini_batch.h"
+
+#include "src/common/macros.h"
+
+namespace largeea {
+
+double SameBatchFraction(const MiniBatchSet& batches,
+                         const EntityPairList& pairs, int32_t num_source,
+                         int32_t num_target) {
+  if (pairs.empty()) return 0.0;
+  // Batch membership per entity. With overlapping batches an entity can be
+  // in several, so store bitsets as small vectors of batch ids.
+  std::vector<std::vector<int32_t>> source_batches(num_source);
+  std::vector<std::vector<int32_t>> target_batches(num_target);
+  for (size_t b = 0; b < batches.size(); ++b) {
+    for (const EntityId e : batches[b].source_entities) {
+      LARGEEA_CHECK_LT(e, num_source);
+      source_batches[e].push_back(static_cast<int32_t>(b));
+    }
+    for (const EntityId e : batches[b].target_entities) {
+      LARGEEA_CHECK_LT(e, num_target);
+      target_batches[e].push_back(static_cast<int32_t>(b));
+    }
+  }
+  int64_t together = 0;
+  for (const EntityPair& p : pairs) {
+    const auto& sb = source_batches[p.source];
+    const auto& tb = target_batches[p.target];
+    bool found = false;
+    for (const int32_t b : sb) {
+      for (const int32_t b2 : tb) {
+        if (b == b2) {
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    if (found) ++together;
+  }
+  return static_cast<double>(together) / static_cast<double>(pairs.size());
+}
+
+std::vector<std::pair<int64_t, int64_t>> BatchSizes(
+    const MiniBatchSet& batches) {
+  std::vector<std::pair<int64_t, int64_t>> sizes;
+  sizes.reserve(batches.size());
+  for (const MiniBatch& b : batches) {
+    sizes.emplace_back(static_cast<int64_t>(b.source_entities.size()),
+                       static_cast<int64_t>(b.target_entities.size()));
+  }
+  return sizes;
+}
+
+}  // namespace largeea

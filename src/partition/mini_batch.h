@@ -1,0 +1,37 @@
+// Mini-batch types shared by the partition strategies.
+#ifndef LARGEEA_PARTITION_MINI_BATCH_H_
+#define LARGEEA_PARTITION_MINI_BATCH_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/kg/dataset.h"
+
+namespace largeea {
+
+/// One training unit: a subgraph of G_s paired with a subgraph of G_t.
+/// Entity ids are *global* ids in the respective KGs; the trainer
+/// re-indexes locally.
+struct MiniBatch {
+  std::vector<EntityId> source_entities;
+  std::vector<EntityId> target_entities;
+  /// Seed pairs whose both endpoints fall inside this batch.
+  EntityPairList seeds;
+};
+
+using MiniBatchSet = std::vector<MiniBatch>;
+
+/// Fraction of `pairs` whose two endpoints were placed into the same
+/// mini-batch — the paper's Table-5 metric. A pair whose endpoints appear
+/// in no common batch counts as split.
+double SameBatchFraction(const MiniBatchSet& batches,
+                         const EntityPairList& pairs, int32_t num_source,
+                         int32_t num_target);
+
+/// Per-batch (|source| , |target|) sizes, for balance reporting.
+std::vector<std::pair<int64_t, int64_t>> BatchSizes(
+    const MiniBatchSet& batches);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_PARTITION_MINI_BATCH_H_

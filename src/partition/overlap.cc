@@ -1,0 +1,95 @@
+#include "src/partition/overlap.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "src/common/macros.h"
+
+namespace largeea {
+namespace {
+
+// Batch id of every entity in one KG (-1 if absent from all batches).
+std::vector<int32_t> MembershipOf(const MiniBatchSet& batches,
+                                  bool source_side, int32_t num_entities) {
+  std::vector<int32_t> membership(num_entities, -1);
+  for (size_t b = 0; b < batches.size(); ++b) {
+    const auto& entities =
+        source_side ? batches[b].source_entities : batches[b].target_entities;
+    for (const EntityId e : entities) {
+      membership[e] = static_cast<int32_t>(b);
+    }
+  }
+  return membership;
+}
+
+// Adds the number of KG edges joining distinct batches into `similarity`.
+void AccumulateCrossEdges(const KnowledgeGraph& kg,
+                          const std::vector<int32_t>& membership,
+                          std::vector<std::vector<int64_t>>& similarity) {
+  for (const Triple& t : kg.triples()) {
+    const int32_t a = membership[t.head];
+    const int32_t b = membership[t.tail];
+    if (a == -1 || b == -1 || a == b) continue;
+    ++similarity[a][b];
+    ++similarity[b][a];
+  }
+}
+
+}  // namespace
+
+MiniBatchSet MakeOverlappingBatches(const MiniBatchSet& batches,
+                                    const KnowledgeGraph& source,
+                                    const KnowledgeGraph& target,
+                                    int32_t d_ov) {
+  LARGEEA_CHECK_GE(d_ov, 1);
+  const int32_t k = static_cast<int32_t>(batches.size());
+  if (d_ov == 1 || k <= 1) return batches;
+
+  // Similarity between batches: KG edges crossing them, on both sides.
+  std::vector<std::vector<int64_t>> similarity(k, std::vector<int64_t>(k, 0));
+  AccumulateCrossEdges(
+      source, MembershipOf(batches, /*source_side=*/true,
+                           source.num_entities()),
+      similarity);
+  AccumulateCrossEdges(
+      target, MembershipOf(batches, /*source_side=*/false,
+                           target.num_entities()),
+      similarity);
+
+  MiniBatchSet merged(k);
+  for (int32_t b = 0; b < k; ++b) {
+    // Rank other batches by similarity to b; self is always included and
+    // counts as the first of the D_ov picks.
+    std::vector<int32_t> order(k);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int32_t x, int32_t y) {
+      if (x == b) return true;
+      if (y == b) return false;
+      if (similarity[b][x] != similarity[b][y]) {
+        return similarity[b][x] > similarity[b][y];
+      }
+      return x < y;
+    });
+    const int32_t take = std::min(d_ov, k);
+    std::unordered_set<EntityId> source_seen, target_seen;
+    for (int32_t i = 0; i < take; ++i) {
+      const MiniBatch& other = batches[order[i]];
+      for (const EntityId e : other.source_entities) {
+        if (source_seen.insert(e).second) {
+          merged[b].source_entities.push_back(e);
+        }
+      }
+      for (const EntityId e : other.target_entities) {
+        if (target_seen.insert(e).second) {
+          merged[b].target_entities.push_back(e);
+        }
+      }
+      merged[b].seeds.insert(merged[b].seeds.end(), other.seeds.begin(),
+                             other.seeds.end());
+    }
+  }
+  return merged;
+}
+
+}  // namespace largeea

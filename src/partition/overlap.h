@@ -1,0 +1,24 @@
+// Overlapping mini-batches (Appendix C of the paper).
+//
+// Given K disjoint mini-batches, each batch is merged with its top-D_ov
+// most similar batches (similarity = cross-batch KG edges between their
+// entity sets) to form K overlapping batches. D_ov = 1 keeps the batches
+// disjoint, since every batch is most similar to itself.
+#ifndef LARGEEA_PARTITION_OVERLAP_H_
+#define LARGEEA_PARTITION_OVERLAP_H_
+
+#include <cstdint>
+
+#include "src/partition/mini_batch.h"
+
+namespace largeea {
+
+/// Builds overlapping batches with overlap degree `d_ov` >= 1.
+MiniBatchSet MakeOverlappingBatches(const MiniBatchSet& batches,
+                                    const KnowledgeGraph& source,
+                                    const KnowledgeGraph& target,
+                                    int32_t d_ov);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_PARTITION_OVERLAP_H_

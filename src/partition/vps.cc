@@ -1,0 +1,50 @@
+#include "src/partition/vps.h"
+
+#include <numeric>
+
+#include "src/common/macros.h"
+#include "src/common/rng.h"
+
+namespace largeea {
+
+MiniBatchSet VpsPartition(const KnowledgeGraph& source,
+                          const KnowledgeGraph& target,
+                          const EntityPairList& seeds,
+                          const VpsOptions& options) {
+  LARGEEA_CHECK_GE(options.num_batches, 1);
+  const int32_t k = options.num_batches;
+  Rng rng(options.seed);
+
+  MiniBatchSet batches(k);
+  std::vector<bool> source_used(source.num_entities(), false);
+  std::vector<bool> target_used(target.num_entities(), false);
+
+  // Seeds round-robin (shuffled first so the deal is unbiased).
+  EntityPairList shuffled = seeds;
+  rng.Shuffle(shuffled);
+  for (size_t i = 0; i < shuffled.size(); ++i) {
+    const int32_t b = static_cast<int32_t>(i % k);
+    const EntityPair& p = shuffled[i];
+    if (source_used[p.source] || target_used[p.target]) continue;
+    batches[b].source_entities.push_back(p.source);
+    batches[b].target_entities.push_back(p.target);
+    batches[b].seeds.push_back(p);
+    source_used[p.source] = true;
+    target_used[p.target] = true;
+  }
+
+  // Remaining entities uniformly at random.
+  for (EntityId e = 0; e < source.num_entities(); ++e) {
+    if (!source_used[e]) {
+      batches[rng.Uniform(k)].source_entities.push_back(e);
+    }
+  }
+  for (EntityId e = 0; e < target.num_entities(); ++e) {
+    if (!target_used[e]) {
+      batches[rng.Uniform(k)].target_entities.push_back(e);
+    }
+  }
+  return batches;
+}
+
+}  // namespace largeea

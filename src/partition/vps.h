@@ -1,0 +1,30 @@
+// VPS — the vanilla (random) partition strategy from Section 2.2.1.
+//
+// Seeds are dealt into the K batches round-robin (both endpoints of each
+// seed pair stay together, so every batch gets an equal share of training
+// signal); all remaining entities are then assigned uniformly at random.
+// O(|Es| + |Et|) time and space, but it ignores graph structure entirely.
+#ifndef LARGEEA_PARTITION_VPS_H_
+#define LARGEEA_PARTITION_VPS_H_
+
+#include <cstdint>
+
+#include "src/partition/mini_batch.h"
+
+namespace largeea {
+
+struct VpsOptions {
+  int32_t num_batches = 5;
+  uint64_t seed = 1;
+};
+
+/// Generates K mini-batches with VPS. `seeds` is the seed alignment ψ'
+/// (train pairs, possibly augmented with pseudo seeds).
+MiniBatchSet VpsPartition(const KnowledgeGraph& source,
+                          const KnowledgeGraph& target,
+                          const EntityPairList& seeds,
+                          const VpsOptions& options);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_PARTITION_VPS_H_

@@ -1,0 +1,36 @@
+#include "src/sim/csls.h"
+
+#include <vector>
+
+namespace largeea {
+
+SparseSimMatrix CslsRescale(const SparseSimMatrix& m) {
+  std::vector<float> row_mean(m.num_rows(), 0.0f);
+  std::vector<float> col_sum(m.num_cols(), 0.0f);
+  std::vector<int32_t> col_count(m.num_cols(), 0);
+  for (int32_t r = 0; r < m.num_rows(); ++r) {
+    const auto row = m.Row(r);
+    float sum = 0.0f;
+    for (const SimEntry& e : row) {
+      sum += e.score;
+      col_sum[e.column] += e.score;
+      ++col_count[e.column];
+    }
+    if (!row.empty()) row_mean[r] = sum / static_cast<float>(row.size());
+  }
+
+  SparseSimMatrix out(m.num_rows(), m.num_cols(), m.max_entries_per_row());
+  for (int32_t r = 0; r < m.num_rows(); ++r) {
+    for (const SimEntry& e : m.Row(r)) {
+      const float col_mean =
+          col_count[e.column] > 0
+              ? col_sum[e.column] / static_cast<float>(col_count[e.column])
+              : 0.0f;
+      out.Accumulate(r, e.column, 2.0f * e.score - row_mean[r] - col_mean);
+    }
+  }
+  out.RefreshMemoryTracking();
+  return out;
+}
+
+}  // namespace largeea

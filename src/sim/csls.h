@@ -1,0 +1,28 @@
+// CSLS — cross-domain similarity local scaling (Lample et al., ICLR'18).
+//
+// Structural EA similarities suffer from hubness: embeddings of a trained
+// mini-batch crowd together, so raw scores are uniformly high and barely
+// discriminative, which poisons channel fusion. CSLS re-centres every
+// score by the local neighbourhood means,
+//
+//   csls(s, t) = 2·sim(s, t) − mean_row(s) − mean_col(t),
+//
+// turning flat rows into ~0 and confident matches into clear positives.
+// The EA systems the paper builds on (RREA among them) apply exactly this
+// correction to structural similarities before use.
+#ifndef LARGEEA_SIM_CSLS_H_
+#define LARGEEA_SIM_CSLS_H_
+
+#include "src/sim/sparse_sim.h"
+
+namespace largeea {
+
+/// Returns the CSLS-rescaled copy of `m`. Row/column means are computed
+/// over the stored (top-k) entries, the sparse analogue of CSLS's
+/// k-nearest-neighbour means. Rankings within a row are preserved; only
+/// the cross-row calibration changes.
+SparseSimMatrix CslsRescale(const SparseSimMatrix& m);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_SIM_CSLS_H_

@@ -1,0 +1,69 @@
+#include "src/sim/lsh.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+#include "src/common/rng.h"
+#include "src/la/ops.h"
+
+namespace largeea {
+
+LshIndex::LshIndex(const Matrix& data, const LshOptions& options)
+    : dim_(static_cast<int32_t>(data.cols())), options_(options) {
+  LARGEEA_CHECK_GT(options.num_tables, 0);
+  LARGEEA_CHECK_GT(options.bits_per_table, 0);
+  LARGEEA_CHECK_LE(options.bits_per_table, 32);
+  Rng rng(options.seed);
+  planes_ = Matrix(static_cast<int64_t>(options.num_tables) *
+                       options.bits_per_table,
+                   dim_);
+  planes_.GaussianInit(rng, 1.0f);
+
+  tables_.resize(options.num_tables);
+  for (int32_t row = 0; row < data.rows(); ++row) {
+    const float* vec = data.Row(row);
+    for (int32_t t = 0; t < options.num_tables; ++t) {
+      tables_[t][BucketKey(vec, t)].push_back(row);
+    }
+  }
+}
+
+uint32_t LshIndex::BucketKey(const float* vec, int32_t table) const {
+  uint32_t key = 0;
+  const int64_t base =
+      static_cast<int64_t>(table) * options_.bits_per_table;
+  for (int32_t b = 0; b < options_.bits_per_table; ++b) {
+    if (Dot(planes_.Row(base + b), vec, dim_) >= 0.0f) {
+      key |= (1u << b);
+    }
+  }
+  return key;
+}
+
+void LshIndex::Query(const float* vec,
+                     std::vector<int32_t>& candidates) const {
+  candidates.clear();
+  for (int32_t t = 0; t < options_.num_tables; ++t) {
+    const uint32_t key = BucketKey(vec, t);
+    const auto it = tables_[t].find(key);
+    if (it != tables_[t].end()) {
+      candidates.insert(candidates.end(), it->second.begin(),
+                        it->second.end());
+    }
+    if (options_.probe_radius >= 1) {
+      // Multiprobe: buckets whose key differs in exactly one bit.
+      for (int32_t b = 0; b < options_.bits_per_table; ++b) {
+        const auto probe = tables_[t].find(key ^ (1u << b));
+        if (probe != tables_[t].end()) {
+          candidates.insert(candidates.end(), probe->second.begin(),
+                            probe->second.end());
+        }
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+}
+
+}  // namespace largeea

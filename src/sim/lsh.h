@@ -1,0 +1,56 @@
+// Random-hyperplane locality-sensitive hashing over embedding rows.
+//
+// Each table projects a vector onto `bits_per_table` random hyperplanes
+// and uses the sign pattern as a bucket key; vectors with high cosine
+// similarity collide with high probability. Queries return the union of
+// bucket members across tables as candidates for exact re-scoring.
+#ifndef LARGEEA_SIM_LSH_H_
+#define LARGEEA_SIM_LSH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/la/matrix.h"
+
+namespace largeea {
+
+struct LshOptions {
+  int32_t num_tables = 24;
+  int32_t bits_per_table = 10;
+  /// Multiprobe radius: 0 probes only the exact bucket, 1 additionally
+  /// probes every bucket at Hamming distance 1 (bits_per_table extra
+  /// probes per table), trading query time for much better recall.
+  int32_t probe_radius = 1;
+  uint64_t seed = 1;
+};
+
+/// Immutable LSH index over the rows of a data matrix.
+class LshIndex {
+ public:
+  /// Builds the index over `data` (rows are points). The matrix is not
+  /// retained; only bucket membership is stored.
+  LshIndex(const Matrix& data, const LshOptions& options);
+
+  /// Appends the ids of all rows colliding with `vec` (dimension must
+  /// match) in at least one table. Output may contain duplicates removed —
+  /// candidates are de-duplicated before return.
+  void Query(const float* vec, std::vector<int32_t>& candidates) const;
+
+  int32_t dim() const { return dim_; }
+
+ private:
+  uint32_t BucketKey(const float* vec, int32_t table) const;
+
+  int32_t dim_ = 0;
+  LshOptions options_;
+  /// Hyperplane normals: one matrix of shape
+  /// (num_tables * bits_per_table) x dim, row-major by (table, bit).
+  Matrix planes_;
+  /// Per table, bucket key -> member row ids.
+  std::vector<std::unordered_map<uint32_t, std::vector<int32_t>>> tables_;
+};
+
+}  // namespace largeea
+
+#endif  // LARGEEA_SIM_LSH_H_

@@ -1,0 +1,65 @@
+#include "src/sim/sim_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace largeea {
+
+bool SaveSimMatrix(const SparseSimMatrix& m, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "largeea-sim v1 " << m.num_rows() << ' ' << m.num_cols() << ' '
+      << m.max_entries_per_row() << '\n';
+  char line[64];
+  for (int32_t r = 0; r < m.num_rows(); ++r) {
+    for (const SimEntry& e : m.Row(r)) {
+      // %.9g round-trips float exactly.
+      std::snprintf(line, sizeof(line), "%" PRId32 "\t%" PRId32 "\t%.9g\n",
+                    r, e.column, static_cast<double>(e.score));
+      out << line;
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<SparseSimMatrix> LoadSimMatrix(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string header;
+  if (!std::getline(in, header)) return std::nullopt;
+  std::istringstream header_stream(header);
+  std::string magic, version;
+  int64_t rows = 0, cols = 0, max_entries = 0;
+  header_stream >> magic >> version >> rows >> cols >> max_entries;
+  if (!header_stream || magic != "largeea-sim" || version != "v1" ||
+      rows < 0 || cols < 0) {
+    return std::nullopt;
+  }
+  SparseSimMatrix m(static_cast<int32_t>(rows), static_cast<int32_t>(cols),
+                    static_cast<int32_t>(max_entries));
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty()) continue;
+    const std::vector<std::string> fields = Split(stripped, '\t');
+    if (fields.size() != 3) return std::nullopt;
+    const auto row = ParseInt(fields[0]);
+    const auto col = ParseInt(fields[1]);
+    const auto score = ParseDouble(fields[2]);
+    if (!row || !col || !score || *row < 0 || *row >= rows || *col < 0 ||
+        *col >= cols) {
+      return std::nullopt;
+    }
+    m.Accumulate(static_cast<int32_t>(*row),
+                 static_cast<EntityId>(*col),
+                 static_cast<float>(*score));
+  }
+  m.RefreshMemoryTracking();
+  return m;
+}
+
+}  // namespace largeea

@@ -1,0 +1,27 @@
+// Persistence for sparse similarity matrices.
+//
+// Channel outputs (M_s, M_n, fused M) are the expensive artefacts of a
+// LargeEA run; saving them lets downstream tooling re-decode, re-fuse, or
+// inspect alignments without re-running training. Format: a text header
+// ("largeea-sim v1 <rows> <cols> <max_entries>") followed by one
+// "row<TAB>col<TAB>score" line per entry.
+#ifndef LARGEEA_SIM_SIM_IO_H_
+#define LARGEEA_SIM_SIM_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "src/sim/sparse_sim.h"
+
+namespace largeea {
+
+/// Writes `m` to `path`. Returns false on IO failure.
+bool SaveSimMatrix(const SparseSimMatrix& m, const std::string& path);
+
+/// Reads a matrix written by SaveSimMatrix. Returns nullopt on IO
+/// failure or malformed content.
+std::optional<SparseSimMatrix> LoadSimMatrix(const std::string& path);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_SIM_SIM_IO_H_

@@ -1,0 +1,60 @@
+#include "src/sim/sinkhorn.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/macros.h"
+
+namespace largeea {
+
+SparseSimMatrix SinkhornNormalize(const SparseSimMatrix& m,
+                                  const SinkhornOptions& options) {
+  LARGEEA_CHECK_GT(options.temperature, 0.0f);
+  LARGEEA_CHECK_GT(options.iterations, 0);
+
+  // Work on a dense-by-row copy of the entries.
+  struct Entry {
+    int32_t row;
+    EntityId column;
+    float value;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<size_t>(m.TotalEntries()));
+  // Stabilised exponentiation: subtract each row's max score.
+  for (int32_t r = 0; r < m.num_rows(); ++r) {
+    const auto row = m.Row(r);
+    if (row.empty()) continue;
+    const float row_max = row.front().score;  // rows are sorted descending
+    for (const SimEntry& e : row) {
+      entries.push_back(Entry{
+          r, e.column,
+          std::exp((e.score - row_max) / options.temperature)});
+    }
+  }
+
+  std::vector<float> row_sum(m.num_rows());
+  std::vector<float> col_sum(m.num_cols());
+  for (int32_t it = 0; it < options.iterations; ++it) {
+    // Row normalisation.
+    std::fill(row_sum.begin(), row_sum.end(), 0.0f);
+    for (const Entry& e : entries) row_sum[e.row] += e.value;
+    for (Entry& e : entries) {
+      if (row_sum[e.row] > 0.0f) e.value /= row_sum[e.row];
+    }
+    // Column normalisation.
+    std::fill(col_sum.begin(), col_sum.end(), 0.0f);
+    for (const Entry& e : entries) col_sum[e.column] += e.value;
+    for (Entry& e : entries) {
+      if (col_sum[e.column] > 0.0f) e.value /= col_sum[e.column];
+    }
+  }
+
+  SparseSimMatrix out(m.num_rows(), m.num_cols(), m.max_entries_per_row());
+  for (const Entry& e : entries) {
+    out.Accumulate(e.row, e.column, e.value);
+  }
+  out.RefreshMemoryTracking();
+  return out;
+}
+
+}  // namespace largeea

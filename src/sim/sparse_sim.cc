@@ -1,0 +1,167 @@
+#include "src/sim/sparse_sim.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+
+namespace largeea {
+namespace {
+
+bool EntryBefore(const SimEntry& a, const SimEntry& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.column < b.column;
+}
+
+}  // namespace
+
+SparseSimMatrix::SparseSimMatrix(int32_t num_rows, int32_t num_cols,
+                                 int32_t max_entries_per_row)
+    : num_cols_(num_cols),
+      max_entries_per_row_(max_entries_per_row),
+      rows_(num_rows) {
+  LARGEEA_CHECK_GE(num_rows, 0);
+  LARGEEA_CHECK_GE(num_cols, 0);
+}
+
+SparseSimMatrix::SparseSimMatrix(const SparseSimMatrix& other)
+    : num_cols_(other.num_cols_),
+      max_entries_per_row_(other.max_entries_per_row_),
+      rows_(other.rows_),
+      tracked_(other.MemoryBytes()) {}
+
+SparseSimMatrix& SparseSimMatrix::operator=(const SparseSimMatrix& other) {
+  if (this != &other) {
+    num_cols_ = other.num_cols_;
+    max_entries_per_row_ = other.max_entries_per_row_;
+    rows_ = other.rows_;
+    tracked_.Resize(other.MemoryBytes());
+  }
+  return *this;
+}
+
+void SparseSimMatrix::Accumulate(int32_t row, EntityId col, float score) {
+  LARGEEA_CHECK_GE(row, 0);
+  LARGEEA_CHECK_LT(row, num_rows());
+  LARGEEA_CHECK_GE(col, 0);
+  LARGEEA_CHECK_LT(col, num_cols_);
+  std::vector<SimEntry>& entries = rows_[row];
+
+  // Existing entry: accumulate and restore descending order by bubbling.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].column == col) {
+      entries[i].score += score;
+      size_t j = i;
+      while (j > 0 && EntryBefore(entries[j], entries[j - 1])) {
+        std::swap(entries[j], entries[j - 1]);
+        --j;
+      }
+      while (j + 1 < entries.size() &&
+             EntryBefore(entries[j + 1], entries[j])) {
+        std::swap(entries[j + 1], entries[j]);
+        ++j;
+      }
+      return;
+    }
+  }
+
+  const SimEntry entry{col, score};
+  const bool full = max_entries_per_row_ > 0 &&
+                    static_cast<int32_t>(entries.size()) >=
+                        max_entries_per_row_;
+  if (full) {
+    if (!EntryBefore(entry, entries.back())) return;  // too weak to enter
+    entries.back() = entry;
+  } else {
+    entries.push_back(entry);
+  }
+  size_t j = entries.size() - 1;
+  while (j > 0 && EntryBefore(entries[j], entries[j - 1])) {
+    std::swap(entries[j], entries[j - 1]);
+    --j;
+  }
+}
+
+std::span<const SimEntry> SparseSimMatrix::Row(int32_t row) const {
+  LARGEEA_CHECK_GE(row, 0);
+  LARGEEA_CHECK_LT(row, num_rows());
+  return rows_[row];
+}
+
+EntityId SparseSimMatrix::ArgmaxOfRow(int32_t row) const {
+  const auto entries = Row(row);
+  return entries.empty() ? kInvalidEntity : entries.front().column;
+}
+
+int32_t SparseSimMatrix::RankInRow(int32_t row, EntityId col) const {
+  const auto entries = Row(row);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].column == col) return static_cast<int32_t>(i) + 1;
+  }
+  return 0;
+}
+
+int64_t SparseSimMatrix::TotalEntries() const {
+  int64_t total = 0;
+  for (const auto& row : rows_) total += static_cast<int64_t>(row.size());
+  return total;
+}
+
+std::vector<EntityId> SparseSimMatrix::ArgmaxPerColumn() const {
+  std::vector<EntityId> best_row(num_cols_, kInvalidEntity);
+  std::vector<float> best_score(num_cols_, 0.0f);
+  for (int32_t r = 0; r < num_rows(); ++r) {
+    for (const SimEntry& e : rows_[r]) {
+      if (best_row[e.column] == kInvalidEntity ||
+          e.score > best_score[e.column] ||
+          (e.score == best_score[e.column] && r < best_row[e.column])) {
+        best_row[e.column] = r;
+        best_score[e.column] = e.score;
+      }
+    }
+  }
+  return best_row;
+}
+
+SparseSimMatrix SparseSimMatrix::Fuse(const SparseSimMatrix& other,
+                                      float alpha, float beta,
+                                      int32_t max_entries_per_row) const {
+  LARGEEA_CHECK_EQ(num_rows(), other.num_rows());
+  LARGEEA_CHECK_EQ(num_cols(), other.num_cols());
+  SparseSimMatrix result(num_rows(), num_cols(), max_entries_per_row);
+  std::vector<SimEntry> merged;
+  for (int32_t r = 0; r < num_rows(); ++r) {
+    merged.clear();
+    for (const SimEntry& e : rows_[r]) {
+      merged.push_back(SimEntry{e.column, alpha * e.score});
+    }
+    for (const SimEntry& e : other.rows_[r]) {
+      bool found = false;
+      for (SimEntry& m : merged) {
+        if (m.column == e.column) {
+          m.score += beta * e.score;
+          found = true;
+          break;
+        }
+      }
+      if (!found) merged.push_back(SimEntry{e.column, beta * e.score});
+    }
+    std::sort(merged.begin(), merged.end(), EntryBefore);
+    const size_t limit =
+        max_entries_per_row > 0
+            ? std::min(merged.size(), static_cast<size_t>(max_entries_per_row))
+            : merged.size();
+    result.rows_[r].assign(merged.begin(), merged.begin() + limit);
+  }
+  result.RefreshMemoryTracking();
+  return result;
+}
+
+int64_t SparseSimMatrix::MemoryBytes() const {
+  return TotalEntries() * static_cast<int64_t>(sizeof(SimEntry));
+}
+
+void SparseSimMatrix::RefreshMemoryTracking() {
+  tracked_.Resize(MemoryBytes());
+}
+
+}  // namespace largeea

@@ -1,0 +1,121 @@
+#include "src/sim/topk_search.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/la/ops.h"
+#include "src/sim/lsh.h"
+
+namespace largeea {
+namespace {
+
+float ScorePair(const float* a, const float* b, int64_t dim,
+                SimMetric metric) {
+  switch (metric) {
+    case SimMetric::kManhattan:
+      return ManhattanSimilarity(ManhattanDistance(a, b, dim));
+    case SimMetric::kDot:
+      return Dot(a, b, dim);
+  }
+  return 0.0f;  // unreachable
+}
+
+// Fixed-capacity top-k accumulator: a binary min-heap on score.
+class TopKHeap {
+ public:
+  explicit TopKHeap(int32_t k) : k_(k) {}
+
+  void Offer(int32_t id, float score) {
+    if (static_cast<int32_t>(heap_.size()) < k_) {
+      heap_.push_back({score, id});
+      std::push_heap(heap_.begin(), heap_.end(), MinFirst);
+    } else if (score > heap_.front().first) {
+      std::pop_heap(heap_.begin(), heap_.end(), MinFirst);
+      heap_.back() = {score, id};
+      std::push_heap(heap_.begin(), heap_.end(), MinFirst);
+    }
+  }
+
+  /// Drains into (id, score) pairs in arbitrary order.
+  const std::vector<std::pair<float, int32_t>>& items() const {
+    return heap_;
+  }
+
+  void Clear() { heap_.clear(); }
+
+ private:
+  static bool MinFirst(const std::pair<float, int32_t>& a,
+                       const std::pair<float, int32_t>& b) {
+    return a.first > b.first;
+  }
+
+  int32_t k_;
+  std::vector<std::pair<float, int32_t>> heap_;
+};
+
+}  // namespace
+
+void ExactTopKInto(const Matrix& source, std::span<const EntityId> row_ids,
+                   const Matrix& target, std::span<const EntityId> col_ids,
+                   const TopKOptions& options, SparseSimMatrix& out) {
+  LARGEEA_CHECK_EQ(source.cols(), target.cols());
+  LARGEEA_CHECK_EQ(static_cast<size_t>(source.rows()), row_ids.size());
+  LARGEEA_CHECK_EQ(static_cast<size_t>(target.rows()), col_ids.size());
+  LARGEEA_CHECK_GT(options.k, 0);
+  const int64_t dim = source.cols();
+
+  TopKHeap heap(options.k);
+  for (int64_t i = 0; i < source.rows(); ++i) {
+    heap.Clear();
+    const float* src = source.Row(i);
+    for (int64_t j = 0; j < target.rows(); ++j) {
+      heap.Offer(static_cast<int32_t>(j),
+                 ScorePair(src, target.Row(j), dim, options.metric));
+    }
+    for (const auto& [score, j] : heap.items()) {
+      out.Accumulate(row_ids[i], col_ids[j], score);
+    }
+  }
+}
+
+SparseSimMatrix ExactTopK(const Matrix& source, const Matrix& target,
+                          const TopKOptions& options) {
+  std::vector<EntityId> row_ids(source.rows());
+  std::vector<EntityId> col_ids(target.rows());
+  std::iota(row_ids.begin(), row_ids.end(), 0);
+  std::iota(col_ids.begin(), col_ids.end(), 0);
+  SparseSimMatrix out(static_cast<int32_t>(source.rows()),
+                      static_cast<int32_t>(target.rows()), options.k);
+  ExactTopKInto(source, row_ids, target, col_ids, options, out);
+  out.RefreshMemoryTracking();
+  return out;
+}
+
+void LshTopKInto(const Matrix& source, std::span<const EntityId> row_ids,
+                 const Matrix& target, std::span<const EntityId> col_ids,
+                 const LshIndex& index, const TopKOptions& options,
+                 SparseSimMatrix& out) {
+  LARGEEA_CHECK_EQ(source.cols(), target.cols());
+  LARGEEA_CHECK_EQ(source.cols(), index.dim());
+  LARGEEA_CHECK_EQ(static_cast<size_t>(source.rows()), row_ids.size());
+  LARGEEA_CHECK_EQ(static_cast<size_t>(target.rows()), col_ids.size());
+  const int64_t dim = source.cols();
+
+  TopKHeap heap(options.k);
+  std::vector<int32_t> candidates;
+  for (int64_t i = 0; i < source.rows(); ++i) {
+    heap.Clear();
+    const float* src = source.Row(i);
+    index.Query(src, candidates);
+    for (const int32_t j : candidates) {
+      heap.Offer(j, ScorePair(src, target.Row(j), dim, options.metric));
+    }
+    for (const auto& [score, j] : heap.items()) {
+      out.Accumulate(row_ids[i], col_ids[j], score);
+    }
+  }
+}
+
+}  // namespace largeea

@@ -1,0 +1,58 @@
+// Top-k similarity search between embedding matrices (Faiss substitute).
+//
+// Two paths, matching how the paper uses Faiss:
+//   * exact blocked search — every (source, target) pair scored, only the
+//     top-k per source kept;
+//   * approximate search through a random-hyperplane LSH index
+//     (src/sim/lsh.h) — candidates from colliding buckets are scored
+//     exactly. Used at the DBP1M tier where exact search is too slow.
+//
+// Both write into a global SparseSimMatrix through row/column id maps, so
+// mini-batch results land directly in the full M_s.
+#ifndef LARGEEA_SIM_TOPK_SEARCH_H_
+#define LARGEEA_SIM_TOPK_SEARCH_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/la/matrix.h"
+#include "src/sim/sparse_sim.h"
+
+namespace largeea {
+
+/// Similarity scoring function between two embedding rows.
+enum class SimMetric {
+  /// 1 / (1 + L1 distance) — the paper's Manhattan choice.
+  kManhattan,
+  /// Plain dot product (cosine once rows are L2-normalised).
+  kDot,
+};
+
+struct TopKOptions {
+  /// Candidates kept per source entity (the paper's φ = 50 for SENS).
+  int32_t k = 50;
+  SimMetric metric = SimMetric::kManhattan;
+};
+
+/// Scores every source row against every target row; keeps top-k.
+/// `row_ids[i]` / `col_ids[j]` map matrix rows to entity ids in `out`.
+void ExactTopKInto(const Matrix& source, std::span<const EntityId> row_ids,
+                   const Matrix& target, std::span<const EntityId> col_ids,
+                   const TopKOptions& options, SparseSimMatrix& out);
+
+/// Convenience wrapper: identity id maps, fresh matrix.
+SparseSimMatrix ExactTopK(const Matrix& source, const Matrix& target,
+                          const TopKOptions& options);
+
+class LshIndex;
+
+/// Approximate variant: candidates come from `index` (built over `target`),
+/// then are scored exactly with `options.metric`.
+void LshTopKInto(const Matrix& source, std::span<const EntityId> row_ids,
+                 const Matrix& target, std::span<const EntityId> col_ids,
+                 const LshIndex& index, const TopKOptions& options,
+                 SparseSimMatrix& out);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_SIM_TOPK_SEARCH_H_

@@ -1,0 +1,147 @@
+// Tests for src/baselines: competitor models and the memory-budget gate.
+#include <gtest/gtest.h>
+
+#include "src/baselines/baselines.h"
+#include "src/gen/benchmark_gen.h"
+
+namespace largeea {
+namespace {
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BenchmarkSpec spec = Ids15kSpec(LanguagePair::kEnFr);
+    spec.world.num_entities = 500;
+    dataset_ = new EaDataset(GenerateBenchmark(spec));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static const EaDataset& dataset() { return *dataset_; }
+
+ private:
+  static const EaDataset* dataset_;
+};
+
+const EaDataset* BaselineFixture::dataset_ = nullptr;
+
+class AllBaselinesTest
+    : public BaselineFixture,
+      public ::testing::WithParamInterface<BaselineKind> {};
+
+TEST_P(AllBaselinesTest, RunsAndBeatsChance) {
+  BaselineOptions options;
+  options.train.epochs = 60;
+  const BaselineResult result = RunBaseline(GetParam(), dataset(), options);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_GT(result.estimated_bytes, 0);
+  EXPECT_GT(result.seconds, 0.0);
+  // Chance H@1 is 1/500.
+  EXPECT_GT(result.metrics.hits_at_1, 0.02) << result.name;
+  EXPECT_LE(result.metrics.hits_at_1, 1.0);
+  EXPECT_GE(result.metrics.hits_at_5, result.metrics.hits_at_1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllBaselinesTest,
+                         ::testing::Values(BaselineKind::kGcnAlign,
+                                           BaselineKind::kRrea,
+                                           BaselineKind::kRdgcnLike,
+                                           BaselineKind::kMultiKeLike,
+                                           BaselineKind::kBertIntLike));
+
+TEST_F(BaselineFixture, MemoryBudgetGateRefusesToRun) {
+  BaselineOptions options;
+  options.memory_budget_bytes = 1;  // nothing fits
+  const BaselineResult result =
+      RunBaseline(BaselineKind::kRrea, dataset(), options);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_GT(result.estimated_bytes, 1);
+  EXPECT_EQ(result.metrics.num_test_pairs, 0);
+  EXPECT_DOUBLE_EQ(result.seconds, 0.0);
+}
+
+TEST_F(BaselineFixture, EstimatesScaleWithDatasetSize) {
+  BenchmarkSpec small_spec = Ids15kSpec(LanguagePair::kEnFr);
+  small_spec.world.num_entities = 200;
+  const EaDataset small = GenerateBenchmark(small_spec);
+  const BaselineOptions options;
+  for (const BaselineKind kind :
+       {BaselineKind::kGcnAlign, BaselineKind::kRrea,
+        BaselineKind::kBertIntLike}) {
+    EXPECT_GT(EstimateBaselineBytes(kind, dataset(), options),
+              EstimateBaselineBytes(kind, small, options));
+  }
+}
+
+TEST_F(BaselineFixture, RreaEstimateExceedsGcn) {
+  // The paper's Table 2: whole-graph RREA is the first structural model
+  // to hit the memory wall; our cost model must preserve that ordering.
+  const BaselineOptions options;
+  EXPECT_GT(EstimateBaselineBytes(BaselineKind::kRrea, dataset(), options),
+            EstimateBaselineBytes(BaselineKind::kGcnAlign, dataset(),
+                                  options));
+}
+
+TEST(PaperCostTest, ReproducesPaperFeasibilityPattern) {
+  const auto feasible = [](BaselineKind kind, int64_t ns, int64_t nt) {
+    return FitsPaperHardware(EstimatePaperCost(kind, ns, nt));
+  };
+  const std::vector<BaselineKind> all{
+      BaselineKind::kGcnAlign, BaselineKind::kRrea,
+      BaselineKind::kRdgcnLike, BaselineKind::kMultiKeLike,
+      BaselineKind::kBertIntLike};
+  // IDS15K: everything runs.
+  for (const BaselineKind kind : all) {
+    EXPECT_TRUE(feasible(kind, 15000, 15000)) << BaselineKindName(kind);
+  }
+  // IDS100K: only RREA dies (Table 2's "-" row).
+  for (const BaselineKind kind : all) {
+    EXPECT_EQ(feasible(kind, 100000, 100000),
+              kind != BaselineKind::kRrea)
+        << BaselineKindName(kind);
+  }
+  // DBP1M (both pairs): every competitor dies (Table 3).
+  for (const BaselineKind kind : all) {
+    EXPECT_FALSE(feasible(kind, 1877793, 1365118))
+        << BaselineKindName(kind);
+    EXPECT_FALSE(feasible(kind, 1625999, 1112970))
+        << BaselineKindName(kind);
+  }
+}
+
+TEST(PaperCostTest, CalibrationMatchesReportedNumbers) {
+  // RREA at IDS15K: the paper measures 4.07 GB.
+  const PaperCost rrea = EstimatePaperCost(BaselineKind::kRrea, 15000, 15000);
+  EXPECT_NEAR(static_cast<double>(rrea.gpu_bytes) / (1LL << 30), 4.07, 0.5);
+  // GCNAlign at IDS100K: the paper measures 1.00 GB.
+  const PaperCost gcn =
+      EstimatePaperCost(BaselineKind::kGcnAlign, 100000, 100000);
+  EXPECT_NEAR(static_cast<double>(gcn.gpu_bytes) / (1LL << 30), 1.0, 0.3);
+  // BERT-INT at IDS100K: ~14 GB GPU and ~58 GB RAM.
+  const PaperCost bert =
+      EstimatePaperCost(BaselineKind::kBertIntLike, 100000, 100000);
+  EXPECT_NEAR(static_cast<double>(bert.gpu_bytes) / (1LL << 30), 14.0, 0.1);
+  EXPECT_NEAR(static_cast<double>(bert.ram_bytes) / (1LL << 30), 58.0, 4.0);
+}
+
+TEST_F(BaselineFixture, NamesAreStable) {
+  EXPECT_STREQ(BaselineKindName(BaselineKind::kGcnAlign), "GCNAlign");
+  EXPECT_STREQ(BaselineKindName(BaselineKind::kBertIntLike), "BERT-INT*");
+}
+
+TEST_F(BaselineFixture, BertIntIsMostAccurateNameUser) {
+  BaselineOptions options;
+  options.train.epochs = 60;
+  const BaselineResult bert_int =
+      RunBaseline(BaselineKind::kBertIntLike, dataset(), options);
+  const BaselineResult gcn =
+      RunBaseline(BaselineKind::kGcnAlign, dataset(), options);
+  // The paper's headline comparison: the BERT-based interaction model is
+  // far more accurate than pure-structure GCN — and far heavier.
+  EXPECT_GT(bert_int.metrics.hits_at_1, gcn.metrics.hits_at_1);
+  EXPECT_GT(bert_int.estimated_bytes, gcn.estimated_bytes);
+}
+
+}  // namespace
+}  // namespace largeea

@@ -1,0 +1,211 @@
+// Tests for src/common: rng, string utils, flags, memory tracking, timer.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/memory_tracker.h"
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/common/timer.h"
+
+namespace largeea {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 30);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int bound : {1, 2, 3, 10, 1000}) {
+    for (int i = 0; i < 500; ++i) {
+      const uint64_t v = rng.Uniform(bound);
+      EXPECT_LT(v, static_cast<uint64_t>(bound));
+    }
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(23);
+  Rng a = parent.Fork(0);
+  Rng b = parent.Fork(1);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 30);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a\t\tb\t", '\t');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  const auto parts = SplitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(StringUtilTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  x  "), "x");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+  EXPECT_EQ(StripAsciiWhitespace("\t\n"), "");
+  EXPECT_EQ(StripAsciiWhitespace("ab"), "ab");
+}
+
+TEST(StringUtilTest, AsciiToLower) {
+  EXPECT_EQ(AsciiToLower("HeLLo 123"), "hello 123");
+}
+
+TEST(StringUtilTest, ParseIntAcceptsValid) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt("-7").value(), -7);
+  EXPECT_EQ(ParseInt(" 13 ").value(), 13);
+}
+
+TEST(StringUtilTest, ParseIntRejectsInvalid) {
+  EXPECT_FALSE(ParseInt("").has_value());
+  EXPECT_FALSE(ParseInt("12x").has_value());
+  EXPECT_FALSE(ParseInt("1.5").has_value());
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("").has_value());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(FlagsTest, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "2.5", "--gamma",
+                        "--name", "hello"};
+  Flags flags(7, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("beta", 0.0), 2.5);
+  EXPECT_TRUE(flags.GetBool("gamma", false));
+  EXPECT_EQ(flags.GetString("name", ""), "hello");
+  EXPECT_EQ(flags.GetInt("missing", 99), 99);
+  EXPECT_TRUE(flags.Has("alpha"));
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(MemoryTrackerTest, TracksAllocationsAndPeak) {
+  MemoryTracker& tracker = MemoryTracker::Get();
+  tracker.ResetPeak();
+  const int64_t base = tracker.CurrentBytes();
+  {
+    TrackedAllocation a(1000);
+    EXPECT_EQ(tracker.CurrentBytes(), base + 1000);
+    {
+      TrackedAllocation b(500);
+      EXPECT_EQ(tracker.CurrentBytes(), base + 1500);
+    }
+    EXPECT_EQ(tracker.CurrentBytes(), base + 1000);
+    EXPECT_GE(tracker.PeakBytes(), base + 1500);
+  }
+  EXPECT_EQ(tracker.CurrentBytes(), base);
+}
+
+TEST(MemoryTrackerTest, MoveTransfersOwnership) {
+  MemoryTracker& tracker = MemoryTracker::Get();
+  const int64_t base = tracker.CurrentBytes();
+  TrackedAllocation a(100);
+  TrackedAllocation b = std::move(a);
+  EXPECT_EQ(tracker.CurrentBytes(), base + 100);
+  b.Resize(250);
+  EXPECT_EQ(tracker.CurrentBytes(), base + 250);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  EXPECT_GE(timer.Seconds(), 0.0);
+  timer.Reset();
+  EXPECT_LT(timer.Seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace largeea

@@ -1,0 +1,140 @@
+// Tests for the extension modules: Sinkhorn decoding and bootstrapped
+// (structure-only, self-training) EA.
+#include <gtest/gtest.h>
+
+#include "src/core/bootstrap.h"
+#include "src/core/evaluator.h"
+#include "src/gen/benchmark_gen.h"
+#include "src/sim/sinkhorn.h"
+
+namespace largeea {
+namespace {
+
+TEST(SinkhornTest, NormalizesTowardDoublyStochastic) {
+  SparseSimMatrix m(3, 3, 3);
+  for (int32_t r = 0; r < 3; ++r) {
+    for (int32_t c = 0; c < 3; ++c) {
+      m.Accumulate(r, c, r == c ? 1.0f : 0.2f);
+    }
+  }
+  const SparseSimMatrix normalized =
+      SinkhornNormalize(m, SinkhornOptions{.temperature = 0.5f,
+                                           .iterations = 20});
+  // Rows sum to ~1 after the final column step on a square support; at
+  // minimum they must be close.
+  for (int32_t r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (const SimEntry& e : normalized.Row(r)) sum += e.score;
+    EXPECT_NEAR(sum, 1.0f, 0.1f);
+    // The diagonal stays each row's best match.
+    EXPECT_EQ(normalized.ArgmaxOfRow(r), r);
+  }
+}
+
+TEST(SinkhornTest, ResolvesContestedTargets) {
+  // Rows 0 and 1 both prefer column 0, but row 1 has no alternative while
+  // row 0 has a decent second choice. Sinkhorn's competition reassigns
+  // row 0 to its runner-up; plain argmax leaves both on column 0.
+  SparseSimMatrix m(2, 2, 2);
+  m.Accumulate(0, 0, 1.0f);
+  m.Accumulate(0, 1, 0.9f);
+  m.Accumulate(1, 0, 1.0f);
+  m.Accumulate(1, 1, 0.1f);
+  EXPECT_EQ(m.ArgmaxOfRow(0), 0);
+  EXPECT_EQ(m.ArgmaxOfRow(1), 0);
+  const SparseSimMatrix normalized =
+      SinkhornNormalize(m, SinkhornOptions{.temperature = 0.3f,
+                                           .iterations = 30});
+  EXPECT_EQ(normalized.ArgmaxOfRow(0), 1);
+  EXPECT_EQ(normalized.ArgmaxOfRow(1), 0);
+}
+
+TEST(SinkhornTest, PreservesEntrySupport) {
+  SparseSimMatrix m(4, 6, 3);
+  Rng rng(5);
+  for (int32_t r = 0; r < 4; ++r) {
+    for (int i = 0; i < 3; ++i) {
+      m.Accumulate(r, static_cast<EntityId>(rng.Uniform(6)),
+                   rng.UniformFloat());
+    }
+  }
+  const SparseSimMatrix normalized = SinkhornNormalize(m);
+  for (int32_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(normalized.Row(r).size(), m.Row(r).size());
+  }
+}
+
+class BootstrapFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BenchmarkSpec spec = Ids15kSpec(LanguagePair::kEnFr);
+    spec.world.num_entities = 900;
+    dataset_ = new EaDataset(GenerateBenchmark(spec));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static const EaDataset& dataset() { return *dataset_; }
+
+ private:
+  static const EaDataset* dataset_;
+};
+
+const EaDataset* BootstrapFixture::dataset_ = nullptr;
+
+TEST_F(BootstrapFixture, SeedsGrowAndAccuracyDoesNotCollapse) {
+  BootstrapOptions options;
+  options.structure.num_batches = 2;
+  options.structure.train.epochs = 40;
+  options.rounds = 3;
+  const BootstrapResult result = RunBootstrappedStructureChannel(
+      dataset().source, dataset().target, dataset().split.train, options);
+  ASSERT_EQ(result.seeds_per_round.size(), 3u);
+  // Seeds grow monotonically and beyond the input set.
+  EXPECT_GE(result.seeds_per_round[1], result.seeds_per_round[0]);
+  EXPECT_GT(result.final_seeds.size(), dataset().split.train.size());
+  EXPECT_TRUE(IsOneToOne(result.final_seeds));
+
+  // Bootstrapping must not fall below the single-round baseline.
+  StructureChannelOptions single = options.structure;
+  const StructureChannelResult baseline = RunStructureChannel(
+      dataset().source, dataset().target, dataset().split.train, single);
+  const double boot_h1 =
+      Evaluate(result.similarity, dataset().split.test).hits_at_1;
+  const double base_h1 =
+      Evaluate(baseline.similarity, dataset().split.test).hits_at_1;
+  EXPECT_GE(boot_h1, base_h1 * 0.9);
+}
+
+TEST_F(BootstrapFixture, GrowthCapIsRespected) {
+  BootstrapOptions options;
+  options.structure.num_batches = 2;
+  options.structure.train.epochs = 10;
+  options.rounds = 2;
+  options.max_growth_per_round = 0.1;
+  const BootstrapResult result = RunBootstrappedStructureChannel(
+      dataset().source, dataset().target, dataset().split.train, options);
+  const auto input = static_cast<int64_t>(dataset().split.train.size());
+  EXPECT_LE(result.seeds_per_round[0],
+            input + static_cast<int64_t>(0.1 * input) + 1);
+}
+
+TEST_F(BootstrapFixture, SingleRoundEqualsPlainChannel) {
+  BootstrapOptions options;
+  options.structure.num_batches = 2;
+  options.structure.train.epochs = 10;
+  options.rounds = 1;
+  const BootstrapResult result = RunBootstrappedStructureChannel(
+      dataset().source, dataset().target, dataset().split.train, options);
+  EXPECT_EQ(result.final_seeds.size(), dataset().split.train.size());
+  const StructureChannelResult plain = RunStructureChannel(
+      dataset().source, dataset().target, dataset().split.train,
+      options.structure);
+  EXPECT_DOUBLE_EQ(
+      Evaluate(result.similarity, dataset().split.test).hits_at_1,
+      Evaluate(plain.similarity, dataset().split.test).hits_at_1);
+}
+
+}  // namespace
+}  // namespace largeea

@@ -1,0 +1,224 @@
+// Tests for src/gen: the synthetic benchmark generator's invariants.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/gen/benchmark_gen.h"
+#include "src/gen/name_model.h"
+#include "src/gen/world_graph.h"
+#include "src/name/levenshtein.h"
+
+namespace largeea {
+namespace {
+
+TEST(VocabularyTest, WordsAreDistinctAndSized) {
+  const Vocabulary vocab(500, 3);
+  EXPECT_EQ(vocab.size(), 500);
+  std::unordered_set<std::string> seen;
+  for (int32_t i = 0; i < vocab.size(); ++i) {
+    const std::string& w = vocab.Word(i);
+    EXPECT_GE(w.size(), 3u);
+    EXPECT_LE(w.size(), 9u);
+    EXPECT_TRUE(seen.insert(w).second) << "duplicate word " << w;
+  }
+}
+
+TEST(VocabularyTest, ZipfSamplingSkewsLow) {
+  const Vocabulary vocab(1000, 5);
+  Rng rng(7);
+  int64_t low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (vocab.SampleZipf(rng) < 250) ++low;
+  }
+  // u^1.5 skew puts ~40% of mass in the first quarter (vs 25% uniform).
+  EXPECT_GT(low, n * 0.30);
+}
+
+TEST(NameTranslatorTest, DeterministicTranslation) {
+  const Vocabulary vocab(100, 11);
+  const LanguageNameStyle style{.code = "FR",
+                                .cognate_prob = 0.8,
+                                .char_noise_prob = 0.0,
+                                .article_prob = 0.0,
+                                .article = "le"};
+  const NameTranslator t1(&vocab, style, 99);
+  const NameTranslator t2(&vocab, style, 99);
+  for (int32_t w = 0; w < 100; ++w) {
+    EXPECT_EQ(t1.TranslateWord(w), t2.TranslateWord(w));
+  }
+  EXPECT_EQ(t1.Render({1, 2, 3}, 42), t2.Render({1, 2, 3}, 42));
+}
+
+TEST(NameTranslatorTest, CognatesDominateAtHighProbability) {
+  const Vocabulary vocab(300, 13);
+  const LanguageNameStyle style{.code = "FR",
+                                .cognate_prob = 1.0,
+                                .char_noise_prob = 0.0,
+                                .article_prob = 0.0,
+                                .article = ""};
+  const NameTranslator t(&vocab, style, 5);
+  int close = 0;
+  for (int32_t w = 0; w < 300; ++w) {
+    if (LevenshteinDistance(vocab.Word(w), t.TranslateWord(w)) <= 2) ++close;
+  }
+  // cognate_prob = 1.0 means every translation is within 2 edits.
+  EXPECT_EQ(close, 300);
+}
+
+TEST(NameTranslatorTest, OpaqueTranslationsAppear) {
+  const Vocabulary vocab(300, 13);
+  const LanguageNameStyle style{.code = "DE",
+                                .cognate_prob = 0.0,
+                                .char_noise_prob = 0.0,
+                                .article_prob = 0.0,
+                                .article = ""};
+  const NameTranslator t(&vocab, style, 5);
+  int far = 0;
+  for (int32_t w = 0; w < 300; ++w) {
+    if (LevenshteinDistance(vocab.Word(w), t.TranslateWord(w)) > 2) ++far;
+  }
+  // With cognate_prob = 0 most words should be unrelated (a few may land
+  // close by coincidence).
+  EXPECT_GT(far, 240);
+}
+
+TEST(WorldGraphTest, SizesAndValidity) {
+  const Vocabulary vocab(200, 17);
+  WorldSpec spec;
+  spec.num_entities = 500;
+  spec.edges_per_entity = 3;
+  spec.num_relations = 20;
+  spec.seed = 3;
+  const WorldKg world = GenerateWorldKg(spec, vocab);
+  EXPECT_EQ(world.num_entities(), 500);
+  EXPECT_GT(world.triples.size(), 1000u);
+  for (const Triple& t : world.triples) {
+    EXPECT_GE(t.head, 0);
+    EXPECT_LT(t.head, 500);
+    EXPECT_GE(t.tail, 0);
+    EXPECT_LT(t.tail, 500);
+    EXPECT_GE(t.relation, 0);
+    EXPECT_LT(t.relation, 20);
+    EXPECT_NE(t.head, t.tail);
+  }
+  for (const auto& tokens : world.entity_tokens) {
+    EXPECT_GE(tokens.size(), 2u);
+    EXPECT_LE(tokens.size(), 3u);
+  }
+}
+
+TEST(WorldGraphTest, PowerLawIshDegrees) {
+  const Vocabulary vocab(200, 19);
+  WorldSpec spec;
+  spec.num_entities = 2000;
+  spec.edges_per_entity = 3;
+  spec.num_relations = 10;
+  spec.seed = 4;
+  const WorldKg world = GenerateWorldKg(spec, vocab);
+  std::vector<int32_t> degree(2000, 0);
+  for (const Triple& t : world.triples) {
+    ++degree[t.head];
+    ++degree[t.tail];
+  }
+  const int32_t max_degree = *std::max_element(degree.begin(), degree.end());
+  const double avg = 2.0 * world.triples.size() / 2000.0;
+  // Preferential attachment produces hubs far above the average degree.
+  EXPECT_GT(max_degree, 5 * avg);
+}
+
+class BenchmarkGenTest : public ::testing::TestWithParam<LanguagePair> {};
+
+TEST_P(BenchmarkGenTest, Ids15kInvariants) {
+  BenchmarkSpec spec = Ids15kSpec(GetParam());
+  spec.world.num_entities = 800;
+  const EaDataset ds = GenerateBenchmark(spec);
+  // IDS tiers: both sides keep every (covered) entity, so sizes are close
+  // and nearly all entities are aligned.
+  EXPECT_GT(ds.source.num_entities(), 700);
+  EXPECT_GT(ds.target.num_entities(), 700);
+  const auto all = ds.split.All();
+  EXPECT_TRUE(IsOneToOne(all));
+  EXPECT_GT(static_cast<double>(all.size()), 0.9 * ds.source.num_entities());
+  // 20% train split.
+  EXPECT_NEAR(static_cast<double>(ds.split.train.size()) / all.size(), 0.2,
+              0.01);
+  // Every pair's ids are valid.
+  for (const EntityPair& p : all) {
+    EXPECT_GE(p.source, 0);
+    EXPECT_LT(p.source, ds.source.num_entities());
+    EXPECT_GE(p.target, 0);
+    EXPECT_LT(p.target, ds.target.num_entities());
+  }
+}
+
+TEST_P(BenchmarkGenTest, Dbp1mIsUnbalancedWithUnknownEntities) {
+  BenchmarkSpec spec = Dbp1mSpec(GetParam());
+  spec.world.num_entities = 1500;
+  const EaDataset ds = GenerateBenchmark(spec);
+  // EN side keeps more entities than the non-EN side.
+  EXPECT_GT(ds.source.num_entities(), ds.target.num_entities());
+  // Unknown entities exist on both sides: aligned pairs < entities.
+  const auto all = ds.split.All();
+  EXPECT_LT(static_cast<int32_t>(all.size()), ds.source.num_entities());
+  EXPECT_LT(static_cast<int32_t>(all.size()), ds.target.num_entities());
+  // The source KG is denser than the target (German/French sparser).
+  EXPECT_GT(ds.source.num_triples(), ds.target.num_triples());
+}
+
+TEST_P(BenchmarkGenTest, DeterministicInSeed) {
+  BenchmarkSpec spec = Ids15kSpec(GetParam());
+  spec.world.num_entities = 400;
+  const EaDataset a = GenerateBenchmark(spec);
+  const EaDataset b = GenerateBenchmark(spec);
+  EXPECT_EQ(a.source.num_entities(), b.source.num_entities());
+  EXPECT_EQ(a.source.num_triples(), b.source.num_triples());
+  EXPECT_EQ(a.split.train, b.split.train);
+  EXPECT_EQ(a.source.EntityName(17), b.source.EntityName(17));
+}
+
+TEST_P(BenchmarkGenTest, DifferentSeedsDiffer) {
+  BenchmarkSpec spec1 = Ids15kSpec(GetParam(), 1.0, /*seed=*/15);
+  BenchmarkSpec spec2 = Ids15kSpec(GetParam(), 1.0, /*seed=*/16);
+  spec1.world.num_entities = spec2.world.num_entities = 400;
+  const EaDataset a = GenerateBenchmark(spec1);
+  const EaDataset b = GenerateBenchmark(spec2);
+  EXPECT_NE(a.source.EntityName(3), b.source.EntityName(3));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, BenchmarkGenTest,
+                         ::testing::Values(LanguagePair::kEnFr,
+                                           LanguagePair::kEnDe));
+
+TEST(BenchmarkGenTest2, EntityNamesMostlyAlignAcrossLanguages) {
+  BenchmarkSpec spec = Ids15kSpec(LanguagePair::kEnFr);
+  spec.world.num_entities = 600;
+  const EaDataset ds = GenerateBenchmark(spec);
+  // Aligned entities should usually have similar names (the cognate
+  // property the name channel depends on).
+  int64_t similar = 0;
+  const auto all = ds.split.All();
+  for (const EntityPair& p : all) {
+    if (LevenshteinSimilarity(ds.source.EntityName(p.source),
+                              ds.target.EntityName(p.target)) > 0.5) {
+      ++similar;
+    }
+  }
+  EXPECT_GT(static_cast<double>(similar) / all.size(), 0.5);
+}
+
+TEST(BenchmarkGenTest2, ConnectedEnough) {
+  BenchmarkSpec spec = Ids15kSpec(LanguagePair::kEnDe);
+  spec.world.num_entities = 600;
+  const EaDataset ds = GenerateBenchmark(spec);
+  // No isolated entities after the repair pass.
+  for (EntityId e = 0; e < ds.source.num_entities(); ++e) {
+    EXPECT_GT(ds.source.Degree(e), 0) << "isolated source entity " << e;
+  }
+  for (EntityId e = 0; e < ds.target.num_entities(); ++e) {
+    EXPECT_GT(ds.target.Degree(e), 0) << "isolated target entity " << e;
+  }
+}
+
+}  // namespace
+}  // namespace largeea

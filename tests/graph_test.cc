@@ -1,0 +1,86 @@
+// Tests for src/graph: CSR construction, merging, components.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/graph/csr_graph.h"
+
+namespace largeea {
+namespace {
+
+TEST(CsrGraphTest, BasicConstruction) {
+  const std::vector<WeightedEdge> edges{{0, 1, 1}, {1, 2, 2}, {2, 0, 3}};
+  const CsrGraph g = CsrGraph::FromEdges(3, edges);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_EQ(g.Degree(1), 2);
+  EXPECT_EQ(g.Degree(2), 2);
+}
+
+TEST(CsrGraphTest, ParallelEdgesMergeBySummingWeights) {
+  const std::vector<WeightedEdge> edges{{0, 1, 1}, {1, 0, 4}, {0, 1, 2}};
+  const CsrGraph g = CsrGraph::FromEdges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.EdgeWeights(0)[0], 7);
+  EXPECT_EQ(g.EdgeWeights(1)[0], 7);
+}
+
+TEST(CsrGraphTest, SelfLoopsDropped) {
+  const std::vector<WeightedEdge> edges{{0, 0, 5}, {0, 1, 1}};
+  const CsrGraph g = CsrGraph::FromEdges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.Degree(0), 1);
+}
+
+TEST(CsrGraphTest, NeighborsSortedAndSymmetric) {
+  const std::vector<WeightedEdge> edges{{0, 3, 1}, {0, 1, 1}, {0, 2, 1}};
+  const CsrGraph g = CsrGraph::FromEdges(4, edges);
+  const auto n0 = g.Neighbors(0);
+  ASSERT_EQ(n0.size(), 3u);
+  EXPECT_EQ(n0[0], 1);
+  EXPECT_EQ(n0[1], 2);
+  EXPECT_EQ(n0[2], 3);
+  EXPECT_EQ(g.Neighbors(3)[0], 0);
+}
+
+TEST(CsrGraphTest, VertexWeights) {
+  const std::vector<WeightedEdge> edges{{0, 1, 1}};
+  CsrGraph g = CsrGraph::FromEdges(3, edges);
+  EXPECT_EQ(g.TotalVertexWeight(), 3);
+  g.SetVertexWeight(1, 10);
+  EXPECT_EQ(g.TotalVertexWeight(), 12);
+  EXPECT_EQ(g.VertexWeight(1), 10);
+}
+
+TEST(CsrGraphTest, WeightedDegree) {
+  const std::vector<WeightedEdge> edges{{0, 1, 2}, {0, 2, 5}};
+  const CsrGraph g = CsrGraph::FromEdges(3, edges);
+  EXPECT_EQ(g.WeightedDegree(0), 7);
+  EXPECT_EQ(g.WeightedDegree(1), 2);
+}
+
+TEST(CsrGraphTest, ConnectedComponents) {
+  const std::vector<WeightedEdge> edges{{0, 1, 1}, {2, 3, 1}};
+  const CsrGraph g = CsrGraph::FromEdges(5, edges);
+  // {0,1}, {2,3}, {4}
+  EXPECT_EQ(g.CountConnectedComponents(), 3);
+}
+
+TEST(CsrGraphTest, EmptyGraph) {
+  const CsrGraph g = CsrGraph::FromEdges(0, {});
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.CountConnectedComponents(), 0);
+}
+
+TEST(CsrGraphTest, IsolatedVertices) {
+  const CsrGraph g = CsrGraph::FromEdges(4, {});
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.Degree(2), 0);
+  EXPECT_EQ(g.CountConnectedComponents(), 4);
+}
+
+}  // namespace
+}  // namespace largeea

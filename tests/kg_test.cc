@@ -1,0 +1,176 @@
+// Tests for src/kg: graph building, adjacency, IO, alignment splits.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "src/kg/alignment.h"
+#include "src/kg/dataset.h"
+#include "src/kg/kg_io.h"
+#include "src/kg/knowledge_graph.h"
+
+namespace largeea {
+namespace {
+
+KnowledgeGraph ToyKg() {
+  KnowledgeGraph kg;
+  const EntityId a = kg.AddEntity("Alice");
+  const EntityId b = kg.AddEntity("Bob");
+  const EntityId c = kg.AddEntity("Carol");
+  const RelationId knows = kg.AddRelation("knows");
+  const RelationId likes = kg.AddRelation("likes");
+  kg.AddTriple(a, knows, b);
+  kg.AddTriple(b, likes, c);
+  kg.BuildAdjacency();
+  return kg;
+}
+
+TEST(KnowledgeGraphTest, InterningIsIdempotent) {
+  KnowledgeGraph kg;
+  EXPECT_EQ(kg.AddEntity("x"), kg.AddEntity("x"));
+  EXPECT_EQ(kg.num_entities(), 1);
+  EXPECT_EQ(kg.AddRelation("r"), kg.AddRelation("r"));
+  EXPECT_EQ(kg.num_relations(), 1);
+}
+
+TEST(KnowledgeGraphTest, LookupByName) {
+  const KnowledgeGraph kg = ToyKg();
+  EXPECT_EQ(kg.FindEntity("Bob").value(), 1);
+  EXPECT_FALSE(kg.FindEntity("Dave").has_value());
+  EXPECT_EQ(kg.FindRelation("likes").value(), 1);
+  EXPECT_FALSE(kg.FindRelation("hates").has_value());
+  EXPECT_EQ(kg.EntityName(2), "Carol");
+  EXPECT_EQ(kg.RelationName(0), "knows");
+}
+
+TEST(KnowledgeGraphTest, AdjacencyIncludesBothDirections) {
+  const KnowledgeGraph kg = ToyKg();
+  const auto bob = kg.Neighbors(1);
+  ASSERT_EQ(bob.size(), 2u);
+  EXPECT_EQ(kg.Degree(1), 2);
+  // One inverse edge (from Alice) and one forward (to Carol).
+  int inverse = 0, forward = 0;
+  for (const NeighborEdge& e : bob) {
+    if (e.inverse) {
+      ++inverse;
+      EXPECT_EQ(e.neighbor, 0);
+    } else {
+      ++forward;
+      EXPECT_EQ(e.neighbor, 2);
+    }
+  }
+  EXPECT_EQ(inverse, 1);
+  EXPECT_EQ(forward, 1);
+}
+
+TEST(KnowledgeGraphTest, ToUndirectedGraph) {
+  const KnowledgeGraph kg = ToyKg();
+  const CsrGraph g = kg.ToUndirectedGraph();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.CountConnectedComponents(), 1);
+}
+
+TEST(KgIoTest, TriplesRoundTrip) {
+  const KnowledgeGraph kg = ToyKg();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "largeea_kg_test.tsv")
+          .string();
+  ASSERT_TRUE(SaveTriples(kg, path));
+  const auto loaded = LoadTriples(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_entities(), kg.num_entities());
+  EXPECT_EQ(loaded->num_relations(), kg.num_relations());
+  EXPECT_EQ(loaded->num_triples(), kg.num_triples());
+  EXPECT_EQ(loaded->EntityName(0), "Alice");
+  std::remove(path.c_str());
+}
+
+TEST(KgIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadTriples("/nonexistent/path/file.tsv").has_value());
+}
+
+TEST(KgIoTest, AlignmentRoundTrip) {
+  const KnowledgeGraph a = ToyKg();
+  KnowledgeGraph b;
+  b.AddEntity("Alicia");
+  b.AddEntity("Roberto");
+  const RelationId r = b.AddRelation("conoce");
+  b.AddTriple(0, r, 1);
+  b.BuildAdjacency();
+
+  const EntityPairList pairs{{0, 0}, {1, 1}};
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "largeea_align_test.tsv")
+          .string();
+  ASSERT_TRUE(SaveAlignment(pairs, a, b, path));
+  const auto loaded = LoadAlignment(path, a, b);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, pairs);
+  std::remove(path.c_str());
+}
+
+TEST(AlignmentTest, SplitRespectsRatio) {
+  EntityPairList pairs;
+  for (int i = 0; i < 100; ++i) pairs.push_back({i, i});
+  Rng rng(5);
+  const AlignmentSplit split = SplitAlignment(pairs, 0.2, rng);
+  EXPECT_EQ(split.train.size(), 20u);
+  EXPECT_EQ(split.test.size(), 80u);
+  EXPECT_EQ(split.All().size(), 100u);
+  EXPECT_TRUE(IsOneToOne(split.All()));
+}
+
+TEST(AlignmentTest, SplitIsDeterministic) {
+  EntityPairList pairs;
+  for (int i = 0; i < 50; ++i) pairs.push_back({i, i});
+  Rng rng1(9), rng2(9);
+  const AlignmentSplit a = SplitAlignment(pairs, 0.3, rng1);
+  const AlignmentSplit b = SplitAlignment(pairs, 0.3, rng2);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+}
+
+TEST(AlignmentTest, IsOneToOneDetectsDuplicates) {
+  EXPECT_TRUE(IsOneToOne({{0, 0}, {1, 1}}));
+  EXPECT_FALSE(IsOneToOne({{0, 0}, {0, 1}}));  // duplicate source
+  EXPECT_FALSE(IsOneToOne({{0, 0}, {1, 0}}));  // duplicate target
+}
+
+TEST(DatasetTest, ReversedSwapsSides) {
+  EaDataset ds;
+  ds.name = "toy";
+  ds.source = ToyKg();
+  KnowledgeGraph t;
+  t.AddEntity("X");
+  t.AddEntity("Y");
+  const RelationId r = t.AddRelation("r");
+  t.AddTriple(0, r, 1);
+  t.BuildAdjacency();
+  ds.target = t;
+  ds.split.train = {{0, 1}};
+  ds.split.test = {{1, 0}};
+
+  const EaDataset rev = ds.Reversed();
+  EXPECT_EQ(rev.source.num_entities(), 2);
+  EXPECT_EQ(rev.target.num_entities(), 3);
+  EXPECT_EQ(rev.split.train[0], (EntityPair{1, 0}));
+  EXPECT_EQ(rev.split.test[0], (EntityPair{0, 1}));
+}
+
+TEST(DatasetTest, ComputeStats) {
+  EaDataset ds;
+  ds.source = ToyKg();
+  ds.target = ToyKg();
+  ds.split.train = {{0, 0}};
+  ds.split.test = {{1, 1}, {2, 2}};
+  const DatasetStats stats = ComputeStats(ds);
+  EXPECT_EQ(stats.source_entities, 3);
+  EXPECT_EQ(stats.source_triples, 2);
+  EXPECT_EQ(stats.alignment_pairs, 3);
+  EXPECT_EQ(stats.seed_pairs, 1);
+}
+
+}  // namespace
+}  // namespace largeea

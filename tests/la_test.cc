@@ -1,0 +1,157 @@
+// Tests for src/la: matrix container and dense ops.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/la/matrix.h"
+#include "src/la/ops.h"
+
+namespace largeea {
+namespace {
+
+Matrix Make(std::initializer_list<std::initializer_list<float>> rows) {
+  const int64_t r = static_cast<int64_t>(rows.size());
+  const int64_t c = static_cast<int64_t>(rows.begin()->size());
+  Matrix m(r, c);
+  int64_t i = 0;
+  for (const auto& row : rows) {
+    int64_t j = 0;
+    for (const float v : row) m.At(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(3, 2);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_EQ(m.size(), 6);
+  EXPECT_FLOAT_EQ(m.At(2, 1), 0.0f);
+  m.At(2, 1) = 5.0f;
+  EXPECT_FLOAT_EQ(m.Row(2)[1], 5.0f);
+}
+
+TEST(MatrixTest, CopyIsDeep) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1.0f;
+  Matrix b = a;
+  b.At(0, 0) = 2.0f;
+  EXPECT_FLOAT_EQ(a.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(b.At(0, 0), 2.0f);
+}
+
+TEST(MatrixTest, GlorotInitWithinLimit) {
+  Matrix m(30, 10);
+  Rng rng(3);
+  m.GlorotInit(rng);
+  const float limit = std::sqrt(6.0f / 40.0f);
+  bool any_nonzero = false;
+  for (int64_t i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::fabs(m.data()[i]), limit);
+    any_nonzero |= m.data()[i] != 0.0f;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(MatrixTest, FillSetsEverything) {
+  Matrix m(4, 4);
+  m.Fill(2.5f);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    EXPECT_FLOAT_EQ(m.data()[i], 2.5f);
+  }
+}
+
+TEST(OpsTest, GemmMatchesManual) {
+  const Matrix a = Make({{1, 2}, {3, 4}});
+  const Matrix b = Make({{5, 6}, {7, 8}});
+  Matrix c(2, 2);
+  Gemm(a, b, c);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 50.0f);
+}
+
+TEST(OpsTest, GemmTransposeBMatchesGemm) {
+  Rng rng(5);
+  Matrix a(4, 3), b(5, 3), bt(3, 5);
+  a.GlorotInit(rng);
+  b.GlorotInit(rng);
+  for (int64_t i = 0; i < 5; ++i) {
+    for (int64_t j = 0; j < 3; ++j) bt.At(j, i) = b.At(i, j);
+  }
+  Matrix c1(4, 5), c2(4, 5);
+  GemmTransposeB(a, b, c1);
+  Gemm(a, bt, c2);
+  for (int64_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NEAR(c1.data()[i], c2.data()[i], 1e-5f);
+  }
+}
+
+TEST(OpsTest, GemmTransposeAMatchesGemm) {
+  Rng rng(6);
+  Matrix a(4, 3), at(3, 4), b(4, 2);
+  a.GlorotInit(rng);
+  b.GlorotInit(rng);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 3; ++j) at.At(j, i) = a.At(i, j);
+  }
+  Matrix c1(3, 2), c2(3, 2);
+  GemmTransposeA(a, b, c1);
+  Gemm(at, b, c2);
+  for (int64_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NEAR(c1.data()[i], c2.data()[i], 1e-5f);
+  }
+}
+
+TEST(OpsTest, AxpyAndScale) {
+  Matrix x = Make({{1, 2}});
+  Matrix y = Make({{10, 20}});
+  Axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y.At(0, 0), 12.0f);
+  EXPECT_FLOAT_EQ(y.At(0, 1), 24.0f);
+  Scale(y, 0.5f);
+  EXPECT_FLOAT_EQ(y.At(0, 0), 6.0f);
+}
+
+TEST(OpsTest, L2NormalizeRows) {
+  Matrix m = Make({{3, 4}, {0, 0}});
+  L2NormalizeRows(m);
+  EXPECT_NEAR(m.At(0, 0), 0.6f, 1e-5f);
+  EXPECT_NEAR(m.At(0, 1), 0.8f, 1e-5f);
+  // Zero row stays (near) zero rather than NaN.
+  EXPECT_FLOAT_EQ(m.At(1, 0), 0.0f);
+  EXPECT_FALSE(std::isnan(m.At(1, 1)));
+}
+
+TEST(OpsTest, ReluForwardBackward) {
+  Matrix m = Make({{-1, 2, 0}});
+  Matrix pre = m;
+  ReluInPlace(m);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m.At(0, 1), 2.0f);
+  Matrix grad = Make({{5, 5, 5}});
+  ReluBackwardInPlace(pre, grad);
+  EXPECT_FLOAT_EQ(grad.At(0, 0), 0.0f);  // pre < 0
+  EXPECT_FLOAT_EQ(grad.At(0, 1), 5.0f);  // pre > 0
+  EXPECT_FLOAT_EQ(grad.At(0, 2), 0.0f);  // pre == 0
+}
+
+TEST(OpsTest, DistancesAndNorms) {
+  const float a[] = {1, 2, 3};
+  const float b[] = {4, 0, 3};
+  EXPECT_FLOAT_EQ(Dot(a, b, 3), 13.0f);
+  EXPECT_FLOAT_EQ(ManhattanDistance(a, b, 3), 5.0f);
+  EXPECT_NEAR(Norm2(a, 3), std::sqrt(14.0f), 1e-5f);
+  EXPECT_FLOAT_EQ(ManhattanSimilarity(0.0f), 1.0f);
+  EXPECT_GT(ManhattanSimilarity(1.0f), ManhattanSimilarity(2.0f));
+}
+
+TEST(OpsTest, FrobeniusNorm) {
+  const Matrix m = Make({{3, 0}, {0, 4}});
+  EXPECT_NEAR(FrobeniusNorm(m), 5.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace largeea

@@ -1,0 +1,120 @@
+// Property-style sweeps over the multilevel partitioner: for a grid of
+// (graph family, size, K, seed), every partition must be valid, complete,
+// balanced, and no worse than a random assignment on edge cut.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/partition/metis.h"
+
+namespace largeea {
+namespace {
+
+enum class GraphFamily { kRandomSparse, kCommunity, kStar, kRing };
+
+CsrGraph MakeGraph(GraphFamily family, int32_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WeightedEdge> edges;
+  switch (family) {
+    case GraphFamily::kRandomSparse:
+      for (int32_t v = 1; v < n; ++v) {
+        edges.push_back({v, static_cast<int32_t>(rng.Uniform(v)), 1});
+        edges.push_back({v, static_cast<int32_t>(rng.Uniform(v)), 1});
+      }
+      break;
+    case GraphFamily::kCommunity: {
+      const int32_t block = 32;
+      for (int32_t v = 1; v < n; ++v) {
+        // Mostly intra-block edges, occasional global ones.
+        const int32_t lo = (v / block) * block;
+        if (rng.Bernoulli(0.9) && v > lo) {
+          edges.push_back(
+              {v, lo + static_cast<int32_t>(rng.Uniform(v - lo)), 1});
+        } else {
+          edges.push_back({v, static_cast<int32_t>(rng.Uniform(v)), 1});
+        }
+        edges.push_back(
+            {v, lo + static_cast<int32_t>(rng.Uniform(
+                         std::max(1, std::min(v, lo + block) - lo))),
+             1});
+      }
+      break;
+    }
+    case GraphFamily::kStar:
+      for (int32_t v = 1; v < n; ++v) edges.push_back({0, v, 1});
+      break;
+    case GraphFamily::kRing:
+      for (int32_t v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n, 1});
+      break;
+  }
+  return CsrGraph::FromEdges(n, edges);
+}
+
+int64_t RandomCut(const CsrGraph& g, int32_t k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> assignment(g.num_vertices());
+  for (auto& a : assignment) a = static_cast<int32_t>(rng.Uniform(k));
+  return ComputeEdgeCut(g, assignment);
+}
+
+using Param = std::tuple<GraphFamily, int32_t, int32_t, uint64_t>;
+
+class MetisPropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(MetisPropertyTest, PartitionIsValidBalancedAndBeatsRandom) {
+  const auto [family, n, k, seed] = GetParam();
+  const CsrGraph graph = MakeGraph(family, n, seed);
+  MetisOptions options;
+  options.num_parts = k;
+  options.seed = seed * 13 + 1;
+  const PartitionResult result = MetisPartition(graph, options);
+
+  // Completeness + validity.
+  ASSERT_EQ(static_cast<int32_t>(result.assignment.size()), n);
+  std::vector<int64_t> sizes(k, 0);
+  for (const int32_t part : result.assignment) {
+    ASSERT_GE(part, 0);
+    ASSERT_LT(part, k);
+    ++sizes[part];
+  }
+  // No empty parts; no part grossly overweight.
+  for (const int64_t size : sizes) {
+    EXPECT_GT(size, 0);
+    EXPECT_LE(size, static_cast<int64_t>(1.3 * n / k) + 2);
+  }
+  // The reported cut is the true cut and is (essentially) no worse than
+  // random. The small slack covers degenerate families like stars, where
+  // every balanced partition cuts nearly every edge and "random" can win
+  // by luck within noise.
+  EXPECT_EQ(result.edge_cut, ComputeEdgeCut(graph, result.assignment));
+  EXPECT_LE(result.edge_cut, RandomCut(graph, k, seed + 99) * 105 / 100 + 4);
+  // Edge-cut rate is a valid fraction.
+  const double rate = EdgeCutRate(graph, result.assignment);
+  EXPECT_GE(rate, 0.0);
+  EXPECT_LE(rate, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MetisPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(GraphFamily::kRandomSparse,
+                          GraphFamily::kCommunity, GraphFamily::kStar,
+                          GraphFamily::kRing),
+        ::testing::Values(64, 500, 2000),
+        ::testing::Values(2, 5, 8),
+        ::testing::Values(uint64_t{1}, uint64_t{42})));
+
+TEST(MetisPropertyExtraTest, CommunityGraphsCutFarBelowRandom) {
+  const CsrGraph graph = MakeGraph(GraphFamily::kCommunity, 2048, 7);
+  MetisOptions options;
+  options.num_parts = 8;
+  const PartitionResult result = MetisPartition(graph, options);
+  // Community structure should let the partitioner find cuts several
+  // times better than random (random cuts ~ (1 - 1/k) of edges).
+  EXPECT_LT(result.edge_cut, RandomCut(graph, 8, 3) / 3);
+}
+
+}  // namespace
+}  // namespace largeea

@@ -1,0 +1,341 @@
+// Tests for src/partition: multilevel METIS, VPS, METIS-CPS, overlap.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "src/gen/benchmark_gen.h"
+#include "src/partition/metis.h"
+#include "src/partition/metis_cps.h"
+#include "src/partition/mini_batch.h"
+#include "src/partition/overlap.h"
+#include "src/partition/vps.h"
+
+namespace largeea {
+namespace {
+
+// Two dense cliques joined by a single bridge edge: the canonical
+// min-cut-obvious instance.
+CsrGraph TwoCliques(int32_t clique_size) {
+  std::vector<WeightedEdge> edges;
+  for (int32_t c = 0; c < 2; ++c) {
+    const int32_t base = c * clique_size;
+    for (int32_t i = 0; i < clique_size; ++i) {
+      for (int32_t j = i + 1; j < clique_size; ++j) {
+        edges.push_back({base + i, base + j, 1});
+      }
+    }
+  }
+  edges.push_back({0, clique_size, 1});  // bridge
+  return CsrGraph::FromEdges(2 * clique_size, edges);
+}
+
+TEST(MetisTest, FindsObviousBisection) {
+  const CsrGraph g = TwoCliques(20);
+  MetisOptions options;
+  options.num_parts = 2;
+  const PartitionResult result = MetisPartition(g, options);
+  EXPECT_EQ(result.edge_cut, 1);
+  // Each clique in one part.
+  for (int32_t v = 1; v < 20; ++v) {
+    EXPECT_EQ(result.assignment[v], result.assignment[0]);
+  }
+  for (int32_t v = 21; v < 40; ++v) {
+    EXPECT_EQ(result.assignment[v], result.assignment[20]);
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[20]);
+}
+
+TEST(MetisTest, RespectsBalanceOnRandomGraph) {
+  Rng rng(31);
+  std::vector<WeightedEdge> edges;
+  const int32_t n = 600;
+  for (int32_t i = 1; i < n; ++i) {
+    edges.push_back({i, static_cast<int32_t>(rng.Uniform(i)), 1});
+    edges.push_back({i, static_cast<int32_t>(rng.Uniform(i)), 1});
+  }
+  const CsrGraph g = CsrGraph::FromEdges(n, edges);
+  for (int32_t k : {2, 4, 8}) {
+    MetisOptions options;
+    options.num_parts = k;
+    options.imbalance = 0.10;
+    const PartitionResult result = MetisPartition(g, options);
+    const auto weights = PartWeights(g, result.assignment, k);
+    const int64_t ideal = n / k;
+    for (const int64_t w : weights) {
+      EXPECT_GT(w, 0) << "empty part at k=" << k;
+      EXPECT_LE(w, static_cast<int64_t>(1.25 * ideal) + 1)
+          << "overweight part at k=" << k;
+    }
+    EXPECT_EQ(ComputeEdgeCut(g, result.assignment), result.edge_cut);
+  }
+}
+
+TEST(MetisTest, SinglePartIsTrivial) {
+  const CsrGraph g = TwoCliques(5);
+  MetisOptions options;
+  options.num_parts = 1;
+  const PartitionResult result = MetisPartition(g, options);
+  EXPECT_EQ(result.edge_cut, 0);
+  for (const int32_t p : result.assignment) EXPECT_EQ(p, 0);
+}
+
+TEST(MetisTest, DeterministicInSeed) {
+  const CsrGraph g = TwoCliques(15);
+  MetisOptions options;
+  options.num_parts = 4;
+  options.seed = 77;
+  const PartitionResult a = MetisPartition(g, options);
+  const PartitionResult b = MetisPartition(g, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.edge_cut, b.edge_cut);
+}
+
+TEST(MetisTest, ZeroWeightEdgesAreFreeToCut) {
+  // Two pairs joined by a zero-weight edge: cutting it costs nothing.
+  const std::vector<WeightedEdge> edges{
+      {0, 1, 10}, {2, 3, 10}, {1, 2, 0}};
+  const CsrGraph g = CsrGraph::FromEdges(4, edges);
+  MetisOptions options;
+  options.num_parts = 2;
+  const PartitionResult result = MetisPartition(g, options);
+  EXPECT_EQ(result.edge_cut, 0);
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  EXPECT_EQ(result.assignment[2], result.assignment[3]);
+}
+
+TEST(MetisTest, HeavyEdgesAreKept) {
+  // A ring where two heavy edges must not be cut.
+  const std::vector<WeightedEdge> edges{
+      {0, 1, 100}, {1, 2, 1}, {2, 3, 100}, {3, 0, 1}};
+  const CsrGraph g = CsrGraph::FromEdges(4, edges);
+  MetisOptions options;
+  options.num_parts = 2;
+  const PartitionResult result = MetisPartition(g, options);
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  EXPECT_EQ(result.assignment[2], result.assignment[3]);
+  EXPECT_EQ(result.edge_cut, 2);
+}
+
+TEST(EdgeCutRateTest, CountsEdgesNotWeights) {
+  const std::vector<WeightedEdge> edges{{0, 1, 100}, {1, 2, 1}};
+  const CsrGraph g = CsrGraph::FromEdges(3, edges);
+  EXPECT_DOUBLE_EQ(EdgeCutRate(g, {0, 0, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(EdgeCutRate(g, {0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(EdgeCutRate(g, {0, 1, 0}), 1.0);
+}
+
+// Fixture with a generated cross-lingual dataset.
+class PartitionStrategyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BenchmarkSpec spec = Ids15kSpec(LanguagePair::kEnFr);
+    spec.world.num_entities = 1000;
+    dataset_ = new EaDataset(GenerateBenchmark(spec));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static const EaDataset& dataset() { return *dataset_; }
+
+ private:
+  static const EaDataset* dataset_;
+};
+
+const EaDataset* PartitionStrategyTest::dataset_ = nullptr;
+
+// Every entity appears in exactly one batch; batch seeds are consistent.
+void CheckBatchInvariants(const MiniBatchSet& batches, const EaDataset& ds) {
+  std::unordered_set<EntityId> source_seen, target_seen;
+  for (const MiniBatch& b : batches) {
+    for (const EntityId e : b.source_entities) {
+      EXPECT_TRUE(source_seen.insert(e).second) << "dup source " << e;
+    }
+    for (const EntityId e : b.target_entities) {
+      EXPECT_TRUE(target_seen.insert(e).second) << "dup target " << e;
+    }
+    const std::unordered_set<EntityId> bs(b.source_entities.begin(),
+                                          b.source_entities.end());
+    const std::unordered_set<EntityId> bt(b.target_entities.begin(),
+                                          b.target_entities.end());
+    for (const EntityPair& p : b.seeds) {
+      EXPECT_TRUE(bs.contains(p.source));
+      EXPECT_TRUE(bt.contains(p.target));
+    }
+  }
+  EXPECT_EQ(source_seen.size(),
+            static_cast<size_t>(ds.source.num_entities()));
+  EXPECT_EQ(target_seen.size(),
+            static_cast<size_t>(ds.target.num_entities()));
+}
+
+TEST_F(PartitionStrategyTest, VpsInvariantsAndSeedBalance) {
+  VpsOptions options;
+  options.num_batches = 5;
+  const MiniBatchSet batches = VpsPartition(
+      dataset().source, dataset().target, dataset().split.train, options);
+  ASSERT_EQ(batches.size(), 5u);
+  CheckBatchInvariants(batches, dataset());
+  // Every seed pair is preserved in some batch (VPS's defining property).
+  EXPECT_DOUBLE_EQ(
+      SameBatchFraction(batches, dataset().split.train,
+                        dataset().source.num_entities(),
+                        dataset().target.num_entities()),
+      1.0);
+  // Seeds are spread evenly: max/min batch seed counts within 1.
+  size_t min_seeds = SIZE_MAX, max_seeds = 0;
+  for (const MiniBatch& b : batches) {
+    min_seeds = std::min(min_seeds, b.seeds.size());
+    max_seeds = std::max(max_seeds, b.seeds.size());
+  }
+  EXPECT_LE(max_seeds - min_seeds, 1u);
+}
+
+TEST_F(PartitionStrategyTest, MetisCpsInvariants) {
+  MetisCpsOptions options;
+  options.num_batches = 4;
+  MetisCpsReport report;
+  const MiniBatchSet batches =
+      MetisCpsPartition(dataset().source, dataset().target,
+                        dataset().split.train, options, &report);
+  ASSERT_EQ(batches.size(), 4u);
+  CheckBatchInvariants(batches, dataset());
+  EXPECT_GT(report.source_edge_cut, 0);
+  EXPECT_GT(report.source_edge_cut_rate, 0.0);
+  EXPECT_LT(report.source_edge_cut_rate, 1.0);
+  EXPECT_LT(report.target_edge_cut_rate, 1.0);
+}
+
+TEST_F(PartitionStrategyTest, MetisCpsKeepsMostSeedsTogether) {
+  MetisCpsOptions options;
+  options.num_batches = 4;
+  const MiniBatchSet batches = MetisCpsPartition(
+      dataset().source, dataset().target, dataset().split.train, options);
+  const double train_fraction =
+      SameBatchFraction(batches, dataset().split.train,
+                        dataset().source.num_entities(),
+                        dataset().target.num_entities());
+  EXPECT_GT(train_fraction, 0.75);
+}
+
+TEST_F(PartitionStrategyTest, MetisCpsBeatsVpsOnTestRetention) {
+  const int32_t k = 4;
+  MetisCpsOptions cps_options;
+  cps_options.num_batches = k;
+  const MiniBatchSet cps = MetisCpsPartition(
+      dataset().source, dataset().target, dataset().split.train,
+      cps_options);
+  VpsOptions vps_options;
+  vps_options.num_batches = k;
+  const MiniBatchSet vps = VpsPartition(
+      dataset().source, dataset().target, dataset().split.train,
+      vps_options);
+  const auto& test = dataset().split.test;
+  const double cps_test =
+      SameBatchFraction(cps, test, dataset().source.num_entities(),
+                        dataset().target.num_entities());
+  const double vps_test =
+      SameBatchFraction(vps, test, dataset().source.num_entities(),
+                        dataset().target.num_entities());
+  // The paper's Table 5: METIS-CPS preserves unknown (test) equivalents
+  // far better than random partitioning (~1/K for VPS).
+  EXPECT_GT(cps_test, vps_test + 0.05);
+  EXPECT_NEAR(vps_test, 1.0 / k, 0.08);
+}
+
+TEST_F(PartitionStrategyTest, DisablingPhasesHurtsRetention) {
+  MetisCpsOptions full;
+  full.num_batches = 4;
+  MetisCpsOptions no_phase1 = full;
+  no_phase1.enable_phase1 = false;
+  const auto& ds = dataset();
+  const double with_p1 = SameBatchFraction(
+      MetisCpsPartition(ds.source, ds.target, ds.split.train, full),
+      ds.split.train, ds.source.num_entities(), ds.target.num_entities());
+  const double without_p1 = SameBatchFraction(
+      MetisCpsPartition(ds.source, ds.target, ds.split.train, no_phase1),
+      ds.split.train, ds.source.num_entities(), ds.target.num_entities());
+  EXPECT_GT(with_p1, without_p1);
+}
+
+TEST_F(PartitionStrategyTest, MultipleHubsAlsoWork) {
+  MetisCpsOptions options;
+  options.num_batches = 4;
+  options.hubs_per_group = 3;
+  const MiniBatchSet batches = MetisCpsPartition(
+      dataset().source, dataset().target, dataset().split.train, options);
+  CheckBatchInvariants(batches, dataset());
+  EXPECT_GT(SameBatchFraction(batches, dataset().split.train,
+                              dataset().source.num_entities(),
+                              dataset().target.num_entities()),
+            0.75);
+}
+
+TEST_F(PartitionStrategyTest, OverlapDegreeOneIsIdentity) {
+  VpsOptions options;
+  options.num_batches = 3;
+  const MiniBatchSet batches = VpsPartition(
+      dataset().source, dataset().target, dataset().split.train, options);
+  const MiniBatchSet overlapped =
+      MakeOverlappingBatches(batches, dataset().source, dataset().target, 1);
+  ASSERT_EQ(overlapped.size(), batches.size());
+  for (size_t i = 0; i < batches.size(); ++i) {
+    EXPECT_EQ(overlapped[i].source_entities, batches[i].source_entities);
+  }
+}
+
+TEST_F(PartitionStrategyTest, OverlapGrowsBatches) {
+  MetisCpsOptions options;
+  options.num_batches = 4;
+  const MiniBatchSet batches = MetisCpsPartition(
+      dataset().source, dataset().target, dataset().split.train, options);
+  const MiniBatchSet overlapped =
+      MakeOverlappingBatches(batches, dataset().source, dataset().target, 2);
+  ASSERT_EQ(overlapped.size(), batches.size());
+  int64_t base_total = 0, overlapped_total = 0;
+  for (size_t i = 0; i < batches.size(); ++i) {
+    base_total += static_cast<int64_t>(batches[i].source_entities.size());
+    overlapped_total +=
+        static_cast<int64_t>(overlapped[i].source_entities.size());
+    // Each overlapped batch contains its original batch.
+    EXPECT_GE(overlapped[i].source_entities.size(),
+              batches[i].source_entities.size());
+  }
+  EXPECT_GT(overlapped_total, base_total);
+  // Retention can only improve with overlap.
+  const double base_retention = SameBatchFraction(
+      batches, dataset().split.test, dataset().source.num_entities(),
+      dataset().target.num_entities());
+  const double overlap_retention = SameBatchFraction(
+      overlapped, dataset().split.test, dataset().source.num_entities(),
+      dataset().target.num_entities());
+  EXPECT_GE(overlap_retention, base_retention);
+}
+
+TEST(MiniBatchTest, SameBatchFractionEdgeCases) {
+  MiniBatchSet batches(2);
+  batches[0].source_entities = {0, 1};
+  batches[0].target_entities = {0};
+  batches[1].source_entities = {2};
+  batches[1].target_entities = {1, 2};
+  EXPECT_DOUBLE_EQ(SameBatchFraction(batches, {}, 3, 3), 0.0);
+  EXPECT_DOUBLE_EQ(SameBatchFraction(batches, {{0, 0}}, 3, 3), 1.0);
+  EXPECT_DOUBLE_EQ(SameBatchFraction(batches, {{0, 1}}, 3, 3), 0.0);
+  EXPECT_DOUBLE_EQ(SameBatchFraction(batches, {{0, 0}, {2, 2}, {1, 2}}, 3, 3),
+                   2.0 / 3.0);
+}
+
+TEST(MiniBatchTest, BatchSizes) {
+  MiniBatchSet batches(1);
+  batches[0].source_entities = {0, 1, 2};
+  batches[0].target_entities = {5};
+  const auto sizes = BatchSizes(batches);
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0].first, 3);
+  EXPECT_EQ(sizes[0].second, 1);
+}
+
+}  // namespace
+}  // namespace largeea

@@ -1,0 +1,337 @@
+// Tests for src/sim: sparse similarity matrix, top-k search, LSH.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+
+#include "src/la/ops.h"
+#include "src/sim/csls.h"
+#include "src/sim/sim_io.h"
+#include "src/sim/lsh.h"
+#include "src/sim/sparse_sim.h"
+#include "src/sim/topk_search.h"
+
+namespace largeea {
+namespace {
+
+TEST(SparseSimMatrixTest, AccumulateKeepsRowsSorted) {
+  SparseSimMatrix m(2, 10, 3);
+  m.Accumulate(0, 3, 0.5f);
+  m.Accumulate(0, 7, 0.9f);
+  m.Accumulate(0, 1, 0.7f);
+  const auto row = m.Row(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0].column, 7);
+  EXPECT_EQ(row[1].column, 1);
+  EXPECT_EQ(row[2].column, 3);
+}
+
+TEST(SparseSimMatrixTest, EvictsWeakestWhenFull) {
+  SparseSimMatrix m(1, 10, 2);
+  m.Accumulate(0, 1, 0.1f);
+  m.Accumulate(0, 2, 0.2f);
+  m.Accumulate(0, 3, 0.3f);  // evicts column 1
+  EXPECT_EQ(m.RankInRow(0, 1), 0);
+  EXPECT_EQ(m.RankInRow(0, 3), 1);
+  EXPECT_EQ(m.RankInRow(0, 2), 2);
+  m.Accumulate(0, 4, 0.05f);  // too weak to enter
+  EXPECT_EQ(m.RankInRow(0, 4), 0);
+}
+
+TEST(SparseSimMatrixTest, AccumulateAddsToExisting) {
+  SparseSimMatrix m(1, 10, 3);
+  m.Accumulate(0, 5, 0.4f);
+  m.Accumulate(0, 6, 0.5f);
+  m.Accumulate(0, 5, 0.3f);  // 5 now 0.7, overtakes 6
+  EXPECT_EQ(m.ArgmaxOfRow(0), 5);
+  EXPECT_EQ(m.RankInRow(0, 6), 2);
+}
+
+TEST(SparseSimMatrixTest, EmptyRowBehaviour) {
+  const SparseSimMatrix m(3, 3, 2);
+  EXPECT_EQ(m.ArgmaxOfRow(1), kInvalidEntity);
+  EXPECT_EQ(m.RankInRow(1, 0), 0);
+  EXPECT_EQ(m.TotalEntries(), 0);
+}
+
+TEST(SparseSimMatrixTest, ArgmaxPerColumn) {
+  SparseSimMatrix m(3, 3, 3);
+  m.Accumulate(0, 0, 0.9f);
+  m.Accumulate(1, 0, 0.5f);
+  m.Accumulate(2, 1, 0.7f);
+  const auto best = m.ArgmaxPerColumn();
+  EXPECT_EQ(best[0], 0);
+  EXPECT_EQ(best[1], 2);
+  EXPECT_EQ(best[2], kInvalidEntity);
+}
+
+TEST(SparseSimMatrixTest, FuseUnionsAndWeights) {
+  SparseSimMatrix a(1, 10, 5), b(1, 10, 5);
+  a.Accumulate(0, 1, 1.0f);
+  a.Accumulate(0, 2, 0.5f);
+  b.Accumulate(0, 2, 1.0f);
+  b.Accumulate(0, 3, 0.8f);
+  const SparseSimMatrix fused = a.Fuse(b, 1.0f, 0.5f, 5);
+  // 2: 0.5 + 0.5 = 1.0; 1: 1.0; 3: 0.4
+  EXPECT_EQ(fused.RankInRow(0, 3), 3);
+  const auto row = fused.Row(0);
+  ASSERT_EQ(row.size(), 3u);
+  float score2 = 0.0f;
+  for (const SimEntry& e : row) {
+    if (e.column == 2) score2 = e.score;
+  }
+  EXPECT_FLOAT_EQ(score2, 1.0f);
+}
+
+TEST(SparseSimMatrixTest, FuseTruncates) {
+  SparseSimMatrix a(1, 10, 5), b(1, 10, 5);
+  for (int i = 0; i < 5; ++i) a.Accumulate(0, i, 0.1f * (i + 1));
+  for (int i = 5; i < 10; ++i) b.Accumulate(0, i, 0.01f * (i + 1));
+  const SparseSimMatrix fused = a.Fuse(b, 1.0f, 1.0f, 4);
+  EXPECT_EQ(fused.Row(0).size(), 4u);
+  EXPECT_EQ(fused.ArgmaxOfRow(0), 4);  // highest from a
+}
+
+TEST(SparseSimMatrixTest, MemoryBytesTracksEntries) {
+  SparseSimMatrix m(2, 10, 0);
+  EXPECT_EQ(m.MemoryBytes(), 0);
+  m.Accumulate(0, 1, 1.0f);
+  m.Accumulate(1, 2, 1.0f);
+  EXPECT_EQ(m.MemoryBytes(),
+            static_cast<int64_t>(2 * sizeof(SimEntry)));
+}
+
+TEST(SparseSimMatrixTest, UnlimitedRowsWhenCapNonPositive) {
+  SparseSimMatrix m(1, 200, 0);
+  for (int i = 0; i < 100; ++i) m.Accumulate(0, i, 1.0f / (i + 1));
+  EXPECT_EQ(m.Row(0).size(), 100u);
+}
+
+TEST(CslsTest, RecentersByLocalMeans) {
+  SparseSimMatrix m(2, 3, 3);
+  m.Accumulate(0, 0, 1.0f);
+  m.Accumulate(0, 1, 0.5f);
+  m.Accumulate(1, 1, 0.9f);
+  const SparseSimMatrix rescaled = CslsRescale(m);
+  // Row 0 mean = 0.75; col 0 mean = 1.0; col 1 mean = (0.5+0.9)/2 = 0.7.
+  float score00 = 0, score01 = 0, score11 = 0;
+  for (const SimEntry& e : rescaled.Row(0)) {
+    if (e.column == 0) score00 = e.score;
+    if (e.column == 1) score01 = e.score;
+  }
+  for (const SimEntry& e : rescaled.Row(1)) {
+    if (e.column == 1) score11 = e.score;
+  }
+  EXPECT_NEAR(score00, 2.0f * 1.0f - 0.75f - 1.0f, 1e-5f);
+  EXPECT_NEAR(score01, 2.0f * 0.5f - 0.75f - 0.7f, 1e-5f);
+  EXPECT_NEAR(score11, 2.0f * 0.9f - 0.9f - 0.7f, 1e-5f);
+}
+
+TEST(CslsTest, PreservesWithinRowRanking) {
+  Rng rng(61);
+  SparseSimMatrix m(20, 30, 8);
+  for (int32_t r = 0; r < 20; ++r) {
+    for (int i = 0; i < 8; ++i) {
+      m.Accumulate(r, static_cast<EntityId>(rng.Uniform(30)),
+                   rng.UniformFloat());
+    }
+  }
+  const SparseSimMatrix rescaled = CslsRescale(m);
+  // CSLS shifts all entries of a row by the same row mean and differing
+  // column means; within-row *argmax* can legitimately change, but the
+  // entry set must be identical.
+  for (int32_t r = 0; r < 20; ++r) {
+    EXPECT_EQ(rescaled.Row(r).size(), m.Row(r).size());
+    for (const SimEntry& e : m.Row(r)) {
+      EXPECT_NE(rescaled.RankInRow(r, e.column), 0);
+    }
+  }
+}
+
+TEST(SimIoTest, RoundTripPreservesEverything) {
+  SparseSimMatrix m(3, 5, 4);
+  Rng rng(71);
+  for (int32_t r = 0; r < 3; ++r) {
+    for (int i = 0; i < 4; ++i) {
+      m.Accumulate(r, static_cast<EntityId>(rng.Uniform(5)),
+                   rng.UniformFloat() - 0.3f);  // include negative scores
+    }
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sim_io_test.tsv").string();
+  ASSERT_TRUE(SaveSimMatrix(m, path));
+  const auto loaded = LoadSimMatrix(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->num_rows(), m.num_rows());
+  ASSERT_EQ(loaded->num_cols(), m.num_cols());
+  ASSERT_EQ(loaded->max_entries_per_row(), m.max_entries_per_row());
+  for (int32_t r = 0; r < m.num_rows(); ++r) {
+    const auto a = m.Row(r);
+    const auto b = loaded->Row(r);
+    ASSERT_EQ(a.size(), b.size()) << "row " << r;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].column, b[i].column);
+      EXPECT_FLOAT_EQ(a[i].score, b[i].score);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SimIoTest, RejectsMalformedFiles) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sim_io_bad.tsv").string();
+  {
+    std::ofstream out(path);
+    out << "not-a-sim-file\n";
+  }
+  EXPECT_FALSE(LoadSimMatrix(path).has_value());
+  {
+    std::ofstream out(path);
+    out << "largeea-sim v1 2 2 2\n9\t0\t1.0\n";  // row out of range
+  }
+  EXPECT_FALSE(LoadSimMatrix(path).has_value());
+  EXPECT_FALSE(LoadSimMatrix("/nonexistent/sim.tsv").has_value());
+  std::remove(path.c_str());
+}
+
+// Brute-force reference for top-k.
+std::vector<int32_t> BruteTopK(const Matrix& a, int64_t row, const Matrix& b,
+                               int32_t k, SimMetric metric) {
+  std::vector<std::pair<float, int32_t>> scored;
+  for (int64_t j = 0; j < b.rows(); ++j) {
+    const float s =
+        metric == SimMetric::kManhattan
+            ? ManhattanSimilarity(
+                  ManhattanDistance(a.Row(row), b.Row(j), a.cols()))
+            : Dot(a.Row(row), b.Row(j), a.cols());
+    scored.emplace_back(-s, static_cast<int32_t>(j));
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<int32_t> ids;
+  for (int32_t i = 0; i < k; ++i) ids.push_back(scored[i].second);
+  return ids;
+}
+
+class TopKTest : public ::testing::TestWithParam<SimMetric> {};
+
+TEST_P(TopKTest, ExactMatchesBruteForce) {
+  Rng rng(41);
+  Matrix a(20, 8), b(50, 8);
+  a.GlorotInit(rng);
+  b.GlorotInit(rng);
+  const TopKOptions options{.k = 5, .metric = GetParam()};
+  const SparseSimMatrix result = ExactTopK(a, b, options);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const auto expected = BruteTopK(a, i, b, 5, GetParam());
+    const auto row = result.Row(static_cast<int32_t>(i));
+    ASSERT_EQ(row.size(), 5u);
+    // Same candidate set (ordering ties may differ).
+    std::vector<int32_t> got;
+    for (const SimEntry& e : row) got.push_back(e.column);
+    std::sort(got.begin(), got.end());
+    std::vector<int32_t> want = expected;
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, TopKTest,
+                         ::testing::Values(SimMetric::kManhattan,
+                                           SimMetric::kDot));
+
+TEST(TopKTest, IdMapsRespected) {
+  Rng rng(43);
+  Matrix a(3, 4), b(4, 4);
+  a.GlorotInit(rng);
+  b.GlorotInit(rng);
+  const std::vector<EntityId> row_ids{10, 20, 30};
+  const std::vector<EntityId> col_ids{5, 6, 7, 8};
+  SparseSimMatrix out(40, 10, 2);
+  ExactTopKInto(a, row_ids, b, col_ids, TopKOptions{.k = 2}, out);
+  EXPECT_EQ(out.Row(10).size(), 2u);
+  EXPECT_EQ(out.Row(20).size(), 2u);
+  EXPECT_EQ(out.Row(0).size(), 0u);
+  for (const SimEntry& e : out.Row(10)) {
+    EXPECT_GE(e.column, 5);
+    EXPECT_LE(e.column, 8);
+  }
+}
+
+TEST(LshTest, FindsIdenticalVectors) {
+  Rng rng(47);
+  Matrix data(200, 16);
+  data.GlorotInit(rng);
+  L2NormalizeRows(data);
+  const LshIndex index(data, LshOptions{.num_tables = 12,
+                                        .bits_per_table = 8,
+                                        .seed = 3});
+  // Querying with a stored vector must return it.
+  std::vector<int32_t> candidates;
+  int found = 0;
+  for (int32_t i = 0; i < 200; ++i) {
+    index.Query(data.Row(i), candidates);
+    if (std::find(candidates.begin(), candidates.end(), i) !=
+        candidates.end()) {
+      ++found;
+    }
+  }
+  EXPECT_EQ(found, 200);
+}
+
+TEST(LshTest, NearNeighborsRecall) {
+  Rng rng(53);
+  const int32_t n = 300, dim = 32;
+  Matrix base(n, dim), noisy(n, dim);
+  base.GlorotInit(rng);
+  L2NormalizeRows(base);
+  for (int32_t i = 0; i < n; ++i) {
+    for (int32_t d = 0; d < dim; ++d) {
+      noisy.At(i, d) =
+          base.At(i, d) + 0.05f * static_cast<float>(rng.Gaussian());
+    }
+  }
+  L2NormalizeRows(noisy);
+  const LshIndex index(base, LshOptions{.num_tables = 16,
+                                        .bits_per_table = 10,
+                                        .seed = 5});
+  std::vector<int32_t> candidates;
+  int recalled = 0;
+  for (int32_t i = 0; i < n; ++i) {
+    index.Query(noisy.Row(i), candidates);
+    if (std::find(candidates.begin(), candidates.end(), i) !=
+        candidates.end()) {
+      ++recalled;
+    }
+  }
+  // Slightly-perturbed points should collide nearly always.
+  EXPECT_GT(recalled, static_cast<int>(0.9 * n));
+}
+
+TEST(LshTest, LshTopKFindsPlantedMatches) {
+  Rng rng(59);
+  const int32_t n = 200, dim = 24;
+  Matrix target(n, dim);
+  target.GlorotInit(rng);
+  L2NormalizeRows(target);
+  Matrix source = target;  // exact copies: planted 1-1 matches
+  const LshIndex index(target, LshOptions{.num_tables = 12,
+                                          .bits_per_table = 10,
+                                          .seed = 7});
+  std::vector<EntityId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  SparseSimMatrix out(n, n, 5);
+  LshTopKInto(source, ids, target, ids, index,
+              TopKOptions{.k = 5, .metric = SimMetric::kManhattan}, out);
+  int hits = 0;
+  for (int32_t i = 0; i < n; ++i) {
+    if (out.ArgmaxOfRow(i) == i) ++hits;
+  }
+  EXPECT_GT(hits, static_cast<int>(0.95 * n));
+}
+
+}  // namespace
+}  // namespace largeea

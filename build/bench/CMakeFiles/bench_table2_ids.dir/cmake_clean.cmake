@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ids.dir/bench_table2_ids.cc.o"
+  "CMakeFiles/bench_table2_ids.dir/bench_table2_ids.cc.o.d"
+  "bench_table2_ids"
+  "bench_table2_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

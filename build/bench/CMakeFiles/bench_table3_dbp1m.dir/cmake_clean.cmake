@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_dbp1m.dir/bench_table3_dbp1m.cc.o"
+  "CMakeFiles/bench_table3_dbp1m.dir/bench_table3_dbp1m.cc.o.d"
+  "bench_table3_dbp1m"
+  "bench_table3_dbp1m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_dbp1m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_unsupervised.dir/bench_table4_unsupervised.cc.o"
+  "CMakeFiles/bench_table4_unsupervised.dir/bench_table4_unsupervised.cc.o.d"
+  "bench_table4_unsupervised"
+  "bench_table4_unsupervised.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_unsupervised.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/largeea_cli.dir/largeea_cli.cc.o"
+  "CMakeFiles/largeea_cli.dir/largeea_cli.cc.o.d"
+  "largeea_cli"
+  "largeea_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/largeea_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

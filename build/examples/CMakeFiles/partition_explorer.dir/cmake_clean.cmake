@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_explorer.dir/partition_explorer.cc.o"
+  "CMakeFiles/partition_explorer.dir/partition_explorer.cc.o.d"
+  "partition_explorer"
+  "partition_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

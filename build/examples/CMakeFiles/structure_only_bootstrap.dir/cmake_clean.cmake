@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structure_only_bootstrap.dir/structure_only_bootstrap.cc.o"
+  "CMakeFiles/structure_only_bootstrap.dir/structure_only_bootstrap.cc.o.d"
+  "structure_only_bootstrap"
+  "structure_only_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structure_only_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsupervised_alignment.dir/unsupervised_alignment.cc.o"
+  "CMakeFiles/unsupervised_alignment.dir/unsupervised_alignment.cc.o.d"
+  "unsupervised_alignment"
+  "unsupervised_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsupervised_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

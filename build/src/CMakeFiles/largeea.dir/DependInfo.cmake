@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baselines.cc" "src/CMakeFiles/largeea.dir/baselines/baselines.cc.o" "gcc" "src/CMakeFiles/largeea.dir/baselines/baselines.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/largeea.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/largeea.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/memory_tracker.cc" "src/CMakeFiles/largeea.dir/common/memory_tracker.cc.o" "gcc" "src/CMakeFiles/largeea.dir/common/memory_tracker.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/largeea.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/largeea.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/largeea.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/largeea.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/bootstrap.cc" "src/CMakeFiles/largeea.dir/core/bootstrap.cc.o" "gcc" "src/CMakeFiles/largeea.dir/core/bootstrap.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/CMakeFiles/largeea.dir/core/evaluator.cc.o" "gcc" "src/CMakeFiles/largeea.dir/core/evaluator.cc.o.d"
+  "/root/repo/src/core/large_ea.cc" "src/CMakeFiles/largeea.dir/core/large_ea.cc.o" "gcc" "src/CMakeFiles/largeea.dir/core/large_ea.cc.o.d"
+  "/root/repo/src/core/name_channel.cc" "src/CMakeFiles/largeea.dir/core/name_channel.cc.o" "gcc" "src/CMakeFiles/largeea.dir/core/name_channel.cc.o.d"
+  "/root/repo/src/core/structure_channel.cc" "src/CMakeFiles/largeea.dir/core/structure_channel.cc.o" "gcc" "src/CMakeFiles/largeea.dir/core/structure_channel.cc.o.d"
+  "/root/repo/src/gen/benchmark_gen.cc" "src/CMakeFiles/largeea.dir/gen/benchmark_gen.cc.o" "gcc" "src/CMakeFiles/largeea.dir/gen/benchmark_gen.cc.o.d"
+  "/root/repo/src/gen/name_model.cc" "src/CMakeFiles/largeea.dir/gen/name_model.cc.o" "gcc" "src/CMakeFiles/largeea.dir/gen/name_model.cc.o.d"
+  "/root/repo/src/gen/world_graph.cc" "src/CMakeFiles/largeea.dir/gen/world_graph.cc.o" "gcc" "src/CMakeFiles/largeea.dir/gen/world_graph.cc.o.d"
+  "/root/repo/src/graph/csr_graph.cc" "src/CMakeFiles/largeea.dir/graph/csr_graph.cc.o" "gcc" "src/CMakeFiles/largeea.dir/graph/csr_graph.cc.o.d"
+  "/root/repo/src/kg/alignment.cc" "src/CMakeFiles/largeea.dir/kg/alignment.cc.o" "gcc" "src/CMakeFiles/largeea.dir/kg/alignment.cc.o.d"
+  "/root/repo/src/kg/dataset.cc" "src/CMakeFiles/largeea.dir/kg/dataset.cc.o" "gcc" "src/CMakeFiles/largeea.dir/kg/dataset.cc.o.d"
+  "/root/repo/src/kg/kg_io.cc" "src/CMakeFiles/largeea.dir/kg/kg_io.cc.o" "gcc" "src/CMakeFiles/largeea.dir/kg/kg_io.cc.o.d"
+  "/root/repo/src/kg/knowledge_graph.cc" "src/CMakeFiles/largeea.dir/kg/knowledge_graph.cc.o" "gcc" "src/CMakeFiles/largeea.dir/kg/knowledge_graph.cc.o.d"
+  "/root/repo/src/la/matrix.cc" "src/CMakeFiles/largeea.dir/la/matrix.cc.o" "gcc" "src/CMakeFiles/largeea.dir/la/matrix.cc.o.d"
+  "/root/repo/src/la/ops.cc" "src/CMakeFiles/largeea.dir/la/ops.cc.o" "gcc" "src/CMakeFiles/largeea.dir/la/ops.cc.o.d"
+  "/root/repo/src/name/data_augmentation.cc" "src/CMakeFiles/largeea.dir/name/data_augmentation.cc.o" "gcc" "src/CMakeFiles/largeea.dir/name/data_augmentation.cc.o.d"
+  "/root/repo/src/name/levenshtein.cc" "src/CMakeFiles/largeea.dir/name/levenshtein.cc.o" "gcc" "src/CMakeFiles/largeea.dir/name/levenshtein.cc.o.d"
+  "/root/repo/src/name/minhash.cc" "src/CMakeFiles/largeea.dir/name/minhash.cc.o" "gcc" "src/CMakeFiles/largeea.dir/name/minhash.cc.o.d"
+  "/root/repo/src/name/nff.cc" "src/CMakeFiles/largeea.dir/name/nff.cc.o" "gcc" "src/CMakeFiles/largeea.dir/name/nff.cc.o.d"
+  "/root/repo/src/name/semantic_encoder.cc" "src/CMakeFiles/largeea.dir/name/semantic_encoder.cc.o" "gcc" "src/CMakeFiles/largeea.dir/name/semantic_encoder.cc.o.d"
+  "/root/repo/src/name/semantic_sim.cc" "src/CMakeFiles/largeea.dir/name/semantic_sim.cc.o" "gcc" "src/CMakeFiles/largeea.dir/name/semantic_sim.cc.o.d"
+  "/root/repo/src/name/string_sim.cc" "src/CMakeFiles/largeea.dir/name/string_sim.cc.o" "gcc" "src/CMakeFiles/largeea.dir/name/string_sim.cc.o.d"
+  "/root/repo/src/name/tokenizer.cc" "src/CMakeFiles/largeea.dir/name/tokenizer.cc.o" "gcc" "src/CMakeFiles/largeea.dir/name/tokenizer.cc.o.d"
+  "/root/repo/src/nn/adam.cc" "src/CMakeFiles/largeea.dir/nn/adam.cc.o" "gcc" "src/CMakeFiles/largeea.dir/nn/adam.cc.o.d"
+  "/root/repo/src/nn/aggregation.cc" "src/CMakeFiles/largeea.dir/nn/aggregation.cc.o" "gcc" "src/CMakeFiles/largeea.dir/nn/aggregation.cc.o.d"
+  "/root/repo/src/nn/batch_graph.cc" "src/CMakeFiles/largeea.dir/nn/batch_graph.cc.o" "gcc" "src/CMakeFiles/largeea.dir/nn/batch_graph.cc.o.d"
+  "/root/repo/src/nn/gcn_align.cc" "src/CMakeFiles/largeea.dir/nn/gcn_align.cc.o" "gcc" "src/CMakeFiles/largeea.dir/nn/gcn_align.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/largeea.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/largeea.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/negative_sampler.cc" "src/CMakeFiles/largeea.dir/nn/negative_sampler.cc.o" "gcc" "src/CMakeFiles/largeea.dir/nn/negative_sampler.cc.o.d"
+  "/root/repo/src/nn/rrea.cc" "src/CMakeFiles/largeea.dir/nn/rrea.cc.o" "gcc" "src/CMakeFiles/largeea.dir/nn/rrea.cc.o.d"
+  "/root/repo/src/nn/transe.cc" "src/CMakeFiles/largeea.dir/nn/transe.cc.o" "gcc" "src/CMakeFiles/largeea.dir/nn/transe.cc.o.d"
+  "/root/repo/src/partition/metis.cc" "src/CMakeFiles/largeea.dir/partition/metis.cc.o" "gcc" "src/CMakeFiles/largeea.dir/partition/metis.cc.o.d"
+  "/root/repo/src/partition/metis_cps.cc" "src/CMakeFiles/largeea.dir/partition/metis_cps.cc.o" "gcc" "src/CMakeFiles/largeea.dir/partition/metis_cps.cc.o.d"
+  "/root/repo/src/partition/mini_batch.cc" "src/CMakeFiles/largeea.dir/partition/mini_batch.cc.o" "gcc" "src/CMakeFiles/largeea.dir/partition/mini_batch.cc.o.d"
+  "/root/repo/src/partition/overlap.cc" "src/CMakeFiles/largeea.dir/partition/overlap.cc.o" "gcc" "src/CMakeFiles/largeea.dir/partition/overlap.cc.o.d"
+  "/root/repo/src/partition/vps.cc" "src/CMakeFiles/largeea.dir/partition/vps.cc.o" "gcc" "src/CMakeFiles/largeea.dir/partition/vps.cc.o.d"
+  "/root/repo/src/sim/csls.cc" "src/CMakeFiles/largeea.dir/sim/csls.cc.o" "gcc" "src/CMakeFiles/largeea.dir/sim/csls.cc.o.d"
+  "/root/repo/src/sim/lsh.cc" "src/CMakeFiles/largeea.dir/sim/lsh.cc.o" "gcc" "src/CMakeFiles/largeea.dir/sim/lsh.cc.o.d"
+  "/root/repo/src/sim/sim_io.cc" "src/CMakeFiles/largeea.dir/sim/sim_io.cc.o" "gcc" "src/CMakeFiles/largeea.dir/sim/sim_io.cc.o.d"
+  "/root/repo/src/sim/sinkhorn.cc" "src/CMakeFiles/largeea.dir/sim/sinkhorn.cc.o" "gcc" "src/CMakeFiles/largeea.dir/sim/sinkhorn.cc.o.d"
+  "/root/repo/src/sim/sparse_sim.cc" "src/CMakeFiles/largeea.dir/sim/sparse_sim.cc.o" "gcc" "src/CMakeFiles/largeea.dir/sim/sparse_sim.cc.o.d"
+  "/root/repo/src/sim/topk_search.cc" "src/CMakeFiles/largeea.dir/sim/topk_search.cc.o" "gcc" "src/CMakeFiles/largeea.dir/sim/topk_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

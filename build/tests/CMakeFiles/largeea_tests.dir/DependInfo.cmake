@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/largeea_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/largeea_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/largeea_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/largeea_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/largeea_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/largeea_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/largeea_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/largeea_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/gen_test.cc" "tests/CMakeFiles/largeea_tests.dir/gen_test.cc.o" "gcc" "tests/CMakeFiles/largeea_tests.dir/gen_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/largeea_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/largeea_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/largeea_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/largeea_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/kg_test.cc" "tests/CMakeFiles/largeea_tests.dir/kg_test.cc.o" "gcc" "tests/CMakeFiles/largeea_tests.dir/kg_test.cc.o.d"
+  "/root/repo/tests/la_test.cc" "tests/CMakeFiles/largeea_tests.dir/la_test.cc.o" "gcc" "tests/CMakeFiles/largeea_tests.dir/la_test.cc.o.d"
+  "/root/repo/tests/metis_property_test.cc" "tests/CMakeFiles/largeea_tests.dir/metis_property_test.cc.o" "gcc" "tests/CMakeFiles/largeea_tests.dir/metis_property_test.cc.o.d"
+  "/root/repo/tests/name_test.cc" "tests/CMakeFiles/largeea_tests.dir/name_test.cc.o" "gcc" "tests/CMakeFiles/largeea_tests.dir/name_test.cc.o.d"
+  "/root/repo/tests/nn_test.cc" "tests/CMakeFiles/largeea_tests.dir/nn_test.cc.o" "gcc" "tests/CMakeFiles/largeea_tests.dir/nn_test.cc.o.d"
+  "/root/repo/tests/partition_test.cc" "tests/CMakeFiles/largeea_tests.dir/partition_test.cc.o" "gcc" "tests/CMakeFiles/largeea_tests.dir/partition_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/largeea_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/largeea_tests.dir/sim_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/largeea.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/largeea_tests.dir/baselines_test.cc.o"
+  "CMakeFiles/largeea_tests.dir/baselines_test.cc.o.d"
+  "CMakeFiles/largeea_tests.dir/common_test.cc.o"
+  "CMakeFiles/largeea_tests.dir/common_test.cc.o.d"
+  "CMakeFiles/largeea_tests.dir/core_test.cc.o"
+  "CMakeFiles/largeea_tests.dir/core_test.cc.o.d"
+  "CMakeFiles/largeea_tests.dir/extensions_test.cc.o"
+  "CMakeFiles/largeea_tests.dir/extensions_test.cc.o.d"
+  "CMakeFiles/largeea_tests.dir/gen_test.cc.o"
+  "CMakeFiles/largeea_tests.dir/gen_test.cc.o.d"
+  "CMakeFiles/largeea_tests.dir/graph_test.cc.o"
+  "CMakeFiles/largeea_tests.dir/graph_test.cc.o.d"
+  "CMakeFiles/largeea_tests.dir/integration_test.cc.o"
+  "CMakeFiles/largeea_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/largeea_tests.dir/kg_test.cc.o"
+  "CMakeFiles/largeea_tests.dir/kg_test.cc.o.d"
+  "CMakeFiles/largeea_tests.dir/la_test.cc.o"
+  "CMakeFiles/largeea_tests.dir/la_test.cc.o.d"
+  "CMakeFiles/largeea_tests.dir/metis_property_test.cc.o"
+  "CMakeFiles/largeea_tests.dir/metis_property_test.cc.o.d"
+  "CMakeFiles/largeea_tests.dir/name_test.cc.o"
+  "CMakeFiles/largeea_tests.dir/name_test.cc.o.d"
+  "CMakeFiles/largeea_tests.dir/nn_test.cc.o"
+  "CMakeFiles/largeea_tests.dir/nn_test.cc.o.d"
+  "CMakeFiles/largeea_tests.dir/partition_test.cc.o"
+  "CMakeFiles/largeea_tests.dir/partition_test.cc.o.d"
+  "CMakeFiles/largeea_tests.dir/sim_test.cc.o"
+  "CMakeFiles/largeea_tests.dir/sim_test.cc.o.d"
+  "largeea_tests"
+  "largeea_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/largeea_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -6,7 +6,8 @@
 // in the structure channel. The paper's claim is near-linear growth of
 // every component.
 //
-// Flags: --pair (default enfr), --scale, --epochs.
+// Flags: --pair (default enfr), --scale, --epochs, --json-out
+// (machine-readable rows alongside the printed table).
 #include <cstdio>
 #include <vector>
 
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
   const double scale = flags.GetDouble("scale", 1.0);
   const auto epochs = static_cast<int32_t>(flags.GetInt("epochs", 40));
   const LanguagePair pair = SelectedPairs(flags).front();
+  BenchJson json(flags, "fig4_scalability");
 
   std::printf("=== Figure 4: Scalability analysis vs. data size ===\n");
   std::printf("%-12s %10s | %10s %10s %12s %12s\n", "Dataset", "#entities",
@@ -72,6 +74,14 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
     std::fflush(stdout);
+    BenchJson::Row row;
+    row.Set("dataset", point.label)
+        .Set("entities", static_cast<int64_t>(entities))
+        .Set("sens_seconds", result.name_channel.nff.sens_seconds)
+        .Set("stns_seconds", result.name_channel.nff.stns_seconds)
+        .Set("partition_seconds", result.structure_channel.partition_seconds)
+        .Set("training_seconds", result.structure_channel.training_seconds);
+    json.Add(std::move(row));
     prev_entities = entities;
     prev_total = total;
   }

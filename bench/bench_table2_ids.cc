@@ -12,7 +12,8 @@
 // fraction of the memory and beat every structural competitor; RREA
 // cannot run IDS100K.
 //
-// Flags: --scale, --pair, --epochs (structural epochs), --skip_baselines.
+// Flags: --scale, --pair, --epochs (structural epochs), --skip_baselines,
+// --json-out (machine-readable rows alongside the printed table).
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -31,7 +32,8 @@ void PrintHeader() {
   PrintRule();
 }
 
-void PrintMetricsRow(const std::string& name, const EvalMetrics& metrics,
+void PrintMetricsRow(BenchJson& json, const std::string& dataset,
+                     const std::string& name, const EvalMetrics& metrics,
                      double seconds, int64_t bytes,
                      const std::string& paper_note) {
   std::printf("%-22s %6.1f %6.1f %6.3f %9.2f %10s %12s\n", name.c_str(),
@@ -39,9 +41,20 @@ void PrintMetricsRow(const std::string& name, const EvalMetrics& metrics,
               metrics.mrr, seconds, FormatBytes(bytes).c_str(),
               paper_note.c_str());
   std::fflush(stdout);
+  BenchJson::Row row;
+  row.Set("dataset", dataset)
+      .Set("method", name)
+      .Set("hits_at_1", metrics.hits_at_1)
+      .Set("hits_at_5", metrics.hits_at_5)
+      .Set("mrr", metrics.mrr)
+      .Set("seconds", seconds)
+      .Set("peak_bytes", bytes)
+      .Set("paper_note", paper_note);
+  json.Add(std::move(row));
 }
 
-void RunLargeEaRows(Tier tier, const EaDataset& dataset,
+void RunLargeEaRows(BenchJson& json, Tier tier, const EaDataset& dataset,
+                    const std::string& dataset_name,
                     const std::string& direction, int32_t epochs) {
   for (const ModelKind model : {ModelKind::kGcnAlign, ModelKind::kRrea}) {
     const LargeEaOptions options =
@@ -51,8 +64,8 @@ void RunLargeEaRows(Tier tier, const EaDataset& dataset,
     const std::string name =
         std::string(model == ModelKind::kGcnAlign ? "LargeEA-G" : "LargeEA-R") +
         " " + direction;
-    PrintMetricsRow(name, result.metrics, timer.Seconds(),
-                    result.peak_bytes, "fits");
+    PrintMetricsRow(json, dataset_name, name, result.metrics,
+                    timer.Seconds(), result.peak_bytes, "fits");
   }
 }
 
@@ -63,6 +76,7 @@ int main(int argc, char** argv) {
   const double scale = flags.GetDouble("scale", 0.75);
   const auto epochs = static_cast<int32_t>(flags.GetInt("epochs", 60));
   const bool skip_baselines = flags.GetBool("skip_baselines", false);
+  BenchJson json(flags, "table2_ids");
 
   std::printf("=== Table 2: Overall EA results on IDS15K and IDS100K ===\n");
   for (const Tier tier : {Tier::kIds15k, Tier::kIds100k}) {
@@ -98,18 +112,25 @@ int main(int argc, char** argv) {
                         BaselineKindName(kind), "-", "-", "-", "-", "-",
                         (std::string(note) + " OOM").c_str());
             std::fflush(stdout);
+            BenchJson::Row row;
+            row.Set("dataset", dataset.name)
+                .Set("method", BaselineKindName(kind))
+                .Set("oom", true)
+                .Set("paper_note", std::string(note) + " OOM");
+            json.Add(std::move(row));
             continue;
           }
           const BaselineResult result =
               RunBaseline(kind, dataset, baseline_options);
-          PrintMetricsRow(result.name, result.metrics, result.seconds,
-                          result.peak_bytes, note);
+          PrintMetricsRow(json, dataset.name, result.name, result.metrics,
+                          result.seconds, result.peak_bytes, note);
         }
       }
 
       // LargeEA in both directions.
-      RunLargeEaRows(tier, dataset, "EN->L", epochs);
-      RunLargeEaRows(tier, dataset.Reversed(), "L->EN", epochs);
+      RunLargeEaRows(json, tier, dataset, dataset.name, "EN->L", epochs);
+      RunLargeEaRows(json, tier, dataset.Reversed(), dataset.name, "L->EN",
+                     epochs);
     }
   }
   std::printf(

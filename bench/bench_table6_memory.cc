@@ -9,7 +9,8 @@
 // configuration that dies on real hardware (we report its paper-scale
 // estimate next to the measured value).
 //
-// Flags: --scale, --pair, --epochs, --skip_whole (skip w/o-partition runs).
+// Flags: --scale, --pair, --epochs, --skip_whole (skip w/o-partition
+// runs), --json-out (machine-readable rows alongside the printed table).
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
   const double scale = flags.GetDouble("scale", 0.8);
   const auto epochs = static_cast<int32_t>(flags.GetInt("epochs", 15));
   const bool skip_whole = flags.GetBool("skip_whole", false);
+  BenchJson json(flags, "table6_memory");
 
   std::printf("=== Table 6: The memory usage of LargeEA ===\n");
   std::printf("(structure channel cells: with METIS-CPS / without partition)\n");
@@ -85,6 +87,14 @@ int main(int argc, char** argv) {
                     static_cast<double>(g_whole) / g_batched);
       }
       std::fflush(stdout);
+      BenchJson::Row row;
+      row.Set("dataset", ds.name)
+          .Set("name_channel_peak_bytes", name.peak_bytes)
+          .Set("rrea_batched_peak_bytes", r_batched)
+          .Set("rrea_whole_peak_bytes", r_whole)
+          .Set("gcn_batched_peak_bytes", g_batched)
+          .Set("gcn_whole_peak_bytes", g_whole);
+      json.Add(std::move(row));
     }
   }
   std::printf(

@@ -10,11 +10,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/common/flags.h"
 #include "src/core/large_ea.h"
 #include "src/gen/benchmark_gen.h"
+#include "src/obs/json_writer.h"
 
 namespace largeea::bench {
 
@@ -91,18 +94,25 @@ inline LargeEaOptions DefaultOptions(Tier tier, const EaDataset& dataset,
   return options;
 }
 
-/// Formats bytes as "12.3MB".
+/// Formats bytes as "12.3MB" ("0B" for zero; negative values — e.g. a
+/// delta between two phases — keep their sign).
 inline std::string FormatBytes(int64_t bytes) {
+  // Negate in floating point so INT64_MIN cannot overflow.
+  const double magnitude =
+      bytes < 0 ? -static_cast<double>(bytes) : static_cast<double>(bytes);
+  const char* sign = bytes < 0 ? "-" : "";
   char buf[32];
-  if (bytes >= (1LL << 30)) {
-    std::snprintf(buf, sizeof(buf), "%.2fGB",
-                  static_cast<double>(bytes) / (1LL << 30));
-  } else if (bytes >= (1LL << 20)) {
-    std::snprintf(buf, sizeof(buf), "%.1fMB",
-                  static_cast<double>(bytes) / (1LL << 20));
+  if (magnitude >= static_cast<double>(1LL << 30)) {
+    std::snprintf(buf, sizeof(buf), "%s%.2fGB", sign,
+                  magnitude / (1LL << 30));
+  } else if (magnitude >= static_cast<double>(1LL << 20)) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fMB", sign,
+                  magnitude / (1LL << 20));
+  } else if (magnitude >= static_cast<double>(1LL << 10)) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fKB", sign,
+                  magnitude / (1LL << 10));
   } else {
-    std::snprintf(buf, sizeof(buf), "%.1fKB",
-                  static_cast<double>(bytes) / (1LL << 10));
+    std::snprintf(buf, sizeof(buf), "%s%.0fB", sign, magnitude);
   }
   return buf;
 }
@@ -112,6 +122,93 @@ inline void PrintRule(int width = 100) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+/// Machine-readable twin of a bench's printed table (--json-out=FILE).
+///
+/// Every PrintMetricsRow-style call also adds a flat JSON object here;
+/// on destruction (or an explicit Write()) the collected rows land at
+/// the --json-out path as {"bench": ..., "schema_version": 1,
+/// "rows": [...]}, ready for the BENCH_*.json perf trajectory. With no
+/// --json-out flag the collector is inert.
+class BenchJson {
+ public:
+  /// One table row under construction. Set() calls may repeat keys only
+  /// by caller error; values are written in call order.
+  class Row {
+   public:
+    Row() { writer_.BeginObject(); }
+    Row& Set(std::string_view key, std::string_view value) {
+      writer_.Key(key).String(value);
+      return *this;
+    }
+    Row& Set(std::string_view key, const char* value) {
+      return Set(key, std::string_view(value));
+    }
+    Row& Set(std::string_view key, double value) {
+      writer_.Key(key).Double(value);
+      return *this;
+    }
+    Row& Set(std::string_view key, int64_t value) {
+      writer_.Key(key).Int(value);
+      return *this;
+    }
+    Row& Set(std::string_view key, int value) {
+      return Set(key, static_cast<int64_t>(value));
+    }
+    Row& Set(std::string_view key, bool value) {
+      writer_.Key(key).Bool(value);
+      return *this;
+    }
+
+   private:
+    friend class BenchJson;
+    obs::JsonWriter writer_;
+  };
+
+  BenchJson(const Flags& flags, std::string bench_name)
+      : name_(std::move(bench_name)),
+        path_(flags.GetString("json-out", "")) {}
+
+  ~BenchJson() { Write(); }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(Row&& row) {
+    if (!enabled()) return;
+    row.writer_.EndObject();
+    rows_.push_back(row.writer_.str());
+  }
+
+  /// Writes the document now (idempotent; also called by the dtor).
+  void Write() {
+    if (!enabled() || written_) return;
+    written_ = true;
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").String(name_);
+    w.Key("schema_version").Int(1);
+    w.Key("rows").BeginArray();
+    for (const std::string& row : rows_) w.Raw(row);
+    w.EndArray();
+    w.EndObject();
+    if (obs::WriteStringToFile(path_, w.str())) {
+      std::fprintf(stderr, "wrote %zu rows to %s\n", rows_.size(),
+                   path_.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write --json-out=%s\n",
+                   path_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::vector<std::string> rows_;
+  bool written_ = false;
+};
 
 /// Language pairs selected by --pair=enfr|ende|both (default both).
 inline std::vector<LanguagePair> SelectedPairs(const Flags& flags) {

@@ -7,7 +7,12 @@
 //   largeea_cli align     --source A.tsv --target B.tsv --seeds S.tsv
 //                         [--test T.tsv] [--model rrea|gcn|transe]
 //                         [--batches K] [--epochs N] [--out pred.tsv]
-//       runs LargeEA, optionally evaluates and/or writes predictions
+//                         [--trace-out trace.json] [--report-out run.json]
+//                         [--log-level debug|info|warn|error|off]
+//       runs LargeEA, optionally evaluates and/or writes predictions;
+//       --trace-out saves a chrome://tracing timeline of the run and
+//       --report-out a structured JSON run report (see DESIGN.md
+//       "Observability")
 //
 //   largeea_cli partition --source A.tsv --target B.tsv --seeds S.tsv
 //                         [--batches K]
@@ -20,6 +25,9 @@
 #include "src/core/large_ea.h"
 #include "src/gen/benchmark_gen.h"
 #include "src/kg/kg_io.h"
+#include "src/obs/log.h"
+#include "src/obs/report.h"
+#include "src/obs/trace.h"
 #include "src/partition/metis_cps.h"
 #include "src/partition/vps.h"
 
@@ -106,7 +114,49 @@ int CmdGenerate(const Flags& flags) {
   return 0;
 }
 
+// Prints the per-phase wall-time/memory table and mirrors the same
+// numbers into `report`, so the printed table and the JSON report can
+// never disagree (they share one source: the result structs, which are
+// themselves filled from the instrumentation spans).
+void ReportPhases(const LargeEaResult& result, obs::RunReport& report) {
+  struct PhaseRow {
+    const char* name;
+    double seconds;
+    int64_t peak_bytes;  // -1 = not tracked for this phase
+  };
+  const PhaseRow rows[] = {
+      {"name_channel", result.name_channel.total_seconds,
+       result.name_channel.peak_bytes},
+      {"structure/partition", result.structure_channel.partition_seconds,
+       -1},
+      {"structure/train", result.structure_channel.training_seconds,
+       result.structure_channel.peak_training_bytes},
+  };
+  std::printf("%-22s %10s %12s\n", "Phase", "Time(s)", "PeakMem");
+  for (const PhaseRow& row : rows) {
+    char mem[32];
+    if (row.peak_bytes >= 0) {
+      std::snprintf(mem, sizeof(mem), "%.1fMB",
+                    static_cast<double>(row.peak_bytes) / (1 << 20));
+    } else {
+      std::snprintf(mem, sizeof(mem), "%s", "-");
+    }
+    std::printf("%-22s %10.3f %12s\n", row.name, row.seconds, mem);
+    report.AddPhase(row.name, row.seconds, row.peak_bytes);
+  }
+  std::printf("%-22s %10.3f %12.1fMB\n", "total", result.total_seconds,
+              static_cast<double>(result.peak_bytes) / (1 << 20));
+  report.SetTotal(result.total_seconds, result.peak_bytes);
+}
+
 int CmdAlign(const Flags& flags) {
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const std::string report_out = flags.GetString("report-out", "");
+  if (!trace_out.empty()) {
+    obs::TraceRecorder::Get().Clear();
+    obs::TraceRecorder::Get().Enable();
+  }
+
   const EaDataset dataset = LoadDatasetOrDie(flags, /*need_seeds=*/false);
   LargeEaOptions options;
   const std::string model = flags.GetString("model", "rrea");
@@ -127,6 +177,11 @@ int CmdAlign(const Flags& flags) {
                dataset.target.num_entities()) > 8000) {
     options.name_channel.nff.sens.use_lsh = true;
   }
+  LARGEEA_LOG_INFO("align: %d+%d entities, model=%s, batches=%d, epochs=%d",
+                   dataset.source.num_entities(),
+                   dataset.target.num_entities(), model.c_str(),
+                   options.structure_channel.num_batches,
+                   options.structure_channel.train.epochs);
 
   const LargeEaResult result = RunLargeEa(dataset, options);
   std::printf("pseudo seeds: %zu; effective seeds: %zu\n",
@@ -138,6 +193,38 @@ int CmdAlign(const Flags& flags) {
                 100 * result.metrics.hits_at_5, result.metrics.mrr,
                 static_cast<long>(result.metrics.num_test_pairs));
   }
+
+  obs::RunReport report;
+  report.SetTool("largeea_cli align");
+  report.SetDataset(dataset.name, dataset.source.num_entities(),
+                    dataset.target.num_entities(),
+                    dataset.source.num_triples(),
+                    dataset.target.num_triples(),
+                    static_cast<int64_t>(dataset.split.train.size()),
+                    static_cast<int64_t>(dataset.split.test.size()));
+  report.AddConfig("model", model);
+  report.AddConfig("batches",
+                   std::to_string(options.structure_channel.num_batches));
+  report.AddConfig("epochs",
+                   std::to_string(options.structure_channel.train.epochs));
+  ReportPhases(result, report);
+  if (result.metrics.num_test_pairs > 0) report.SetEval(result.metrics);
+  report.IngestMemoryPhases();
+  report.IngestTraceTotals();
+
+  if (!trace_out.empty()) {
+    if (!obs::TraceRecorder::Get().WriteChromeTrace(trace_out)) {
+      return Fail("failed to write --trace-out");
+    }
+    std::printf("wrote trace to %s\n", trace_out.c_str());
+  }
+  if (!report_out.empty()) {
+    if (!report.WriteJson(report_out)) {
+      return Fail("failed to write --report-out");
+    }
+    std::printf("wrote run report to %s\n", report_out.c_str());
+  }
+
   const std::string out = flags.GetString("out", "");
   if (!out.empty()) {
     EntityPairList predictions;
@@ -191,6 +278,16 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Flags flags(argc - 1, argv + 1);
+  const std::string log_level = flags.GetString("log-level", "");
+  if (!log_level.empty()) {
+    obs::LogLevel level;
+    if (!obs::ParseLogLevel(log_level, &level)) {
+      std::fprintf(stderr,
+                   "error: --log-level must be debug|info|warn|error|off\n");
+      return 2;
+    }
+    obs::SetLogLevel(level);
+  }
   if (command == "generate") return CmdGenerate(flags);
   if (command == "align") return CmdAlign(flags);
   if (command == "partition") return CmdPartition(flags);

@@ -11,10 +11,26 @@
 #define LARGEEA_COMMON_MEMORY_TRACKER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
 
 namespace largeea {
+
+/// A closed named phase: the peak tracked working set while it was open,
+/// plus its wall-clock duration. Phases nest and overlap freely — each
+/// one tracks its own peak independently of ResetPeak() and of other
+/// phases, so "name channel" and the enclosing "pipeline" both report
+/// correct peaks.
+struct MemoryPhase {
+  std::string name;
+  int64_t start_bytes = 0;  ///< live tracked bytes when the phase opened
+  int64_t peak_bytes = 0;   ///< max live tracked bytes while open
+  double seconds = 0.0;     ///< wall-clock duration of the phase
+};
 
 /// Process-wide tracker of bytes in registered large buffers.
 /// All methods are thread-safe.
@@ -38,11 +54,67 @@ class MemoryTracker {
   /// Sets the peak to the current live amount (start of a measured phase).
   void ResetPeak();
 
+  /// Opens a named phase and returns its handle. Prefer the RAII
+  /// MemoryPhaseScope (or obs::Span with kTrackMemory) over calling this
+  /// directly.
+  int32_t BeginPhase(std::string name);
+
+  /// Closes the phase, appends it to FinishedPhases(), and returns its
+  /// record. Each handle may be ended once.
+  MemoryPhase EndPhase(int32_t handle);
+
+  /// Phases closed since the last ClearFinishedPhases(), in close order.
+  std::vector<MemoryPhase> FinishedPhases() const;
+
+  /// Drops the finished-phase history (start of a fresh run).
+  void ClearFinishedPhases();
+
  private:
   MemoryTracker() = default;
 
   std::atomic<int64_t> current_{0};
   std::atomic<int64_t> peak_{0};
+
+  struct ActivePhase {
+    std::string name;
+    int64_t start_bytes = 0;
+    int64_t peak_bytes = 0;
+    std::chrono::steady_clock::time_point start;
+    bool open = false;
+  };
+  /// Open-phase count mirrored outside the mutex so Add() can skip the
+  /// lock entirely when no phase is active.
+  std::atomic<int32_t> open_phases_{0};
+  mutable std::mutex phase_mu_;
+  std::vector<ActivePhase> active_;    // indexed by handle
+  std::vector<MemoryPhase> finished_;
+};
+
+/// RAII wrapper around Begin/EndPhase.
+class MemoryPhaseScope {
+ public:
+  explicit MemoryPhaseScope(std::string name)
+      : handle_(MemoryTracker::Get().BeginPhase(std::move(name))) {}
+  ~MemoryPhaseScope() {
+    if (!ended_) End();
+  }
+
+  MemoryPhaseScope(const MemoryPhaseScope&) = delete;
+  MemoryPhaseScope& operator=(const MemoryPhaseScope&) = delete;
+
+  /// Closes the phase now and returns its record. Idempotent.
+  MemoryPhase End() {
+    if (!ended_) {
+      record_ = MemoryTracker::Get().EndPhase(handle_);
+      ended_ = true;
+    }
+    return record_;
+  }
+
+ private:
+  int32_t handle_;
+  bool ended_ = false;
+  MemoryPhase record_;
 };
 
 /// RAII registration of an externally-owned buffer with the tracker.

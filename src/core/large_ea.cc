@@ -1,8 +1,8 @@
 #include "src/core/large_ea.h"
 
 #include "src/common/macros.h"
-#include "src/common/memory_tracker.h"
-#include "src/common/timer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace largeea {
 
@@ -10,8 +10,9 @@ LargeEaResult RunLargeEa(const EaDataset& dataset,
                          const LargeEaOptions& options) {
   LARGEEA_CHECK(options.use_name_channel || options.use_structure_channel);
   LargeEaResult result;
-  Timer timer;
-  MemoryTracker::Get().ResetPeak();
+  // The pipeline span is the single source for total_seconds and
+  // peak_bytes; nested channel spans feed the same trace and report.
+  obs::Span pipeline_span("pipeline", obs::Span::kTrackMemory);
 
   // --- Name channel: M_n and pseudo seeds. ---
   if (options.use_name_channel) {
@@ -21,13 +22,17 @@ LargeEaResult RunLargeEa(const EaDataset& dataset,
   }
 
   // --- Seed augmentation: ψ' ← ψ' + ψ'_p. ---
-  result.effective_seeds = dataset.split.train;
-  result.effective_seeds.insert(result.effective_seeds.end(),
-                                result.name_channel.pseudo_seeds.begin(),
-                                result.name_channel.pseudo_seeds.end());
+  {
+    LARGEEA_TRACE_SPAN("pipeline/seed_augmentation");
+    result.effective_seeds = dataset.split.train;
+    result.effective_seeds.insert(result.effective_seeds.end(),
+                                  result.name_channel.pseudo_seeds.begin(),
+                                  result.name_channel.pseudo_seeds.end());
+  }
 
   // --- Structure channel: mini-batch training, M_s. ---
   if (options.use_structure_channel) {
+    LARGEEA_TRACE_SPAN("structure_channel");
     result.structure_channel =
         RunStructureChannel(dataset.source, dataset.target,
                             result.effective_seeds,
@@ -35,23 +40,32 @@ LargeEaResult RunLargeEa(const EaDataset& dataset,
   }
 
   // --- Channel fusion: M = M_s + M_n. ---
-  if (options.use_name_channel && options.use_structure_channel &&
-      !options.fuse_name_similarity) {
-    // "w/o name channel": DA already fed ψ'; only M_s is scored.
-    result.fused = result.structure_channel.similarity;
-  } else if (options.use_name_channel && options.use_structure_channel) {
-    result.fused = result.structure_channel.similarity.Fuse(
-        result.name_channel.nff.fused, options.structure_weight,
-        options.name_weight, options.fused_top_k);
-  } else if (options.use_structure_channel) {
-    result.fused = result.structure_channel.similarity;
-  } else {
-    result.fused = result.name_channel.nff.fused;
+  {
+    LARGEEA_TRACE_SPAN("pipeline/fusion");
+    if (options.use_name_channel && options.use_structure_channel &&
+        !options.fuse_name_similarity) {
+      // "w/o name channel": DA already fed ψ'; only M_s is scored.
+      result.fused = result.structure_channel.similarity;
+    } else if (options.use_name_channel && options.use_structure_channel) {
+      result.fused = result.structure_channel.similarity.Fuse(
+          result.name_channel.nff.fused, options.structure_weight,
+          options.name_weight, options.fused_top_k);
+    } else if (options.use_structure_channel) {
+      result.fused = result.structure_channel.similarity;
+    } else {
+      result.fused = result.name_channel.nff.fused;
+    }
   }
 
-  result.metrics = Evaluate(result.fused, dataset.split.test);
-  result.total_seconds = timer.Seconds();
-  result.peak_bytes = MemoryTracker::Get().PeakBytes();
+  {
+    LARGEEA_TRACE_SPAN("pipeline/evaluate");
+    result.metrics = Evaluate(result.fused, dataset.split.test);
+  }
+  result.total_seconds = pipeline_span.End();
+  result.peak_bytes = pipeline_span.peak_bytes();
+  obs::MetricsRegistry::Get()
+      .GetGauge("pipeline.effective_seeds")
+      .Set(static_cast<double>(result.effective_seeds.size()));
   return result;
 }
 

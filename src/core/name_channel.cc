@@ -1,7 +1,7 @@
 #include "src/core/name_channel.h"
 
-#include "src/common/memory_tracker.h"
-#include "src/common/timer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace largeea {
 
@@ -10,15 +10,19 @@ NameChannelResult RunNameChannel(const KnowledgeGraph& source,
                                  const EntityPairList& existing_seeds,
                                  const NameChannelOptions& options) {
   NameChannelResult result;
-  Timer timer;
-  MemoryTracker::Get().ResetPeak();
+  // Single timing/memory source for total_seconds and peak_bytes.
+  obs::Span channel_span("name_channel", obs::Span::kTrackMemory);
   result.nff = ComputeNameFeatures(source, target, options.nff);
   if (options.enable_augmentation) {
+    LARGEEA_TRACE_SPAN("name/augmentation");
     result.pseudo_seeds = GeneratePseudoSeeds(
         result.nff.fused, existing_seeds, options.augmentation_margin);
+    obs::MetricsRegistry::Get()
+        .GetGauge("name.pseudo_seeds")
+        .Set(static_cast<double>(result.pseudo_seeds.size()));
   }
-  result.total_seconds = timer.Seconds();
-  result.peak_bytes = MemoryTracker::Get().PeakBytes();
+  result.total_seconds = channel_span.End();
+  result.peak_bytes = channel_span.peak_bytes();
   return result;
 }
 

@@ -2,9 +2,10 @@
 
 #include <numeric>
 
-#include "src/common/memory_tracker.h"
 #include "src/common/rng.h"
-#include "src/common/timer.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/partition/overlap.h"
 #include "src/sim/csls.h"
 #include "src/sim/topk_search.h"
@@ -50,16 +51,32 @@ StructureChannelResult RunStructureChannel(
     const KnowledgeGraph& source, const KnowledgeGraph& target,
     const EntityPairList& seeds, const StructureChannelOptions& options) {
   StructureChannelResult result;
-  Timer timer;
-  result.batches = GenerateBatches(source, target, seeds, options);
-  if (options.overlap_degree > 1) {
-    result.batches = MakeOverlappingBatches(result.batches, source, target,
-                                            options.overlap_degree);
-  }
-  result.partition_seconds = timer.Seconds();
 
-  timer.Reset();
-  MemoryTracker::Get().ResetPeak();
+  // Partition phase. The span is the single timing source for
+  // partition_seconds (no separate Timer).
+  {
+    obs::Span partition_span("structure/partition");
+    partition_span.AddAttr("num_batches",
+                           static_cast<int64_t>(options.num_batches));
+    result.batches = GenerateBatches(source, target, seeds, options);
+    if (options.overlap_degree > 1) {
+      result.batches = MakeOverlappingBatches(result.batches, source, target,
+                                              options.overlap_degree);
+    }
+    result.partition_seconds = partition_span.End();
+  }
+
+  // Training phase: the memory-tracking span supplies both
+  // training_seconds and peak_training_bytes (Table-6 accounting).
+  obs::Span train_span("structure/train", obs::Span::kTrackMemory);
+  auto& registry = obs::MetricsRegistry::Get();
+  obs::Histogram& loss_hist = registry.GetHistogram(
+      "structure.batch_loss",
+      {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0});
+  obs::Histogram& epoch_hist = registry.GetHistogram(
+      "structure.epoch_seconds",
+      {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0});
+
   result.similarity = SparseSimMatrix(source.num_entities(),
                                       target.num_entities(), options.top_k);
   const std::unique_ptr<EaModel> model = MakeModel(options.model);
@@ -70,32 +87,62 @@ StructureChannelResult RunStructureChannel(
     const MiniBatch& batch = result.batches[b];
     if (batch.source_entities.size() < 2 ||
         batch.target_entities.size() < 2) {
+      registry.GetCounter("structure.batches_skipped").Increment();
       continue;
     }
-    const LocalGraph local_source =
-        BuildLocalGraph(source, batch.source_entities);
-    const LocalGraph local_target =
-        BuildLocalGraph(target, batch.target_entities);
+    obs::Span batch_span("structure/train_batch");
+    batch_span.AddAttr("batch", static_cast<int64_t>(b));
+    batch_span.AddAttr("source_entities",
+                       static_cast<int64_t>(batch.source_entities.size()));
+    batch_span.AddAttr("target_entities",
+                       static_cast<int64_t>(batch.target_entities.size()));
+    batch_span.AddAttr("seeds", static_cast<int64_t>(batch.seeds.size()));
+
+    LocalGraph local_source, local_target;
+    {
+      LARGEEA_TRACE_SPAN("structure/local_graph");
+      local_source = BuildLocalGraph(source, batch.source_entities);
+      local_target = BuildLocalGraph(target, batch.target_entities);
+    }
     const auto local_seeds =
         LocalizeSeeds(local_source, local_target, batch.seeds);
 
     TrainOptions train = options.train;
     train.seed = rng.Fork(b).Next();
-    const TrainedEmbeddings embeddings =
-        model->Train(local_source, local_target, local_seeds, train);
+    TrainedEmbeddings embeddings;
+    {
+      obs::Span model_span("structure/train_model");
+      embeddings = model->Train(local_source, local_target, local_seeds,
+                                train);
+      model_span.AddAttr("final_loss", embeddings.final_loss);
+      const double model_seconds = model_span.End();
+      loss_hist.Observe(embeddings.final_loss);
+      if (train.epochs > 0) {
+        epoch_hist.Observe(model_seconds / train.epochs);
+      }
+    }
+    registry.GetCounter("structure.batches_trained").Increment();
+    LARGEEA_LOG_DEBUG(
+        "batch %zu: %zu+%zu entities, %zu seeds, final loss %.4f", b,
+        batch.source_entities.size(), batch.target_entities.size(),
+        local_seeds.size(), embeddings.final_loss);
 
     // Similarity only *within* the batch: M_s stays block-diagonal, the
     // memory-saving property Section 2.2.2 highlights.
-    ExactTopKInto(embeddings.source, local_source.global_ids,
-                  embeddings.target, local_target.global_ids, topk,
-                  result.similarity);
+    {
+      LARGEEA_TRACE_SPAN("structure/topk");
+      ExactTopKInto(embeddings.source, local_source.global_ids,
+                    embeddings.target, local_target.global_ids, topk,
+                    result.similarity);
+    }
   }
   if (options.apply_csls) {
+    LARGEEA_TRACE_SPAN("structure/csls");
     result.similarity = CslsRescale(result.similarity);
   }
   result.similarity.RefreshMemoryTracking();
-  result.training_seconds = timer.Seconds();
-  result.peak_training_bytes = MemoryTracker::Get().PeakBytes();
+  result.training_seconds = train_span.End();
+  result.peak_training_bytes = train_span.peak_bytes();
   return result;
 }
 

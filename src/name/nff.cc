@@ -1,6 +1,6 @@
 #include "src/name/nff.h"
 
-#include "src/common/timer.h"
+#include "src/obs/trace.h"
 
 namespace largeea {
 
@@ -8,12 +8,20 @@ NffResult ComputeNameFeatures(const KnowledgeGraph& source,
                               const KnowledgeGraph& target,
                               const NffOptions& options) {
   NffResult result;
-  Timer timer;
-  result.semantic = ComputeSemanticSimilarity(source, target, options.sens);
-  result.sens_seconds = timer.Seconds();
-  timer.Reset();
-  result.string = ComputeStringSimilarity(source, target, options.stns);
-  result.stns_seconds = timer.Seconds();
+  {
+    obs::Span sens_span("name/sens");
+    sens_span.AddAttr("use_lsh",
+                      options.sens.use_lsh ? std::string("true")
+                                           : std::string("false"));
+    result.semantic = ComputeSemanticSimilarity(source, target, options.sens);
+    result.sens_seconds = sens_span.End();
+  }
+  {
+    obs::Span stns_span("name/stns");
+    result.string = ComputeStringSimilarity(source, target, options.stns);
+    result.stns_seconds = stns_span.End();
+  }
+  LARGEEA_TRACE_SPAN("name/fuse");
   result.fused = result.semantic.Fuse(result.string, 1.0f,
                                       options.string_weight,
                                       options.max_entries_per_row);

@@ -1,0 +1,184 @@
+// Minimal streaming JSON writer for the observability artifacts.
+//
+// Emits RFC 8259-conformant JSON: strings are escaped, non-finite doubles
+// degrade to null (JSON has no NaN/Inf), and commas/nesting are managed by
+// the writer so callers cannot produce structurally invalid output short
+// of mismatched Begin/End calls (which CHECK-fail).
+#ifndef LARGEEA_OBS_JSON_WRITER_H_
+#define LARGEEA_OBS_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/macros.h"
+
+namespace largeea::obs {
+
+/// Escapes `s` for inclusion in a JSON string literal (no quotes added).
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Streaming writer building a JSON document in memory.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() {
+    Prefix();
+    out_ += '{';
+    stack_.push_back(kObject);
+    return *this;
+  }
+
+  JsonWriter& EndObject() {
+    LARGEEA_CHECK(!stack_.empty() && stack_.back() == kObject);
+    stack_.pop_back();
+    out_ += '}';
+    return *this;
+  }
+
+  JsonWriter& BeginArray() {
+    Prefix();
+    out_ += '[';
+    stack_.push_back(kArray);
+    return *this;
+  }
+
+  JsonWriter& EndArray() {
+    LARGEEA_CHECK(!stack_.empty() && stack_.back() == kArray);
+    stack_.pop_back();
+    out_ += ']';
+    return *this;
+  }
+
+  /// Emits the key of the next object member.
+  JsonWriter& Key(std::string_view key) {
+    LARGEEA_CHECK(!stack_.empty() && stack_.back() == kObject);
+    Comma();
+    out_ += '"';
+    out_ += JsonEscape(key);
+    out_ += "\":";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& String(std::string_view value) {
+    Prefix();
+    out_ += '"';
+    out_ += JsonEscape(value);
+    out_ += '"';
+    return *this;
+  }
+
+  JsonWriter& Int(int64_t value) {
+    Prefix();
+    out_ += std::to_string(value);
+    return *this;
+  }
+
+  JsonWriter& Double(double value) {
+    Prefix();
+    if (!std::isfinite(value)) {
+      out_ += "null";  // JSON has no NaN/Inf
+      return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    out_ += buf;
+    return *this;
+  }
+
+  JsonWriter& Bool(bool value) {
+    Prefix();
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+
+  JsonWriter& Null() {
+    Prefix();
+    out_ += "null";
+    return *this;
+  }
+
+  /// Splices pre-serialized JSON (a complete value) into the stream.
+  JsonWriter& Raw(std::string_view json) {
+    Prefix();
+    out_ += json;
+    return *this;
+  }
+
+  /// The document so far. Valid JSON once every Begin has been Ended.
+  const std::string& str() const { return out_; }
+
+  /// True once all containers are closed (safe to write out).
+  bool complete() const { return stack_.empty() && !out_.empty(); }
+
+ private:
+  enum Scope : char { kObject, kArray };
+
+  // Comma bookkeeping shared by every value emitter: a value directly
+  // inside an array needs a separating comma; a value after Key() does not
+  // (Key already emitted its own comma).
+  void Prefix() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!stack_.empty() && stack_.back() == kArray) Comma();
+  }
+
+  void Comma() {
+    const char last = out_.empty() ? '\0' : out_.back();
+    if (last != '{' && last != '[' && last != '\0') out_ += ',';
+  }
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  bool pending_key_ = false;
+};
+
+/// Writes `json` to `path`. Returns false on I/O failure.
+inline bool WriteStringToFile(const std::string& path,
+                              const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  return written == json.size() && close_ok;
+}
+
+}  // namespace largeea::obs
+
+#endif  // LARGEEA_OBS_JSON_WRITER_H_

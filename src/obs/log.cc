@@ -1,0 +1,88 @@
+#include "src/obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace largeea::obs {
+namespace {
+
+std::atomic<int> log_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+double SecondsSinceStart() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Serialises whole lines; stderr interleaving across threads is otherwise
+// unspecified.
+std::mutex& LogMutex() {
+  static std::mutex* const mu = new std::mutex();
+  return *mu;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(log_level.load(std::memory_order_relaxed));
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  if (text == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (text == "info") {
+    *out = LogLevel::kInfo;
+  } else if (text == "warn") {
+    *out = LogLevel::kWarn;
+  } else if (text == "error") {
+    *out = LogLevel::kError;
+  } else if (text == "off") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void LogImpl(LogLevel level, const char* file, int line, const char* format,
+             ...) {
+  // Basename only: full paths push the message off the edge.
+  const char* base = std::strrchr(file, '/');
+  base = base == nullptr ? file : base + 1;
+
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fprintf(stderr, "[%-5s %9.3fs %s:%d] ", LevelName(level),
+               SecondsSinceStart(), base, line);
+  std::va_list args;
+  va_start(args, format);
+  std::vfprintf(stderr, format, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace largeea::obs

@@ -1,0 +1,55 @@
+// Leveled stderr logging for the binaries (--log-level=).
+//
+// The library stays quiet by default (level kWarn): benches own stdout
+// and their tables must not be interleaved with progress chatter. The
+// CLI and benches raise the level on request. Each line carries the
+// level, seconds since process start, and the call site, so a saved log
+// can be lined up against the trace timeline.
+#ifndef LARGEEA_OBS_LOG_H_
+#define LARGEEA_OBS_LOG_H_
+
+#include <string_view>
+
+namespace largeea::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Parses "debug|info|warn|error|off" (case-sensitive). Returns false —
+/// leaving `out` untouched — on anything else.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+
+/// Printf-style sink used by the LARGEEA_LOG_* macros.
+void LogImpl(LogLevel level, const char* file, int line, const char* format,
+             ...) __attribute__((format(printf, 4, 5)));
+
+/// True if a message at `level` would be emitted.
+inline bool LogEnabled(LogLevel level) { return level >= GetLogLevel(); }
+
+}  // namespace largeea::obs
+
+#define LARGEEA_LOG(level, ...)                                       \
+  do {                                                                \
+    if (::largeea::obs::LogEnabled(level)) {                          \
+      ::largeea::obs::LogImpl(level, __FILE__, __LINE__, __VA_ARGS__); \
+    }                                                                 \
+  } while (false)
+
+#define LARGEEA_LOG_DEBUG(...) \
+  LARGEEA_LOG(::largeea::obs::LogLevel::kDebug, __VA_ARGS__)
+#define LARGEEA_LOG_INFO(...) \
+  LARGEEA_LOG(::largeea::obs::LogLevel::kInfo, __VA_ARGS__)
+#define LARGEEA_LOG_WARN(...) \
+  LARGEEA_LOG(::largeea::obs::LogLevel::kWarn, __VA_ARGS__)
+#define LARGEEA_LOG_ERROR(...) \
+  LARGEEA_LOG(::largeea::obs::LogLevel::kError, __VA_ARGS__)
+
+#endif  // LARGEEA_OBS_LOG_H_

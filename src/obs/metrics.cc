@@ -1,0 +1,201 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/macros.h"
+#include "src/obs/json_writer.h"
+
+namespace largeea::obs {
+namespace {
+
+// Relaxed-atomic min/max via CAS; contention is negligible at the
+// per-observation rates the pipeline produces.
+void AtomicMin(std::atomic<double>& slot, double value) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (value < cur && !slot.compare_exchange_weak(cur, value)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& slot, double value) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (value > cur && !slot.compare_exchange_weak(cur, value)) {
+  }
+}
+
+// Default bucket ladder: powers of two from 1 to ~1e6 — a reasonable
+// spread for counts, milliseconds, and occupancies alike.
+std::vector<double> DefaultBounds() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= (1 << 20); b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1) {
+  LARGEEA_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    LARGEEA_CHECK_LT(bounds_[i - 1], bounds_[i]);
+  }
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20.
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  if (!has_value_.exchange(true)) {
+    // First observation seeds min/max; races with a concurrent second
+    // observation resolve through the CAS loops below.
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  }
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+int64_t Histogram::TotalCount() const {
+  int64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::Mean() const {
+  const int64_t n = TotalCount();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double Histogram::Min() const {
+  return has_value_.load() ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::Max() const {
+  return has_value_.load() ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::Percentile(double q) const {
+  const std::vector<int64_t> counts = BucketCounts();
+  int64_t total = 0;
+  for (const int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= target && counts[i] > 0) {
+      if (i == counts.size() - 1) return Max();  // overflow bucket
+      // Linear interpolation inside the bucket, clamped to the observed
+      // range so tiny histograms don't extrapolate past real data.
+      const double lower = i == 0 ? std::min(Min(), bounds_[0]) : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double frac =
+          counts[i] == 0
+              ? 0.0
+              : (target - cumulative) / static_cast<double>(counts[i]);
+      const double value = lower + frac * (upper - lower);
+      return std::clamp(value, Min(), Max());
+    }
+    cumulative = next;
+  }
+  return Max();
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> out(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  has_value_.store(false);
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  if (upper_bounds.empty()) upper_bounds = DefaultBounds();
+  return *histograms_
+              .emplace(std::string(name),
+                       std::make_unique<Histogram>(std::move(upper_bounds)))
+              .first->second;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, c] : counters_) {
+    w.Key(name).Int(c->Value());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, g] : gauges_) {
+    w.Key(name).Double(g->Value());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.Key(name).BeginObject();
+    w.Key("count").Int(h->TotalCount());
+    w.Key("sum").Double(h->Sum());
+    w.Key("mean").Double(h->Mean());
+    w.Key("min").Double(h->Min());
+    w.Key("max").Double(h->Max());
+    w.Key("p50").Double(h->Percentile(0.50));
+    w.Key("p90").Double(h->Percentile(0.90));
+    w.Key("p99").Double(h->Percentile(0.99));
+    w.Key("bounds").BeginArray();
+    for (const double b : h->bounds()) w.Double(b);
+    w.EndArray();
+    w.Key("buckets").BeginArray();
+    for (const int64_t c : h->BucketCounts()) w.Int(c);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace largeea::obs

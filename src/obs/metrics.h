@@ -1,0 +1,117 @@
+// Named counters, gauges, and fixed-bucket histograms.
+//
+// The registry is process-wide; instruments are created on first use and
+// live forever, so call sites can cache the returned reference (creation
+// takes a mutex, updates are atomic). Benches and the CLI snapshot the
+// registry into the run report; tests Reset() between cases.
+//
+// Instrument names use the same "/"-free dotted taxonomy as the span
+// names use slashes: "topk.exact.candidates_scanned",
+// "structure.batch_loss", "lsh.bucket_occupancy", ...
+#ifndef LARGEEA_OBS_METRICS_H_
+#define LARGEEA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace largeea::obs {
+
+/// Monotonically-increasing integer (events, items scanned, ...).
+class Counter {
+ public:
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-value-wins double (seed retention, configured batch count, ...).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations <= bounds[i];
+/// one implicit overflow bucket counts the rest. Thread-safe.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  int64_t TotalCount() const;
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  double Min() const;  ///< 0 when empty
+  double Max() const;  ///< 0 when empty
+
+  /// Estimated value at quantile `q` in [0, 1]: linear interpolation
+  /// inside the bucket containing the target rank; the overflow bucket
+  /// reports the observed max. Returns 0 when empty.
+  double Percentile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, bounds().size() + 1 entries (last = overflow).
+  std::vector<int64_t> BucketCounts() const;
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> has_value_{false};
+};
+
+/// Process-wide instrument registry.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  /// Returns the named instrument, creating it on first use. The
+  /// reference stays valid for the process lifetime.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// On first use, the histogram is created with `upper_bounds` (or
+  /// default powers-of-two buckets when empty); later calls ignore the
+  /// bounds argument.
+  Histogram& GetHistogram(std::string_view name,
+                          std::vector<double> upper_bounds = {});
+
+  /// Zeroes every registered instrument (registrations persist).
+  void Reset();
+
+  /// Serialises all instruments as a JSON object keyed by name.
+  std::string ToJson() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace largeea::obs
+
+#endif  // LARGEEA_OBS_METRICS_H_

@@ -5,6 +5,9 @@
 
 #include "src/common/macros.h"
 #include "src/common/rng.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace largeea {
 namespace {
@@ -62,8 +65,10 @@ MiniBatchSet PartitionAttempt(const KnowledgeGraph& source,
   MetisOptions source_metis = options.metis;
   source_metis.num_parts = k;
   source_metis.seed = rng.Next();
+  obs::Span source_span("partition/metis_source");
   const CsrGraph source_graph = source.ToUndirectedGraph();
   PartitionResult source_part = MetisPartition(source_graph, source_metis);
+  source_span.End();
 
   // --- Step 2: L_t^i — target counterparts per source part. ---
   // seed_group[t] = source part of the seed pair whose target is t,
@@ -77,6 +82,7 @@ MiniBatchSet PartitionAttempt(const KnowledgeGraph& source,
   }
 
   // --- Steps 3-4: reweight the target graph. ---
+  obs::Span reweight_span("partition/reweight_target");
   std::vector<WeightedEdge> target_edges;
   target_edges.reserve(target.triples().size() +
                        static_cast<size_t>(seeds.size()));
@@ -115,15 +121,20 @@ MiniBatchSet PartitionAttempt(const KnowledgeGraph& source,
     }
   }
 
+  reweight_span.End();
+
   // --- Step 5: METIS on the reweighted target graph. ---
   MetisOptions target_metis = options.metis;
   target_metis.num_parts = k;
   target_metis.seed = rng.Next();
+  obs::Span target_span("partition/metis_target");
   const CsrGraph target_graph =
       CsrGraph::FromEdges(target.num_entities(), target_edges);
   PartitionResult target_part = MetisPartition(target_graph, target_metis);
+  target_span.End();
 
   // --- Step 6: pair parts by shared seed count. ---
+  LARGEEA_TRACE_SPAN("partition/pair_parts");
   std::vector<std::vector<int64_t>> seed_counts(
       k, std::vector<int64_t>(k, 0));
   for (const EntityPair& p : seeds) {
@@ -171,6 +182,8 @@ MiniBatchSet MetisCpsPartition(const KnowledgeGraph& source,
                                const MetisCpsOptions& options,
                                MetisCpsReport* report) {
   const int32_t attempts = std::max(options.max_attempts, 1);
+  LARGEEA_TRACE_SPAN("partition/metis_cps");
+  auto& registry = obs::MetricsRegistry::Get();
   MiniBatchSet best;
   MetisCpsReport best_report;
   size_t best_captured = 0;
@@ -179,11 +192,17 @@ MiniBatchSet MetisCpsPartition(const KnowledgeGraph& source,
     MetisCpsOptions attempt_options = options;
     attempt_options.seed =
         options.seed + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(attempt);
+    obs::Span attempt_span("partition/attempt");
+    attempt_span.AddAttr("attempt", static_cast<int64_t>(attempt));
     MetisCpsReport attempt_report;
     MiniBatchSet batches = PartitionAttempt(source, target, seeds,
                                             attempt_options, &attempt_report);
     size_t captured = 0;
     for (const MiniBatch& b : batches) captured += b.seeds.size();
+    attempt_span.AddAttr("captured_seeds", static_cast<int64_t>(captured));
+    registry.GetCounter("partition.attempts").Increment();
+    LARGEEA_LOG_DEBUG("METIS-CPS attempt %d captured %zu/%zu seeds",
+                      attempt, captured, seeds.size());
     if (!have_best || captured > best_captured) {
       best = std::move(batches);
       best_report = attempt_report;
@@ -195,6 +214,11 @@ MiniBatchSet MetisCpsPartition(const KnowledgeGraph& source,
             0.9 * static_cast<double>(seeds.size())) {
       break;
     }
+  }
+  if (!seeds.empty()) {
+    registry.GetGauge("partition.seed_retention")
+        .Set(static_cast<double>(best_captured) /
+             static_cast<double>(seeds.size()));
   }
   if (report != nullptr) *report = best_report;
   return best;

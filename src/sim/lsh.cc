@@ -5,6 +5,8 @@
 #include "src/common/macros.h"
 #include "src/common/rng.h"
 #include "src/la/ops.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace largeea {
 
@@ -19,11 +21,25 @@ LshIndex::LshIndex(const Matrix& data, const LshOptions& options)
                    dim_);
   planes_.GaussianInit(rng, 1.0f);
 
+  obs::Span build_span("lsh/build_index");
+  build_span.AddAttr("num_tables", static_cast<int64_t>(options.num_tables));
+  build_span.AddAttr("bits_per_table",
+                     static_cast<int64_t>(options.bits_per_table));
   tables_.resize(options.num_tables);
   for (int32_t row = 0; row < data.rows(); ++row) {
     const float* vec = data.Row(row);
     for (int32_t t = 0; t < options.num_tables; ++t) {
       tables_[t][BucketKey(vec, t)].push_back(row);
+    }
+  }
+  // Bucket-occupancy histogram: the paper's Fig. 4 linearity argument
+  // rests on occupancy staying near-constant as the dataset grows.
+  obs::Histogram& occupancy = obs::MetricsRegistry::Get().GetHistogram(
+      "lsh.bucket_occupancy",
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0});
+  for (const auto& table : tables_) {
+    for (const auto& [key, rows] : table) {
+      occupancy.Observe(static_cast<double>(rows.size()));
     }
   }
 }
@@ -64,6 +80,8 @@ void LshIndex::Query(const float* vec,
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
+  // One relaxed add per query — negligible next to the bucket scans.
+  obs::MetricsRegistry::Get().GetCounter("lsh.queries").Increment();
 }
 
 }  // namespace largeea

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "src/common/macros.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace largeea {
 
@@ -11,6 +13,10 @@ SparseSimMatrix SinkhornNormalize(const SparseSimMatrix& m,
                                   const SinkhornOptions& options) {
   LARGEEA_CHECK_GT(options.temperature, 0.0f);
   LARGEEA_CHECK_GT(options.iterations, 0);
+  LARGEEA_TRACE_SPAN("sim/sinkhorn");
+  auto& registry = obs::MetricsRegistry::Get();
+  registry.GetCounter("sinkhorn.iterations").Add(options.iterations);
+  registry.GetCounter("sinkhorn.entries").Add(m.TotalEntries());
 
   // Work on a dense-by-row copy of the entries.
   struct Entry {

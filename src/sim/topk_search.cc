@@ -6,6 +6,8 @@
 
 #include "src/common/macros.h"
 #include "src/la/ops.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/lsh.h"
 
 namespace largeea {
@@ -68,6 +70,9 @@ void ExactTopKInto(const Matrix& source, std::span<const EntityId> row_ids,
 
   TopKHeap heap(options.k);
   for (int64_t i = 0; i < source.rows(); ++i) {
+    // Deliberately a hot-path no-op unless LARGEEA_OBS_HOT_TRACING is
+    // defined: per-row spans would dominate the scan they measure.
+    LARGEEA_TRACE_HOT_SPAN("topk/exact_row");
     heap.Clear();
     const float* src = source.Row(i);
     for (int64_t j = 0; j < target.rows(); ++j) {
@@ -78,6 +83,12 @@ void ExactTopKInto(const Matrix& source, std::span<const EntityId> row_ids,
       out.Accumulate(row_ids[i], col_ids[j], score);
     }
   }
+  // Counters are accumulated outside the loop: one atomic add per call,
+  // nothing per row or per candidate.
+  auto& registry = obs::MetricsRegistry::Get();
+  registry.GetCounter("topk.exact.rows").Add(source.rows());
+  registry.GetCounter("topk.exact.candidates_scanned")
+      .Add(source.rows() * target.rows());
 }
 
 SparseSimMatrix ExactTopK(const Matrix& source, const Matrix& target,
@@ -105,10 +116,13 @@ void LshTopKInto(const Matrix& source, std::span<const EntityId> row_ids,
 
   TopKHeap heap(options.k);
   std::vector<int32_t> candidates;
+  int64_t candidates_scanned = 0;
   for (int64_t i = 0; i < source.rows(); ++i) {
+    LARGEEA_TRACE_HOT_SPAN("topk/lsh_row");
     heap.Clear();
     const float* src = source.Row(i);
     index.Query(src, candidates);
+    candidates_scanned += static_cast<int64_t>(candidates.size());
     for (const int32_t j : candidates) {
       heap.Offer(j, ScorePair(src, target.Row(j), dim, options.metric));
     }
@@ -116,6 +130,9 @@ void LshTopKInto(const Matrix& source, std::span<const EntityId> row_ids,
       out.Accumulate(row_ids[i], col_ids[j], score);
     }
   }
+  auto& registry = obs::MetricsRegistry::Get();
+  registry.GetCounter("topk.lsh.rows").Add(source.rows());
+  registry.GetCounter("topk.lsh.candidates_scanned").Add(candidates_scanned);
 }
 
 }  // namespace largeea

@@ -1,0 +1,88 @@
+// Tests for bench/bench_util.h: byte formatting and the --json-out
+// machine-readable table twin.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace largeea::bench {
+namespace {
+
+TEST(FormatBytesTest, ZeroAndSmallValues) {
+  EXPECT_EQ(FormatBytes(0), "0B");
+  EXPECT_EQ(FormatBytes(1), "1B");
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(1023), "1023B");
+}
+
+TEST(FormatBytesTest, UnitThresholds) {
+  EXPECT_EQ(FormatBytes(1 << 10), "1.0KB");
+  EXPECT_EQ(FormatBytes(1536), "1.5KB");
+  EXPECT_EQ(FormatBytes(1 << 20), "1.0MB");
+  EXPECT_EQ(FormatBytes((1 << 20) + (1 << 19)), "1.5MB");
+  EXPECT_EQ(FormatBytes(1LL << 30), "1.00GB");
+  EXPECT_EQ(FormatBytes(5LL << 29), "2.50GB");
+}
+
+TEST(FormatBytesTest, NegativeValuesKeepSign) {
+  EXPECT_EQ(FormatBytes(-1), "-1B");
+  EXPECT_EQ(FormatBytes(-1536), "-1.5KB");
+  EXPECT_EQ(FormatBytes(-(1LL << 30)), "-1.00GB");
+}
+
+TEST(FormatBytesTest, Int64MinDoesNotOverflow) {
+  const std::string s = FormatBytes(std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(s.front(), '-');
+  EXPECT_EQ(s.substr(s.size() - 2), "GB");
+}
+
+TEST(BenchJsonTest, InertWithoutFlag) {
+  const char* argv[] = {"bench"};
+  const Flags flags(1, const_cast<char**>(argv));
+  BenchJson json(flags, "unit");
+  EXPECT_FALSE(json.enabled());
+  BenchJson::Row row;
+  row.Set("k", "v");
+  json.Add(std::move(row));  // dropped, no file written
+  json.Write();
+}
+
+TEST(BenchJsonTest, WritesRowsToFile) {
+  const std::string path =
+      ::testing::TempDir() + "/largeea_bench_json_test.json";
+  const std::string flag = "--json-out=" + path;
+  const char* argv[] = {"bench", flag.c_str()};
+  const Flags flags(2, const_cast<char**>(argv));
+  {
+    BenchJson json(flags, "unit_bench");
+    ASSERT_TRUE(json.enabled());
+    BenchJson::Row row;
+    row.Set("dataset", "IDS15K")
+        .Set("hits_at_1", 0.75)
+        .Set("peak_bytes", static_cast<int64_t>(1 << 20))
+        .Set("oom", false);
+    json.Add(std::move(row));
+    // Write happens in the destructor, as in the bench binaries.
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content(1 << 12, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  EXPECT_NE(content.find("\"bench\":\"unit_bench\""), std::string::npos);
+  EXPECT_NE(content.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(content.find("\"dataset\":\"IDS15K\""), std::string::npos);
+  EXPECT_NE(content.find("\"hits_at_1\":0.75"), std::string::npos);
+  EXPECT_NE(content.find("\"peak_bytes\":1048576"), std::string::npos);
+  EXPECT_NE(content.find("\"oom\":false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace largeea::bench

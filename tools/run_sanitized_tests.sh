@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the test suite with ASan+UBSan and runs it.
+#
+# The observability layer is the most concurrency-heavy part of the
+# library (atomic histogram updates, the span recorder, the phase-aware
+# MemoryTracker), so this script defaults to the obs/bench_util tests;
+# pass a gtest filter to widen or narrow the run:
+#
+#   tools/run_sanitized_tests.sh            # obs-focused suites
+#   tools/run_sanitized_tests.sh '*'        # everything
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-*Json*:*Trace*:*MemoryPhase*:*Metrics*:*RunReport*:*Log*:*FormatBytes*:*BenchJson*}"
+BUILD_DIR=build-sanitize
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DLARGEEA_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target largeea_tests
+
+ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+UBSAN_OPTIONS=print_stacktrace=1 \
+  "$BUILD_DIR/tests/largeea_tests" --gtest_filter="$FILTER"

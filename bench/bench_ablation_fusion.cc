@@ -42,14 +42,14 @@ int main(int argc, char** argv) {
   // Baseline configuration.
   const LargeEaOptions base =
       DefaultOptions(tier, dataset, ModelKind::kRrea, epochs);
-  const LargeEaResult with_csls = RunLargeEa(dataset, base);
+  const LargeEaResult with_csls = RunLargeEa(dataset, base).value();
   report("default (RREA, CSLS on M_s, argmax)", with_csls.metrics);
 
   {
     LargeEaOptions options = base;
     options.structure_channel.apply_csls = false;
     report("w/o CSLS on M_s",
-           RunLargeEa(dataset, options).metrics);
+           RunLargeEa(dataset, options).value().metrics);
   }
   {
     const SparseSimMatrix sinkhorn = SinkhornNormalize(with_csls.fused);
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
     char label[64];
     std::snprintf(label, sizeof(label), "NFF string weight gamma = %.2f",
                   gamma);
-    report(label, RunLargeEa(dataset, options).metrics);
+    report(label, RunLargeEa(dataset, options).value().metrics);
   }
   for (const ModelKind model :
        {ModelKind::kGcnAlign, ModelKind::kTransE}) {
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
     char label[64];
     std::snprintf(label, sizeof(label), "structural model = %s",
                   ModelKindName(model));
-    report(label, RunLargeEa(dataset, options).metrics);
+    report(label, RunLargeEa(dataset, options).value().metrics);
   }
 
   std::printf(

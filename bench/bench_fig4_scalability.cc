@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
     options.name_channel.nff.sens.lsh.bits_per_table = LshBitsForSize(
         std::max(dataset.source.num_entities(),
                  dataset.target.num_entities()));
-    const LargeEaResult result = RunLargeEa(dataset, options);
+    const LargeEaResult result = RunLargeEa(dataset, options).value();
 
     const double entities = dataset.source.num_entities() +
                             dataset.target.num_entities();

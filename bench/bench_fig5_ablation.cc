@@ -28,7 +28,7 @@ double RunWith(Tier tier, const EaDataset& dataset, int32_t epochs,
   options.fuse_name_similarity = fuse_name;
   options.use_structure_channel = structure_channel;
   options.name_channel.enable_augmentation = augment;
-  return RunLargeEa(dataset, options).metrics.hits_at_1;
+  return RunLargeEa(dataset, options).value().metrics.hits_at_1;
 }
 
 }  // namespace

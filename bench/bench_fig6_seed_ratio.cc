@@ -45,8 +45,10 @@ int main(int argc, char** argv) {
       options.num_batches = TierBatchCount(tier);
       options.train.epochs = epochs;
       Timer timer;
-      const StructureChannelResult result = RunStructureChannel(
-          dataset.source, dataset.target, dataset.split.train, options);
+      const StructureChannelResult result =
+          RunStructureChannel(dataset.source, dataset.target,
+                              dataset.split.train, options)
+              .value();
       secs[i] = timer.Seconds();
       h1[i] = Evaluate(result.similarity, dataset.split.test).hits_at_1;
     }

@@ -32,7 +32,8 @@ double StructureH1(const EaDataset& dataset, const EntityPairList& seeds,
   options.train.epochs = epochs;
   if (cps != nullptr) options.metis_cps = *cps;
   const StructureChannelResult result =
-      RunStructureChannel(dataset.source, dataset.target, seeds, options);
+      RunStructureChannel(dataset.source, dataset.target, seeds, options)
+          .value();
   return Evaluate(result.similarity, dataset.split.test).hits_at_1;
 }
 
@@ -66,8 +67,9 @@ int main(int argc, char** argv) {
     MetisCpsOptions cps_options;
     cps_options.num_batches = k;
     MetisCpsReport report;
-    MetisCpsPartition(dataset.source, dataset.target, seeds, cps_options,
-                      &report);
+    (void)MetisCpsPartition(dataset.source, dataset.target, seeds,
+                            cps_options, &report)
+        .value();
     const double cps_rec =
         0.5 * (report.source_edge_cut_rate + report.target_edge_cut_rate);
     // VPS R_ec: edges with endpoints in different random batches,

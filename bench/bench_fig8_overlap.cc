@@ -36,8 +36,10 @@ int main(int argc, char** argv) {
     options.num_batches = TierBatchCount(Tier::kIds15k);
     options.overlap_degree = d_ov;
     options.train.epochs = epochs;
-    const StructureChannelResult result = RunStructureChannel(
-        dataset.source, dataset.target, dataset.split.train, options);
+    const StructureChannelResult result =
+        RunStructureChannel(dataset.source, dataset.target,
+                            dataset.split.train, options)
+            .value();
     const double h1 =
         Evaluate(result.similarity, dataset.split.test).hits_at_1;
     int64_t total_entities = 0;

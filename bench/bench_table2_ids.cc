@@ -60,7 +60,7 @@ void RunLargeEaRows(BenchJson& json, Tier tier, const EaDataset& dataset,
     const LargeEaOptions options =
         DefaultOptions(tier, dataset, model, epochs);
     Timer timer;
-    const LargeEaResult result = RunLargeEa(dataset, options);
+    const LargeEaResult result = RunLargeEa(dataset, options).value();
     const std::string name =
         std::string(model == ModelKind::kGcnAlign ? "LargeEA-G" : "LargeEA-R") +
         " " + direction;

@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
       const LargeEaOptions options =
           DefaultOptions(Tier::kDbp1m, working, run.model, epochs);
       Timer timer;
-      const LargeEaResult result = RunLargeEa(working, options);
+      const LargeEaResult result = RunLargeEa(working, options).value();
       std::printf("%-22s %6.1f %6.1f %6.3f %9.2f %10s\n", run.label,
                   100.0 * result.metrics.hits_at_1,
                   100.0 * result.metrics.hits_at_5, result.metrics.mrr,

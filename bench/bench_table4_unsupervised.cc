@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
       const LargeEaOptions options =
           DefaultOptions(Tier::kDbp1m, working, run.model, epochs);
       Timer timer;
-      const LargeEaResult result = RunLargeEa(working, options);
+      const LargeEaResult result = RunLargeEa(working, options).value();
       if (!reported_da) {
         // Section 3.5's case-study numbers: pseudo-seed count + precision.
         const EntityPairList& truth = run.reversed

@@ -61,7 +61,8 @@ int main(int argc, char** argv) {
         cps_options.num_batches = k;
         const Fractions cps = Measure(
             MetisCpsPartition(ds.source, ds.target, ds.split.train,
-                              cps_options),
+                              cps_options)
+                .value(),
             ds);
         VpsOptions vps_options;
         vps_options.num_batches = k;

@@ -30,8 +30,9 @@ int64_t StructurePeak(Tier tier, const EaDataset& ds, ModelKind model,
   options.strategy = strategy;
   options.num_batches = TierBatchCount(tier);
   options.train.epochs = epochs;
-  const StructureChannelResult result = RunStructureChannel(
-      ds.source, ds.target, ds.split.train, options);
+  const StructureChannelResult result =
+      RunStructureChannel(ds.source, ds.target, ds.split.train, options)
+          .value();
   return result.peak_training_bytes;
 }
 
@@ -57,8 +58,10 @@ int main(int argc, char** argv) {
       if (ds.source.num_entities() > 8000) {
         name_options.nff.sens.use_lsh = true;
       }
-      const NameChannelResult name = RunNameChannel(
-          ds.source, ds.target, ds.split.train, name_options);
+      const NameChannelResult name =
+          RunNameChannel(ds.source, ds.target, ds.split.train,
+                         name_options)
+              .value();
 
       const int64_t r_batched = StructurePeak(
           tier, ds, ModelKind::kRrea, PartitionStrategy::kMetisCps, epochs);

@@ -23,24 +23,18 @@ namespace {
 EaDataset BuildDataset(const Flags& flags) {
   const std::string source_path = flags.GetString("source", "");
   if (!source_path.empty()) {
-    auto source = LoadTriples(source_path);
-    auto target = LoadTriples(flags.GetString("target", ""));
-    if (!source || !target) {
-      std::fprintf(stderr, "failed to load --source/--target triples\n");
+    EaDatasetPaths paths;
+    paths.source_triples = source_path;
+    paths.target_triples = flags.GetString("target", "");
+    paths.train_pairs = flags.GetString("seeds", "");
+    auto dataset = LoadEaDataset(paths, {}, "user-supplied");
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "failed to load dataset: %s\n",
+                   dataset.status().ToString().c_str());
       std::exit(1);
     }
-    EaDataset dataset;
-    dataset.name = "user-supplied";
-    dataset.source = std::move(*source);
-    dataset.target = std::move(*target);
-    const auto seeds = LoadAlignment(flags.GetString("seeds", ""),
-                                     dataset.source, dataset.target);
-    if (!seeds) {
-      std::fprintf(stderr, "failed to load --seeds alignment\n");
-      std::exit(1);
-    }
-    dataset.split.train = *seeds;  // everything supplied is training data
-    return dataset;
+    // Everything supplied is training data (no held-out test split).
+    return std::move(dataset).value();
   }
   const LanguagePair pair = flags.GetString("pair", "enfr") == "ende"
                                 ? LanguagePair::kEnDe
@@ -70,7 +64,7 @@ int main(int argc, char** argv) {
     options.name_channel.nff.sens.use_lsh = true;  // Faiss-style ANN path
   }
 
-  const LargeEaResult result = RunLargeEa(dataset, options);
+  const LargeEaResult result = RunLargeEa(dataset, options).value();
   std::printf("\nchannel breakdown:\n");
   std::printf("  SENS (semantic names): %.2fs, %ld candidates\n",
               result.name_channel.nff.sens_seconds,
@@ -103,7 +97,8 @@ int main(int argc, char** argv) {
       const EntityId t = result.fused.ArgmaxOfRow(s);
       if (t != kInvalidEntity) predictions.push_back(EntityPair{s, t});
     }
-    if (SaveAlignment(predictions, dataset.source, dataset.target, out)) {
+    if (SaveAlignment(predictions, dataset.source, dataset.target, out)
+            .ok()) {
       std::printf("wrote %zu predicted pairs to %s\n", predictions.size(),
                   out.c_str());
     } else {

@@ -9,10 +9,15 @@
 //                         [--batches K] [--epochs N] [--out pred.tsv]
 //                         [--trace-out trace.json] [--report-out run.json]
 //                         [--log-level debug|info|warn|error|off]
+//                         [--checkpoint-dir DIR] [--resume] [--strict-io]
 //       runs LargeEA, optionally evaluates and/or writes predictions;
 //       --trace-out saves a chrome://tracing timeline of the run and
 //       --report-out a structured JSON run report (see DESIGN.md
-//       "Observability")
+//       "Observability"); --checkpoint-dir persists per-phase
+//       checkpoints there and --resume restores completed phases from
+//       the same directory after a crash (see DESIGN.md "Failure
+//       model"); --strict-io rejects malformed input lines instead of
+//       skipping them with a warning
 //
 //   largeea_cli partition --source A.tsv --target B.tsv --seeds S.tsv
 //                         [--batches K]
@@ -41,40 +46,24 @@ int Fail(const char* message) {
 }
 
 EaDataset LoadDatasetOrDie(const Flags& flags, bool need_seeds) {
-  auto source = LoadTriples(flags.GetString("source", ""));
-  auto target = LoadTriples(flags.GetString("target", ""));
-  if (!source || !target) {
-    std::fprintf(stderr, "error: cannot load --source/--target triples\n");
-    std::exit(1);
-  }
-  EaDataset dataset;
-  dataset.name = "cli";
-  dataset.source = std::move(*source);
-  dataset.target = std::move(*target);
-  const std::string seeds_path = flags.GetString("seeds", "");
-  if (!seeds_path.empty()) {
-    const auto seeds =
-        LoadAlignment(seeds_path, dataset.source, dataset.target);
-    if (!seeds) {
-      std::fprintf(stderr, "error: cannot load --seeds\n");
-      std::exit(1);
-    }
-    dataset.split.train = *seeds;
-  } else if (need_seeds) {
+  if (need_seeds && flags.GetString("seeds", "").empty()) {
     std::fprintf(stderr, "error: --seeds is required\n");
     std::exit(1);
   }
-  const std::string test_path = flags.GetString("test", "");
-  if (!test_path.empty()) {
-    const auto test =
-        LoadAlignment(test_path, dataset.source, dataset.target);
-    if (!test) {
-      std::fprintf(stderr, "error: cannot load --test\n");
-      std::exit(1);
-    }
-    dataset.split.test = *test;
+  EaDatasetPaths paths;
+  paths.source_triples = flags.GetString("source", "");
+  paths.target_triples = flags.GetString("target", "");
+  paths.train_pairs = flags.GetString("seeds", "");
+  paths.test_pairs = flags.GetString("test", "");
+  TsvReadOptions io;
+  io.strict = flags.GetBool("strict-io", false);
+  auto dataset = LoadEaDataset(paths, io, "cli");
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 dataset.status().ToString().c_str());
+    std::exit(1);
   }
-  return dataset;
+  return std::move(dataset).value();
 }
 
 int CmdGenerate(const Flags& flags) {
@@ -97,12 +86,14 @@ int CmdGenerate(const Flags& flags) {
   if (dir.empty()) return Fail("--out_dir is required");
 
   const EaDataset dataset = GenerateBenchmark(spec);
-  if (!SaveTriples(dataset.source, dir + "/source.tsv") ||
-      !SaveTriples(dataset.target, dir + "/target.tsv") ||
+  if (!SaveTriples(dataset.source, dir + "/source.tsv").ok() ||
+      !SaveTriples(dataset.target, dir + "/target.tsv").ok() ||
       !SaveAlignment(dataset.split.train, dataset.source, dataset.target,
-                     dir + "/train.tsv") ||
+                     dir + "/train.tsv")
+           .ok() ||
       !SaveAlignment(dataset.split.test, dataset.source, dataset.target,
-                     dir + "/test.tsv")) {
+                     dir + "/test.tsv")
+           .ok()) {
     return Fail("failed to write output files (does --out_dir exist?)");
   }
   std::printf("%s: wrote %d+%d entities, %ld+%ld triples, %zu/%zu pairs\n",
@@ -177,16 +168,41 @@ int CmdAlign(const Flags& flags) {
                dataset.target.num_entities()) > 8000) {
     options.name_channel.nff.sens.use_lsh = true;
   }
+  options.fault_tolerance.checkpoint_dir =
+      flags.GetString("checkpoint-dir", "");
+  options.fault_tolerance.resume = flags.GetBool("resume", false);
+  if (options.fault_tolerance.resume &&
+      options.fault_tolerance.checkpoint_dir.empty()) {
+    return Fail("--resume requires --checkpoint-dir");
+  }
   LARGEEA_LOG_INFO("align: %d+%d entities, model=%s, batches=%d, epochs=%d",
                    dataset.source.num_entities(),
                    dataset.target.num_entities(), model.c_str(),
                    options.structure_channel.num_batches,
                    options.structure_channel.train.epochs);
 
-  const LargeEaResult result = RunLargeEa(dataset, options);
+  auto run = RunLargeEa(dataset, options);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    if (!options.fault_tolerance.checkpoint_dir.empty()) {
+      std::fprintf(stderr,
+                   "hint: re-run with --resume to pick up from the last "
+                   "completed phase in %s\n",
+                   options.fault_tolerance.checkpoint_dir.c_str());
+    }
+    return 1;
+  }
+  const LargeEaResult& result = *run;
   std::printf("pseudo seeds: %zu; effective seeds: %zu\n",
               result.name_channel.pseudo_seeds.size(),
               result.effective_seeds.size());
+  if (result.structure_channel.batches_resumed > 0 ||
+      result.structure_channel.batches_dropped > 0) {
+    std::printf("batches resumed: %d; retried: %d; dropped: %d\n",
+                result.structure_channel.batches_resumed,
+                result.structure_channel.batches_retried,
+                result.structure_channel.batches_dropped);
+  }
   if (result.metrics.num_test_pairs > 0) {
     std::printf("H@1 %.2f%%  H@5 %.2f%%  MRR %.4f  (%ld test pairs)\n",
                 100 * result.metrics.hits_at_1,
@@ -207,6 +223,12 @@ int CmdAlign(const Flags& flags) {
                    std::to_string(options.structure_channel.num_batches));
   report.AddConfig("epochs",
                    std::to_string(options.structure_channel.train.epochs));
+  if (!options.fault_tolerance.checkpoint_dir.empty()) {
+    report.AddConfig("checkpoint_dir",
+                     options.fault_tolerance.checkpoint_dir);
+    report.AddConfig("resume",
+                     options.fault_tolerance.resume ? "true" : "false");
+  }
   ReportPhases(result, report);
   if (result.metrics.num_test_pairs > 0) report.SetEval(result.metrics);
   report.IngestMemoryPhases();
@@ -232,7 +254,8 @@ int CmdAlign(const Flags& flags) {
       const EntityId t = result.fused.ArgmaxOfRow(s);
       if (t != kInvalidEntity) predictions.push_back(EntityPair{s, t});
     }
-    if (!SaveAlignment(predictions, dataset.source, dataset.target, out)) {
+    if (!SaveAlignment(predictions, dataset.source, dataset.target, out)
+             .ok()) {
       return Fail("failed to write --out");
     }
     std::printf("wrote %zu predictions to %s\n", predictions.size(),
@@ -250,8 +273,12 @@ int CmdPartition(const Flags& flags) {
   MetisCpsOptions cps;
   cps.num_batches = k;
   MetisCpsReport report;
-  const MiniBatchSet cps_batches = MetisCpsPartition(
-      dataset.source, dataset.target, dataset.split.train, cps, &report);
+  auto cps_result = MetisCpsPartition(dataset.source, dataset.target,
+                                      dataset.split.train, cps, &report);
+  if (!cps_result.ok()) {
+    return Fail(cps_result.status().ToString().c_str());
+  }
+  const MiniBatchSet cps_batches = std::move(cps_result).value();
   VpsOptions vps;
   vps.num_batches = k;
   const MiniBatchSet vps_batches = VpsPartition(

@@ -64,26 +64,32 @@ int main(int argc, char** argv) {
 
   MetisCpsOptions cps;
   cps.num_batches = k;
-  Report("METIS-CPS", MetisCpsPartition(ds.source, ds.target,
-                                        ds.split.train, cps),
+  Report("METIS-CPS",
+         MetisCpsPartition(ds.source, ds.target, ds.split.train, cps)
+             .value(),
          ds);
 
   MetisCpsOptions no_p1 = cps;
   no_p1.enable_phase1 = false;
   Report("METIS-CPS w/o phase 1",
-         MetisCpsPartition(ds.source, ds.target, ds.split.train, no_p1), ds);
+         MetisCpsPartition(ds.source, ds.target, ds.split.train, no_p1)
+             .value(),
+         ds);
 
   MetisCpsOptions no_p2 = cps;
   no_p2.enable_phase2 = false;
   Report("METIS-CPS w/o phase 2",
-         MetisCpsPartition(ds.source, ds.target, ds.split.train, no_p2), ds);
+         MetisCpsPartition(ds.source, ds.target, ds.split.train, no_p2)
+             .value(),
+         ds);
 
   MetisCpsOptions independent = cps;
   independent.enable_phase1 = false;
   independent.enable_phase2 = false;
   Report("independent METIS",
          MetisCpsPartition(ds.source, ds.target, ds.split.train,
-                           independent),
+                           independent)
+             .value(),
          ds);
 
   VpsOptions vps;

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
 
   // 3. Run and inspect.
   Timer timer;
-  const LargeEaResult result = RunLargeEa(dataset, options);
+  const LargeEaResult result = RunLargeEa(dataset, options).value();
   std::printf("\nname channel: SENS %.2fs, STNS %.2fs, %zu pseudo seeds\n",
               result.name_channel.nff.sens_seconds,
               result.name_channel.nff.stns_seconds,

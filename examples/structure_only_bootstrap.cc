@@ -39,9 +39,10 @@ int main(int argc, char** argv) {
   options.rounds = static_cast<int32_t>(flags.GetInt("rounds", 4));
 
   // Baseline: one plain round, no self-training.
-  const StructureChannelResult plain = RunStructureChannel(
-      dataset.source, dataset.target, dataset.split.train,
-      options.structure);
+  const StructureChannelResult plain =
+      RunStructureChannel(dataset.source, dataset.target,
+                          dataset.split.train, options.structure)
+          .value();
   const double plain_h1 =
       Evaluate(plain.similarity, dataset.split.test).hits_at_1;
   std::printf("single round (no bootstrapping): H@1 %.1f%%\n",

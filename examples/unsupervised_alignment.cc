@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
       static_cast<int32_t>(flags.GetInt("batches", 4));
   options.structure_channel.train.epochs =
       static_cast<int32_t>(flags.GetInt("epochs", 50));
-  const LargeEaResult result = RunLargeEa(dataset, options);
+  const LargeEaResult result = RunLargeEa(dataset, options).value();
 
   const double precision = PseudoSeedPrecision(
       result.name_channel.pseudo_seeds, dataset.split.test);
@@ -49,7 +49,8 @@ int main(int argc, char** argv) {
   BenchmarkSpec supervised_spec = spec;
   supervised_spec.train_ratio = 0.2;
   const EaDataset supervised = GenerateBenchmark(supervised_spec);
-  const LargeEaResult supervised_result = RunLargeEa(supervised, options);
+  const LargeEaResult supervised_result =
+      RunLargeEa(supervised, options).value();
   std::printf("supervised (20%% seeds) for comparison: H@1 %.1f%%\n",
               100 * supervised_result.metrics.hits_at_1);
   std::printf(

@@ -15,8 +15,11 @@ BootstrapResult RunBootstrappedStructureChannel(
   for (int32_t round = 0; round < options.rounds; ++round) {
     StructureChannelOptions structure = options.structure;
     structure.seed = options.structure.seed + static_cast<uint64_t>(round);
-    StructureChannelResult channel = RunStructureChannel(
-        source, target, result.final_seeds, structure);
+    // Bootstrapping has no checkpoint story yet; a failed round aborts
+    // (value() CHECKs) rather than silently weakening the seed set.
+    StructureChannelResult channel =
+        RunStructureChannel(source, target, result.final_seeds, structure)
+            .value();
 
     const bool last = (round == options.rounds - 1);
     if (!last) {

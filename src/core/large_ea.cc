@@ -1,24 +1,85 @@
 #include "src/core/large_ea.h"
 
+#include <cinttypes>
+#include <cstdio>
+
 #include "src/common/macros.h"
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/rt/checkpoint.h"
+#include "src/rt/fault_injection.h"
+#include "src/rt/io_util.h"
 
 namespace largeea {
+namespace {
 
-LargeEaResult RunLargeEa(const EaDataset& dataset,
-                         const LargeEaOptions& options) {
+constexpr const char* kFusedKind = "fused";
+
+}  // namespace
+
+uint64_t LargeEaConfigFingerprint(const EaDataset& dataset,
+                                  const LargeEaOptions& options) {
+  // Everything that can change the numbers goes in; cosmetic knobs
+  // (checkpoint dir, log level) stay out so they never invalidate a
+  // resume.
+  const StructureChannelOptions& s = options.structure_channel;
+  const NameChannelOptions& n = options.name_channel;
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "largeea-config v1"
+      " kg=%d,%zu,%d,%zu train=%zu test=%zu"
+      " channels=%d,%d,%d fuse=%d,%.9g,%.9g"
+      " name=%d,%.9g,%.9g,%d,%d,%.9g,%d"
+      " structure=%d,%d,%d,%d,%d,%d,%" PRIu64
+      " train=%d,%d,%.9g,%.9g,%d,%d,%" PRIu64,
+      dataset.source.num_entities(),
+      dataset.source.triples().size(),
+      dataset.target.num_entities(),
+      dataset.target.triples().size(),
+      dataset.split.train.size(), dataset.split.test.size(),
+      static_cast<int>(options.use_name_channel),
+      static_cast<int>(options.use_structure_channel),
+      static_cast<int>(options.fuse_name_similarity),
+      options.fused_top_k, options.structure_weight, options.name_weight,
+      static_cast<int>(n.enable_augmentation), n.augmentation_margin,
+      n.nff.string_weight, n.nff.max_entries_per_row, n.nff.sens.top_k,
+      n.nff.stns.jaccard_threshold,
+      n.nff.stns.max_entries_per_row,
+      static_cast<int>(s.model), static_cast<int>(s.strategy),
+      s.num_batches, s.overlap_degree, s.top_k,
+      static_cast<int>(s.apply_csls), s.seed,
+      s.train.epochs, s.train.dim, s.train.learning_rate,
+      s.train.margin, s.train.negatives_per_seed,
+      s.train.hard_negative_refresh, s.train.seed);
+  return rt::Fnv1a64(buf);
+}
+
+StatusOr<LargeEaResult> RunLargeEa(const EaDataset& dataset,
+                                   const LargeEaOptions& options) {
   LARGEEA_CHECK(options.use_name_channel || options.use_structure_channel);
   LargeEaResult result;
   // The pipeline span is the single source for total_seconds and
   // peak_bytes; nested channel spans feed the same trace and report.
   obs::Span pipeline_span("pipeline", obs::Span::kTrackMemory);
 
+  rt::CheckpointManager checkpoint(
+      options.fault_tolerance.checkpoint_dir,
+      LargeEaConfigFingerprint(dataset, options),
+      options.fault_tolerance.resume);
+  if (checkpoint.should_load()) {
+    LARGEEA_LOG_INFO("pipeline: resuming from checkpoints in '%s'",
+                     checkpoint.dir().c_str());
+  }
+
   // --- Name channel: M_n and pseudo seeds. ---
   if (options.use_name_channel) {
-    result.name_channel =
-        RunNameChannel(dataset.source, dataset.target, dataset.split.train,
-                       options.name_channel);
+    auto name = RunNameChannel(dataset.source, dataset.target,
+                               dataset.split.train, options.name_channel,
+                               &checkpoint);
+    if (!name.ok()) return name.status().WithContext("name channel");
+    result.name_channel = std::move(name).value();
   }
 
   // --- Seed augmentation: ψ' ← ψ' + ψ'_p. ---
@@ -33,39 +94,70 @@ LargeEaResult RunLargeEa(const EaDataset& dataset,
   // --- Structure channel: mini-batch training, M_s. ---
   if (options.use_structure_channel) {
     LARGEEA_TRACE_SPAN("structure_channel");
-    result.structure_channel =
-        RunStructureChannel(dataset.source, dataset.target,
-                            result.effective_seeds,
-                            options.structure_channel);
+    auto structure = RunStructureChannel(dataset.source, dataset.target,
+                                         result.effective_seeds,
+                                         options.structure_channel,
+                                         &checkpoint);
+    if (!structure.ok()) {
+      return structure.status().WithContext("structure channel");
+    }
+    result.structure_channel = std::move(structure).value();
   }
 
   // --- Channel fusion: M = M_s + M_n. ---
   {
     LARGEEA_TRACE_SPAN("pipeline/fusion");
-    if (options.use_name_channel && options.use_structure_channel &&
-        !options.fuse_name_similarity) {
-      // "w/o name channel": DA already fed ψ'; only M_s is scored.
-      result.fused = result.structure_channel.similarity;
-    } else if (options.use_name_channel && options.use_structure_channel) {
-      result.fused = result.structure_channel.similarity.Fuse(
-          result.name_channel.nff.fused, options.structure_weight,
-          options.name_weight, options.fused_top_k);
-    } else if (options.use_structure_channel) {
-      result.fused = result.structure_channel.similarity;
-    } else {
-      result.fused = result.name_channel.nff.fused;
+    LARGEEA_INJECT_FAULT("pipeline.fusion");
+    bool fused_resumed = false;
+    if (checkpoint.should_load()) {
+      auto fused = checkpoint.LoadMatrix(kFusedKind);
+      if (fused.ok()) {
+        result.fused = std::move(fused).value();
+        fused_resumed = true;
+      } else if (fused.status().code() != StatusCode::kNotFound) {
+        obs::MetricsRegistry::Get()
+            .GetCounter("checkpoint.load_failures")
+            .Increment();
+        LARGEEA_LOG_WARN("pipeline: ignoring unusable fused checkpoint "
+                         "(%s); fusing from scratch",
+                         fused.status().ToString().c_str());
+      }
+    }
+    if (!fused_resumed) {
+      if (options.use_name_channel && options.use_structure_channel &&
+          !options.fuse_name_similarity) {
+        // "w/o name channel": DA already fed ψ'; only M_s is scored.
+        result.fused = result.structure_channel.similarity;
+      } else if (options.use_name_channel &&
+                 options.use_structure_channel) {
+        result.fused = result.structure_channel.similarity.Fuse(
+            result.name_channel.nff.fused, options.structure_weight,
+            options.name_weight, options.fused_top_k);
+      } else if (options.use_structure_channel) {
+        result.fused = result.structure_channel.similarity;
+      } else {
+        result.fused = result.name_channel.nff.fused;
+      }
+      if (checkpoint.enabled()) {
+        (void)checkpoint.SaveMatrix(kFusedKind, result.fused);
+      }
     }
   }
 
   {
     LARGEEA_TRACE_SPAN("pipeline/evaluate");
+    LARGEEA_INJECT_FAULT("pipeline.evaluate");
     result.metrics = Evaluate(result.fused, dataset.split.test);
   }
   result.total_seconds = pipeline_span.End();
   result.peak_bytes = pipeline_span.peak_bytes();
-  obs::MetricsRegistry::Get()
-      .GetGauge("pipeline.effective_seeds")
+  auto& registry = obs::MetricsRegistry::Get();
+  registry.GetGauge("pipeline.effective_seeds")
       .Set(static_cast<double>(result.effective_seeds.size()));
+  registry.GetGauge("pipeline.batches_dropped")
+      .Set(static_cast<double>(result.structure_channel.batches_dropped));
+  registry.GetGauge("pipeline.batches_resumed")
+      .Set(static_cast<double>(result.structure_channel.batches_resumed));
   return result;
 }
 

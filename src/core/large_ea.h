@@ -4,15 +4,36 @@
 // seeds; the pseudo seeds join ψ'; the structure channel trains per
 // mini-batch and produces M_s; the channels fuse as M = M_s + M_n; the
 // fused matrix is evaluated against the held-out test pairs.
+//
+// Fault tolerance: with a checkpoint directory configured, every phase
+// boundary (name channel, partition, each mini-batch, fused matrix)
+// persists its output, and a `resume` run restores completed phases
+// instead of recomputing them — bit-identically, because every phase is
+// deterministic given the options and the checkpoints round-trip floats
+// exactly. See DESIGN.md §7 for the failure model.
 #ifndef LARGEEA_CORE_LARGE_EA_H_
 #define LARGEEA_CORE_LARGE_EA_H_
+
+#include <string>
 
 #include "src/core/evaluator.h"
 #include "src/core/name_channel.h"
 #include "src/core/structure_channel.h"
 #include "src/kg/dataset.h"
+#include "src/rt/status.h"
 
 namespace largeea {
+
+/// Checkpoint/resume configuration for a pipeline run.
+struct FaultToleranceOptions {
+  /// Directory for phase checkpoints; empty disables checkpointing.
+  std::string checkpoint_dir;
+  /// Restore completed phases from `checkpoint_dir` instead of
+  /// recomputing them. Checkpoints written under a different
+  /// configuration fingerprint are ignored (with a warning), never
+  /// silently reused.
+  bool resume = false;
+};
 
 struct LargeEaOptions {
   NameChannelOptions name_channel;
@@ -30,6 +51,7 @@ struct LargeEaOptions {
   /// Channel fusion weights; the paper uses equal weights (1, 1).
   float structure_weight = 1.0f;
   float name_weight = 1.0f;
+  FaultToleranceOptions fault_tolerance;
 };
 
 struct LargeEaResult {
@@ -43,10 +65,18 @@ struct LargeEaResult {
   int64_t peak_bytes = 0;
 };
 
+/// Fingerprint of everything that shapes the numeric result (dataset
+/// shape plus result-affecting options). Checkpoints are stamped with it
+/// so stale artifacts from a different run configuration are rejected.
+uint64_t LargeEaConfigFingerprint(const EaDataset& dataset,
+                                  const LargeEaOptions& options);
+
 /// Runs LargeEA on `dataset` (dataset.split.train as ψ', possibly empty
-/// for unsupervised EA) and evaluates on dataset.split.test.
-LargeEaResult RunLargeEa(const EaDataset& dataset,
-                         const LargeEaOptions& options);
+/// for unsupervised EA) and evaluates on dataset.split.test. Fails with a
+/// contextful Status when a channel fails unrecoverably; per-batch
+/// structure failures degrade (see StructureChannelOptions) instead.
+StatusOr<LargeEaResult> RunLargeEa(const EaDataset& dataset,
+                                   const LargeEaOptions& options);
 
 }  // namespace largeea
 

@@ -1,20 +1,70 @@
 #include "src/core/name_channel.h"
 
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/rt/fault_injection.h"
 
 namespace largeea {
+namespace {
 
-NameChannelResult RunNameChannel(const KnowledgeGraph& source,
-                                 const KnowledgeGraph& target,
-                                 const EntityPairList& existing_seeds,
-                                 const NameChannelOptions& options) {
+constexpr const char* kSemanticKind = "name_semantic";
+constexpr const char* kStringKind = "name_string";
+constexpr const char* kFusedKind = "name_fused";
+constexpr const char* kPseudoSeedKind = "name_pseudo_seeds";
+
+/// Restores a completed name channel from the checkpoint directory.
+/// NOT_FOUND when any artifact is missing (caller recomputes).
+StatusOr<NameChannelResult> LoadFromCheckpoint(
+    rt::CheckpointManager& checkpoint) {
+  NameChannelResult result;
+  LARGEEA_ASSIGN_OR_RETURN(result.nff.semantic,
+                           checkpoint.LoadMatrix(kSemanticKind));
+  LARGEEA_ASSIGN_OR_RETURN(result.nff.string,
+                           checkpoint.LoadMatrix(kStringKind));
+  LARGEEA_ASSIGN_OR_RETURN(result.nff.fused,
+                           checkpoint.LoadMatrix(kFusedKind));
+  LARGEEA_ASSIGN_OR_RETURN(result.pseudo_seeds,
+                           checkpoint.LoadPairs(kPseudoSeedKind));
+  result.resumed = true;
+  return result;
+}
+
+}  // namespace
+
+StatusOr<NameChannelResult> RunNameChannel(
+    const KnowledgeGraph& source, const KnowledgeGraph& target,
+    const EntityPairList& existing_seeds, const NameChannelOptions& options,
+    rt::CheckpointManager* checkpoint) {
+  if (checkpoint != nullptr && checkpoint->should_load()) {
+    auto resumed = LoadFromCheckpoint(*checkpoint);
+    if (resumed.ok()) {
+      LARGEEA_LOG_INFO("name channel: resumed from checkpoint (%zu pseudo "
+                       "seeds)",
+                       resumed->pseudo_seeds.size());
+      obs::MetricsRegistry::Get()
+          .GetGauge("name.pseudo_seeds")
+          .Set(static_cast<double>(resumed->pseudo_seeds.size()));
+      return resumed;
+    }
+    if (resumed.status().code() != StatusCode::kNotFound) {
+      obs::MetricsRegistry::Get()
+          .GetCounter("checkpoint.load_failures")
+          .Increment();
+      LARGEEA_LOG_WARN("name channel: ignoring unusable checkpoint (%s); "
+                       "recomputing",
+                       resumed.status().ToString().c_str());
+    }
+  }
+
   NameChannelResult result;
   // Single timing/memory source for total_seconds and peak_bytes.
   obs::Span channel_span("name_channel", obs::Span::kTrackMemory);
+  LARGEEA_INJECT_FAULT("name.features");
   result.nff = ComputeNameFeatures(source, target, options.nff);
   if (options.enable_augmentation) {
     LARGEEA_TRACE_SPAN("name/augmentation");
+    LARGEEA_INJECT_FAULT("name.augmentation");
     result.pseudo_seeds = GeneratePseudoSeeds(
         result.nff.fused, existing_seeds, options.augmentation_margin);
     obs::MetricsRegistry::Get()
@@ -23,6 +73,14 @@ NameChannelResult RunNameChannel(const KnowledgeGraph& source,
   }
   result.total_seconds = channel_span.End();
   result.peak_bytes = channel_span.peak_bytes();
+
+  if (checkpoint != nullptr && checkpoint->enabled()) {
+    // Best-effort: a failed save degrades resumability, not the run.
+    (void)checkpoint->SaveMatrix(kSemanticKind, result.nff.semantic);
+    (void)checkpoint->SaveMatrix(kStringKind, result.nff.string);
+    (void)checkpoint->SaveMatrix(kFusedKind, result.nff.fused);
+    (void)checkpoint->SavePairs(kPseudoSeedKind, result.pseudo_seeds);
+  }
   return result;
 }
 

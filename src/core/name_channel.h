@@ -5,6 +5,8 @@
 
 #include "src/name/data_augmentation.h"
 #include "src/name/nff.h"
+#include "src/rt/checkpoint.h"
+#include "src/rt/status.h"
 
 namespace largeea {
 
@@ -23,14 +25,19 @@ struct NameChannelResult {
   EntityPairList pseudo_seeds;
   double total_seconds = 0.0;
   int64_t peak_bytes = 0;
+  /// True when the channel was restored from a checkpoint instead of
+  /// computed (component timings are zero in that case).
+  bool resumed = false;
 };
 
 /// Runs the name channel. `existing_seeds` keeps the augmentation from
 /// duplicating already-seeded entities (pass empty for unsupervised EA).
-NameChannelResult RunNameChannel(const KnowledgeGraph& source,
-                                 const KnowledgeGraph& target,
-                                 const EntityPairList& existing_seeds,
-                                 const NameChannelOptions& options);
+/// When `checkpoint` is non-null, a completed channel is saved there and
+/// a resume-mode manager restores it without recomputing.
+StatusOr<NameChannelResult> RunNameChannel(
+    const KnowledgeGraph& source, const KnowledgeGraph& target,
+    const EntityPairList& existing_seeds, const NameChannelOptions& options,
+    rt::CheckpointManager* checkpoint = nullptr);
 
 }  // namespace largeea
 

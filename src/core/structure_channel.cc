@@ -1,22 +1,33 @@
 #include "src/core/structure_channel.h"
 
+#include <chrono>
+#include <cstdio>
 #include <numeric>
+#include <thread>
 
 #include "src/common/rng.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/partition/overlap.h"
+#include "src/rt/fault_injection.h"
 #include "src/sim/csls.h"
 #include "src/sim/topk_search.h"
 
 namespace largeea {
 namespace {
 
-MiniBatchSet GenerateBatches(const KnowledgeGraph& source,
-                             const KnowledgeGraph& target,
-                             const EntityPairList& seeds,
-                             const StructureChannelOptions& options) {
+constexpr const char* kPartitionKind = "partition";
+
+std::string BatchKind(size_t batch_index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "batch_%04zu", batch_index);
+  return buf;
+}
+
+StatusOr<MiniBatchSet> GenerateBatches(
+    const KnowledgeGraph& source, const KnowledgeGraph& target,
+    const EntityPairList& seeds, const StructureChannelOptions& options) {
   switch (options.strategy) {
     case PartitionStrategy::kMetisCps: {
       MetisCpsOptions cps = options.metis_cps;
@@ -42,34 +53,79 @@ MiniBatchSet GenerateBatches(const KnowledgeGraph& source,
       return MiniBatchSet{batch};
     }
   }
-  return {};  // unreachable
+  return InternalError("unknown partition strategy");
+}
+
+bool BatchTooSmall(const MiniBatch& batch) {
+  return batch.source_entities.size() < 2 ||
+         batch.target_entities.size() < 2;
 }
 
 }  // namespace
 
-StructureChannelResult RunStructureChannel(
+StatusOr<StructureChannelResult> RunStructureChannel(
     const KnowledgeGraph& source, const KnowledgeGraph& target,
-    const EntityPairList& seeds, const StructureChannelOptions& options) {
+    const EntityPairList& seeds, const StructureChannelOptions& options,
+    rt::CheckpointManager* checkpoint) {
   StructureChannelResult result;
+  auto& registry = obs::MetricsRegistry::Get();
 
   // Partition phase. The span is the single timing source for
-  // partition_seconds (no separate Timer).
+  // partition_seconds (no separate Timer). The batch set is checkpointed
+  // so a resumed run trains against the *identical* partition even if
+  // the partitioner's randomisation were to drift.
   {
     obs::Span partition_span("structure/partition");
     partition_span.AddAttr("num_batches",
                            static_cast<int64_t>(options.num_batches));
-    result.batches = GenerateBatches(source, target, seeds, options);
-    if (options.overlap_degree > 1) {
-      result.batches = MakeOverlappingBatches(result.batches, source, target,
-                                              options.overlap_degree);
+    bool loaded = false;
+    if (checkpoint != nullptr && checkpoint->should_load()) {
+      auto batches = checkpoint->LoadBatches(kPartitionKind);
+      if (batches.ok()) {
+        result.batches = std::move(batches).value();
+        loaded = true;
+      } else if (batches.status().code() != StatusCode::kNotFound) {
+        registry.GetCounter("checkpoint.load_failures").Increment();
+        LARGEEA_LOG_WARN("structure: ignoring unusable partition "
+                         "checkpoint (%s); repartitioning",
+                         batches.status().ToString().c_str());
+      }
+    }
+    if (!loaded) {
+      auto batches = GenerateBatches(source, target, seeds, options);
+      if (!batches.ok()) {
+        return batches.status().WithContext("structure channel: partition");
+      }
+      result.batches = std::move(batches).value();
+      if (options.overlap_degree > 1) {
+        result.batches = MakeOverlappingBatches(result.batches, source,
+                                                target,
+                                                options.overlap_degree);
+      }
+      if (checkpoint != nullptr && checkpoint->enabled()) {
+        (void)checkpoint->SaveBatches(kPartitionKind, result.batches);
+      }
     }
     result.partition_seconds = partition_span.End();
+  }
+
+  // Per-batch training seeds are derived up front, in the exact order the
+  // pre-resume code forked them (trainable batches only, ascending), so a
+  // run that resumes — and therefore skips some batches — still hands
+  // every remaining batch the seed it would have received uninterrupted.
+  std::vector<uint64_t> batch_seeds(result.batches.size(), 0);
+  {
+    Rng rng(options.seed);
+    for (size_t b = 0; b < result.batches.size(); ++b) {
+      if (!BatchTooSmall(result.batches[b])) {
+        batch_seeds[b] = rng.Fork(b).Next();
+      }
+    }
   }
 
   // Training phase: the memory-tracking span supplies both
   // training_seconds and peak_training_bytes (Table-6 accounting).
   obs::Span train_span("structure/train", obs::Span::kTrackMemory);
-  auto& registry = obs::MetricsRegistry::Get();
   obs::Histogram& loss_hist = registry.GetHistogram(
       "structure.batch_loss",
       {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0});
@@ -80,16 +136,16 @@ StructureChannelResult RunStructureChannel(
   result.similarity = SparseSimMatrix(source.num_entities(),
                                       target.num_entities(), options.top_k);
   const std::unique_ptr<EaModel> model = MakeModel(options.model);
-  Rng rng(options.seed);
   const TopKOptions topk{.k = options.top_k,
                          .metric = SimMetric::kManhattan};
-  for (size_t b = 0; b < result.batches.size(); ++b) {
+
+  // Trains one batch into its own similarity block. Isolating the block
+  // makes the batch restartable: it merges into M_s only on success, so a
+  // failed attempt leaves no partial contribution behind.
+  const auto train_batch_block =
+      [&](size_t b) -> StatusOr<SparseSimMatrix> {
+    LARGEEA_INJECT_FAULT("structure.batch.train");
     const MiniBatch& batch = result.batches[b];
-    if (batch.source_entities.size() < 2 ||
-        batch.target_entities.size() < 2) {
-      registry.GetCounter("structure.batches_skipped").Increment();
-      continue;
-    }
     obs::Span batch_span("structure/train_batch");
     batch_span.AddAttr("batch", static_cast<int64_t>(b));
     batch_span.AddAttr("source_entities",
@@ -108,7 +164,7 @@ StructureChannelResult RunStructureChannel(
         LocalizeSeeds(local_source, local_target, batch.seeds);
 
     TrainOptions train = options.train;
-    train.seed = rng.Fork(b).Next();
+    train.seed = batch_seeds[b];
     TrainedEmbeddings embeddings;
     {
       obs::Span model_span("structure/train_model");
@@ -121,7 +177,6 @@ StructureChannelResult RunStructureChannel(
         epoch_hist.Observe(model_seconds / train.epochs);
       }
     }
-    registry.GetCounter("structure.batches_trained").Increment();
     LARGEEA_LOG_DEBUG(
         "batch %zu: %zu+%zu entities, %zu seeds, final loss %.4f", b,
         batch.source_entities.size(), batch.target_entities.size(),
@@ -129,15 +184,93 @@ StructureChannelResult RunStructureChannel(
 
     // Similarity only *within* the batch: M_s stays block-diagonal, the
     // memory-saving property Section 2.2.2 highlights.
+    SparseSimMatrix block(source.num_entities(), target.num_entities(),
+                          options.top_k);
     {
       LARGEEA_TRACE_SPAN("structure/topk");
       ExactTopKInto(embeddings.source, local_source.global_ids,
-                    embeddings.target, local_target.global_ids, topk,
-                    result.similarity);
+                    embeddings.target, local_target.global_ids, topk, block);
+    }
+    return block;
+  };
+
+  const auto merge_block = [&result](const SparseSimMatrix& block) {
+    for (int32_t r = 0; r < block.num_rows(); ++r) {
+      for (const SimEntry& e : block.Row(r)) {
+        result.similarity.Accumulate(r, e.column, e.score);
+      }
+    }
+  };
+
+  for (size_t b = 0; b < result.batches.size(); ++b) {
+    if (BatchTooSmall(result.batches[b])) {
+      registry.GetCounter("structure.batches_skipped").Increment();
+      continue;
+    }
+    const std::string kind = BatchKind(b);
+    if (checkpoint != nullptr && checkpoint->should_load()) {
+      auto block = checkpoint->LoadMatrix(kind);
+      if (block.ok()) {
+        merge_block(*block);
+        ++result.batches_resumed;
+        registry.GetCounter("structure.batches_resumed").Increment();
+        continue;
+      }
+      if (block.status().code() != StatusCode::kNotFound) {
+        registry.GetCounter("checkpoint.load_failures").Increment();
+        LARGEEA_LOG_WARN("structure: ignoring unusable checkpoint for "
+                         "batch %zu (%s); retraining",
+                         b, block.status().ToString().c_str());
+      }
+    }
+
+    Status last_error;
+    bool trained = false;
+    for (int32_t attempt = 0; attempt <= options.max_batch_retries;
+         ++attempt) {
+      if (attempt > 0) {
+        ++result.batches_retried;
+        registry.GetCounter("structure.batch_retries").Increment();
+        if (options.retry_backoff_ms > 0) {
+          // Bounded exponential backoff: 1x, 2x, 4x, ... the base delay.
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              static_cast<int64_t>(options.retry_backoff_ms)
+              << (attempt - 1)));
+        }
+      }
+      auto block = train_batch_block(b);
+      if (block.ok()) {
+        merge_block(*block);
+        registry.GetCounter("structure.batches_trained").Increment();
+        if (checkpoint != nullptr && checkpoint->enabled()) {
+          (void)checkpoint->SaveMatrix(kind, *block);
+        }
+        trained = true;
+        break;
+      }
+      last_error = block.status();
+      LARGEEA_LOG_WARN("structure: batch %zu attempt %d failed: %s", b,
+                       attempt + 1, last_error.ToString().c_str());
+    }
+    if (!trained) {
+      if (!options.drop_failed_batches) {
+        return last_error.WithContext("structure channel: batch " +
+                                      std::to_string(b));
+      }
+      // Graceful degradation: this block of M_s stays zero; recall drops
+      // by at most the batch's share of test pairs, and the run report
+      // shows exactly how many batches were sacrificed.
+      ++result.batches_dropped;
+      registry.GetCounter("structure.batches_dropped").Increment();
+      LARGEEA_LOG_WARN("structure: dropping batch %zu after %d attempts "
+                       "(%s); its similarity block stays zero",
+                       b, options.max_batch_retries + 1,
+                       last_error.ToString().c_str());
     }
   }
   if (options.apply_csls) {
     LARGEEA_TRACE_SPAN("structure/csls");
+    LARGEEA_INJECT_FAULT("structure.csls");
     result.similarity = CslsRescale(result.similarity);
   }
   result.similarity.RefreshMemoryTracking();

@@ -1,6 +1,14 @@
 // Structure channel (Section 2.2 / Algorithm 1): mini-batch generation
 // plus per-batch structural training, producing the block-diagonal sparse
 // similarity matrix M_s.
+//
+// Fault tolerance: each mini-batch is an isolated unit of work. A batch
+// that fails is retried with bounded exponential backoff; if it keeps
+// failing it is dropped — its similarity contribution stays zero and the
+// event is counted (`structure.batches_dropped`) — so one poisoned
+// partition degrades recall instead of killing hours of training.
+// Completed batches checkpoint their similarity block, so a resumed run
+// replays only the batches that never finished.
 #ifndef LARGEEA_CORE_STRUCTURE_CHANNEL_H_
 #define LARGEEA_CORE_STRUCTURE_CHANNEL_H_
 
@@ -9,6 +17,8 @@
 #include "src/nn/ea_model.h"
 #include "src/partition/metis_cps.h"
 #include "src/partition/vps.h"
+#include "src/rt/checkpoint.h"
+#include "src/rt/status.h"
 #include "src/sim/sparse_sim.h"
 
 namespace largeea {
@@ -36,6 +46,14 @@ struct StructureChannelOptions {
   /// hurts channel fusion; CSLS fixes the calibration.
   bool apply_csls = true;
   uint64_t seed = 1;
+  /// Re-attempts after a batch's first failure (0 = fail immediately).
+  int32_t max_batch_retries = 2;
+  /// Sleep before retry r is `retry_backoff_ms << (r-1)`, capping the
+  /// total stall per batch; 0 disables sleeping (used by tests).
+  int32_t retry_backoff_ms = 100;
+  /// When true, a batch that exhausts its retries is dropped (similarity
+  /// contribution zeroed, counted); when false it fails the channel.
+  bool drop_failed_batches = true;
 };
 
 struct StructureChannelResult {
@@ -45,15 +63,20 @@ struct StructureChannelResult {
   double training_seconds = 0.0;
   /// Peak tracked working-set bytes during training (Table-6 accounting).
   int64_t peak_training_bytes = 0;
+  /// Degradation/resume accounting for the run report.
+  int32_t batches_dropped = 0;
+  int32_t batches_retried = 0;
+  int32_t batches_resumed = 0;
 };
 
 /// Runs the structure channel. `seeds` is ψ' (train pairs, possibly
-/// already augmented with pseudo seeds).
-StructureChannelResult RunStructureChannel(const KnowledgeGraph& source,
-                                           const KnowledgeGraph& target,
-                                           const EntityPairList& seeds,
-                                           const StructureChannelOptions&
-                                               options);
+/// already augmented with pseudo seeds). When `checkpoint` is non-null,
+/// the partition and each completed batch's similarity block are saved
+/// there; in resume mode completed units are loaded instead of retrained.
+StatusOr<StructureChannelResult> RunStructureChannel(
+    const KnowledgeGraph& source, const KnowledgeGraph& target,
+    const EntityPairList& seeds, const StructureChannelOptions& options,
+    rt::CheckpointManager* checkpoint = nullptr);
 
 }  // namespace largeea
 

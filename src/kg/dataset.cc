@@ -24,6 +24,36 @@ EaDataset EaDataset::Reversed() const {
   return out;
 }
 
+StatusOr<EaDataset> LoadEaDataset(const EaDatasetPaths& paths,
+                                  const TsvReadOptions& options,
+                                  std::string name) {
+  EaDataset dataset;
+  dataset.name = std::move(name);
+  {
+    auto source = LoadTriples(paths.source_triples, options);
+    if (!source.ok()) return source.status().WithContext("source KG");
+    dataset.source = std::move(source).value();
+  }
+  {
+    auto target = LoadTriples(paths.target_triples, options);
+    if (!target.ok()) return target.status().WithContext("target KG");
+    dataset.target = std::move(target).value();
+  }
+  if (!paths.train_pairs.empty()) {
+    auto train = LoadAlignment(paths.train_pairs, dataset.source,
+                               dataset.target, options);
+    if (!train.ok()) return train.status().WithContext("seed alignment");
+    dataset.split.train = std::move(train).value();
+  }
+  if (!paths.test_pairs.empty()) {
+    auto test = LoadAlignment(paths.test_pairs, dataset.source,
+                              dataset.target, options);
+    if (!test.ok()) return test.status().WithContext("test alignment");
+    dataset.split.test = std::move(test).value();
+  }
+  return dataset;
+}
+
 DatasetStats ComputeStats(const EaDataset& dataset) {
   DatasetStats stats;
   stats.source_entities = dataset.source.num_entities();

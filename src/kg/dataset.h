@@ -5,7 +5,9 @@
 #include <string>
 
 #include "src/kg/alignment.h"
+#include "src/kg/kg_io.h"
 #include "src/kg/knowledge_graph.h"
+#include "src/rt/status.h"
 
 namespace largeea {
 
@@ -36,6 +38,22 @@ struct DatasetStats {
 
 /// Computes Table-1-style statistics for `dataset`.
 DatasetStats ComputeStats(const EaDataset& dataset);
+
+/// File locations of an on-disk EA task (largeea_cli generate layout).
+struct EaDatasetPaths {
+  std::string source_triples;
+  std::string target_triples;
+  /// Optional: empty path = no pairs of that kind.
+  std::string train_pairs;
+  std::string test_pairs;
+};
+
+/// Loads a complete dataset from TSV files, resolving alignment names
+/// against the freshly loaded KGs. Errors carry the failing path and, in
+/// strict mode, the offending line number.
+StatusOr<EaDataset> LoadEaDataset(const EaDatasetPaths& paths,
+                                  const TsvReadOptions& options = {},
+                                  std::string name = "dataset");
 
 }  // namespace largeea
 

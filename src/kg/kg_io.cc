@@ -3,67 +3,162 @@
 #include <fstream>
 
 #include "src/common/string_util.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/rt/fault_injection.h"
+#include "src/rt/io_util.h"
 
 namespace largeea {
+namespace {
 
-std::optional<KnowledgeGraph> LoadTriples(const std::string& path) {
+/// Shared skip-or-fail bookkeeping for the lenient/strict loaders.
+/// Returns a non-OK status only in strict mode.
+Status RecordBadLine(const std::string& path, int64_t line_number,
+                     std::string_view reason, const TsvReadOptions& options,
+                     TsvReadStats* stats) {
+  if (options.strict) {
+    return InvalidArgumentError("'" + path + "' line " +
+                                std::to_string(line_number) + ": " +
+                                std::string(reason));
+  }
+  obs::MetricsRegistry::Get().GetCounter("io.lines_skipped").Increment();
+  if (stats != nullptr) {
+    ++stats->lines_skipped;
+    if (static_cast<int32_t>(stats->skipped_line_numbers.size()) <
+        options.max_reported_lines) {
+      stats->skipped_line_numbers.push_back(line_number);
+    }
+  }
+  if (stats == nullptr ||
+      stats->lines_skipped <= options.max_reported_lines) {
+    LARGEEA_LOG_WARN("%s line %lld: skipped (%.*s)", path.c_str(),
+                     static_cast<long long>(line_number),
+                     static_cast<int>(reason.size()), reason.data());
+  }
+  return OkStatus();
+}
+
+void LogSkipSummary(const std::string& path, const TsvReadStats* stats) {
+  if (stats != nullptr && stats->lines_skipped > 0) {
+    LARGEEA_LOG_WARN("%s: skipped %lld malformed line(s) of %lld",
+                     path.c_str(),
+                     static_cast<long long>(stats->lines_skipped),
+                     static_cast<long long>(stats->lines_read));
+  }
+}
+
+}  // namespace
+
+StatusOr<KnowledgeGraph> LoadTriples(const std::string& path,
+                                     const TsvReadOptions& options,
+                                     TsvReadStats* stats) {
+  LARGEEA_INJECT_FAULT("io.load_triples");
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) return NotFoundError("cannot open triples file '" + path + "'");
+  TsvReadStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
   KnowledgeGraph kg;
   std::string line;
+  int64_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
+    ++stats->lines_read;
     const std::string_view stripped = StripAsciiWhitespace(line);
     if (stripped.empty()) continue;
     const std::vector<std::string> fields = Split(stripped, '\t');
-    if (fields.size() != 3) return std::nullopt;
+    if (fields.size() != 3) {
+      LARGEEA_RETURN_IF_ERROR(RecordBadLine(
+          path, line_number,
+          "expected 3 tab-separated fields, got " +
+              std::to_string(fields.size()),
+          options, stats));
+      continue;
+    }
+    if (fields[0].empty() || fields[1].empty() || fields[2].empty()) {
+      LARGEEA_RETURN_IF_ERROR(RecordBadLine(path, line_number,
+                                            "empty field", options, stats));
+      continue;
+    }
     const EntityId h = kg.AddEntity(fields[0]);
     const RelationId r = kg.AddRelation(fields[1]);
     const EntityId t = kg.AddEntity(fields[2]);
     kg.AddTriple(h, r, t);
   }
+  LogSkipSummary(path, stats);
   kg.BuildAdjacency();
   return kg;
 }
 
-bool SaveTriples(const KnowledgeGraph& kg, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
+Status SaveTriples(const KnowledgeGraph& kg, const std::string& path) {
+  std::string content;
   for (const Triple& t : kg.triples()) {
-    out << kg.EntityName(t.head) << '\t' << kg.RelationName(t.relation)
-        << '\t' << kg.EntityName(t.tail) << '\n';
+    content += kg.EntityName(t.head);
+    content += '\t';
+    content += kg.RelationName(t.relation);
+    content += '\t';
+    content += kg.EntityName(t.tail);
+    content += '\n';
   }
-  return static_cast<bool>(out);
+  return rt::AtomicallyWriteFile(path, content)
+      .WithContext("saving triples");
 }
 
-std::optional<EntityPairList> LoadAlignment(const std::string& path,
-                                            const KnowledgeGraph& source,
-                                            const KnowledgeGraph& target) {
+StatusOr<EntityPairList> LoadAlignment(const std::string& path,
+                                       const KnowledgeGraph& source,
+                                       const KnowledgeGraph& target,
+                                       const TsvReadOptions& options,
+                                       TsvReadStats* stats) {
+  LARGEEA_INJECT_FAULT("io.load_alignment");
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) {
+    return NotFoundError("cannot open alignment file '" + path + "'");
+  }
+  TsvReadStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
   EntityPairList pairs;
   std::string line;
+  int64_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
+    ++stats->lines_read;
     const std::string_view stripped = StripAsciiWhitespace(line);
     if (stripped.empty()) continue;
     const std::vector<std::string> fields = Split(stripped, '\t');
-    if (fields.size() != 2) return std::nullopt;
+    if (fields.size() != 2) {
+      LARGEEA_RETURN_IF_ERROR(RecordBadLine(
+          path, line_number,
+          "expected 2 tab-separated fields, got " +
+              std::to_string(fields.size()),
+          options, stats));
+      continue;
+    }
     const auto s = source.FindEntity(fields[0]);
     const auto t = target.FindEntity(fields[1]);
-    if (!s || !t) return std::nullopt;
+    if (!s || !t) {
+      LARGEEA_RETURN_IF_ERROR(RecordBadLine(
+          path, line_number,
+          "unknown entity '" + (s ? fields[1] : fields[0]) + "'", options,
+          stats));
+      continue;
+    }
     pairs.push_back(EntityPair{*s, *t});
   }
+  LogSkipSummary(path, stats);
   return pairs;
 }
 
-bool SaveAlignment(const EntityPairList& pairs, const KnowledgeGraph& source,
-                   const KnowledgeGraph& target, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
+Status SaveAlignment(const EntityPairList& pairs,
+                     const KnowledgeGraph& source,
+                     const KnowledgeGraph& target, const std::string& path) {
+  std::string content;
   for (const EntityPair& p : pairs) {
-    out << source.EntityName(p.source) << '\t' << target.EntityName(p.target)
-        << '\n';
+    content += source.EntityName(p.source);
+    content += '\t';
+    content += target.EntityName(p.target);
+    content += '\n';
   }
-  return static_cast<bool>(out);
+  return rt::AtomicallyWriteFile(path, content)
+      .WithContext("saving alignment");
 }
 
 }  // namespace largeea

@@ -3,33 +3,65 @@
 // Triples:    one "head<TAB>relation<TAB>tail" line per triple, all three
 //             fields entity/relation *names*.
 // Alignments: one "source_entity<TAB>target_entity" line per pair.
+//
+// Real dumps of DBP1M scale always contain a few mangled lines; by
+// default the loaders *skip* malformed lines (counted, line numbers
+// logged) so one bad line cannot discard a million good ones. `strict`
+// restores fail-fast semantics for curated inputs.
 #ifndef LARGEEA_KG_KG_IO_H_
 #define LARGEEA_KG_KG_IO_H_
 
-#include <optional>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/kg/alignment.h"
 #include "src/kg/knowledge_graph.h"
+#include "src/rt/status.h"
 
 namespace largeea {
 
-/// Reads a triples file into a fresh KnowledgeGraph (adjacency built).
-/// Returns nullopt if the file cannot be opened or any line is malformed.
-std::optional<KnowledgeGraph> LoadTriples(const std::string& path);
+struct TsvReadOptions {
+  /// When true, any malformed line fails the whole load with
+  /// INVALID_ARGUMENT (the pre-robustness behaviour). When false,
+  /// malformed lines are skipped with a warning.
+  bool strict = false;
+  /// At most this many skipped lines are echoed into the log/stats
+  /// detail; the count is always exact.
+  int32_t max_reported_lines = 5;
+};
 
-/// Writes `kg` to `path`. Returns false on IO failure.
-bool SaveTriples(const KnowledgeGraph& kg, const std::string& path);
+/// What a lenient load skipped (all zero on a clean file).
+struct TsvReadStats {
+  int64_t lines_read = 0;
+  int64_t lines_skipped = 0;
+  /// 1-based numbers of the first `max_reported_lines` skipped lines.
+  std::vector<int64_t> skipped_line_numbers;
+};
+
+/// Reads a triples file into a fresh KnowledgeGraph (adjacency built).
+/// NOT_FOUND if the file cannot be opened; INVALID_ARGUMENT in strict
+/// mode on the first malformed line. `stats` may be null.
+StatusOr<KnowledgeGraph> LoadTriples(const std::string& path,
+                                     const TsvReadOptions& options = {},
+                                     TsvReadStats* stats = nullptr);
+
+/// Writes `kg` to `path` atomically (temp file + rename).
+Status SaveTriples(const KnowledgeGraph& kg, const std::string& path);
 
 /// Reads an alignment file; names are resolved against the two KGs.
-/// Returns nullopt on IO failure, malformed lines, or unknown entities.
-std::optional<EntityPairList> LoadAlignment(const std::string& path,
-                                            const KnowledgeGraph& source,
-                                            const KnowledgeGraph& target);
+/// Lenient mode also skips pairs naming unknown entities; strict mode
+/// fails on them.
+StatusOr<EntityPairList> LoadAlignment(const std::string& path,
+                                       const KnowledgeGraph& source,
+                                       const KnowledgeGraph& target,
+                                       const TsvReadOptions& options = {},
+                                       TsvReadStats* stats = nullptr);
 
-/// Writes `pairs` (as entity names) to `path`. Returns false on failure.
-bool SaveAlignment(const EntityPairList& pairs, const KnowledgeGraph& source,
-                   const KnowledgeGraph& target, const std::string& path);
+/// Writes `pairs` (as entity names) to `path` atomically.
+Status SaveAlignment(const EntityPairList& pairs,
+                     const KnowledgeGraph& source,
+                     const KnowledgeGraph& target, const std::string& path);
 
 }  // namespace largeea
 

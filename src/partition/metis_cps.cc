@@ -8,6 +8,7 @@
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/rt/fault_injection.h"
 
 namespace largeea {
 namespace {
@@ -176,11 +177,12 @@ MiniBatchSet PartitionAttempt(const KnowledgeGraph& source,
 
 }  // namespace
 
-MiniBatchSet MetisCpsPartition(const KnowledgeGraph& source,
-                               const KnowledgeGraph& target,
-                               const EntityPairList& seeds,
-                               const MetisCpsOptions& options,
-                               MetisCpsReport* report) {
+StatusOr<MiniBatchSet> MetisCpsPartition(const KnowledgeGraph& source,
+                                         const KnowledgeGraph& target,
+                                         const EntityPairList& seeds,
+                                         const MetisCpsOptions& options,
+                                         MetisCpsReport* report) {
+  LARGEEA_INJECT_FAULT("partition.metis_cps");
   const int32_t attempts = std::max(options.max_attempts, 1);
   LARGEEA_TRACE_SPAN("partition/metis_cps");
   auto& registry = obs::MetricsRegistry::Get();

@@ -25,6 +25,7 @@
 
 #include "src/partition/metis.h"
 #include "src/partition/mini_batch.h"
+#include "src/rt/status.h"
 
 namespace largeea {
 
@@ -57,11 +58,14 @@ struct MetisCpsReport {
 };
 
 /// Generates K mini-batches with METIS-CPS. `report` may be null.
-MiniBatchSet MetisCpsPartition(const KnowledgeGraph& source,
-                               const KnowledgeGraph& target,
-                               const EntityPairList& seeds,
-                               const MetisCpsOptions& options,
-                               MetisCpsReport* report = nullptr);
+/// Fallible seam: the "partition.metis_cps" fault point fires here, and
+/// future real failure modes (METIS defeat on pathological graphs)
+/// surface as non-OK statuses instead of aborts.
+StatusOr<MiniBatchSet> MetisCpsPartition(const KnowledgeGraph& source,
+                                         const KnowledgeGraph& target,
+                                         const EntityPairList& seeds,
+                                         const MetisCpsOptions& options,
+                                         MetisCpsReport* report = nullptr);
 
 }  // namespace largeea
 

@@ -1,0 +1,66 @@
+#include "src/rt/fault_injection.h"
+
+namespace largeea::rt {
+
+FaultInjector& FaultInjector::Get() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(std::string_view point, FaultSpec spec) {
+  LARGEEA_CHECK_GE(spec.trigger_on_hit, 1);
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[std::string(point)];
+  state.spec = std::move(spec);
+  state.armed = true;
+  state.hits = 0;
+  state.triggers = 0;
+}
+
+void FaultInjector::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  if (it != points_.end()) it->second.armed = false;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+}
+
+Status FaultInjector::Check(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[std::string(point)];
+  ++state.hits;
+  if (!state.armed) return OkStatus();
+  const FaultSpec& spec = state.spec;
+  if (state.hits < spec.trigger_on_hit) return OkStatus();
+  if (spec.max_triggers >= 0 && state.triggers >= spec.max_triggers) {
+    return OkStatus();
+  }
+  ++state.triggers;
+  return Status(spec.code,
+                spec.message + " (fault point '" + std::string(point) + "')");
+}
+
+int64_t FaultInjector::HitCount(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+int64_t FaultInjector::TriggerCount(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.triggers;
+}
+
+std::vector<std::string> FaultInjector::SeenPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const auto& [name, state] : points_) out.push_back(name);
+  return out;
+}
+
+}  // namespace largeea::rt

@@ -1,0 +1,105 @@
+// Deterministic fault injection for robustness tests.
+//
+// Fallible seams of the pipeline declare *named fault points*:
+//
+//   LARGEEA_INJECT_FAULT("structure.batch.train");
+//
+// In normal operation a fault point is a no-op (one mutex-guarded map
+// lookup; the points sit at phase/batch granularity, never in hot loops).
+// A test arms a point with a FaultSpec — "fail with UNAVAILABLE starting
+// at the 2nd hit, at most 3 times" — and the macro returns the injected
+// Status from the enclosing function, exactly as a real failure at that
+// seam would. Injection is fully deterministic: triggering is a pure
+// function of the per-point hit counter, never of wall clock or global
+// randomness, so a failing schedule replays bit-for-bit.
+//
+// The whole facility compiles out when LARGEEA_FAULT_INJECTION is 0
+// (CMake -DLARGEEA_FAULT_INJECTION=OFF, the production configuration):
+// LARGEEA_INJECT_FAULT expands to nothing and the registry is dead code.
+#ifndef LARGEEA_RT_FAULT_INJECTION_H_
+#define LARGEEA_RT_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/rt/status.h"
+
+namespace largeea::rt {
+
+/// When and how an armed fault point fires.
+struct FaultSpec {
+  StatusCode code = StatusCode::kUnavailable;
+  std::string message = "injected fault";
+  /// 1-based hit index at which the point starts firing.
+  int32_t trigger_on_hit = 1;
+  /// Consecutive firings once triggered; -1 = every hit from then on.
+  int32_t max_triggers = 1;
+};
+
+/// Process-wide fault-point registry. All methods are thread-safe.
+class FaultInjector {
+ public:
+  static FaultInjector& Get();
+
+  /// Arms `point`; replaces any previous spec and resets its counters.
+  void Arm(std::string_view point, FaultSpec spec);
+
+  void Disarm(std::string_view point);
+
+  /// Disarms every point and forgets all counters.
+  void Reset();
+
+  /// Called by LARGEEA_INJECT_FAULT: counts the hit and returns the
+  /// armed error when the spec says this hit fires, OK otherwise.
+  Status Check(std::string_view point);
+
+  /// Lifetime hits of `point` (armed or not), since the last Reset.
+  int64_t HitCount(std::string_view point) const;
+
+  /// How many times `point` actually fired.
+  int64_t TriggerCount(std::string_view point) const;
+
+  /// Every point ever hit or armed since the last Reset — the test
+  /// matrix enumerates this to prove coverage of all seams it exercised.
+  std::vector<std::string> SeenPoints() const;
+
+ private:
+  struct PointState {
+    FaultSpec spec;
+    bool armed = false;
+    int64_t hits = 0;
+    int64_t triggers = 0;
+  };
+
+  FaultInjector() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, PointState, std::less<>> points_;
+};
+
+}  // namespace largeea::rt
+
+#ifndef LARGEEA_FAULT_INJECTION
+#define LARGEEA_FAULT_INJECTION 0
+#endif
+
+#if LARGEEA_FAULT_INJECTION
+// Returns the injected Status from the enclosing function (whose return
+// type must be constructible from Status) when `point` is armed and due.
+#define LARGEEA_INJECT_FAULT(point)                                   \
+  do {                                                                \
+    ::largeea::Status largeea_rt_fault =                              \
+        ::largeea::rt::FaultInjector::Get().Check(point);             \
+    if (!largeea_rt_fault.ok()) return largeea_rt_fault;              \
+  } while (false)
+#else
+#define LARGEEA_INJECT_FAULT(point) \
+  do {                              \
+  } while (false)
+#endif
+
+#endif  // LARGEEA_RT_FAULT_INJECTION_H_

@@ -1,0 +1,52 @@
+#include "src/rt/io_util.h"
+
+#include <cstdio>
+
+#include <fstream>
+#include <sstream>
+
+namespace largeea::rt {
+
+Status AtomicallyWriteFile(const std::string& path,
+                           std::string_view content) {
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return UnavailableError("cannot open '" + tmp_path + "' for writing");
+    }
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp_path.c_str());
+      return UnavailableError("short write to '" + tmp_path + "'");
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return UnavailableError("cannot rename '" + tmp_path + "' to '" + path +
+                            "'");
+  }
+  return OkStatus();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return UnavailableError("read error on '" + path + "'");
+  return std::move(buffer).str();
+}
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace largeea::rt

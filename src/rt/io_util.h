@@ -1,0 +1,28 @@
+// Crash-safe file helpers shared by the IO and checkpoint layers.
+#ifndef LARGEEA_RT_IO_UTIL_H_
+#define LARGEEA_RT_IO_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/rt/status.h"
+
+namespace largeea::rt {
+
+/// Writes `content` to `path` atomically: the bytes go to "<path>.tmp"
+/// which is renamed over `path` only after a successful write+close, so a
+/// crash mid-write can never leave a truncated file under the final name
+/// (rename(2) is atomic on POSIX filesystems).
+Status AtomicallyWriteFile(const std::string& path, std::string_view content);
+
+/// Reads the whole file. NOT_FOUND if it cannot be opened.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// FNV-1a 64-bit hash — the checkpoint checksum/fingerprint primitive.
+/// Not cryptographic; it detects truncation and bit rot, not adversaries.
+uint64_t Fnv1a64(std::string_view data);
+
+}  // namespace largeea::rt
+
+#endif  // LARGEEA_RT_IO_UTIL_H_

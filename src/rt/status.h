@@ -1,0 +1,140 @@
+// Status and StatusOr<T> — recoverable-error propagation for the pipeline.
+//
+// The library keeps its no-exceptions rule (DESIGN.md §5): programmer
+// errors still CHECK-abort, but *recoverable* conditions — malformed
+// input files, corrupt checkpoints, a failing mini-batch — travel through
+// Status/StatusOr return values so callers can retry, degrade, or surface
+// a precise message instead of seeing a bare `std::nullopt` or an abort.
+//
+// Context chaining: each layer that forwards an error prepends its own
+// context with WithContext(), so a failure reads like a call path:
+//   "structure channel: batch 3: train: injected fault".
+#ifndef LARGEEA_RT_STATUS_H_
+#define LARGEEA_RT_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/common/macros.h"
+
+namespace largeea {
+
+/// Canonical error space (a deliberately small subset of the usual
+/// gRPC/absl taxonomy — only codes the pipeline actually distinguishes).
+enum class StatusCode : int32_t {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< malformed input the caller supplied
+  kNotFound = 2,          ///< missing file / absent checkpoint artifact
+  kDataLoss = 3,          ///< truncated or checksum-mismatched data
+  kFailedPrecondition = 4,///< valid data, wrong context (stale checkpoint)
+  kAborted = 5,           ///< run interrupted (the crash-simulation code)
+  kUnavailable = 6,       ///< transient failure, retrying may succeed
+  kInternal = 7,          ///< invariant broken by a lower layer
+};
+
+/// Upper-case canonical name ("INVALID_ARGUMENT", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A code plus a human-readable message. Default-constructed = OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy with `context` prepended ("context: message").
+  /// No-op on OK statuses, so it can be applied unconditionally.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status DataLossError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status AbortedError(std::string message);
+Status UnavailableError(std::string message);
+Status InternalError(std::string message);
+
+/// Either a value or a non-OK Status. Accessing value() on an error
+/// CHECK-aborts (programmer error), mirroring the LARGEEA_CHECK contract.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a non-OK Status (an OK status without a value is a
+  /// programmer error and aborts).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    LARGEEA_CHECK(!status_.ok());
+  }
+
+  /// Implicit from a value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    LARGEEA_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    LARGEEA_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    LARGEEA_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;        // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace largeea
+
+#define LARGEEA_RT_CONCAT_INNER(a, b) a##b
+#define LARGEEA_RT_CONCAT(a, b) LARGEEA_RT_CONCAT_INNER(a, b)
+
+// Propagates a non-OK Status to the caller (works in any function whose
+// return type is constructible from Status, i.e. Status or StatusOr<T>).
+#define LARGEEA_RETURN_IF_ERROR(expr)                        \
+  do {                                                       \
+    ::largeea::Status largeea_rt_status = (expr);            \
+    if (!largeea_rt_status.ok()) return largeea_rt_status;   \
+  } while (false)
+
+// Evaluates a StatusOr<T> expression; on success moves the value into
+// `lhs` (which may declare a new variable), on error propagates.
+#define LARGEEA_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  LARGEEA_ASSIGN_OR_RETURN_IMPL(                                         \
+      LARGEEA_RT_CONCAT(largeea_rt_statusor_, __LINE__), lhs, rexpr)
+#define LARGEEA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#endif  // LARGEEA_RT_STATUS_H_

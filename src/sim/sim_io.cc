@@ -2,63 +2,84 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
 #include "src/common/string_util.h"
+#include "src/rt/io_util.h"
 
 namespace largeea {
 
-bool SaveSimMatrix(const SparseSimMatrix& m, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << "largeea-sim v1 " << m.num_rows() << ' ' << m.num_cols() << ' '
-      << m.max_entries_per_row() << '\n';
+std::string SimMatrixToString(const SparseSimMatrix& m) {
+  std::string out;
+  out += "largeea-sim v1 " + std::to_string(m.num_rows()) + ' ' +
+         std::to_string(m.num_cols()) + ' ' +
+         std::to_string(m.max_entries_per_row()) + '\n';
   char line[64];
   for (int32_t r = 0; r < m.num_rows(); ++r) {
     for (const SimEntry& e : m.Row(r)) {
       // %.9g round-trips float exactly.
       std::snprintf(line, sizeof(line), "%" PRId32 "\t%" PRId32 "\t%.9g\n",
                     r, e.column, static_cast<double>(e.score));
-      out << line;
+      out += line;
     }
   }
-  return static_cast<bool>(out);
+  return out;
 }
 
-std::optional<SparseSimMatrix> LoadSimMatrix(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
+StatusOr<SparseSimMatrix> SimMatrixFromString(std::string_view text) {
+  std::istringstream in{std::string(text)};
   std::string header;
-  if (!std::getline(in, header)) return std::nullopt;
+  if (!std::getline(in, header)) {
+    return InvalidArgumentError("empty sim-matrix document");
+  }
   std::istringstream header_stream(header);
   std::string magic, version;
   int64_t rows = 0, cols = 0, max_entries = 0;
   header_stream >> magic >> version >> rows >> cols >> max_entries;
   if (!header_stream || magic != "largeea-sim" || version != "v1" ||
       rows < 0 || cols < 0) {
-    return std::nullopt;
+    return InvalidArgumentError("bad sim-matrix header '" + header + "'");
   }
   SparseSimMatrix m(static_cast<int32_t>(rows), static_cast<int32_t>(cols),
                     static_cast<int32_t>(max_entries));
   std::string line;
+  int64_t line_number = 1;
   while (std::getline(in, line)) {
+    ++line_number;
     const std::string_view stripped = StripAsciiWhitespace(line);
     if (stripped.empty()) continue;
     const std::vector<std::string> fields = Split(stripped, '\t');
-    if (fields.size() != 3) return std::nullopt;
+    if (fields.size() != 3) {
+      return InvalidArgumentError("line " + std::to_string(line_number) +
+                                  ": expected 3 fields, got " +
+                                  std::to_string(fields.size()));
+    }
     const auto row = ParseInt(fields[0]);
     const auto col = ParseInt(fields[1]);
     const auto score = ParseDouble(fields[2]);
     if (!row || !col || !score || *row < 0 || *row >= rows || *col < 0 ||
         *col >= cols) {
-      return std::nullopt;
+      return InvalidArgumentError("line " + std::to_string(line_number) +
+                                  ": malformed or out-of-range entry");
     }
     m.Accumulate(static_cast<int32_t>(*row),
                  static_cast<EntityId>(*col),
                  static_cast<float>(*score));
   }
   m.RefreshMemoryTracking();
+  return m;
+}
+
+Status SaveSimMatrix(const SparseSimMatrix& m, const std::string& path) {
+  return rt::AtomicallyWriteFile(path, SimMatrixToString(m))
+      .WithContext("saving sim matrix");
+}
+
+StatusOr<SparseSimMatrix> LoadSimMatrix(const std::string& path) {
+  LARGEEA_ASSIGN_OR_RETURN(const std::string text,
+                           rt::ReadFileToString(path));
+  auto m = SimMatrixFromString(text);
+  if (!m.ok()) return m.status().WithContext("loading '" + path + "'");
   return m;
 }
 

@@ -4,23 +4,33 @@
 // LargeEA run; saving them lets downstream tooling re-decode, re-fuse, or
 // inspect alignments without re-running training. Format: a text header
 // ("largeea-sim v1 <rows> <cols> <max_entries>") followed by one
-// "row<TAB>col<TAB>score" line per entry.
+// "row<TAB>col<TAB>score" line per entry. Scores are printed with %.9g,
+// which round-trips float exactly — a serialise/parse cycle is
+// bit-identical, the property the checkpoint/resume layer depends on.
 #ifndef LARGEEA_SIM_SIM_IO_H_
 #define LARGEEA_SIM_SIM_IO_H_
 
-#include <optional>
 #include <string>
+#include <string_view>
 
+#include "src/rt/status.h"
 #include "src/sim/sparse_sim.h"
 
 namespace largeea {
 
-/// Writes `m` to `path`. Returns false on IO failure.
-bool SaveSimMatrix(const SparseSimMatrix& m, const std::string& path);
+/// Serialises `m` in the sim-matrix text format.
+std::string SimMatrixToString(const SparseSimMatrix& m);
 
-/// Reads a matrix written by SaveSimMatrix. Returns nullopt on IO
-/// failure or malformed content.
-std::optional<SparseSimMatrix> LoadSimMatrix(const std::string& path);
+/// Parses a matrix serialised by SimMatrixToString. INVALID_ARGUMENT on
+/// malformed content (bad header, field count, out-of-range indices).
+StatusOr<SparseSimMatrix> SimMatrixFromString(std::string_view text);
+
+/// Writes `m` to `path` atomically (temp file + rename).
+Status SaveSimMatrix(const SparseSimMatrix& m, const std::string& path);
+
+/// Reads a matrix written by SaveSimMatrix. NOT_FOUND if the file cannot
+/// be opened, INVALID_ARGUMENT on malformed content.
+StatusOr<SparseSimMatrix> LoadSimMatrix(const std::string& path);
 
 }  // namespace largeea
 

@@ -65,9 +65,10 @@ class CoreFixture : public ::testing::Test {
 const EaDataset* CoreFixture::dataset_ = nullptr;
 
 TEST_F(CoreFixture, NameChannelProducesFeaturesAndSeeds) {
-  const NameChannelResult result = RunNameChannel(
-      dataset().source, dataset().target, dataset().split.train,
-      NameChannelOptions{});
+  const NameChannelResult result =
+      RunNameChannel(dataset().source, dataset().target,
+                     dataset().split.train, NameChannelOptions{})
+          .value();
   EXPECT_GT(result.nff.fused.TotalEntries(), 0);
   EXPECT_GT(result.pseudo_seeds.size(), 20u);
   EXPECT_GT(result.total_seconds, 0.0);
@@ -77,8 +78,10 @@ TEST_F(CoreFixture, NameChannelProducesFeaturesAndSeeds) {
 TEST_F(CoreFixture, NameChannelAugmentationCanBeDisabled) {
   NameChannelOptions options;
   options.enable_augmentation = false;
-  const NameChannelResult result = RunNameChannel(
-      dataset().source, dataset().target, dataset().split.train, options);
+  const NameChannelResult result =
+      RunNameChannel(dataset().source, dataset().target,
+                     dataset().split.train, options)
+          .value();
   EXPECT_TRUE(result.pseudo_seeds.empty());
 }
 
@@ -91,8 +94,10 @@ TEST_P(StructureStrategyTest, ProducesBlockSimilarity) {
   options.strategy = GetParam();
   options.num_batches = 3;
   options.train.epochs = 30;
-  const StructureChannelResult result = RunStructureChannel(
-      dataset().source, dataset().target, dataset().split.train, options);
+  const StructureChannelResult result =
+      RunStructureChannel(dataset().source, dataset().target,
+                          dataset().split.train, options)
+          .value();
   EXPECT_EQ(result.similarity.num_rows(), dataset().source.num_entities());
   EXPECT_EQ(result.similarity.num_cols(), dataset().target.num_entities());
   EXPECT_GT(result.similarity.TotalEntries(), 0);
@@ -118,8 +123,10 @@ TEST_F(CoreFixture, StructureSimilarityIsBlockDiagonal) {
   StructureChannelOptions options;
   options.num_batches = 3;
   options.train.epochs = 5;
-  const StructureChannelResult result = RunStructureChannel(
-      dataset().source, dataset().target, dataset().split.train, options);
+  const StructureChannelResult result =
+      RunStructureChannel(dataset().source, dataset().target,
+                          dataset().split.train, options)
+          .value();
   // Every similarity entry must pair entities of the same batch.
   std::vector<int32_t> source_batch(dataset().source.num_entities(), -1);
   std::vector<int32_t> target_batch(dataset().target.num_entities(), -1);
@@ -142,15 +149,16 @@ TEST_F(CoreFixture, FullPipelineBeatsSingleChannels) {
   LargeEaOptions full;
   full.structure_channel.num_batches = 3;
   full.structure_channel.train.epochs = 40;
-  const LargeEaResult fused = RunLargeEa(dataset(), full);
+  const LargeEaResult fused = RunLargeEa(dataset(), full).value();
 
   LargeEaOptions structure_only = full;
   structure_only.use_name_channel = false;
-  const LargeEaResult structure = RunLargeEa(dataset(), structure_only);
+  const LargeEaResult structure =
+      RunLargeEa(dataset(), structure_only).value();
 
   LargeEaOptions name_only = full;
   name_only.use_structure_channel = false;
-  const LargeEaResult name = RunLargeEa(dataset(), name_only);
+  const LargeEaResult name = RunLargeEa(dataset(), name_only).value();
 
   // Channel fusion helps (the paper's core ablation claim).
   EXPECT_GT(fused.metrics.hits_at_1, structure.metrics.hits_at_1);
@@ -174,7 +182,7 @@ TEST_F(CoreFixture, UnsupervisedRunWorksWithoutSeeds) {
   LargeEaOptions options;
   options.structure_channel.num_batches = 3;
   options.structure_channel.train.epochs = 40;
-  const LargeEaResult result = RunLargeEa(unsupervised, options);
+  const LargeEaResult result = RunLargeEa(unsupervised, options).value();
   // DA must manufacture the seeds and the pipeline still aligns well.
   EXPECT_GT(result.effective_seeds.size(), 100u);
   EXPECT_GT(result.metrics.hits_at_1, 0.4);
@@ -185,7 +193,7 @@ TEST_F(CoreFixture, DisablingAugmentationShrinksSeeds) {
   options.structure_channel.num_batches = 3;
   options.structure_channel.train.epochs = 5;
   options.name_channel.enable_augmentation = false;
-  const LargeEaResult result = RunLargeEa(dataset(), options);
+  const LargeEaResult result = RunLargeEa(dataset(), options).value();
   EXPECT_EQ(result.effective_seeds.size(), dataset().split.train.size());
 }
 
@@ -194,7 +202,7 @@ TEST_F(CoreFixture, WithoutNameFusionStillUsesAugmentation) {
   options.structure_channel.num_batches = 2;
   options.structure_channel.train.epochs = 10;
   options.fuse_name_similarity = false;
-  const LargeEaResult result = RunLargeEa(dataset(), options);
+  const LargeEaResult result = RunLargeEa(dataset(), options).value();
   // The name channel still ran (DA seeds were added to ψ')...
   EXPECT_GT(result.effective_seeds.size(), dataset().split.train.size());
   // ...but the fused matrix is exactly the structure channel's M_s.
@@ -222,8 +230,8 @@ TEST_F(CoreFixture, DeterministicAcrossRuns) {
   LargeEaOptions options;
   options.structure_channel.num_batches = 2;
   options.structure_channel.train.epochs = 10;
-  const LargeEaResult a = RunLargeEa(dataset(), options);
-  const LargeEaResult b = RunLargeEa(dataset(), options);
+  const LargeEaResult a = RunLargeEa(dataset(), options).value();
+  const LargeEaResult b = RunLargeEa(dataset(), options).value();
   EXPECT_DOUBLE_EQ(a.metrics.hits_at_1, b.metrics.hits_at_1);
   EXPECT_DOUBLE_EQ(a.metrics.mrr, b.metrics.mrr);
 }

@@ -98,8 +98,10 @@ TEST_F(BootstrapFixture, SeedsGrowAndAccuracyDoesNotCollapse) {
 
   // Bootstrapping must not fall below the single-round baseline.
   StructureChannelOptions single = options.structure;
-  const StructureChannelResult baseline = RunStructureChannel(
-      dataset().source, dataset().target, dataset().split.train, single);
+  const StructureChannelResult baseline =
+      RunStructureChannel(dataset().source, dataset().target,
+                          dataset().split.train, single)
+          .value();
   const double boot_h1 =
       Evaluate(result.similarity, dataset().split.test).hits_at_1;
   const double base_h1 =
@@ -128,9 +130,10 @@ TEST_F(BootstrapFixture, SingleRoundEqualsPlainChannel) {
   const BootstrapResult result = RunBootstrappedStructureChannel(
       dataset().source, dataset().target, dataset().split.train, options);
   EXPECT_EQ(result.final_seeds.size(), dataset().split.train.size());
-  const StructureChannelResult plain = RunStructureChannel(
-      dataset().source, dataset().target, dataset().split.train,
-      options.structure);
+  const StructureChannelResult plain =
+      RunStructureChannel(dataset().source, dataset().target,
+                          dataset().split.train, options.structure)
+          .value();
   EXPECT_DOUBLE_EQ(
       Evaluate(result.similarity, dataset().split.test).hits_at_1,
       Evaluate(plain.similarity, dataset().split.test).hits_at_1);

@@ -46,20 +46,21 @@ TEST_F(IntegrationFixture, FileRoundTripPreservesPipelineResults) {
   const std::string src_path = TempPath("it_source.tsv");
   const std::string tgt_path = TempPath("it_target.tsv");
   const std::string seed_path = TempPath("it_seeds.tsv");
-  ASSERT_TRUE(SaveTriples(dataset().source, src_path));
-  ASSERT_TRUE(SaveTriples(dataset().target, tgt_path));
+  ASSERT_TRUE(SaveTriples(dataset().source, src_path).ok());
+  ASSERT_TRUE(SaveTriples(dataset().target, tgt_path).ok());
   ASSERT_TRUE(SaveAlignment(dataset().split.train, dataset().source,
-                            dataset().target, seed_path));
+                            dataset().target, seed_path)
+                  .ok());
 
   auto source = LoadTriples(src_path);
   auto target = LoadTriples(tgt_path);
-  ASSERT_TRUE(source && target);
+  ASSERT_TRUE(source.ok() && target.ok());
   EaDataset reloaded;
   reloaded.source = std::move(*source);
   reloaded.target = std::move(*target);
   const auto seeds =
       LoadAlignment(seed_path, reloaded.source, reloaded.target);
-  ASSERT_TRUE(seeds.has_value());
+  ASSERT_TRUE(seeds.ok());
   reloaded.split.train = *seeds;
   // Map the original test pairs through names (ids are re-interned).
   for (const EntityPair& p : dataset().split.test) {
@@ -74,8 +75,8 @@ TEST_F(IntegrationFixture, FileRoundTripPreservesPipelineResults) {
   LargeEaOptions options;
   options.structure_channel.num_batches = 2;
   options.structure_channel.train.epochs = 15;
-  const LargeEaResult original = RunLargeEa(dataset(), options);
-  const LargeEaResult roundtrip = RunLargeEa(reloaded, options);
+  const LargeEaResult original = RunLargeEa(dataset(), options).value();
+  const LargeEaResult roundtrip = RunLargeEa(reloaded, options).value();
   // Reloading re-interns entities/relations in file order, which permutes
   // the seeded random initialisation, so results are statistically — not
   // bit-for-bit — equal.
@@ -87,29 +88,51 @@ TEST_F(IntegrationFixture, FileRoundTripPreservesPipelineResults) {
   std::remove(seed_path.c_str());
 }
 
-TEST_F(IntegrationFixture, MalformedTripleFilesAreRejected) {
+TEST_F(IntegrationFixture, MalformedTripleFilesSkipOrReject) {
   const std::string path = TempPath("it_bad.tsv");
+  TsvReadOptions strict;
+  strict.strict = true;
   {
     std::ofstream out(path);
-    out << "only\ttwo\n";
+    out << "only\ttwo\n"
+        << "a\tr\tb\n";
   }
-  EXPECT_FALSE(LoadTriples(path).has_value());
+  // Strict mode rejects the file outright; the lenient default skips the
+  // bad line (counted) and loads the good one.
+  EXPECT_EQ(LoadTriples(path, strict).status().code(),
+            StatusCode::kInvalidArgument);
+  TsvReadStats stats;
+  const auto lenient = LoadTriples(path, {}, &stats);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(lenient->num_triples(), 1);
+  EXPECT_EQ(stats.lines_skipped, 1);
   {
     std::ofstream out(path);
     out << "a\tr\tb\tc\textra\n";
   }
-  EXPECT_FALSE(LoadTriples(path).has_value());
+  EXPECT_EQ(LoadTriples(path, strict).status().code(),
+            StatusCode::kInvalidArgument);
   std::remove(path.c_str());
 }
 
-TEST_F(IntegrationFixture, AlignmentWithUnknownEntitiesIsRejected) {
+TEST_F(IntegrationFixture, AlignmentWithUnknownEntitiesSkipsOrRejects) {
   const std::string path = TempPath("it_bad_align.tsv");
   {
     std::ofstream out(path);
     out << "no-such-entity\talso-missing\n";
   }
-  EXPECT_FALSE(
-      LoadAlignment(path, dataset().source, dataset().target).has_value());
+  TsvReadOptions strict;
+  strict.strict = true;
+  EXPECT_EQ(LoadAlignment(path, dataset().source, dataset().target, strict)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  TsvReadStats stats;
+  const auto lenient =
+      LoadAlignment(path, dataset().source, dataset().target, {}, &stats);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_TRUE(lenient->empty());
+  EXPECT_EQ(stats.lines_skipped, 1);
   std::remove(path.c_str());
 }
 
@@ -119,8 +142,9 @@ TEST_F(IntegrationFixture, LshPipelineApproximatesExactPipeline) {
   exact.structure_channel.train.epochs = 20;
   LargeEaOptions approx = exact;
   approx.name_channel.nff.sens.use_lsh = true;
-  const LargeEaResult exact_result = RunLargeEa(dataset(), exact);
-  const LargeEaResult approx_result = RunLargeEa(dataset(), approx);
+  const LargeEaResult exact_result = RunLargeEa(dataset(), exact).value();
+  const LargeEaResult approx_result =
+      RunLargeEa(dataset(), approx).value();
   // The ANN path may lose a little accuracy but must stay in the same
   // ballpark (the Faiss-for-exact swap of the paper's large tier).
   EXPECT_GT(approx_result.metrics.hits_at_1,
@@ -133,8 +157,10 @@ TEST_F(IntegrationFixture, StructureChannelWithoutSeedsIsHarmless) {
   StructureChannelOptions options;
   options.num_batches = 2;
   options.train.epochs = 3;
-  const StructureChannelResult result = RunStructureChannel(
-      dataset().source, dataset().target, /*seeds=*/{}, options);
+  const StructureChannelResult result =
+      RunStructureChannel(dataset().source, dataset().target, /*seeds=*/{},
+                          options)
+          .value();
   EXPECT_EQ(result.similarity.num_rows(), dataset().source.num_entities());
   EXPECT_GT(result.similarity.TotalEntries(), 0);
 }
@@ -145,10 +171,14 @@ TEST_F(IntegrationFixture, SingleBatchEqualsNoPartition) {
   one_batch.train.epochs = 10;
   StructureChannelOptions none = one_batch;
   none.strategy = PartitionStrategy::kNone;
-  const StructureChannelResult a = RunStructureChannel(
-      dataset().source, dataset().target, dataset().split.train, one_batch);
-  const StructureChannelResult b = RunStructureChannel(
-      dataset().source, dataset().target, dataset().split.train, none);
+  const StructureChannelResult a =
+      RunStructureChannel(dataset().source, dataset().target,
+                          dataset().split.train, one_batch)
+          .value();
+  const StructureChannelResult b =
+      RunStructureChannel(dataset().source, dataset().target,
+                          dataset().split.train, none)
+          .value();
   // K=1 METIS-CPS must contain everything in one batch, like kNone.
   ASSERT_EQ(a.batches.size(), 1u);
   EXPECT_EQ(a.batches[0].source_entities.size(),
@@ -162,7 +192,7 @@ TEST_F(IntegrationFixture, MemoryTrackerSeesPipelineBuffers) {
   LargeEaOptions options;
   options.structure_channel.num_batches = 2;
   options.structure_channel.train.epochs = 5;
-  const LargeEaResult result = RunLargeEa(dataset(), options);
+  const LargeEaResult result = RunLargeEa(dataset(), options).value();
   // Peak must cover at least the fused matrix (which is still alive).
   EXPECT_GE(result.peak_bytes, result.fused.MemoryBytes());
   EXPECT_GT(result.peak_bytes, 0);

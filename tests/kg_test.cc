@@ -77,9 +77,9 @@ TEST(KgIoTest, TriplesRoundTrip) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "largeea_kg_test.tsv")
           .string();
-  ASSERT_TRUE(SaveTriples(kg, path));
+  ASSERT_TRUE(SaveTriples(kg, path).ok());
   const auto loaded = LoadTriples(path);
-  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->num_entities(), kg.num_entities());
   EXPECT_EQ(loaded->num_relations(), kg.num_relations());
   EXPECT_EQ(loaded->num_triples(), kg.num_triples());
@@ -88,7 +88,9 @@ TEST(KgIoTest, TriplesRoundTrip) {
 }
 
 TEST(KgIoTest, LoadMissingFileFails) {
-  EXPECT_FALSE(LoadTriples("/nonexistent/path/file.tsv").has_value());
+  const auto missing = LoadTriples("/nonexistent/path/file.tsv");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
 }
 
 TEST(KgIoTest, AlignmentRoundTrip) {
@@ -104,9 +106,9 @@ TEST(KgIoTest, AlignmentRoundTrip) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "largeea_align_test.tsv")
           .string();
-  ASSERT_TRUE(SaveAlignment(pairs, a, b, path));
+  ASSERT_TRUE(SaveAlignment(pairs, a, b, path).ok());
   const auto loaded = LoadAlignment(path, a, b);
-  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(*loaded, pairs);
   std::remove(path.c_str());
 }

@@ -199,7 +199,8 @@ TEST_F(PartitionStrategyTest, MetisCpsInvariants) {
   MetisCpsReport report;
   const MiniBatchSet batches =
       MetisCpsPartition(dataset().source, dataset().target,
-                        dataset().split.train, options, &report);
+                        dataset().split.train, options, &report)
+          .value();
   ASSERT_EQ(batches.size(), 4u);
   CheckBatchInvariants(batches, dataset());
   EXPECT_GT(report.source_edge_cut, 0);
@@ -211,8 +212,10 @@ TEST_F(PartitionStrategyTest, MetisCpsInvariants) {
 TEST_F(PartitionStrategyTest, MetisCpsKeepsMostSeedsTogether) {
   MetisCpsOptions options;
   options.num_batches = 4;
-  const MiniBatchSet batches = MetisCpsPartition(
-      dataset().source, dataset().target, dataset().split.train, options);
+  const MiniBatchSet batches =
+      MetisCpsPartition(dataset().source, dataset().target,
+                        dataset().split.train, options)
+          .value();
   const double train_fraction =
       SameBatchFraction(batches, dataset().split.train,
                         dataset().source.num_entities(),
@@ -224,9 +227,10 @@ TEST_F(PartitionStrategyTest, MetisCpsBeatsVpsOnTestRetention) {
   const int32_t k = 4;
   MetisCpsOptions cps_options;
   cps_options.num_batches = k;
-  const MiniBatchSet cps = MetisCpsPartition(
-      dataset().source, dataset().target, dataset().split.train,
-      cps_options);
+  const MiniBatchSet cps =
+      MetisCpsPartition(dataset().source, dataset().target,
+                        dataset().split.train, cps_options)
+          .value();
   VpsOptions vps_options;
   vps_options.num_batches = k;
   const MiniBatchSet vps = VpsPartition(
@@ -252,10 +256,13 @@ TEST_F(PartitionStrategyTest, DisablingPhasesHurtsRetention) {
   no_phase1.enable_phase1 = false;
   const auto& ds = dataset();
   const double with_p1 = SameBatchFraction(
-      MetisCpsPartition(ds.source, ds.target, ds.split.train, full),
+      MetisCpsPartition(ds.source, ds.target, ds.split.train, full)
+          .value(),
       ds.split.train, ds.source.num_entities(), ds.target.num_entities());
   const double without_p1 = SameBatchFraction(
-      MetisCpsPartition(ds.source, ds.target, ds.split.train, no_phase1),
+      MetisCpsPartition(ds.source, ds.target, ds.split.train,
+                        no_phase1)
+          .value(),
       ds.split.train, ds.source.num_entities(), ds.target.num_entities());
   EXPECT_GT(with_p1, without_p1);
 }
@@ -264,8 +271,10 @@ TEST_F(PartitionStrategyTest, MultipleHubsAlsoWork) {
   MetisCpsOptions options;
   options.num_batches = 4;
   options.hubs_per_group = 3;
-  const MiniBatchSet batches = MetisCpsPartition(
-      dataset().source, dataset().target, dataset().split.train, options);
+  const MiniBatchSet batches =
+      MetisCpsPartition(dataset().source, dataset().target,
+                        dataset().split.train, options)
+          .value();
   CheckBatchInvariants(batches, dataset());
   EXPECT_GT(SameBatchFraction(batches, dataset().split.train,
                               dataset().source.num_entities(),
@@ -289,8 +298,10 @@ TEST_F(PartitionStrategyTest, OverlapDegreeOneIsIdentity) {
 TEST_F(PartitionStrategyTest, OverlapGrowsBatches) {
   MetisCpsOptions options;
   options.num_batches = 4;
-  const MiniBatchSet batches = MetisCpsPartition(
-      dataset().source, dataset().target, dataset().split.train, options);
+  const MiniBatchSet batches =
+      MetisCpsPartition(dataset().source, dataset().target,
+                        dataset().split.train, options)
+          .value();
   const MiniBatchSet overlapped =
       MakeOverlappingBatches(batches, dataset().source, dataset().target, 2);
   ASSERT_EQ(overlapped.size(), batches.size());

@@ -1,0 +1,312 @@
+// Unit tests for the fault-tolerant runtime layer (src/rt/): Status
+// propagation, atomic file IO, the fault injector, and the checkpoint
+// container (versioning, checksums, fingerprint invalidation).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/rt/checkpoint.h"
+#include "src/rt/fault_injection.h"
+#include "src/rt/io_util.h"
+#include "src/rt/status.h"
+
+namespace largeea {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorsCarryCodeAndMessage) {
+  const Status s = DataLossError("checksum mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.ToString(), "DATA_LOSS: checksum mismatch");
+}
+
+TEST(StatusTest, WithContextChainsLikeACallPath) {
+  const Status inner = UnavailableError("disk full");
+  const Status outer =
+      inner.WithContext("batch 3").WithContext("structure channel");
+  EXPECT_EQ(outer.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(outer.message(), "structure channel: batch 3: disk full");
+  // Context on OK is a no-op, so it can be applied unconditionally.
+  EXPECT_EQ(OkStatus().WithContext("ignored"), OkStatus());
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgumentError("not positive");
+  return x;
+}
+
+StatusOr<int> DoublePositive(int x) {
+  LARGEEA_ASSIGN_OR_RETURN(const int parsed, ParsePositive(x));
+  return parsed * 2;
+}
+
+TEST(StatusOrTest, ValueAndErrorPaths) {
+  const auto good = DoublePositive(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  const auto bad = DoublePositive(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, ValueOnErrorAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const StatusOr<int> error{NotFoundError("nope")};
+  EXPECT_DEATH((void)error.value(), "");
+}
+
+TEST(IoUtilTest, AtomicWriteRoundTripsAndLeavesNoTemp) {
+  const std::string dir = TempDir("largeea_rt_io");
+  fs::create_directories(dir);
+  const std::string path = dir + "/file.txt";
+  ASSERT_TRUE(rt::AtomicallyWriteFile(path, "hello\nworld").ok());
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  const auto read = rt::ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "hello\nworld");
+  // Overwrite is atomic too: new content fully replaces old.
+  ASSERT_TRUE(rt::AtomicallyWriteFile(path, "v2").ok());
+  EXPECT_EQ(*rt::ReadFileToString(path), "v2");
+  fs::remove_all(dir);
+}
+
+TEST(IoUtilTest, WriteToMissingDirectoryFailsCleanly) {
+  const Status s =
+      rt::AtomicallyWriteFile("/nonexistent-dir/sub/file.txt", "x");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rt::ReadFileToString("/nonexistent-dir/sub/file.txt")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(IoUtilTest, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a 64 test vectors.
+  EXPECT_EQ(rt::Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(rt::Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(rt::Fnv1a64("payload"), rt::Fnv1a64("payloae"));
+}
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { rt::FaultInjector::Get().Reset(); }
+  void TearDown() override { rt::FaultInjector::Get().Reset(); }
+};
+
+TEST_F(FaultInjectorTest, UnarmedPointIsANoOp) {
+  auto& injector = rt::FaultInjector::Get();
+  EXPECT_TRUE(injector.Check("some.point").ok());
+  EXPECT_TRUE(injector.Check("some.point").ok());
+  EXPECT_EQ(injector.HitCount("some.point"), 2);
+  EXPECT_EQ(injector.TriggerCount("some.point"), 0);
+}
+
+TEST_F(FaultInjectorTest, FiresDeterministicallyOnTheNthHit) {
+  auto& injector = rt::FaultInjector::Get();
+  rt::FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  spec.trigger_on_hit = 2;
+  spec.max_triggers = 2;
+  injector.Arm("p", spec);
+  EXPECT_TRUE(injector.Check("p").ok());           // hit 1
+  EXPECT_EQ(injector.Check("p").code(), StatusCode::kUnavailable);  // 2
+  EXPECT_EQ(injector.Check("p").code(), StatusCode::kUnavailable);  // 3
+  EXPECT_TRUE(injector.Check("p").ok());           // exhausted
+  EXPECT_EQ(injector.TriggerCount("p"), 2);
+}
+
+TEST_F(FaultInjectorTest, UnlimitedTriggersAndDisarm) {
+  auto& injector = rt::FaultInjector::Get();
+  rt::FaultSpec spec;
+  spec.max_triggers = -1;
+  injector.Arm("p", spec);
+  EXPECT_FALSE(injector.Check("p").ok());
+  EXPECT_FALSE(injector.Check("p").ok());
+  injector.Disarm("p");
+  EXPECT_TRUE(injector.Check("p").ok());
+}
+
+TEST_F(FaultInjectorTest, ErrorNamesTheFaultPoint) {
+  auto& injector = rt::FaultInjector::Get();
+  injector.Arm("io.load_triples", {});
+  const Status s = injector.Check("io.load_triples");
+  EXPECT_NE(s.message().find("io.load_triples"), std::string::npos);
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = TempDir("largeea_rt_ckpt");
+    rt::FaultInjector::Get().Reset();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static SparseSimMatrix SampleMatrix() {
+    SparseSimMatrix m(3, 4, 2);
+    m.Accumulate(0, 1, 0.5f);
+    m.Accumulate(0, 2, -0.25f);
+    m.Accumulate(2, 3, 1.0f);
+    return m;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, DisabledManagerNoOps) {
+  rt::CheckpointManager ckpt("", 1, true);
+  EXPECT_FALSE(ckpt.enabled());
+  EXPECT_FALSE(ckpt.should_load());
+  EXPECT_TRUE(ckpt.SaveMatrix("m", SampleMatrix()).ok());
+  EXPECT_EQ(ckpt.LoadMatrix("m").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, MatrixRoundTripIsExact) {
+  rt::CheckpointManager writer(dir_, 42, /*resume=*/false);
+  const SparseSimMatrix m = SampleMatrix();
+  ASSERT_TRUE(writer.SaveMatrix("m", m).ok());
+
+  rt::CheckpointManager reader(dir_, 42, /*resume=*/true);
+  const auto loaded = reader.LoadMatrix("m");
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_rows(), m.num_rows());
+  ASSERT_EQ(loaded->num_cols(), m.num_cols());
+  for (int32_t r = 0; r < m.num_rows(); ++r) {
+    const auto a = m.Row(r);
+    const auto b = loaded->Row(r);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].column, b[i].column);
+      // Bit-exact, not approximately equal: resume must reproduce the
+      // uninterrupted run down to the last float.
+      EXPECT_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
+TEST_F(CheckpointTest, PairsAndBatchesRoundTrip) {
+  rt::CheckpointManager ckpt(dir_, 7, /*resume=*/true);
+  const EntityPairList pairs{{0, 3}, {2, 1}, {5, 5}};
+  ASSERT_TRUE(ckpt.SavePairs("seeds", pairs).ok());
+  const auto loaded_pairs = ckpt.LoadPairs("seeds");
+  ASSERT_TRUE(loaded_pairs.ok());
+  EXPECT_EQ(*loaded_pairs, pairs);
+
+  MiniBatchSet batches(2);
+  batches[0].source_entities = {0, 1, 2};
+  batches[0].target_entities = {0, 1};
+  batches[0].seeds = {{0, 0}};
+  batches[1].source_entities = {3};
+  batches[1].target_entities = {2, 3};
+  ASSERT_TRUE(ckpt.SaveBatches("partition", batches).ok());
+  const auto loaded = ckpt.LoadBatches("partition");
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].source_entities, batches[0].source_entities);
+  EXPECT_EQ((*loaded)[0].target_entities, batches[0].target_entities);
+  EXPECT_EQ((*loaded)[0].seeds, batches[0].seeds);
+  EXPECT_EQ((*loaded)[1].source_entities, batches[1].source_entities);
+}
+
+TEST_F(CheckpointTest, MissingArtifactIsNotFound) {
+  rt::CheckpointManager ckpt(dir_, 7, /*resume=*/true);
+  EXPECT_EQ(ckpt.LoadMatrix("never_saved").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, FingerprintMismatchIsFailedPrecondition) {
+  rt::CheckpointManager writer(dir_, 1, false);
+  ASSERT_TRUE(writer.SavePairs("seeds", {{1, 1}}).ok());
+  // Same directory, different run configuration: never silently reused.
+  rt::CheckpointManager reader(dir_, 2, true);
+  EXPECT_EQ(reader.LoadPairs("seeds").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CheckpointTest, TruncationIsDataLoss) {
+  rt::CheckpointManager ckpt(dir_, 9, true);
+  ASSERT_TRUE(ckpt.SaveMatrix("m", SampleMatrix()).ok());
+  const std::string path = ckpt.PathFor("m");
+  const auto content = rt::ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  // Drop the last 5 bytes, simulating a torn write outside our control.
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << content->substr(0, content->size() - 5);
+  out.close();
+  EXPECT_EQ(ckpt.LoadMatrix("m").status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CheckpointTest, BitFlipIsDataLoss) {
+  rt::CheckpointManager ckpt(dir_, 9, true);
+  ASSERT_TRUE(ckpt.SaveMatrix("m", SampleMatrix()).ok());
+  const std::string path = ckpt.PathFor("m");
+  auto content = *rt::ReadFileToString(path);
+  content[content.size() - 2] ^= 0x20;  // flip one payload bit
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << content;
+  out.close();
+  EXPECT_EQ(ckpt.LoadMatrix("m").status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CheckpointTest, GarbageFileIsDataLoss) {
+  rt::CheckpointManager ckpt(dir_, 9, true);
+  std::ofstream out(ckpt.PathFor("m"));
+  out << "this is not a checkpoint\n";
+  out.close();
+  EXPECT_EQ(ckpt.LoadMatrix("m").status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CheckpointTest, KindMismatchIsDataLoss) {
+  rt::CheckpointManager ckpt(dir_, 9, true);
+  ASSERT_TRUE(ckpt.SavePairs("seeds", {{1, 1}}).ok());
+  // Copy the seeds artifact under another kind's filename.
+  fs::copy_file(ckpt.PathFor("seeds"), ckpt.PathFor("fused"));
+  EXPECT_EQ(ckpt.LoadPairs("fused").status().code(),
+            StatusCode::kDataLoss);
+}
+
+#if LARGEEA_FAULT_INJECTION
+TEST_F(CheckpointTest, InjectedWriteFailureIsBestEffort) {
+  rt::FaultInjector::Get().Arm("checkpoint.write", {});
+  rt::CheckpointManager ckpt(dir_, 9, true);
+  // The save reports the failure but the contract is best-effort: the
+  // pipeline ignores it and the artifact is simply absent.
+  EXPECT_FALSE(ckpt.SaveMatrix("m", SampleMatrix()).ok());
+  EXPECT_EQ(ckpt.LoadMatrix("m").status().code(), StatusCode::kNotFound);
+  rt::FaultInjector::Get().Reset();
+  ASSERT_TRUE(ckpt.SaveMatrix("m", SampleMatrix()).ok());
+  EXPECT_TRUE(ckpt.LoadMatrix("m").ok());
+}
+#endif
+
+TEST(SerializerTest, EntityPairsRejectCountMismatch) {
+  const auto bad = rt::EntityPairsFromString("largeea-pairs v1 3\n1\t2\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializerTest, MiniBatchesRejectGarbage) {
+  EXPECT_FALSE(rt::MiniBatchesFromString("nope").ok());
+  EXPECT_FALSE(
+      rt::MiniBatchesFromString("largeea-batches v1 1\nbatch 0 x y z\n")
+          .ok());
+}
+
+}  // namespace
+}  // namespace largeea

@@ -163,9 +163,9 @@ TEST(SimIoTest, RoundTripPreservesEverything) {
   }
   const std::string path =
       (std::filesystem::temp_directory_path() / "sim_io_test.tsv").string();
-  ASSERT_TRUE(SaveSimMatrix(m, path));
+  ASSERT_TRUE(SaveSimMatrix(m, path).ok());
   const auto loaded = LoadSimMatrix(path);
-  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded.ok());
   ASSERT_EQ(loaded->num_rows(), m.num_rows());
   ASSERT_EQ(loaded->num_cols(), m.num_cols());
   ASSERT_EQ(loaded->max_entries_per_row(), m.max_entries_per_row());
@@ -188,13 +188,16 @@ TEST(SimIoTest, RejectsMalformedFiles) {
     std::ofstream out(path);
     out << "not-a-sim-file\n";
   }
-  EXPECT_FALSE(LoadSimMatrix(path).has_value());
+  EXPECT_EQ(LoadSimMatrix(path).status().code(),
+            StatusCode::kInvalidArgument);
   {
     std::ofstream out(path);
     out << "largeea-sim v1 2 2 2\n9\t0\t1.0\n";  // row out of range
   }
-  EXPECT_FALSE(LoadSimMatrix(path).has_value());
-  EXPECT_FALSE(LoadSimMatrix("/nonexistent/sim.tsv").has_value());
+  EXPECT_EQ(LoadSimMatrix(path).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(LoadSimMatrix("/nonexistent/sim.tsv").status().code(),
+            StatusCode::kNotFound);
   std::remove(path.c_str());
 }
 

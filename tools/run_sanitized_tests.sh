@@ -1,25 +1,25 @@
 #!/usr/bin/env bash
-# Builds the test suite with ASan+UBSan and runs it.
+# Builds the test suite with ASan+UBSan and runs it, via the `sanitize`
+# CMake preset (see CMakePresets.json — equivalent to configuring with
+# -DLARGEEA_SANITIZE=ON into build-sanitize/).
 #
-# The observability layer is the most concurrency-heavy part of the
-# library (atomic histogram updates, the span recorder, the phase-aware
-# MemoryTracker), so this script defaults to the obs/bench_util tests;
-# pass a gtest filter to widen or narrow the run:
+# The full suite runs by default so the fault-injection matrix
+# (tests/fault_tolerance_test.cc) and the IO fuzz tests execute under the
+# sanitizers; pass a gtest filter to narrow the run:
 #
-#   tools/run_sanitized_tests.sh            # obs-focused suites
-#   tools/run_sanitized_tests.sh '*'        # everything
+#   tools/run_sanitized_tests.sh                    # everything, via ctest
+#   tools/run_sanitized_tests.sh '*FaultTolerance*' # one suite, direct
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-FILTER="${1:-*Json*:*Trace*:*MemoryPhase*:*Metrics*:*RunReport*:*Log*:*FormatBytes*:*BenchJson*}"
-BUILD_DIR=build-sanitize
+cmake --preset sanitize
+cmake --build --preset sanitize -j "$(nproc)" --target largeea_tests
 
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DLARGEEA_SANITIZE=ON
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target largeea_tests
-
-ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
-UBSAN_OPTIONS=print_stacktrace=1 \
-  "$BUILD_DIR/tests/largeea_tests" --gtest_filter="$FILTER"
+if [[ $# -ge 1 ]]; then
+  ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+  UBSAN_OPTIONS=print_stacktrace=1 \
+    build-sanitize/tests/largeea_tests --gtest_filter="$1"
+else
+  ctest --preset sanitize
+fi

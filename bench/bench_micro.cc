@@ -2,10 +2,26 @@
 // substrates behind the headline experiments — the multilevel
 // partitioner, top-k similarity search (exact vs. LSH), MinHash,
 // Levenshtein, the semantic encoder, and one training epoch per model.
+//
+// Two modes:
+//   * default — the google-benchmark suite below, all its flags intact;
+//   * --json-out=FILE — a hand-timed kernel-scaling harness instead:
+//     threads x {gemm, topk, sinkhorn, minhash} rows (seconds,
+//     items/sec, speedup vs 1 thread), written through BenchJson. The
+//     perf trajectory invokes it as `--json-out=BENCH_par.json`;
+//     --threads-list=1,2,4,8 and --min-time=0.3 tune the sweep.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <functional>
 #include <numeric>
+#include <string>
+#include <string_view>
+#include <vector>
 
+#include "bench/bench_util.h"
+#include "src/common/flags.h"
 #include "src/common/rng.h"
 #include "src/gen/benchmark_gen.h"
 #include "src/la/ops.h"
@@ -14,8 +30,11 @@
 #include "src/name/semantic_encoder.h"
 #include "src/nn/batch_graph.h"
 #include "src/nn/ea_model.h"
+#include "src/par/parallel_for.h"
+#include "src/par/thread_pool.h"
 #include "src/partition/metis.h"
 #include "src/sim/lsh.h"
+#include "src/sim/sinkhorn.h"
 #include "src/sim/topk_search.h"
 
 namespace largeea {
@@ -151,7 +170,146 @@ BENCHMARK(BM_TrainEpoch)
     ->Arg(static_cast<int>(ModelKind::kRrea))
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------
+// Kernel-scaling harness (--json-out mode): how the par-wired kernels
+// scale with the worker pool. Each kernel is timed at every requested
+// thread count on identical inputs; the determinism contract (DESIGN.md
+// §8) means only the wall-clock may change between rows.
+
+/// Seconds per iteration of `fn`, averaged over at least `min_seconds`
+/// of repeated calls after one warm-up run.
+double TimeKernel(const std::function<void()>& fn, double min_seconds) {
+  fn();  // warm-up: faults pages, starts pool workers
+  int64_t iters = 0;
+  double elapsed = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  } while (elapsed < min_seconds);
+  return elapsed / static_cast<double>(iters);
+}
+
+std::vector<int32_t> ParseThreadsList(const std::string& list) {
+  std::vector<int32_t> threads;
+  size_t pos = 0;
+  while (pos < list.size()) {
+    const size_t comma = list.find(',', pos);
+    const std::string item =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const int32_t n = static_cast<int32_t>(std::atoi(item.c_str()));
+    if (n >= 1) threads.push_back(n);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (threads.empty()) threads.push_back(1);
+  return threads;
+}
+
+int RunKernelScaling(const Flags& flags) {
+  bench::BenchJson json(flags, "par");
+  const std::vector<int32_t> thread_counts =
+      ParseThreadsList(flags.GetString("threads-list", "1,2,4,8"));
+  const double min_time = flags.GetDouble("min-time", 0.3);
+
+  // Identical inputs for every thread count.
+  Rng rng(13);
+  Matrix gemm_a(256, 256), gemm_b(256, 256), gemm_c(256, 256);
+  gemm_a.GlorotInit(rng);
+  gemm_b.GlorotInit(rng);
+  Matrix topk_a(1000, 64), topk_b(1000, 64);
+  topk_a.GlorotInit(rng);
+  topk_b.GlorotInit(rng);
+  const TopKOptions topk{.k = 50, .metric = SimMetric::kManhattan};
+  SparseSimMatrix sink_in(2000, 2000, 50);
+  for (int32_t r = 0; r < 2000; ++r) {
+    for (int32_t e = 0; e < 50; ++e) {
+      sink_in.Accumulate(r, static_cast<EntityId>(rng.Uniform(2000)),
+                         static_cast<float>(rng.Uniform(1000)) * 1e-3f);
+    }
+  }
+  SinkhornOptions sink;
+  const MinHasher hasher(64, 7);
+  std::vector<std::vector<std::string>> names(4000);
+  for (size_t i = 0; i < names.size(); ++i) {
+    names[i] = TokenizeName("entity name number " + std::to_string(i) +
+                            " with a few more tokens " +
+                            std::to_string(rng.Next() % 99991));
+  }
+  std::vector<std::vector<uint64_t>> signatures(names.size());
+
+  struct Kernel {
+    const char* name;
+    int64_t items;  // per iteration, for items_per_sec
+    std::function<void()> fn;
+  };
+  const std::vector<Kernel> kernels = {
+      {"gemm", int64_t{256} * 256 * 256,
+       [&] { Gemm(gemm_a, gemm_b, gemm_c); }},
+      {"topk", int64_t{1000} * 1000,
+       [&] { benchmark::DoNotOptimize(ExactTopK(topk_a, topk_b, topk)); }},
+      {"sinkhorn", int64_t{2000} * 50 * sink.iterations,
+       [&] { benchmark::DoNotOptimize(SinkhornNormalize(sink_in, sink)); }},
+      {"minhash", static_cast<int64_t>(names.size()),
+       [&] {
+         par::ParallelFor(0, static_cast<int64_t>(names.size()), 256,
+                          [&](const par::ChunkRange& range) {
+                            for (int64_t t = range.begin; t < range.end; ++t) {
+                              signatures[t] = hasher.Signature(names[t]);
+                            }
+                          });
+         benchmark::DoNotOptimize(signatures);
+       }}};
+
+  std::printf("%-10s %8s %14s %16s %12s\n", "kernel", "threads",
+              "sec/iter", "items/sec", "speedup_1t");
+  std::vector<double> base_seconds(kernels.size(), 0.0);
+  for (const int32_t threads : thread_counts) {
+    par::ThreadPool::Get().SetNumThreads(threads);
+    for (size_t k = 0; k < kernels.size(); ++k) {
+      const double seconds = TimeKernel(kernels[k].fn, min_time);
+      if (threads == thread_counts.front()) base_seconds[k] = seconds;
+      const double speedup =
+          seconds > 0.0 ? base_seconds[k] / seconds : 0.0;
+      const double items_per_sec =
+          seconds > 0.0 ? static_cast<double>(kernels[k].items) / seconds
+                        : 0.0;
+      std::printf("%-10s %8d %14.6f %16.0f %12.2f\n", kernels[k].name,
+                  threads, seconds, items_per_sec, speedup);
+      bench::BenchJson::Row row;
+      row.Set("kernel", kernels[k].name)
+          .Set("threads", threads)
+          .Set("seconds", seconds)
+          .Set("items_per_sec", items_per_sec)
+          .Set("speedup_vs_1t", speedup);
+      json.Add(std::move(row));
+    }
+  }
+  par::ThreadPool::Get().Shutdown();
+  json.Write();
+  return 0;
+}
+
 }  // namespace
 }  // namespace largeea
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--json-out", 0) == 0) {
+      json_mode = true;
+    }
+  }
+  if (json_mode) {
+    const largeea::Flags flags(argc, argv);
+    return largeea::RunKernelScaling(flags);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,6 +10,7 @@
 //                         [--trace-out trace.json] [--report-out run.json]
 //                         [--log-level debug|info|warn|error|off]
 //                         [--checkpoint-dir DIR] [--resume] [--strict-io]
+//                         [--threads N]
 //       runs LargeEA, optionally evaluates and/or writes predictions;
 //       --trace-out saves a chrome://tracing timeline of the run and
 //       --report-out a structured JSON run report (see DESIGN.md
@@ -17,7 +18,10 @@
 //       checkpoints there and --resume restores completed phases from
 //       the same directory after a crash (see DESIGN.md "Failure
 //       model"); --strict-io rejects malformed input lines instead of
-//       skipping them with a warning
+//       skipping them with a warning; --threads caps the worker pool
+//       (default: LARGEEA_THREADS env or hardware concurrency — results
+//       are bit-identical at any thread count, see DESIGN.md
+//       "Execution model")
 //
 //   largeea_cli partition --source A.tsv --target B.tsv --seeds S.tsv
 //                         [--batches K]
@@ -33,6 +37,7 @@
 #include "src/obs/log.h"
 #include "src/obs/report.h"
 #include "src/obs/trace.h"
+#include "src/par/thread_pool.h"
 #include "src/partition/metis_cps.h"
 #include "src/partition/vps.h"
 
@@ -314,6 +319,12 @@ int main(int argc, char** argv) {
       return 2;
     }
     obs::SetLogLevel(level);
+  }
+  obs::SetCurrentThreadName("main");
+  const int64_t threads = flags.GetInt("threads", 0);
+  if (threads < 0) return Fail("--threads must be >= 1");
+  if (threads > 0) {
+    par::ThreadPool::Get().SetNumThreads(static_cast<int32_t>(threads));
   }
   if (command == "generate") return CmdGenerate(flags);
   if (command == "align") return CmdAlign(flags);

@@ -39,4 +39,19 @@ namespace largeea::internal {
 #define LARGEEA_CHECK_GT(a, b) LARGEEA_CHECK((a) > (b))
 #define LARGEEA_CHECK_GE(a, b) LARGEEA_CHECK((a) >= (b))
 
+// Debug-only variant for checks that are too hot (or too redundant) to
+// keep in release builds — e.g. cross-validating an invariant that the
+// surrounding code no longer relies on.
+#ifdef NDEBUG
+#define LARGEEA_DCHECK(condition) \
+  do {                            \
+  } while (false)
+#else
+#define LARGEEA_DCHECK(condition) LARGEEA_CHECK(condition)
+#endif
+
+#define LARGEEA_DCHECK_EQ(a, b) LARGEEA_DCHECK((a) == (b))
+#define LARGEEA_DCHECK_GE(a, b) LARGEEA_DCHECK((a) >= (b))
+#define LARGEEA_DCHECK_LE(a, b) LARGEEA_DCHECK((a) <= (b))
+
 #endif  // LARGEEA_COMMON_MACROS_H_

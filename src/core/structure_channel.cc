@@ -1,11 +1,16 @@
 #include "src/core/structure_channel.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 #include <numeric>
 #include <thread>
+#include <vector>
 
 #include "src/common/rng.h"
+#include "src/par/thread_pool.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -135,15 +140,17 @@ StatusOr<StructureChannelResult> RunStructureChannel(
 
   result.similarity = SparseSimMatrix(source.num_entities(),
                                       target.num_entities(), options.top_k);
-  const std::unique_ptr<EaModel> model = MakeModel(options.model);
   const TopKOptions topk{.k = options.top_k,
                          .metric = SimMetric::kManhattan};
 
   // Trains one batch into its own similarity block. Isolating the block
   // makes the batch restartable: it merges into M_s only on success, so a
-  // failed attempt leaves no partial contribution behind.
+  // failed attempt leaves no partial contribution behind. The model is
+  // per-call because EaModel::Train is non-const; the bundled models are
+  // stateless and deterministic in the seed, so a fresh instance per
+  // batch changes nothing.
   const auto train_batch_block =
-      [&](size_t b) -> StatusOr<SparseSimMatrix> {
+      [&](size_t b, EaModel& model) -> StatusOr<SparseSimMatrix> {
     LARGEEA_INJECT_FAULT("structure.batch.train");
     const MiniBatch& batch = result.batches[b];
     obs::Span batch_span("structure/train_batch");
@@ -168,8 +175,8 @@ StatusOr<StructureChannelResult> RunStructureChannel(
     TrainedEmbeddings embeddings;
     {
       obs::Span model_span("structure/train_model");
-      embeddings = model->Train(local_source, local_target, local_seeds,
-                                train);
+      embeddings = model.Train(local_source, local_target, local_seeds,
+                               train);
       model_span.AddAttr("final_loss", embeddings.final_loss);
       const double model_seconds = model_span.End();
       loss_hist.Observe(embeddings.final_loss);
@@ -202,16 +209,38 @@ StatusOr<StructureChannelResult> RunStructureChannel(
     }
   };
 
+  // Batches are independent (seeds were forked above), so training runs
+  // concurrently on the par::ThreadPool. Only two things must stay
+  // serial, and both happen at an in-order merge cursor under one mutex:
+  // accumulating blocks into the shared M_s and saving checkpoints —
+  // always in ascending batch index, so the channel output and the
+  // checkpoint progression are identical at any thread count. The
+  // cursor is advanced eagerly as batches resolve: batch b is merged and
+  // checkpointed as soon as batches 0..b are all done, preserving PR 2's
+  // prompt-checkpoint property.
+  enum class SlotState { kPending, kSkipped, kResumed, kTrained, kFailed };
+  struct BatchSlot {
+    SlotState state = SlotState::kPending;
+    SparseSimMatrix block;
+    Status error;
+  };
+  std::vector<BatchSlot> slots(result.batches.size());
+  std::vector<size_t> to_train;
+
+  // Dispositions are resolved serially first: too-small batches are
+  // skipped and checkpointed batches are loaded, in ascending order as
+  // before.
   for (size_t b = 0; b < result.batches.size(); ++b) {
     if (BatchTooSmall(result.batches[b])) {
+      slots[b].state = SlotState::kSkipped;
       registry.GetCounter("structure.batches_skipped").Increment();
       continue;
     }
-    const std::string kind = BatchKind(b);
     if (checkpoint != nullptr && checkpoint->should_load()) {
-      auto block = checkpoint->LoadMatrix(kind);
+      auto block = checkpoint->LoadMatrix(BatchKind(b));
       if (block.ok()) {
-        merge_block(*block);
+        slots[b].state = SlotState::kResumed;
+        slots[b].block = std::move(block).value();
         ++result.batches_resumed;
         registry.GetCounter("structure.batches_resumed").Increment();
         continue;
@@ -223,50 +252,108 @@ StatusOr<StructureChannelResult> RunStructureChannel(
                          b, block.status().ToString().c_str());
       }
     }
+    to_train.push_back(b);
+  }
 
-    Status last_error;
-    bool trained = false;
-    for (int32_t attempt = 0; attempt <= options.max_batch_retries;
-         ++attempt) {
-      if (attempt > 0) {
-        ++result.batches_retried;
-        registry.GetCounter("structure.batch_retries").Increment();
-        if (options.retry_backoff_ms > 0) {
-          // Bounded exponential backoff: 1x, 2x, 4x, ... the base delay.
-          std::this_thread::sleep_for(std::chrono::milliseconds(
-              static_cast<int64_t>(options.retry_backoff_ms)
-              << (attempt - 1)));
-        }
+  std::mutex merge_mu;
+  size_t cursor = 0;           // guarded by merge_mu
+  Status channel_error;        // guarded by merge_mu
+  std::atomic<bool> abort{false};
+
+  // Must hold merge_mu. Resolves every leading settled slot in order.
+  const auto advance_cursor = [&] {
+    while (cursor < slots.size() && !abort.load(std::memory_order_relaxed)) {
+      BatchSlot& slot = slots[cursor];
+      const size_t b = cursor;
+      switch (slot.state) {
+        case SlotState::kPending:
+          return;
+        case SlotState::kSkipped:
+          break;
+        case SlotState::kResumed:
+          merge_block(slot.block);
+          slot.block = SparseSimMatrix();
+          break;
+        case SlotState::kTrained:
+          merge_block(slot.block);
+          registry.GetCounter("structure.batches_trained").Increment();
+          if (checkpoint != nullptr && checkpoint->enabled()) {
+            (void)checkpoint->SaveMatrix(BatchKind(b), slot.block);
+          }
+          slot.block = SparseSimMatrix();
+          break;
+        case SlotState::kFailed:
+          if (!options.drop_failed_batches) {
+            channel_error = slot.error.WithContext(
+                "structure channel: batch " + std::to_string(b));
+            abort.store(true, std::memory_order_relaxed);
+            return;
+          }
+          // Graceful degradation: this block of M_s stays zero; recall
+          // drops by at most the batch's share of test pairs, and the
+          // run report shows exactly how many batches were sacrificed.
+          ++result.batches_dropped;
+          registry.GetCounter("structure.batches_dropped").Increment();
+          LARGEEA_LOG_WARN("structure: dropping batch %zu after %d "
+                           "attempts (%s); its similarity block stays zero",
+                           b, options.max_batch_retries + 1,
+                           slot.error.ToString().c_str());
+          break;
       }
-      auto block = train_batch_block(b);
-      if (block.ok()) {
-        merge_block(*block);
-        registry.GetCounter("structure.batches_trained").Increment();
-        if (checkpoint != nullptr && checkpoint->enabled()) {
-          (void)checkpoint->SaveMatrix(kind, *block);
-        }
-        trained = true;
-        break;
-      }
-      last_error = block.status();
-      LARGEEA_LOG_WARN("structure: batch %zu attempt %d failed: %s", b,
-                       attempt + 1, last_error.ToString().c_str());
+      ++cursor;
     }
-    if (!trained) {
-      if (!options.drop_failed_batches) {
-        return last_error.WithContext("structure channel: batch " +
-                                      std::to_string(b));
-      }
-      // Graceful degradation: this block of M_s stays zero; recall drops
-      // by at most the batch's share of test pairs, and the run report
-      // shows exactly how many batches were sacrificed.
-      ++result.batches_dropped;
-      registry.GetCounter("structure.batches_dropped").Increment();
-      LARGEEA_LOG_WARN("structure: dropping batch %zu after %d attempts "
-                       "(%s); its similarity block stays zero",
-                       b, options.max_batch_retries + 1,
-                       last_error.ToString().c_str());
-    }
+  };
+  {
+    std::lock_guard<std::mutex> lock(merge_mu);
+    advance_cursor();  // merge any leading skipped/resumed batches
+  }
+
+  par::ThreadPool::Get().Run(
+      static_cast<int64_t>(to_train.size()), [&](int64_t task) {
+        const size_t b = to_train[static_cast<size_t>(task)];
+        if (abort.load(std::memory_order_relaxed)) return;
+        // Stateless and cheap next to an epoch of training; a private
+        // instance keeps the virtual non-const Train call data-race-free.
+        const std::unique_ptr<EaModel> model = MakeModel(options.model);
+        Status last_error;
+        for (int32_t attempt = 0; attempt <= options.max_batch_retries;
+             ++attempt) {
+          if (attempt > 0) {
+            {
+              std::lock_guard<std::mutex> lock(merge_mu);
+              ++result.batches_retried;
+            }
+            registry.GetCounter("structure.batch_retries").Increment();
+            if (options.retry_backoff_ms > 0) {
+              // Bounded exponential backoff: 1x, 2x, 4x, ... the base
+              // delay.
+              std::this_thread::sleep_for(std::chrono::milliseconds(
+                  static_cast<int64_t>(options.retry_backoff_ms)
+                  << (attempt - 1)));
+            }
+            if (abort.load(std::memory_order_relaxed)) return;
+          }
+          auto block = train_batch_block(b, *model);
+          std::lock_guard<std::mutex> lock(merge_mu);
+          if (block.ok()) {
+            slots[b].state = SlotState::kTrained;
+            slots[b].block = std::move(block).value();
+            advance_cursor();
+            return;
+          }
+          last_error = block.status();
+          LARGEEA_LOG_WARN("structure: batch %zu attempt %d failed: %s", b,
+                           attempt + 1, last_error.ToString().c_str());
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        slots[b].state = SlotState::kFailed;
+        slots[b].error = last_error;
+        advance_cursor();
+      });
+  {
+    std::lock_guard<std::mutex> lock(merge_mu);
+    advance_cursor();
+    if (!channel_error.ok()) return channel_error;
   }
   if (options.apply_csls) {
     LARGEEA_TRACE_SPAN("structure/csls");

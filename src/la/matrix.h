@@ -92,6 +92,38 @@ class Matrix {
   TrackedAllocation tracked_;
 };
 
+/// Non-owning view of a contiguous row range [row_begin, row_end) of a
+/// Matrix. Implicitly constructible from a whole Matrix, so APIs can
+/// migrate from `const Matrix&` to views without touching call sites.
+/// The viewed Matrix must outlive the view (same contract as a span).
+class MatrixRowRange {
+ public:
+  MatrixRowRange(const Matrix& m)  // NOLINT: implicit by design
+      : matrix_(&m), row_begin_(0), row_end_(m.rows()) {}
+
+  MatrixRowRange(const Matrix& m, int64_t row_begin, int64_t row_end)
+      : matrix_(&m), row_begin_(row_begin), row_end_(row_end) {
+    LARGEEA_CHECK_GE(row_begin, 0);
+    LARGEEA_CHECK_LE(row_begin, row_end);
+    LARGEEA_CHECK_LE(row_end, m.rows());
+  }
+
+  int64_t rows() const { return row_end_ - row_begin_; }
+  int64_t cols() const { return matrix_->cols(); }
+
+  /// Pointer to view-relative row `r` (row 0 is `row_begin` of the
+  /// underlying matrix).
+  const float* Row(int64_t r) const { return matrix_->Row(row_begin_ + r); }
+
+  const Matrix& matrix() const { return *matrix_; }
+  int64_t row_begin() const { return row_begin_; }
+
+ private:
+  const Matrix* matrix_;
+  int64_t row_begin_;
+  int64_t row_end_;
+};
+
 }  // namespace largeea
 
 #endif  // LARGEEA_LA_MATRIX_H_

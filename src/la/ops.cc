@@ -1,11 +1,31 @@
 #include "src/la/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
 #include "src/common/macros.h"
+#include "src/par/parallel_for.h"
 
 namespace largeea {
+namespace {
+
+// Grain/block sizes for the parallel and cache-blocked loops. These are
+// functions of nothing (or of the problem shape only) — never of the
+// thread count — so chunk boundaries, and therefore every float
+// reduction order, are identical at any `--threads N` (DESIGN.md §8).
+constexpr int64_t kRowGrain = 32;        // GEMM output-row chunks
+constexpr int64_t kPanelSize = 64;       // Gemm p-panel (cache block over K)
+constexpr int64_t kGemmCacheBytes = 1 << 20;  // B-fits-in-cache threshold
+constexpr int64_t kTileCols = 32;        // GemmTransposeB tile of B rows
+constexpr int64_t kElemGrain = 1 << 15;  // element-wise op chunks
+constexpr int64_t kNormRowGrain = 128;   // row-normalisation chunks
+// GemmTransposeA accumulates chunk-private partial C matrices, so cap the
+// chunk count to bound the extra memory and merge traffic.
+constexpr int64_t kTransposeAMaxChunks = 16;
+constexpr int64_t kTransposeAMinGrain = 64;
+
+}  // namespace
 
 void Gemm(const Matrix& a, const Matrix& b, Matrix& c) {
   LARGEEA_CHECK_EQ(a.cols(), b.rows());
@@ -13,16 +33,28 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix& c) {
   LARGEEA_CHECK_EQ(c.cols(), b.cols());
   c.Fill(0.0f);
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c.Row(i);
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.Row(p);
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // p-panel blocking keeps the active rows of B cache-resident while the
+  // chunk's C rows accumulate — but when all of B fits in cache anyway,
+  // panelling only re-streams A and C, so fall back to one panel. Either
+  // way each c[i][j] receives its contributions in ascending p order, so
+  // the blocking (a function of the problem shape alone) never changes
+  // the result.
+  const int64_t panel = k * n * 4 <= kGemmCacheBytes ? k : kPanelSize;
+  par::ParallelFor(0, m, kRowGrain, [&](const par::ChunkRange& rows) {
+    for (int64_t p0 = 0; p0 < k; p0 += panel) {
+      const int64_t p1 = std::min(p0 + panel, k);
+      for (int64_t i = rows.begin; i < rows.end; ++i) {
+        const float* arow = a.Row(i);
+        float* crow = c.Row(i);
+        for (int64_t p = p0; p < p1; ++p) {
+          const float av = arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b.Row(p);
+          for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
     }
-  }
+  });
 }
 
 void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix& c) {
@@ -30,13 +62,18 @@ void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix& c) {
   LARGEEA_CHECK_EQ(c.rows(), a.rows());
   LARGEEA_CHECK_EQ(c.cols(), b.rows());
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c.Row(i);
-    for (int64_t j = 0; j < n; ++j) {
-      crow[j] = Dot(arow, b.Row(j), k);
+  par::ParallelFor(0, m, kRowGrain, [&](const par::ChunkRange& rows) {
+    // Tile over B rows so a tile of B is reused across every A row of
+    // the chunk. Each element is one Dot call — no cross-tile sums.
+    for (int64_t j0 = 0; j0 < n; j0 += kTileCols) {
+      const int64_t j1 = std::min(j0 + kTileCols, n);
+      for (int64_t i = rows.begin; i < rows.end; ++i) {
+        const float* arow = a.Row(i);
+        float* crow = c.Row(i);
+        for (int64_t j = j0; j < j1; ++j) crow[j] = Dot(arow, b.Row(j), k);
+      }
     }
-  }
+  });
 }
 
 void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix& c) {
@@ -45,47 +82,67 @@ void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix& c) {
   LARGEEA_CHECK_EQ(c.cols(), b.cols());
   c.Fill(0.0f);
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    const float* brow = b.Row(i);
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      float* crow = c.Row(p);
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  if (m == 0) return;
+  // Every input row touches all of C, so chunks accumulate into private
+  // partial matrices merged in chunk order.
+  const int64_t grain =
+      std::max(kTransposeAMinGrain,
+               (m + kTransposeAMaxChunks - 1) / kTransposeAMaxChunks);
+  par::ParallelReduceOrdered<Matrix>(
+      0, m, grain,
+      [&](const par::ChunkRange& rows, Matrix& partial) {
+        partial = Matrix(k, n);
+        for (int64_t i = rows.begin; i < rows.end; ++i) {
+          const float* arow = a.Row(i);
+          const float* brow = b.Row(i);
+          for (int64_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) continue;
+            float* crow = partial.Row(p);
+            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      [&](const par::ChunkRange&, Matrix&& partial) {
+        Axpy(1.0f, partial, c);
+      });
 }
 
 void Axpy(float alpha, const Matrix& x, Matrix& y) {
   LARGEEA_CHECK_EQ(x.rows(), y.rows());
   LARGEEA_CHECK_EQ(x.cols(), y.cols());
-  const int64_t size = x.size();
   const float* xv = x.data();
   float* yv = y.data();
-  for (int64_t i = 0; i < size; ++i) yv[i] += alpha * xv[i];
+  par::ParallelFor(0, x.size(), kElemGrain, [&](const par::ChunkRange& r) {
+    for (int64_t i = r.begin; i < r.end; ++i) yv[i] += alpha * xv[i];
+  });
 }
 
 void Scale(Matrix& m, float alpha) {
   float* v = m.data();
-  const int64_t size = m.size();
-  for (int64_t i = 0; i < size; ++i) v[i] *= alpha;
+  par::ParallelFor(0, m.size(), kElemGrain, [&](const par::ChunkRange& r) {
+    for (int64_t i = r.begin; i < r.end; ++i) v[i] *= alpha;
+  });
 }
 
 void L2NormalizeRows(Matrix& m, float epsilon) {
-  for (int64_t r = 0; r < m.rows(); ++r) {
-    float* row = m.Row(r);
-    const float norm = Norm2(row, m.cols()) + epsilon;
-    for (int64_t c = 0; c < m.cols(); ++c) row[c] /= norm;
-  }
+  const int64_t cols = m.cols();
+  par::ParallelFor(0, m.rows(), kNormRowGrain, [&](const par::ChunkRange& r) {
+    for (int64_t row = r.begin; row < r.end; ++row) {
+      float* v = m.Row(row);
+      const float norm = Norm2(v, cols) + epsilon;
+      for (int64_t c = 0; c < cols; ++c) v[c] /= norm;
+    }
+  });
 }
 
 void ReluInPlace(Matrix& m) {
   float* v = m.data();
-  const int64_t size = m.size();
-  for (int64_t i = 0; i < size; ++i) {
-    if (v[i] < 0.0f) v[i] = 0.0f;
-  }
+  par::ParallelFor(0, m.size(), kElemGrain, [&](const par::ChunkRange& r) {
+    for (int64_t i = r.begin; i < r.end; ++i) {
+      if (v[i] < 0.0f) v[i] = 0.0f;
+    }
+  });
 }
 
 void ReluBackwardInPlace(const Matrix& pre_activation, Matrix& grad) {
@@ -93,22 +150,41 @@ void ReluBackwardInPlace(const Matrix& pre_activation, Matrix& grad) {
   LARGEEA_CHECK_EQ(pre_activation.cols(), grad.cols());
   const float* pre = pre_activation.data();
   float* g = grad.data();
-  const int64_t size = grad.size();
-  for (int64_t i = 0; i < size; ++i) {
-    if (pre[i] <= 0.0f) g[i] = 0.0f;
-  }
+  par::ParallelFor(0, grad.size(), kElemGrain, [&](const par::ChunkRange& r) {
+    for (int64_t i = r.begin; i < r.end; ++i) {
+      if (pre[i] <= 0.0f) g[i] = 0.0f;
+    }
+  });
 }
 
 float Dot(const float* a, const float* b, int64_t dim) {
-  float sum = 0.0f;
-  for (int64_t i = 0; i < dim; ++i) sum += a[i] * b[i];
-  return sum;
+  // Four independent accumulators break the loop-carried dependence and
+  // fix the summation tree, so the result is input-determined.
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int64_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  float tail = 0.0f;
+  for (; i < dim; ++i) tail += a[i] * b[i];
+  return ((s0 + s1) + (s2 + s3)) + tail;
 }
 
 float ManhattanDistance(const float* a, const float* b, int64_t dim) {
-  float sum = 0.0f;
-  for (int64_t i = 0; i < dim; ++i) sum += std::fabs(a[i] - b[i]);
-  return sum;
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int64_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    s0 += std::fabs(a[i] - b[i]);
+    s1 += std::fabs(a[i + 1] - b[i + 1]);
+    s2 += std::fabs(a[i + 2] - b[i + 2]);
+    s3 += std::fabs(a[i + 3] - b[i + 3]);
+  }
+  float tail = 0.0f;
+  for (; i < dim; ++i) tail += std::fabs(a[i] - b[i]);
+  return ((s0 + s1) + (s2 + s3)) + tail;
 }
 
 float Norm2(const float* a, int64_t dim) {

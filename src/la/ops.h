@@ -1,8 +1,11 @@
 // Bulk math on dense matrices and rows.
 //
 // These free functions are the only place the library does dense numeric
-// work, so they are written with simple cache-friendly loops (ikj GEMM)
-// rather than clever abstractions.
+// work. The GEMM kernels are cache-blocked and run on the par::ThreadPool
+// with deterministic chunking (see src/par/ and DESIGN.md §8): results
+// are bit-identical at any thread count. Dot fixes its summation tree
+// with four independent accumulators, so row kernels are also
+// input-determined regardless of how callers block their loops.
 #ifndef LARGEEA_LA_OPS_H_
 #define LARGEEA_LA_OPS_H_
 

@@ -7,18 +7,6 @@
 #include "src/common/macros.h"
 
 namespace largeea {
-namespace {
-
-// Copies rows [begin, end) of `all` into a fresh matrix.
-Matrix SliceRows(const Matrix& all, int64_t begin, int64_t end) {
-  Matrix slice(end - begin, all.cols());
-  for (int64_t r = begin; r < end; ++r) {
-    std::copy(all.Row(r), all.Row(r) + all.cols(), slice.Row(r - begin));
-  }
-  return slice;
-}
-
-}  // namespace
 
 SparseSimMatrix ComputeSemanticSimilarity(const KnowledgeGraph& source,
                                           const KnowledgeGraph& target,
@@ -45,8 +33,12 @@ SparseSimMatrix ComputeSemanticSimilarity(const KnowledgeGraph& source,
   }
 
   // Exact search, one (source segment, target segment) block at a time.
-  // Because the sparse matrix keeps a global top-k per row, iterating
-  // block pairs yields exactly the unsegmented result.
+  // Because the sparse matrix keeps a global top-k per row with
+  // order-independent tie-breaking, iterating block pairs yields exactly
+  // the unsegmented result. Blocks are row-range *views* into the
+  // embedding matrices — segmentation bounds the working set without
+  // copying a single row. The block loop stays serial (that bounding is
+  // its point); the parallelism lives inside ExactTopKInto.
   const int32_t segments = options.num_segments;
   const int64_t src_step =
       (source_emb.rows() + segments - 1) / segments;
@@ -54,15 +46,14 @@ SparseSimMatrix ComputeSemanticSimilarity(const KnowledgeGraph& source,
       (target_emb.rows() + segments - 1) / segments;
   for (int64_t sb = 0; sb < source_emb.rows(); sb += src_step) {
     const int64_t se = std::min(sb + src_step, source_emb.rows());
-    const Matrix src_slice = SliceRows(source_emb, sb, se);
     std::vector<EntityId> row_ids(se - sb);
     std::iota(row_ids.begin(), row_ids.end(), static_cast<EntityId>(sb));
     for (int64_t tb = 0; tb < target_emb.rows(); tb += tgt_step) {
       const int64_t te = std::min(tb + tgt_step, target_emb.rows());
-      const Matrix tgt_slice = SliceRows(target_emb, tb, te);
       std::vector<EntityId> col_ids(te - tb);
       std::iota(col_ids.begin(), col_ids.end(), static_cast<EntityId>(tb));
-      ExactTopKInto(src_slice, row_ids, tgt_slice, col_ids, topk, m_se);
+      ExactTopKInto(MatrixRowRange(source_emb, sb, se), row_ids,
+                    MatrixRowRange(target_emb, tb, te), col_ids, topk, m_se);
     }
   }
   m_se.RefreshMemoryTracking();

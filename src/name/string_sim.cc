@@ -1,12 +1,22 @@
 #include "src/name/string_sim.h"
 
+#include <tuple>
 #include <vector>
 
 #include "src/common/macros.h"
 #include "src/name/levenshtein.h"
 #include "src/name/minhash.h"
+#include "src/par/parallel_for.h"
 
 namespace largeea {
+namespace {
+
+// Entities per parallel chunk for signature building and candidate
+// scoring. Shape-only constants (DESIGN.md §8).
+constexpr int64_t kSignatureGrain = 256;
+constexpr int64_t kScoreGrain = 64;
+
+}  // namespace
 
 SparseSimMatrix ComputeStringSimilarity(const KnowledgeGraph& source,
                                         const KnowledgeGraph& target,
@@ -16,34 +26,55 @@ SparseSimMatrix ComputeStringSimilarity(const KnowledgeGraph& source,
   const MinHasher hasher(signature_length, options.seed);
   MinHashLsh lsh(options.num_bands, options.rows_per_band);
 
-  // Index the target names.
+  // Index the target names. Signatures are independent, so they build in
+  // parallel (each task writes its own slot); the LSH inserts mutate
+  // shared buckets and stay serial, in id order.
   std::vector<std::vector<uint64_t>> target_signatures(
       target.num_entities());
+  par::ParallelFor(
+      0, target.num_entities(), kSignatureGrain,
+      [&](const par::ChunkRange& range) {
+        for (int64_t t = range.begin; t < range.end; ++t) {
+          target_signatures[t] = hasher.Signature(TokenizeName(
+              target.EntityName(static_cast<EntityId>(t)), options.tokenizer));
+        }
+      });
   for (EntityId t = 0; t < target.num_entities(); ++t) {
-    target_signatures[t] =
-        hasher.Signature(TokenizeName(target.EntityName(t),
-                                      options.tokenizer));
     lsh.Insert(t, target_signatures[t]);
   }
 
+  // Score source entities against their LSH candidates in parallel:
+  // every chunk collects its (s, t, sim) hits privately, and chunks
+  // merge into the sparse matrix in ascending source order.
   SparseSimMatrix m_st(source.num_entities(), target.num_entities(),
                        options.max_entries_per_row);
-  for (EntityId s = 0; s < source.num_entities(); ++s) {
-    const std::string& source_name = source.EntityName(s);
-    const std::vector<uint64_t> signature =
-        hasher.Signature(TokenizeName(source_name, options.tokenizer));
-    for (const int32_t t : lsh.Query(signature)) {
-      if (MinHasher::EstimateJaccard(signature, target_signatures[t]) <
-          options.jaccard_threshold) {
-        continue;
-      }
-      const double sim =
-          LevenshteinSimilarity(source_name, target.EntityName(t));
-      if (sim > 0.0) {
-        m_st.Accumulate(s, t, static_cast<float>(sim));
-      }
-    }
-  }
+  using Hit = std::tuple<EntityId, int32_t, float>;
+  par::ParallelReduceOrdered<std::vector<Hit>>(
+      0, source.num_entities(), kScoreGrain,
+      [&](const par::ChunkRange& range, std::vector<Hit>& hits) {
+        for (int64_t i = range.begin; i < range.end; ++i) {
+          const EntityId s = static_cast<EntityId>(i);
+          const std::string& source_name = source.EntityName(s);
+          const std::vector<uint64_t> signature =
+              hasher.Signature(TokenizeName(source_name, options.tokenizer));
+          for (const int32_t t : lsh.Query(signature)) {
+            if (MinHasher::EstimateJaccard(signature, target_signatures[t]) <
+                options.jaccard_threshold) {
+              continue;
+            }
+            const double sim =
+                LevenshteinSimilarity(source_name, target.EntityName(t));
+            if (sim > 0.0) {
+              hits.emplace_back(s, t, static_cast<float>(sim));
+            }
+          }
+        }
+      },
+      [&](const par::ChunkRange&, std::vector<Hit>&& hits) {
+        for (const auto& [s, t, sim] : hits) {
+          m_st.Accumulate(s, t, sim);
+        }
+      });
   m_st.RefreshMemoryTracking();
   return m_st;
 }

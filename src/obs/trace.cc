@@ -76,8 +76,26 @@ std::vector<SpanTotal> TraceRecorder::Totals() const {
   return totals;
 }
 
+void TraceRecorder::SetThreadName(int32_t thread_id, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : thread_names_) {
+    if (entry.first == thread_id) {
+      entry.second = std::move(name);
+      return;
+    }
+  }
+  thread_names_.emplace_back(thread_id, std::move(name));
+}
+
 std::string TraceRecorder::ToChromeTraceJson() const {
   std::vector<SpanRecord> records = Records();
+  std::vector<std::pair<int32_t, std::string>> thread_names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    thread_names = thread_names_;
+  }
+  std::sort(thread_names.begin(), thread_names.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   // Chrome renders nicer timelines when events are start-ordered.
   std::sort(records.begin(), records.end(),
             [](const SpanRecord& a, const SpanRecord& b) {
@@ -87,6 +105,17 @@ std::string TraceRecorder::ToChromeTraceJson() const {
   w.BeginObject();
   w.Key("displayTimeUnit").String("ms");
   w.Key("traceEvents").BeginArray();
+  for (const auto& [tid, name] : thread_names) {
+    w.BeginObject();
+    w.Key("name").String("thread_name");
+    w.Key("ph").String("M");
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(tid);
+    w.Key("args").BeginObject();
+    w.Key("name").String(name);
+    w.EndObject();
+    w.EndObject();
+  }
   for (const SpanRecord& r : records) {
     w.BeginObject();
     w.Key("name").String(r.name);
@@ -111,6 +140,12 @@ std::string TraceRecorder::ToChromeTraceJson() const {
 
 bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
   return WriteStringToFile(path, ToChromeTraceJson());
+}
+
+int32_t CurrentThreadId() { return ThreadId(); }
+
+void SetCurrentThreadName(std::string name) {
+  TraceRecorder::Get().SetThreadName(ThreadId(), std::move(name));
 }
 
 Span::Span(const char* name, int flags) : name_(name) {

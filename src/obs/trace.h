@@ -68,7 +68,12 @@ class TraceRecorder {
   std::vector<SpanTotal> Totals() const;
 
   /// Serialises the retained records as Chrome trace-event JSON.
+  /// Named threads are emitted as ph:"M" thread_name metadata events.
   std::string ToChromeTraceJson() const;
+
+  /// Associates a display name with a dense thread id (see
+  /// SetCurrentThreadName). Last call per tid wins.
+  void SetThreadName(int32_t thread_id, std::string name);
 
   /// Writes ToChromeTraceJson() to `path`; false on I/O failure.
   bool WriteChromeTrace(const std::string& path) const;
@@ -86,7 +91,16 @@ class TraceRecorder {
   int64_t epoch_ns_ = 0;
   mutable std::mutex mu_;
   std::vector<SpanRecord> records_;
+  std::vector<std::pair<int32_t, std::string>> thread_names_;
 };
+
+/// Dense per-process index of the calling thread (the tid used in span
+/// records and the Chrome trace export).
+int32_t CurrentThreadId();
+
+/// Names the calling thread in the Chrome trace export ("main",
+/// "par/worker-0", ...). Thread names persist across Clear().
+void SetCurrentThreadName(std::string name);
 
 /// RAII span. Opens at construction, closes (and records) at destruction
 /// or at the first End() call, whichever comes first.

@@ -1,0 +1,28 @@
+#include "src/par/parallel_for.h"
+
+namespace largeea::par {
+
+std::vector<ChunkRange> ComputeChunks(int64_t begin, int64_t end,
+                                      int64_t grain) {
+  std::vector<ChunkRange> chunks;
+  if (begin >= end) return chunks;
+  if (grain <= 0) grain = end - begin;
+  chunks.reserve(static_cast<size_t>((end - begin + grain - 1) / grain));
+  int64_t index = 0;
+  for (int64_t b = begin; b < end; b += grain) {
+    const int64_t e = b + grain < end ? b + grain : end;
+    chunks.push_back(ChunkRange{index++, b, e});
+  }
+  return chunks;
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(const ChunkRange&)>& body) {
+  const std::vector<ChunkRange> chunks = ComputeChunks(begin, end, grain);
+  if (chunks.empty()) return;
+  ThreadPool::Get().Run(static_cast<int64_t>(chunks.size()), [&](int64_t task) {
+    body(chunks[static_cast<size_t>(task)]);
+  });
+}
+
+}  // namespace largeea::par

@@ -1,0 +1,64 @@
+// Deterministic data-parallel loops over the process-wide ThreadPool.
+//
+// ComputeChunks splits an index range into chunks from (begin, end,
+// grain) ALONE — the thread count never enters the computation — and
+// ParallelReduceOrdered merges per-chunk private state in ascending
+// chunk-index order on the calling thread. Together these give the
+// library's determinism contract (DESIGN.md §8): identical results, bit
+// for bit, at any `--threads N`, because neither chunk boundaries nor
+// any floating-point reduction order depend on scheduling.
+#ifndef LARGEEA_PAR_PARALLEL_FOR_H_
+#define LARGEEA_PAR_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/par/thread_pool.h"
+
+namespace largeea::par {
+
+/// One contiguous sub-range [begin, end) of a parallel loop.
+struct ChunkRange {
+  int64_t index = 0;  ///< position in the chunk sequence (merge order)
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+
+/// Splits [begin, end) into consecutive chunks of at most `grain`
+/// elements (the last chunk may be shorter). grain <= 0 means one chunk.
+/// Depends only on the arguments — never on the thread count.
+std::vector<ChunkRange> ComputeChunks(int64_t begin, int64_t end,
+                                      int64_t grain);
+
+/// Runs body(chunk) for every chunk of [begin, end), in parallel on the
+/// ThreadPool. The body must only write chunk-private or element-private
+/// state (distinct elements of a shared array are fine; shared
+/// accumulators are not — use ParallelReduceOrdered for those).
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(const ChunkRange&)>& body);
+
+/// Runs body(chunk, state) with a default-constructed State per chunk in
+/// parallel, then merge(chunk, std::move(state)) serially on the calling
+/// thread in ascending chunk order. Reduction order is a pure function
+/// of the chunking, so results are identical at any thread count.
+template <typename State, typename Body, typename Merge>
+void ParallelReduceOrdered(int64_t begin, int64_t end, int64_t grain,
+                           Body&& body, Merge&& merge) {
+  const std::vector<ChunkRange> chunks = ComputeChunks(begin, end, grain);
+  if (chunks.empty()) return;
+  std::vector<State> states(chunks.size());
+  ThreadPool::Get().Run(
+      static_cast<int64_t>(chunks.size()), [&](int64_t task) {
+        body(chunks[static_cast<size_t>(task)],
+             states[static_cast<size_t>(task)]);
+      });
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    merge(chunks[i], std::move(states[i]));
+  }
+}
+
+}  // namespace largeea::par
+
+#endif  // LARGEEA_PAR_PARALLEL_FOR_H_

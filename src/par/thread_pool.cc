@@ -1,0 +1,216 @@
+#include "src/par/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace largeea::par {
+namespace {
+
+// Set while the current thread is executing a pool task; nested Run()
+// calls detect it and execute inline instead of deadlocking on run_mu_.
+thread_local bool in_pool_task = false;
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// All scheduling state for one Run() call. Heap-allocated and shared
+// with every worker that observes it, so no field can be reused by a
+// later job while a straggler still holds a reference.
+struct ThreadPool::Job {
+  const std::function<void(int64_t)>* fn = nullptr;
+  int64_t num_tasks = 0;
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> done{0};
+  std::atomic<int64_t> busy_us{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr error;      // guarded by mu; lowest failing task wins
+  int64_t error_task = -1;       // guarded by mu
+};
+
+ThreadPool::ThreadPool() = default;
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+ThreadPool& ThreadPool::Get() {
+  // Leaked like TraceRecorder: workers may outlive static destructors.
+  static ThreadPool* const pool = new ThreadPool();
+  return *pool;
+}
+
+int32_t ThreadPool::DefaultNumThreads() {
+  if (const char* env = std::getenv("LARGEEA_THREADS")) {
+    const int32_t n = static_cast<int32_t>(std::strtol(env, nullptr, 10));
+    if (n >= 1) return n;
+  }
+  const uint32_t hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int32_t>(hw) : 1;
+}
+
+int32_t ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_threads_ > 0 ? num_threads_ : DefaultNumThreads();
+}
+
+void ThreadPool::SetNumThreads(int32_t n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  StopWorkersLocked(lock);
+  num_threads_ = n >= 1 ? n : 1;
+  obs::MetricsRegistry::Get().GetGauge("par.threads").Set(num_threads_);
+}
+
+bool ThreadPool::started() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !workers_.empty();
+}
+
+void ThreadPool::Shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  StopWorkersLocked(lock);
+}
+
+void ThreadPool::StartWorkersLocked() {
+  const int32_t target = num_threads_ - 1;
+  workers_.reserve(static_cast<size_t>(target));
+  while (static_cast<int32_t>(workers_.size()) < target) {
+    const int32_t index = static_cast<int32_t>(workers_.size());
+    workers_.emplace_back([this, index] { WorkerLoop(index); });
+  }
+}
+
+void ThreadPool::StopWorkersLocked(std::unique_lock<std::mutex>& lock) {
+  if (workers_.empty()) return;
+  stopping_ = true;
+  work_cv_.notify_all();
+  std::vector<std::thread> workers = std::move(workers_);
+  workers_.clear();
+  lock.unlock();
+  for (std::thread& t : workers) t.join();
+  lock.lock();
+  stopping_ = false;
+}
+
+void ThreadPool::WorkerLoop(int32_t worker_index) {
+  obs::SetCurrentThreadName("par/worker-" + std::to_string(worker_index));
+  uint64_t seen_generation = 0;
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ ||
+               (current_job_ != nullptr && job_generation_ != seen_generation);
+      });
+      if (stopping_) return;
+      seen_generation = job_generation_;
+      job = current_job_;
+    }
+    WorkOnJob(*job);
+  }
+}
+
+void ThreadPool::WorkOnJob(Job& job) {
+  const int64_t start_us = NowMicros();
+  int64_t executed = 0;
+  std::exception_ptr error;
+  int64_t error_task = -1;
+  while (true) {
+    const int64_t task = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (task >= job.num_tasks) break;
+    in_pool_task = true;
+    try {
+      (*job.fn)(task);
+    } catch (...) {
+      if (error_task < 0 || task < error_task) {
+        error = std::current_exception();
+        error_task = task;
+      }
+    }
+    in_pool_task = false;
+    ++executed;
+  }
+  job.busy_us.fetch_add(NowMicros() - start_us, std::memory_order_relaxed);
+  if (executed == 0) return;
+  std::lock_guard<std::mutex> lock(job.mu);
+  if (error && (job.error_task < 0 || error_task < job.error_task)) {
+    job.error = error;
+    job.error_task = error_task;
+  }
+  if (job.done.fetch_add(executed, std::memory_order_acq_rel) + executed ==
+      job.num_tasks) {
+    job.done_cv.notify_all();
+  }
+}
+
+void ThreadPool::Run(int64_t num_tasks,
+                     const std::function<void(int64_t)>& fn) {
+  if (num_tasks <= 0) return;
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Get();
+  metrics.GetCounter("par.jobs").Add(1);
+  metrics.GetCounter("par.chunks").Add(num_tasks);
+
+  // Inline paths: nested call from a pool task, a single task, or a
+  // single-thread configuration. Identical task order, no workers.
+  if (in_pool_task || num_tasks == 1 || num_threads() <= 1) {
+    const int64_t start_us = NowMicros();
+    const bool was_in_task = in_pool_task;
+    in_pool_task = true;
+    try {
+      for (int64_t task = 0; task < num_tasks; ++task) fn(task);
+    } catch (...) {
+      in_pool_task = was_in_task;
+      metrics.GetCounter("par.busy_micros").Add(NowMicros() - start_us);
+      throw;
+    }
+    in_pool_task = was_in_task;
+    metrics.GetCounter("par.busy_micros").Add(NowMicros() - start_us);
+    return;
+  }
+
+  // One job in flight at a time; concurrent Run() callers queue here.
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->num_tasks = num_tasks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (num_threads_ == 0) {
+      num_threads_ = DefaultNumThreads();
+      metrics.GetGauge("par.threads").Set(num_threads_);
+    }
+    StartWorkersLocked();
+    current_job_ = job;
+    ++job_generation_;
+    work_cv_.notify_all();
+  }
+
+  WorkOnJob(*job);  // the caller participates
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done_cv.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->num_tasks;
+    });
+    error = job->error;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (current_job_ == job) current_job_ = nullptr;
+  }
+  metrics.GetCounter("par.busy_micros").Add(
+      job->busy_us.load(std::memory_order_relaxed));
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace largeea::par

@@ -1,0 +1,101 @@
+// Fixed-size worker pool behind every parallel primitive in the library.
+//
+// The pool is process-wide and lazy: no worker thread exists until the
+// first Run() that can use one, so single-threaded configurations (and
+// `--threads 1`) never pay for thread machinery. The thread count comes
+// from, in priority order: SetNumThreads() (CLI `--threads N`), the
+// LARGEEA_THREADS environment variable, and hardware concurrency.
+//
+// Determinism contract (DESIGN.md §8): the pool schedules *chunks* whose
+// boundaries are computed by par::ComputeChunks from the range and grain
+// alone — never from the thread count — and every reduction in the
+// library merges chunk results in ascending chunk-index order. Which
+// worker executes which chunk is therefore irrelevant to the result:
+// the same binary produces bit-identical output at any `--threads`.
+#ifndef LARGEEA_PAR_THREAD_POOL_H_
+#define LARGEEA_PAR_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace largeea::par {
+
+/// Process-wide worker pool. All methods are thread-safe.
+class ThreadPool {
+ public:
+  /// Returns the singleton pool.
+  static ThreadPool& Get();
+
+  /// Thread count used when none is configured: LARGEEA_THREADS if set
+  /// to a positive integer, else std::thread::hardware_concurrency()
+  /// (minimum 1).
+  static int32_t DefaultNumThreads();
+
+  /// Configured thread count (including the calling thread).
+  int32_t num_threads() const;
+
+  /// Sets the thread count (clamped to >= 1). Joins any running workers;
+  /// the new count takes effect lazily on the next Run(). Must not be
+  /// called from inside a Run() task.
+  void SetNumThreads(int32_t n);
+
+  /// True while worker threads exist (i.e. after the first parallel
+  /// Run() and before Shutdown()/SetNumThreads()).
+  bool started() const;
+
+  /// Executes fn(task) for every task in [0, num_tasks). Blocks until
+  /// all tasks finish. The calling thread participates, so a pool of N
+  /// threads starts N-1 workers. Tasks are claimed dynamically, which is
+  /// safe because callers derive tasks from deterministic chunking and
+  /// merge in task order (see class comment).
+  ///
+  /// Runs inline on the caller — same task order, no workers — when
+  /// num_threads() == 1, num_tasks <= 1, or when called from inside a
+  /// pool task (nested parallelism is serialised, never deadlocked).
+  ///
+  /// If tasks throw, the exception from the lowest-numbered failing task
+  /// is rethrown on the caller after all in-flight tasks finish.
+  void Run(int64_t num_tasks, const std::function<void(int64_t)>& fn);
+
+  /// Joins and destroys the workers. Safe to call when idle; the pool
+  /// restarts lazily on the next Run().
+  void Shutdown();
+
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  struct Job;
+
+  ThreadPool();
+
+  void StartWorkersLocked();
+  void StopWorkersLocked(std::unique_lock<std::mutex>& lock);
+  void WorkerLoop(int32_t worker_index);
+  /// Claims and runs tasks of `job` until none remain.
+  static void WorkOnJob(Job& job);
+
+  /// Serialises Run() callers: one job in flight at a time.
+  std::mutex run_mu_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< wakes workers for a new job
+  std::vector<std::thread> workers_;
+  int32_t num_threads_ = 0;  ///< 0 = not yet resolved from env/hardware
+  bool stopping_ = false;
+  uint64_t job_generation_ = 0;
+  /// The in-flight job. Workers take a shared_ptr copy, so a slow worker
+  /// observing a finished job can never touch a newer job's counters.
+  std::shared_ptr<Job> current_job_;
+};
+
+}  // namespace largeea::par
+
+#endif  // LARGEEA_PAR_THREAD_POOL_H_

@@ -1,13 +1,28 @@
 #include "src/sim/sinkhorn.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "src/common/macros.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/par/parallel_for.h"
 
 namespace largeea {
+namespace {
+
+// Rows per chunk for the row-local phases. Row sums never cross a row
+// boundary, so any grain gives bit-identical results; this one just
+// keeps scheduling overhead low.
+constexpr int64_t kRowGrain = 256;
+// Column sums accumulate chunk-private dense partial vectors, so the
+// chunk count is a fixed constant: it bounds the extra memory
+// (kColChunks * num_cols floats) and — because it never depends on the
+// thread count — fixes the merge order of the float sums.
+constexpr int64_t kColChunks = 8;
+
+}  // namespace
 
 SparseSimMatrix SinkhornNormalize(const SparseSimMatrix& m,
                                   const SinkhornOptions& options) {
@@ -18,41 +33,84 @@ SparseSimMatrix SinkhornNormalize(const SparseSimMatrix& m,
   registry.GetCounter("sinkhorn.iterations").Add(options.iterations);
   registry.GetCounter("sinkhorn.entries").Add(m.TotalEntries());
 
-  // Work on a dense-by-row copy of the entries.
+  // Work on a dense-by-row copy of the entries, with CSR-style row
+  // offsets so the row phases can chunk over rows.
   struct Entry {
     int32_t row;
     EntityId column;
     float value;
   };
+  const int64_t num_rows = m.num_rows();
   std::vector<Entry> entries;
   entries.reserve(static_cast<size_t>(m.TotalEntries()));
-  // Stabilised exponentiation: subtract each row's max score.
-  for (int32_t r = 0; r < m.num_rows(); ++r) {
-    const auto row = m.Row(r);
-    if (row.empty()) continue;
-    const float row_max = row.front().score;  // rows are sorted descending
-    for (const SimEntry& e : row) {
-      entries.push_back(Entry{
-          r, e.column,
-          std::exp((e.score - row_max) / options.temperature)});
+  std::vector<int64_t> row_offset(static_cast<size_t>(num_rows) + 1, 0);
+  for (int32_t r = 0; r < num_rows; ++r) {
+    row_offset[r] = static_cast<int64_t>(entries.size());
+    for (const SimEntry& e : m.Row(r)) {
+      entries.push_back(Entry{r, e.column, e.score});
     }
   }
+  row_offset[num_rows] = static_cast<int64_t>(entries.size());
+  const int64_t num_entries = static_cast<int64_t>(entries.size());
 
-  std::vector<float> row_sum(m.num_rows());
+  // Stabilised exponentiation: subtract each row's max score. The max is
+  // computed explicitly — rows arrive sorted descending today, but the
+  // stability of the exp must not hinge on that invariant.
+  par::ParallelFor(0, num_rows, kRowGrain, [&](const par::ChunkRange& rows) {
+    for (int64_t r = rows.begin; r < rows.end; ++r) {
+      if (row_offset[r] == row_offset[r + 1]) continue;
+      float row_max = entries[row_offset[r]].value;
+      for (int64_t e = row_offset[r]; e < row_offset[r + 1]; ++e) {
+        row_max = std::max(row_max, entries[e].value);
+      }
+      LARGEEA_DCHECK_EQ(row_max, m.Row(static_cast<int32_t>(r)).front().score);
+      for (int64_t e = row_offset[r]; e < row_offset[r + 1]; ++e) {
+        entries[e].value =
+            std::exp((entries[e].value - row_max) / options.temperature);
+      }
+    }
+  });
+
   std::vector<float> col_sum(m.num_cols());
+  const int64_t col_grain =
+      num_entries > 0 ? (num_entries + kColChunks - 1) / kColChunks : 1;
   for (int32_t it = 0; it < options.iterations; ++it) {
-    // Row normalisation.
-    std::fill(row_sum.begin(), row_sum.end(), 0.0f);
-    for (const Entry& e : entries) row_sum[e.row] += e.value;
-    for (Entry& e : entries) {
-      if (row_sum[e.row] > 0.0f) e.value /= row_sum[e.row];
-    }
-    // Column normalisation.
+    // Row normalisation: sums are row-local, so chunking over rows
+    // preserves the exact serial summation order per row.
+    par::ParallelFor(0, num_rows, kRowGrain, [&](const par::ChunkRange& rows) {
+      for (int64_t r = rows.begin; r < rows.end; ++r) {
+        float sum = 0.0f;
+        for (int64_t e = row_offset[r]; e < row_offset[r + 1]; ++e) {
+          sum += entries[e].value;
+        }
+        if (sum <= 0.0f) continue;
+        for (int64_t e = row_offset[r]; e < row_offset[r + 1]; ++e) {
+          entries[e].value /= sum;
+        }
+      }
+    });
+    // Column normalisation: every chunk sums into a private dense
+    // vector; partials merge in chunk order (see kColChunks above).
     std::fill(col_sum.begin(), col_sum.end(), 0.0f);
-    for (const Entry& e : entries) col_sum[e.column] += e.value;
-    for (Entry& e : entries) {
-      if (col_sum[e.column] > 0.0f) e.value /= col_sum[e.column];
-    }
+    par::ParallelReduceOrdered<std::vector<float>>(
+        0, num_entries, col_grain,
+        [&](const par::ChunkRange& range, std::vector<float>& partial) {
+          partial.assign(col_sum.size(), 0.0f);
+          for (int64_t e = range.begin; e < range.end; ++e) {
+            partial[entries[e].column] += entries[e].value;
+          }
+        },
+        [&](const par::ChunkRange&, std::vector<float>&& partial) {
+          for (size_t c = 0; c < col_sum.size(); ++c) col_sum[c] += partial[c];
+        });
+    par::ParallelFor(0, num_entries, col_grain,
+                     [&](const par::ChunkRange& range) {
+                       for (int64_t e = range.begin; e < range.end; ++e) {
+                         if (col_sum[entries[e].column] > 0.0f) {
+                           entries[e].value /= col_sum[entries[e].column];
+                         }
+                       }
+                     });
   }
 
   SparseSimMatrix out(m.num_rows(), m.num_cols(), m.max_entries_per_row());

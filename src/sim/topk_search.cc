@@ -2,16 +2,23 @@
 
 #include <algorithm>
 #include <numeric>
+#include <tuple>
 #include <vector>
 
 #include "src/common/macros.h"
 #include "src/la/ops.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/par/parallel_for.h"
 #include "src/sim/lsh.h"
 
 namespace largeea {
 namespace {
+
+// Source rows per parallel chunk. A shape-only constant: chunk
+// boundaries (and so the merge order into the SparseSimMatrix) never
+// depend on the thread count.
+constexpr int64_t kRowGrain = 32;
 
 float ScorePair(const float* a, const float* b, int64_t dim,
                 SimMetric metric) {
@@ -24,7 +31,10 @@ float ScorePair(const float* a, const float* b, int64_t dim,
   return 0.0f;  // unreachable
 }
 
-// Fixed-capacity top-k accumulator: a binary min-heap on score.
+// Fixed-capacity top-k accumulator: a binary min-heap on (score, id).
+// Ties at the k-boundary break towards the smaller column id, so the
+// surviving set is a pure function of the candidate set — scan order
+// (and therefore segmentation or thread count) cannot change it.
 class TopKHeap {
  public:
   explicit TopKHeap(int32_t k) : k_(k) {}
@@ -32,35 +42,50 @@ class TopKHeap {
   void Offer(int32_t id, float score) {
     if (static_cast<int32_t>(heap_.size()) < k_) {
       heap_.push_back({score, id});
-      std::push_heap(heap_.begin(), heap_.end(), MinFirst);
-    } else if (score > heap_.front().first) {
-      std::pop_heap(heap_.begin(), heap_.end(), MinFirst);
+      std::push_heap(heap_.begin(), heap_.end(), Better);
+    } else if (Better({score, id}, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), Better);
       heap_.back() = {score, id};
-      std::push_heap(heap_.begin(), heap_.end(), MinFirst);
+      std::push_heap(heap_.begin(), heap_.end(), Better);
     }
   }
 
-  /// Drains into (id, score) pairs in arbitrary order.
-  const std::vector<std::pair<float, int32_t>>& items() const {
-    return heap_;
+  /// Empties the heap into `out` in deterministic (score desc, id asc)
+  /// order. `out` is cleared first.
+  void Drain(std::vector<std::pair<float, int32_t>>& out) {
+    out.clear();
+    out.swap(heap_);
+    std::sort(out.begin(), out.end(), Better);
   }
 
   void Clear() { heap_.clear(); }
 
  private:
-  static bool MinFirst(const std::pair<float, int32_t>& a,
-                       const std::pair<float, int32_t>& b) {
-    return a.first > b.first;
+  /// Strict ranking: higher score first, then smaller id. Used both as
+  /// the heap comparator (front = worst kept item) and the drain order.
+  static bool Better(const std::pair<float, int32_t>& a,
+                     const std::pair<float, int32_t>& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
   }
 
   int32_t k_;
   std::vector<std::pair<float, int32_t>> heap_;
 };
 
+// Chunk-private accumulation state for the parallel row scans: scored
+// (row, col, score) entries in drain order plus the candidate count.
+struct ChunkState {
+  std::vector<std::tuple<int64_t, int32_t, float>> entries;
+  int64_t candidates_scanned = 0;
+};
+
 }  // namespace
 
-void ExactTopKInto(const Matrix& source, std::span<const EntityId> row_ids,
-                   const Matrix& target, std::span<const EntityId> col_ids,
+void ExactTopKInto(const MatrixRowRange& source,
+                   std::span<const EntityId> row_ids,
+                   const MatrixRowRange& target,
+                   std::span<const EntityId> col_ids,
                    const TopKOptions& options, SparseSimMatrix& out) {
   LARGEEA_CHECK_EQ(source.cols(), target.cols());
   LARGEEA_CHECK_EQ(static_cast<size_t>(source.rows()), row_ids.size());
@@ -68,21 +93,33 @@ void ExactTopKInto(const Matrix& source, std::span<const EntityId> row_ids,
   LARGEEA_CHECK_GT(options.k, 0);
   const int64_t dim = source.cols();
 
-  TopKHeap heap(options.k);
-  for (int64_t i = 0; i < source.rows(); ++i) {
-    // Deliberately a hot-path no-op unless LARGEEA_OBS_HOT_TRACING is
-    // defined: per-row spans would dominate the scan they measure.
-    LARGEEA_TRACE_HOT_SPAN("topk/exact_row");
-    heap.Clear();
-    const float* src = source.Row(i);
-    for (int64_t j = 0; j < target.rows(); ++j) {
-      heap.Offer(static_cast<int32_t>(j),
-                 ScorePair(src, target.Row(j), dim, options.metric));
-    }
-    for (const auto& [score, j] : heap.items()) {
-      out.Accumulate(row_ids[i], col_ids[j], score);
-    }
-  }
+  par::ParallelReduceOrdered<ChunkState>(
+      0, source.rows(), kRowGrain,
+      [&](const par::ChunkRange& rows, ChunkState& state) {
+        TopKHeap heap(options.k);
+        std::vector<std::pair<float, int32_t>> drained;
+        for (int64_t i = rows.begin; i < rows.end; ++i) {
+          // Deliberately a hot-path no-op unless LARGEEA_OBS_HOT_TRACING
+          // is defined: per-row spans would dominate the scan they
+          // measure.
+          LARGEEA_TRACE_HOT_SPAN("topk/exact_row");
+          heap.Clear();
+          const float* src = source.Row(i);
+          for (int64_t j = 0; j < target.rows(); ++j) {
+            heap.Offer(static_cast<int32_t>(j),
+                       ScorePair(src, target.Row(j), dim, options.metric));
+          }
+          heap.Drain(drained);
+          for (const auto& [score, j] : drained) {
+            state.entries.emplace_back(i, j, score);
+          }
+        }
+      },
+      [&](const par::ChunkRange&, ChunkState&& state) {
+        for (const auto& [i, j, score] : state.entries) {
+          out.Accumulate(row_ids[i], col_ids[j], score);
+        }
+      });
   // Counters are accumulated outside the loop: one atomic add per call,
   // nothing per row or per candidate.
   auto& registry = obs::MetricsRegistry::Get();
@@ -104,32 +141,44 @@ SparseSimMatrix ExactTopK(const Matrix& source, const Matrix& target,
   return out;
 }
 
-void LshTopKInto(const Matrix& source, std::span<const EntityId> row_ids,
-                 const Matrix& target, std::span<const EntityId> col_ids,
-                 const LshIndex& index, const TopKOptions& options,
-                 SparseSimMatrix& out) {
+void LshTopKInto(const MatrixRowRange& source,
+                 std::span<const EntityId> row_ids, const Matrix& target,
+                 std::span<const EntityId> col_ids, const LshIndex& index,
+                 const TopKOptions& options, SparseSimMatrix& out) {
   LARGEEA_CHECK_EQ(source.cols(), target.cols());
   LARGEEA_CHECK_EQ(source.cols(), index.dim());
   LARGEEA_CHECK_EQ(static_cast<size_t>(source.rows()), row_ids.size());
   LARGEEA_CHECK_EQ(static_cast<size_t>(target.rows()), col_ids.size());
   const int64_t dim = source.cols();
 
-  TopKHeap heap(options.k);
-  std::vector<int32_t> candidates;
   int64_t candidates_scanned = 0;
-  for (int64_t i = 0; i < source.rows(); ++i) {
-    LARGEEA_TRACE_HOT_SPAN("topk/lsh_row");
-    heap.Clear();
-    const float* src = source.Row(i);
-    index.Query(src, candidates);
-    candidates_scanned += static_cast<int64_t>(candidates.size());
-    for (const int32_t j : candidates) {
-      heap.Offer(j, ScorePair(src, target.Row(j), dim, options.metric));
-    }
-    for (const auto& [score, j] : heap.items()) {
-      out.Accumulate(row_ids[i], col_ids[j], score);
-    }
-  }
+  par::ParallelReduceOrdered<ChunkState>(
+      0, source.rows(), kRowGrain,
+      [&](const par::ChunkRange& rows, ChunkState& state) {
+        TopKHeap heap(options.k);
+        std::vector<std::pair<float, int32_t>> drained;
+        std::vector<int32_t> candidates;
+        for (int64_t i = rows.begin; i < rows.end; ++i) {
+          LARGEEA_TRACE_HOT_SPAN("topk/lsh_row");
+          heap.Clear();
+          const float* src = source.Row(i);
+          index.Query(src, candidates);
+          state.candidates_scanned += static_cast<int64_t>(candidates.size());
+          for (const int32_t j : candidates) {
+            heap.Offer(j, ScorePair(src, target.Row(j), dim, options.metric));
+          }
+          heap.Drain(drained);
+          for (const auto& [score, j] : drained) {
+            state.entries.emplace_back(i, j, score);
+          }
+        }
+      },
+      [&](const par::ChunkRange&, ChunkState&& state) {
+        candidates_scanned += state.candidates_scanned;
+        for (const auto& [i, j, score] : state.entries) {
+          out.Accumulate(row_ids[i], col_ids[j], score);
+        }
+      });
   auto& registry = obs::MetricsRegistry::Get();
   registry.GetCounter("topk.lsh.rows").Add(source.rows());
   registry.GetCounter("topk.lsh.candidates_scanned").Add(candidates_scanned);

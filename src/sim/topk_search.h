@@ -34,10 +34,18 @@ struct TopKOptions {
   SimMetric metric = SimMetric::kManhattan;
 };
 
-/// Scores every source row against every target row; keeps top-k.
-/// `row_ids[i]` / `col_ids[j]` map matrix rows to entity ids in `out`.
-void ExactTopKInto(const Matrix& source, std::span<const EntityId> row_ids,
-                   const Matrix& target, std::span<const EntityId> col_ids,
+/// Scores every source row against every target row; keeps top-k, with
+/// score ties broken towards the smaller column id so the kept set is
+/// independent of scan order. `row_ids[i]` / `col_ids[j]` map view rows
+/// to entity ids in `out`. Both sides take row-range views (a whole
+/// Matrix converts implicitly), so segmented callers pass windows into
+/// the full embedding matrices instead of materialised row copies.
+/// Rows are scanned in parallel on the par::ThreadPool; results are
+/// merged in row order and are bit-identical at any thread count.
+void ExactTopKInto(const MatrixRowRange& source,
+                   std::span<const EntityId> row_ids,
+                   const MatrixRowRange& target,
+                   std::span<const EntityId> col_ids,
                    const TopKOptions& options, SparseSimMatrix& out);
 
 /// Convenience wrapper: identity id maps, fresh matrix.
@@ -47,11 +55,13 @@ SparseSimMatrix ExactTopK(const Matrix& source, const Matrix& target,
 class LshIndex;
 
 /// Approximate variant: candidates come from `index` (built over `target`),
-/// then are scored exactly with `options.metric`.
-void LshTopKInto(const Matrix& source, std::span<const EntityId> row_ids,
-                 const Matrix& target, std::span<const EntityId> col_ids,
-                 const LshIndex& index, const TopKOptions& options,
-                 SparseSimMatrix& out);
+/// then are scored exactly with `options.metric`. Same parallel scan and
+/// deterministic tie-breaking as ExactTopKInto; `target` stays a full
+/// Matrix because LSH candidate ids index its absolute rows.
+void LshTopKInto(const MatrixRowRange& source,
+                 std::span<const EntityId> row_ids, const Matrix& target,
+                 std::span<const EntityId> col_ids, const LshIndex& index,
+                 const TopKOptions& options, SparseSimMatrix& out);
 
 }  // namespace largeea
 

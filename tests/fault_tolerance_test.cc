@@ -15,6 +15,7 @@
 
 #include "src/core/large_ea.h"
 #include "src/gen/benchmark_gen.h"
+#include "src/par/thread_pool.h"
 #include "src/rt/fault_injection.h"
 
 namespace largeea {
@@ -57,8 +58,18 @@ class FaultToleranceTest : public ::testing::Test {
   }
   static const EaDataset& dataset() { return *dataset_; }
 
-  void SetUp() override { rt::FaultInjector::Get().Reset(); }
+  void SetUp() override {
+    rt::FaultInjector::Get().Reset();
+    // Which batch absorbs the Nth structure.batch.train hit depends on
+    // scheduling once batches train concurrently, so the crash matrix
+    // pins the pool to one thread (the tsan preset otherwise forces
+    // LARGEEA_THREADS=4). Thread-count invariance of the *results* is
+    // covered by par_determinism_test.cc.
+    saved_threads_ = par::ThreadPool::Get().num_threads();
+    par::ThreadPool::Get().SetNumThreads(1);
+  }
   void TearDown() override {
+    par::ThreadPool::Get().SetNumThreads(saved_threads_);
     rt::FaultInjector::Get().Reset();
     fs::remove_all(dir_);
   }
@@ -83,6 +94,7 @@ class FaultToleranceTest : public ::testing::Test {
   }
 
   std::string dir_;
+  int32_t saved_threads_ = 1;
 
  private:
   static const EaDataset* dataset_;

@@ -381,9 +381,18 @@ TEST_F(TraceTest, ChromeTraceJsonRoundTrips) {
       ParseOrDie(obs::TraceRecorder::Get().ToChromeTraceJson());
   ASSERT_TRUE(v.has("traceEvents"));
   const auto& events = v.at("traceEvents").array;
-  ASSERT_EQ(events.size(), 2u);
+  // Thread-name metadata (ph:"M") persists across Clear() — earlier
+  // tests may have started pool workers — so count span events only.
+  size_t span_events = 0;
   bool saw_outer = false;
   for (const auto& e : events) {
+    if (e.at("ph").string == "M") {
+      EXPECT_EQ(e.at("name").string, "thread_name");
+      EXPECT_TRUE(e.at("args").has("name"));
+      EXPECT_TRUE(e.has("tid"));
+      continue;
+    }
+    ++span_events;
     EXPECT_EQ(e.at("ph").string, "X");  // complete events
     EXPECT_EQ(e.at("cat").string, "largeea");
     EXPECT_TRUE(e.has("ts"));
@@ -395,7 +404,26 @@ TEST_F(TraceTest, ChromeTraceJsonRoundTrips) {
       EXPECT_EQ(e.at("args").at("note").string, "hello");
     }
   }
+  EXPECT_EQ(span_events, 2u);
   EXPECT_TRUE(saw_outer);
+}
+
+TEST_F(TraceTest, ThreadNameMetadataAppearsInChromeTrace) {
+  obs::SetCurrentThreadName("test/self");
+  {
+    obs::Span span("test/named_thread");
+  }
+  const JsonValue v =
+      ParseOrDie(obs::TraceRecorder::Get().ToChromeTraceJson());
+  bool saw_name = false;
+  for (const auto& e : v.at("traceEvents").array) {
+    if (e.at("ph").string == "M" &&
+        e.at("args").at("name").string == "test/self") {
+      saw_name = true;
+      EXPECT_EQ(e.at("tid").number, obs::CurrentThreadId());
+    }
+  }
+  EXPECT_TRUE(saw_name);
 }
 
 TEST_F(TraceTest, TrackMemorySpanReportsPhasePeak) {

@@ -1,0 +1,221 @@
+// Unit tests for the parallel execution layer (src/par/): pool
+// lifecycle, exception propagation, deterministic chunking, and the
+// ordered-merge reduction that underpins the bit-identical-at-any-
+// thread-count contract (DESIGN.md §8). Whole-pipeline invariance is
+// covered separately by par_determinism_test.cc.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/par/parallel_for.h"
+#include "src/par/thread_pool.h"
+
+namespace largeea::par {
+namespace {
+
+/// Restores the pool's thread count on scope exit so tests cannot leak
+/// their configuration into each other (the suite shares the singleton).
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int32_t n) : saved_(ThreadPool::Get().num_threads()) {
+    ThreadPool::Get().SetNumThreads(n);
+  }
+  ~ScopedThreads() { ThreadPool::Get().SetNumThreads(saved_); }
+
+ private:
+  int32_t saved_;
+};
+
+TEST(ComputeChunksTest, SplitsRangeIntoGrainSizedChunks) {
+  const auto chunks = ComputeChunks(0, 10, 4);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].index, 0);
+  EXPECT_EQ(chunks[0].begin, 0);
+  EXPECT_EQ(chunks[0].end, 4);
+  EXPECT_EQ(chunks[1].begin, 4);
+  EXPECT_EQ(chunks[1].end, 8);
+  EXPECT_EQ(chunks[2].begin, 8);
+  EXPECT_EQ(chunks[2].end, 10);  // last chunk is shorter
+  EXPECT_EQ(chunks[2].index, 2);
+}
+
+TEST(ComputeChunksTest, NonPositiveGrainMeansOneChunk) {
+  for (int64_t grain : {int64_t{0}, int64_t{-5}}) {
+    const auto chunks = ComputeChunks(3, 17, grain);
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_EQ(chunks[0].begin, 3);
+    EXPECT_EQ(chunks[0].end, 17);
+  }
+}
+
+TEST(ComputeChunksTest, EmptyRangeYieldsNoChunks) {
+  EXPECT_TRUE(ComputeChunks(5, 5, 4).empty());
+  EXPECT_TRUE(ComputeChunks(7, 5, 4).empty());
+}
+
+TEST(ComputeChunksTest, BoundariesIndependentOfThreadCount) {
+  // The contract: chunk boundaries are a pure function of (begin, end,
+  // grain). Reconfiguring the pool must not change them.
+  const auto before = ComputeChunks(0, 1000, 37);
+  ScopedThreads threads(8);
+  const auto after = ComputeChunks(0, 1000, 37);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].begin, after[i].begin);
+    EXPECT_EQ(before[i].end, after[i].end);
+  }
+}
+
+TEST(ThreadPoolTest, LazyStartAndShutdown) {
+  ThreadPool& pool = ThreadPool::Get();
+  pool.Shutdown();
+  EXPECT_FALSE(pool.started());
+
+  ScopedThreads threads(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  // SetNumThreads alone must not start workers; the first parallel Run
+  // does.
+  EXPECT_FALSE(pool.started());
+
+  std::atomic<int64_t> sum{0};
+  pool.Run(16, [&](int64_t task) { sum += task; });
+  EXPECT_EQ(sum.load(), 16 * 15 / 2);
+  EXPECT_TRUE(pool.started());
+
+  pool.Shutdown();
+  EXPECT_FALSE(pool.started());
+
+  // The pool restarts lazily after Shutdown.
+  sum = 0;
+  pool.Run(8, [&](int64_t task) { sum += task; });
+  EXPECT_EQ(sum.load(), 8 * 7 / 2);
+  EXPECT_TRUE(pool.started());
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineWithoutWorkers) {
+  ThreadPool& pool = ThreadPool::Get();
+  pool.Shutdown();
+  ScopedThreads threads(1);
+
+  std::vector<int64_t> order;
+  pool.Run(5, [&](int64_t task) { order.push_back(task); });
+  EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+  EXPECT_FALSE(pool.started());
+}
+
+TEST(ThreadPoolTest, EveryTaskRunsExactlyOnce) {
+  ScopedThreads threads(4);
+  constexpr int64_t kTasks = 1000;
+  std::vector<std::atomic<int32_t>> hits(kTasks);
+  ThreadPool::Get().Run(kTasks, [&](int64_t task) {
+    hits[static_cast<size_t>(task)].fetch_add(1);
+  });
+  for (int64_t t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(hits[static_cast<size_t>(t)].load(), 1) << "task " << t;
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionFromLowestFailingTaskPropagates) {
+  ScopedThreads threads(4);
+  // Several tasks throw; the caller must see the lowest-numbered one,
+  // regardless of which worker hit it first.
+  try {
+    ThreadPool::Get().Run(64, [&](int64_t task) {
+      if (task == 7 || task == 23 || task == 55) {
+        throw std::runtime_error("task " + std::to_string(task));
+      }
+    });
+    FAIL() << "Run() should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 7");
+  }
+
+  // The pool must stay usable after an exception.
+  std::atomic<int64_t> count{0};
+  ThreadPool::Get().Run(16, [&](int64_t) { count++; });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, NestedRunExecutesInlineWithoutDeadlock) {
+  ScopedThreads threads(4);
+  std::atomic<int64_t> inner_total{0};
+  ThreadPool::Get().Run(8, [&](int64_t) {
+    // A nested Run on the same pool must serialise on the calling
+    // worker instead of deadlocking on the (busy) pool.
+    int64_t local = 0;
+    ThreadPool::Get().Run(10, [&](int64_t inner) { local += inner; });
+    inner_total += local;
+  });
+  EXPECT_EQ(inner_total.load(), 8 * (10 * 9 / 2));
+}
+
+TEST(ParallelForTest, BodySeesEachIndexOnceViaChunks) {
+  ScopedThreads threads(4);
+  constexpr int64_t kN = 500;
+  std::vector<std::atomic<int32_t>> hits(kN);
+  ParallelFor(0, kN, 17, [&](const ChunkRange& chunk) {
+    for (int64_t i = chunk.begin; i < chunk.end; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+/// Sums chunk-private float partials via ParallelReduceOrdered at the
+/// given thread count; the ordered merge makes the result a pure
+/// function of (n, grain), so any two thread counts must agree bitwise.
+float OrderedFloatSum(int32_t num_threads, int64_t n, int64_t grain) {
+  ScopedThreads threads(num_threads);
+  float total = 0.0f;
+  ParallelReduceOrdered<float>(
+      0, n, grain,
+      [](const ChunkRange& chunk, float& partial) {
+        for (int64_t i = chunk.begin; i < chunk.end; ++i) {
+          // Values with non-associative rounding behaviour: 1/(i+1).
+          partial += 1.0f / static_cast<float>(i + 1);
+        }
+      },
+      [&](const ChunkRange&, float&& partial) { total += partial; });
+  return total;
+}
+
+TEST(ParallelReduceOrderedTest, MergesInChunkOrder) {
+  ScopedThreads threads(4);
+  std::vector<int64_t> merge_order;
+  ParallelReduceOrdered<int64_t>(
+      0, 97, 8,
+      [](const ChunkRange& chunk, int64_t& state) { state = chunk.index; },
+      [&](const ChunkRange& chunk, int64_t&& state) {
+        EXPECT_EQ(state, chunk.index);
+        merge_order.push_back(chunk.index);
+      });
+  std::vector<int64_t> expected(merge_order.size());
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(merge_order, expected);
+}
+
+TEST(ParallelReduceOrderedTest, FloatSumBitIdenticalAcrossThreadCounts) {
+  const int64_t kN = 4096;
+  const int64_t kGrain = 64;
+  const float at1 = OrderedFloatSum(1, kN, kGrain);
+  const float at2 = OrderedFloatSum(2, kN, kGrain);
+  const float at8 = OrderedFloatSum(8, kN, kGrain);
+  // Bit-exact, not EXPECT_FLOAT_EQ: this is the determinism contract.
+  EXPECT_EQ(at1, at2);
+  EXPECT_EQ(at1, at8);
+
+  // Sanity: a *different grain* is allowed to (and here does) change the
+  // rounding — proving the test would catch a reassociated reduction.
+  const float regrained = OrderedFloatSum(1, kN, kN);
+  EXPECT_NE(at1, regrained);
+}
+
+}  // namespace
+}  // namespace largeea::par

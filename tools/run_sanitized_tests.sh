@@ -1,25 +1,44 @@
 #!/usr/bin/env bash
-# Builds the test suite with ASan+UBSan and runs it, via the `sanitize`
-# CMake preset (see CMakePresets.json — equivalent to configuring with
-# -DLARGEEA_SANITIZE=ON into build-sanitize/).
+# Builds and runs the test suite under sanitizers, via the CMake presets
+# (see CMakePresets.json):
+#
+#   * `sanitize` — ASan+UBSan into build-sanitize/ (memory bugs, UB);
+#   * `tsan`     — ThreadSanitizer into build-tsan/, with LARGEEA_THREADS
+#     forced > 1 so the par::ThreadPool actually starts workers and every
+#     parallel hot path races for real (data races, lock misuse).
 #
 # The full suite runs by default so the fault-injection matrix
 # (tests/fault_tolerance_test.cc) and the IO fuzz tests execute under the
 # sanitizers; pass a gtest filter to narrow the run:
 #
-#   tools/run_sanitized_tests.sh                    # everything, via ctest
+#   tools/run_sanitized_tests.sh                    # asan + tsan, via ctest
 #   tools/run_sanitized_tests.sh '*FaultTolerance*' # one suite, direct
+#   SANITIZERS=tsan tools/run_sanitized_tests.sh    # tsan only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-cmake --preset sanitize
-cmake --build --preset sanitize -j "$(nproc)" --target largeea_tests
+SANITIZERS="${SANITIZERS:-sanitize tsan}"
 
-if [[ $# -ge 1 ]]; then
-  ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
-  UBSAN_OPTIONS=print_stacktrace=1 \
-    build-sanitize/tests/largeea_tests --gtest_filter="$1"
-else
-  ctest --preset sanitize
-fi
+for preset in ${SANITIZERS}; do
+  echo "=== ${preset} ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "$(nproc)" --target largeea_tests
+
+  if [[ $# -ge 1 ]]; then
+    case "${preset}" in
+      sanitize)
+        ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+        UBSAN_OPTIONS=print_stacktrace=1 \
+          "build-${preset}/tests/largeea_tests" --gtest_filter="$1"
+        ;;
+      tsan)
+        TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+        LARGEEA_THREADS=4 \
+          "build-${preset}/tests/largeea_tests" --gtest_filter="$1"
+        ;;
+    esac
+  else
+    ctest --preset "${preset}"
+  fi
+done

@@ -3,13 +3,19 @@
 // partitioner, top-k similarity search (exact vs. LSH), MinHash,
 // Levenshtein, the semantic encoder, and one training epoch per model.
 //
-// Two modes:
+// Three modes:
 //   * default — the google-benchmark suite below, all its flags intact;
 //   * --json-out=FILE — a hand-timed kernel-scaling harness instead:
 //     threads x {gemm, topk, sinkhorn, minhash} rows (seconds,
 //     items/sec, speedup vs 1 thread), written through BenchJson. The
 //     perf trajectory invokes it as `--json-out=BENCH_par.json`;
-//     --threads-list=1,2,4,8 and --min-time=0.3 tune the sweep.
+//     --threads-list=1,2,4,8 and --min-time=0.3 tune the sweep;
+//   * --json-out=FILE --mode=backend — a SIMD backend x kernel matrix at
+//     one thread: every available backend (scalar, sse2, avx2) times
+//     {dot, manhattan, gemm, gemm_tb, sinkhorn, topk, levenshtein} on
+//     identical inputs, rows carry speedup vs the scalar backend. The
+//     perf trajectory invokes it as
+//     `--mode=backend --json-out=BENCH_simd.json`.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -36,6 +42,7 @@
 #include "src/sim/lsh.h"
 #include "src/sim/sinkhorn.h"
 #include "src/sim/topk_search.h"
+#include "src/simd/simd.h"
 
 namespace largeea {
 namespace {
@@ -293,6 +300,153 @@ int RunKernelScaling(const Flags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// SIMD backend matrix (--mode=backend): the same kernel on the same
+// inputs under every backend the CPU supports, at one thread, so the
+// rows isolate the ISA effect. The determinism contract (DESIGN.md §9)
+// means only the wall-clock may change between rows. The levenshtein
+// kernel is integer and backend-independent; its "scalar" row times the
+// classic DP (the pre-bit-parallel baseline) and the native rows time
+// Myers, so that row pair records the bit-parallel speedup instead.
+
+int RunBackendMatrix(const Flags& flags) {
+  bench::BenchJson json(flags, "simd");
+  const double min_time = flags.GetDouble("min-time", 0.3);
+  par::ThreadPool::Get().SetNumThreads(1);
+
+  // Identical inputs for every backend. The dot/manhattan working set
+  // (2 x 256KB) stays L2-resident so those rows measure compute, not
+  // memory bandwidth.
+  Rng rng(13);
+  constexpr int32_t kVecRows = 256;
+  constexpr int32_t kVecDim = 256;
+  Matrix vec_a(kVecRows, kVecDim), vec_b(kVecRows, kVecDim);
+  vec_a.GlorotInit(rng);
+  vec_b.GlorotInit(rng);
+  Matrix gemm_a(256, 256), gemm_b(256, 256), gemm_c(256, 256);
+  gemm_a.GlorotInit(rng);
+  gemm_b.GlorotInit(rng);
+  Matrix topk_a(1000, 64), topk_b(1000, 64);
+  topk_a.GlorotInit(rng);
+  topk_b.GlorotInit(rng);
+  const TopKOptions topk{.k = 50, .metric = SimMetric::kManhattan};
+  SparseSimMatrix sink_in(2000, 2000, 50);
+  for (int32_t r = 0; r < 2000; ++r) {
+    for (int32_t e = 0; e < 50; ++e) {
+      sink_in.Accumulate(r, static_cast<EntityId>(rng.Uniform(2000)),
+                         static_cast<float>(rng.Uniform(1000)) * 1e-3f);
+    }
+  }
+  SinkhornOptions sink;
+  constexpr int32_t kNamePairs = 400;
+  std::vector<std::pair<std::string, std::string>> name_pairs;
+  int64_t name_cells = 0;  // DP cells per iteration, for items/sec
+  for (int32_t i = 0; i < kNamePairs; ++i) {
+    std::string a, b;
+    const int32_t len = 24 + static_cast<int32_t>(rng.Uniform(40));
+    for (int32_t c = 0; c < len; ++c) {
+      a.push_back(static_cast<char>('a' + rng.Uniform(6)));
+      b.push_back(static_cast<char>('a' + rng.Uniform(6)));
+    }
+    name_cells += int64_t{len} * len;
+    name_pairs.emplace_back(std::move(a), std::move(b));
+  }
+
+  struct Kernel {
+    const char* name;
+    int64_t items;  // per iteration, for items_per_sec
+    std::function<void()> fn;
+    std::function<void()> scalar_fn;  // nullptr = same as fn
+  };
+  float acc_sink = 0.0f;
+  const std::vector<Kernel> kernels = {
+      {"dot", int64_t{kVecRows} * kVecDim,
+       [&] {
+         float acc = 0.0f;
+         for (int32_t r = 0; r < kVecRows; ++r) {
+           acc += Dot(vec_a.Row(r), vec_b.Row(r), kVecDim);
+         }
+         benchmark::DoNotOptimize(acc);
+       },
+       nullptr},
+      {"manhattan", int64_t{kVecRows} * kVecDim,
+       [&] {
+         float acc = 0.0f;
+         for (int32_t r = 0; r < kVecRows; ++r) {
+           acc += ManhattanDistance(vec_a.Row(r), vec_b.Row(r), kVecDim);
+         }
+         benchmark::DoNotOptimize(acc);
+       },
+       nullptr},
+      {"gemm", int64_t{256} * 256 * 256,
+       [&] { Gemm(gemm_a, gemm_b, gemm_c); }, nullptr},
+      {"gemm_tb", int64_t{256} * 256 * 256,
+       [&] { GemmTransposeB(gemm_a, gemm_b, gemm_c); }, nullptr},
+      {"sinkhorn", int64_t{2000} * 50 * sink.iterations,
+       [&] {
+         benchmark::DoNotOptimize(acc_sink +=
+                                  SinkhornNormalize(sink_in, sink)
+                                      .Row(0)
+                                      .front()
+                                      .score);
+       },
+       nullptr},
+      {"topk", int64_t{1000} * 1000,
+       [&] { benchmark::DoNotOptimize(ExactTopK(topk_a, topk_b, topk)); },
+       nullptr},
+      {"levenshtein", name_cells,
+       [&] {
+         int64_t acc = 0;
+         for (const auto& [a, b] : name_pairs) {
+           acc += LevenshteinDistance(a, b);
+         }
+         benchmark::DoNotOptimize(acc);
+       },
+       [&] {
+         int64_t acc = 0;
+         for (const auto& [a, b] : name_pairs) {
+           acc += LevenshteinDistanceDp(a, b);
+         }
+         benchmark::DoNotOptimize(acc);
+       }}};
+
+  const std::vector<simd::Backend> backends = simd::AvailableBackends();
+  std::printf("%-12s %8s %14s %16s %16s\n", "kernel", "backend",
+              "sec/iter", "items/sec", "speedup_scalar");
+  std::vector<double> scalar_seconds(kernels.size(), 0.0);
+  for (const simd::Backend backend : backends) {
+    simd::SetBackend(backend);
+    const bool is_scalar = backend == simd::Backend::kScalar;
+    for (size_t k = 0; k < kernels.size(); ++k) {
+      const Kernel& kernel = kernels[k];
+      const auto& fn =
+          is_scalar && kernel.scalar_fn ? kernel.scalar_fn : kernel.fn;
+      const double seconds = TimeKernel(fn, min_time);
+      if (is_scalar) scalar_seconds[k] = seconds;
+      const double speedup =
+          seconds > 0.0 && scalar_seconds[k] > 0.0
+              ? scalar_seconds[k] / seconds
+              : 0.0;
+      const double items_per_sec =
+          seconds > 0.0 ? static_cast<double>(kernel.items) / seconds : 0.0;
+      std::printf("%-12s %8s %14.6f %16.0f %16.2f\n", kernel.name,
+                  simd::BackendName(backend), seconds, items_per_sec,
+                  speedup);
+      bench::BenchJson::Row row;
+      row.Set("kernel", kernel.name)
+          .Set("backend", simd::BackendName(backend))
+          .Set("seconds", seconds)
+          .Set("items_per_sec", items_per_sec)
+          .Set("speedup_vs_scalar", speedup);
+      json.Add(std::move(row));
+    }
+  }
+  simd::SetBackend(simd::BestBackend());
+  par::ThreadPool::Get().Shutdown();
+  json.Write();
+  return 0;
+}
+
 }  // namespace
 }  // namespace largeea
 
@@ -305,6 +459,9 @@ int main(int argc, char** argv) {
   }
   if (json_mode) {
     const largeea::Flags flags(argc, argv);
+    if (flags.GetString("mode", "threads") == "backend") {
+      return largeea::RunBackendMatrix(flags);
+    }
     return largeea::RunKernelScaling(flags);
   }
   benchmark::Initialize(&argc, argv);

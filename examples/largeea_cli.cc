@@ -10,7 +10,7 @@
 //                         [--trace-out trace.json] [--report-out run.json]
 //                         [--log-level debug|info|warn|error|off]
 //                         [--checkpoint-dir DIR] [--resume] [--strict-io]
-//                         [--threads N]
+//                         [--threads N] [--simd auto|avx2|sse2|scalar]
 //       runs LargeEA, optionally evaluates and/or writes predictions;
 //       --trace-out saves a chrome://tracing timeline of the run and
 //       --report-out a structured JSON run report (see DESIGN.md
@@ -21,7 +21,9 @@
 //       skipping them with a warning; --threads caps the worker pool
 //       (default: LARGEEA_THREADS env or hardware concurrency — results
 //       are bit-identical at any thread count, see DESIGN.md
-//       "Execution model")
+//       "Execution model"); --simd forces the kernel backend (default:
+//       LARGEEA_SIMD env or the best the CPU supports — results are
+//       bit-identical across backends, see DESIGN.md "SIMD kernels")
 //
 //   largeea_cli partition --source A.tsv --target B.tsv --seeds S.tsv
 //                         [--batches K]
@@ -40,6 +42,7 @@
 #include "src/par/thread_pool.h"
 #include "src/partition/metis_cps.h"
 #include "src/partition/vps.h"
+#include "src/simd/simd.h"
 
 using namespace largeea;
 
@@ -224,6 +227,7 @@ int CmdAlign(const Flags& flags) {
                     static_cast<int64_t>(dataset.split.train.size()),
                     static_cast<int64_t>(dataset.split.test.size()));
   report.AddConfig("model", model);
+  report.AddConfig("simd", simd::BackendName(simd::ActiveBackend()));
   report.AddConfig("batches",
                    std::to_string(options.structure_channel.num_batches));
   report.AddConfig("epochs",
@@ -325,6 +329,26 @@ int main(int argc, char** argv) {
   if (threads < 0) return Fail("--threads must be >= 1");
   if (threads > 0) {
     par::ThreadPool::Get().SetNumThreads(static_cast<int32_t>(threads));
+  }
+  const std::string simd_flag = flags.GetString("simd", "");
+  if (!simd_flag.empty()) {
+    simd::Backend backend;
+    if (!simd::ParseBackend(simd_flag, &backend)) {
+      return Fail("--simd must be auto, avx2, sse2, or scalar");
+    }
+    if (!simd::BackendAvailable(backend)) {
+      std::string available;
+      for (const simd::Backend b : simd::AvailableBackends()) {
+        if (!available.empty()) available += ", ";
+        available += simd::BackendName(b);
+      }
+      std::fprintf(stderr,
+                   "error: --simd %s is not supported by this CPU "
+                   "(available: %s)\n",
+                   simd_flag.c_str(), available.c_str());
+      return 2;
+    }
+    simd::SetBackend(backend);
   }
   if (command == "generate") return CmdGenerate(flags);
   if (command == "align") return CmdAlign(flags);

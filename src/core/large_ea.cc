@@ -10,6 +10,7 @@
 #include "src/rt/checkpoint.h"
 #include "src/rt/fault_injection.h"
 #include "src/rt/io_util.h"
+#include "src/simd/simd.h"
 
 namespace largeea {
 namespace {
@@ -63,6 +64,8 @@ StatusOr<LargeEaResult> RunLargeEa(const EaDataset& dataset,
   // The pipeline span is the single source for total_seconds and
   // peak_bytes; nested channel spans feed the same trace and report.
   obs::Span pipeline_span("pipeline", obs::Span::kTrackMemory);
+  pipeline_span.AddAttr("simd.backend",
+                        simd::BackendName(simd::ActiveBackend()));
 
   rt::CheckpointManager checkpoint(
       options.fault_tolerance.checkpoint_dir,

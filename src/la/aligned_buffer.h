@@ -1,0 +1,96 @@
+// Fixed-size float buffer with 64-byte-aligned storage.
+//
+// Matrix rows used to live in a std::vector<float>, whose allocation is
+// only 16-byte aligned; the SIMD kernel layer (src/simd/, DESIGN.md §9)
+// wants the buffer start on a cache-line boundary so whole-matrix
+// kernels stream aligned lines and row starts are aligned whenever
+// cols is a multiple of 16. The kernels themselves use unaligned loads
+// (arbitrary row views can never all be aligned), so alignment here is
+// a throughput contract, not a correctness one.
+//
+// Deliberately minimal: size is fixed at construction (Matrix never
+// grows in place), copies duplicate the contents, moves empty the
+// source. No tail padding — kernels handle tails explicitly, so the
+// buffer never over-allocates and ASan can fence the exact extent.
+#ifndef LARGEEA_LA_ALIGNED_BUFFER_H_
+#define LARGEEA_LA_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace largeea {
+
+class AlignedBuffer {
+ public:
+  static constexpr size_t kAlignment = 64;  // one cache line
+
+  AlignedBuffer() = default;
+
+  /// `size` floats, zero-initialised.
+  explicit AlignedBuffer(size_t size) : size_(size), data_(Allocate(size)) {
+    if (data_ != nullptr) std::memset(data_, 0, size_ * sizeof(float));
+  }
+
+  AlignedBuffer(const AlignedBuffer& other)
+      : size_(other.size_), data_(Allocate(other.size_)) {
+    if (data_ != nullptr) {
+      std::memcpy(data_, other.data_, size_ * sizeof(float));
+    }
+  }
+
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) *this = AlignedBuffer(other);  // copy, then move in
+    return *this;
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : size_(std::exchange(other.size_, 0)),
+        data_(std::exchange(other.data_, nullptr)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Deallocate(data_);
+      size_ = std::exchange(other.size_, 0);
+      data_ = std::exchange(other.data_, nullptr);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { Deallocate(data_); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+
+  float* begin() { return data_; }
+  float* end() { return data_ + size_; }
+  const float* begin() const { return data_; }
+  const float* end() const { return data_ + size_; }
+
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+ private:
+  static float* Allocate(size_t size) {
+    if (size == 0) return nullptr;
+    return static_cast<float*>(::operator new(
+        size * sizeof(float), std::align_val_t(kAlignment)));
+  }
+
+  static void Deallocate(float* p) {
+    if (p != nullptr) {
+      ::operator delete(p, std::align_val_t(kAlignment));
+    }
+  }
+
+  size_t size_ = 0;
+  float* data_ = nullptr;
+};
+
+}  // namespace largeea
+
+#endif  // LARGEEA_LA_ALIGNED_BUFFER_H_

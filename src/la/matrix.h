@@ -2,17 +2,19 @@
 //
 // This is deliberately a small, predictable container — no expression
 // templates, no lazy evaluation. All bulk math lives in free functions in
-// ops.h so the data layout stays obvious. Buffers register with the
-// MemoryTracker so the Table-6 bench can report working-set peaks.
+// ops.h so the data layout stays obvious. Storage is 64-byte aligned
+// (AlignedBuffer) for the SIMD kernel layer, and buffers register with
+// the MemoryTracker so the Table-6 bench can report working-set peaks.
 #ifndef LARGEEA_LA_MATRIX_H_
 #define LARGEEA_LA_MATRIX_H_
 
 #include <cstdint>
-#include <vector>
+#include <utility>
 
 #include "src/common/macros.h"
 #include "src/common/memory_tracker.h"
 #include "src/common/rng.h"
+#include "src/la/aligned_buffer.h"
 
 namespace largeea {
 
@@ -27,7 +29,7 @@ class Matrix {
   Matrix(int64_t rows, int64_t cols)
       : rows_(rows),
         cols_(cols),
-        data_(static_cast<size_t>(rows * cols), 0.0f),
+        data_(static_cast<size_t>(rows * cols)),
         tracked_(static_cast<int64_t>(data_.size() * sizeof(float))) {
     LARGEEA_CHECK_GE(rows, 0);
     LARGEEA_CHECK_GE(cols, 0);
@@ -49,8 +51,24 @@ class Matrix {
     return *this;
   }
 
-  Matrix(Matrix&&) noexcept = default;
-  Matrix& operator=(Matrix&&) noexcept = default;
+  // Moves reset the source to an empty 0x0 matrix. The defaulted
+  // operations used to leave rows_/cols_ nonzero on an empty buffer,
+  // breaking the size()/Row() invariants of the moved-from object.
+  Matrix(Matrix&& other) noexcept
+      : rows_(std::exchange(other.rows_, 0)),
+        cols_(std::exchange(other.cols_, 0)),
+        data_(std::move(other.data_)),
+        tracked_(std::move(other.tracked_)) {}
+
+  Matrix& operator=(Matrix&& other) noexcept {
+    if (this != &other) {
+      rows_ = std::exchange(other.rows_, 0);
+      cols_ = std::exchange(other.cols_, 0);
+      data_ = std::move(other.data_);
+      tracked_ = std::move(other.tracked_);
+    }
+    return *this;
+  }
 
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
@@ -88,7 +106,7 @@ class Matrix {
 
   int64_t rows_ = 0;
   int64_t cols_ = 0;
-  std::vector<float> data_;
+  AlignedBuffer data_;  // 64-byte aligned for the SIMD kernels (§9)
   TrackedAllocation tracked_;
 };
 

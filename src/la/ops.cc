@@ -6,6 +6,7 @@
 
 #include "src/common/macros.h"
 #include "src/par/parallel_for.h"
+#include "src/simd/simd.h"
 
 namespace largeea {
 namespace {
@@ -33,6 +34,7 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix& c) {
   LARGEEA_CHECK_EQ(c.cols(), b.cols());
   c.Fill(0.0f);
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  const simd::KernelTable& kt = simd::Kernels();
   // p-panel blocking keeps the active rows of B cache-resident while the
   // chunk's C rows accumulate — but when all of B fits in cache anyway,
   // panelling only re-streams A and C, so fall back to one panel. Either
@@ -49,8 +51,7 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix& c) {
         for (int64_t p = p0; p < p1; ++p) {
           const float av = arow[p];
           if (av == 0.0f) continue;
-          const float* brow = b.Row(p);
-          for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          kt.axpy(av, b.Row(p), crow, n);
         }
       }
     }
@@ -62,15 +63,17 @@ void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix& c) {
   LARGEEA_CHECK_EQ(c.rows(), a.rows());
   LARGEEA_CHECK_EQ(c.cols(), b.rows());
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  const simd::KernelTable& kt = simd::Kernels();
   par::ParallelFor(0, m, kRowGrain, [&](const par::ChunkRange& rows) {
     // Tile over B rows so a tile of B is reused across every A row of
-    // the chunk. Each element is one Dot call — no cross-tile sums.
+    // the chunk. Each element is one dot kernel call — no cross-tile
+    // sums.
     for (int64_t j0 = 0; j0 < n; j0 += kTileCols) {
       const int64_t j1 = std::min(j0 + kTileCols, n);
       for (int64_t i = rows.begin; i < rows.end; ++i) {
         const float* arow = a.Row(i);
         float* crow = c.Row(i);
-        for (int64_t j = j0; j < j1; ++j) crow[j] = Dot(arow, b.Row(j), k);
+        for (int64_t j = j0; j < j1; ++j) crow[j] = kt.dot(arow, b.Row(j), k);
       }
     }
   });
@@ -83,6 +86,7 @@ void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix& c) {
   c.Fill(0.0f);
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   if (m == 0) return;
+  const simd::KernelTable& kt = simd::Kernels();
   // Every input row touches all of C, so chunks accumulate into private
   // partial matrices merged in chunk order.
   const int64_t grain =
@@ -98,8 +102,7 @@ void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix& c) {
           for (int64_t p = 0; p < k; ++p) {
             const float av = arow[p];
             if (av == 0.0f) continue;
-            float* crow = partial.Row(p);
-            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+            kt.axpy(av, brow, partial.Row(p), n);
           }
         }
       },
@@ -113,25 +116,28 @@ void Axpy(float alpha, const Matrix& x, Matrix& y) {
   LARGEEA_CHECK_EQ(x.cols(), y.cols());
   const float* xv = x.data();
   float* yv = y.data();
+  const simd::KernelTable& kt = simd::Kernels();
   par::ParallelFor(0, x.size(), kElemGrain, [&](const par::ChunkRange& r) {
-    for (int64_t i = r.begin; i < r.end; ++i) yv[i] += alpha * xv[i];
+    kt.axpy(alpha, xv + r.begin, yv + r.begin, r.end - r.begin);
   });
 }
 
 void Scale(Matrix& m, float alpha) {
   float* v = m.data();
+  const simd::KernelTable& kt = simd::Kernels();
   par::ParallelFor(0, m.size(), kElemGrain, [&](const par::ChunkRange& r) {
-    for (int64_t i = r.begin; i < r.end; ++i) v[i] *= alpha;
+    kt.scale(v + r.begin, alpha, r.end - r.begin);
   });
 }
 
 void L2NormalizeRows(Matrix& m, float epsilon) {
   const int64_t cols = m.cols();
+  const simd::KernelTable& kt = simd::Kernels();
   par::ParallelFor(0, m.rows(), kNormRowGrain, [&](const par::ChunkRange& r) {
     for (int64_t row = r.begin; row < r.end; ++row) {
       float* v = m.Row(row);
-      const float norm = Norm2(v, cols) + epsilon;
-      for (int64_t c = 0; c < cols; ++c) v[c] /= norm;
+      const float norm = std::sqrt(kt.dot(v, v, cols)) + epsilon;
+      kt.divide(v, norm, cols);
     }
   });
 }
@@ -158,33 +164,11 @@ void ReluBackwardInPlace(const Matrix& pre_activation, Matrix& grad) {
 }
 
 float Dot(const float* a, const float* b, int64_t dim) {
-  // Four independent accumulators break the loop-carried dependence and
-  // fix the summation tree, so the result is input-determined.
-  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-  int64_t i = 0;
-  for (; i + 4 <= dim; i += 4) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-    s2 += a[i + 2] * b[i + 2];
-    s3 += a[i + 3] * b[i + 3];
-  }
-  float tail = 0.0f;
-  for (; i < dim; ++i) tail += a[i] * b[i];
-  return ((s0 + s1) + (s2 + s3)) + tail;
+  return simd::Kernels().dot(a, b, dim);
 }
 
 float ManhattanDistance(const float* a, const float* b, int64_t dim) {
-  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-  int64_t i = 0;
-  for (; i + 4 <= dim; i += 4) {
-    s0 += std::fabs(a[i] - b[i]);
-    s1 += std::fabs(a[i + 1] - b[i + 1]);
-    s2 += std::fabs(a[i + 2] - b[i + 2]);
-    s3 += std::fabs(a[i + 3] - b[i + 3]);
-  }
-  float tail = 0.0f;
-  for (; i < dim; ++i) tail += std::fabs(a[i] - b[i]);
-  return ((s0 + s1) + (s2 + s3)) + tail;
+  return simd::Kernels().manhattan(a, b, dim);
 }
 
 float Norm2(const float* a, int64_t dim) {

@@ -3,9 +3,10 @@
 // These free functions are the only place the library does dense numeric
 // work. The GEMM kernels are cache-blocked and run on the par::ThreadPool
 // with deterministic chunking (see src/par/ and DESIGN.md §8): results
-// are bit-identical at any thread count. Dot fixes its summation tree
-// with four independent accumulators, so row kernels are also
-// input-determined regardless of how callers block their loops.
+// are bit-identical at any thread count. The inner loops route through
+// the runtime-dispatched SIMD kernel layer (src/simd/, DESIGN.md §9),
+// whose eight-lane accumulation tree is identical in every backend, so
+// results are also bit-identical across `--simd scalar/sse2/avx2`.
 #ifndef LARGEEA_LA_OPS_H_
 #define LARGEEA_LA_OPS_H_
 

@@ -3,9 +3,99 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/common/macros.h"
+
 namespace largeea {
+namespace {
+
+// Myers (1999) bit-parallel edit distance, single-word case
+// (|pattern| <= 64). Pv/Mv hold the +1/-1 vertical deltas of the current
+// DP column; each text character advances the whole column in a handful
+// of word operations. The score tracks D[m][j] via the horizontal delta
+// at the pattern's last row.
+int32_t MyersDistance64(std::string_view pattern, std::string_view text) {
+  const size_t m = pattern.size();
+  uint64_t peq[256] = {};
+  for (size_t i = 0; i < m; ++i) {
+    peq[static_cast<uint8_t>(pattern[i])] |= uint64_t{1} << i;
+  }
+  uint64_t pv = ~uint64_t{0};
+  uint64_t mv = 0;
+  auto score = static_cast<int32_t>(m);
+  const uint64_t last = uint64_t{1} << (m - 1);
+  for (const char tc : text) {
+    const uint64_t eq = peq[static_cast<uint8_t>(tc)];
+    const uint64_t xv = eq | mv;
+    const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    uint64_t ph = mv | ~(xh | pv);
+    uint64_t mh = pv & xh;
+    if (ph & last) ++score;
+    if (mh & last) --score;
+    ph = (ph << 1) | 1;  // the DP's first row increases by 1 per column
+    mh <<= 1;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+  }
+  return score;
+}
+
+// Multi-word case (|pattern| > 64): the column lives in ceil(m/64)
+// blocks chained through horizontal carries (Hyyrö's block formulation).
+// hin/hout in {-1, 0, +1} are the horizontal delta entering the bottom
+// of a block / leaving its top.
+int32_t MyersDistanceBlocks(std::string_view pattern, std::string_view text) {
+  const size_t m = pattern.size();
+  const size_t blocks = (m + 63) / 64;
+  std::vector<uint64_t> peq(blocks * 256, 0);
+  for (size_t i = 0; i < m; ++i) {
+    peq[(i >> 6) * 256 + static_cast<uint8_t>(pattern[i])] |=
+        uint64_t{1} << (i & 63);
+  }
+  std::vector<uint64_t> pv(blocks, ~uint64_t{0});
+  std::vector<uint64_t> mv(blocks, 0);
+  auto score = static_cast<int32_t>(m);
+  const size_t last_block = blocks - 1;
+  const uint64_t last_bit = uint64_t{1} << ((m - 1) & 63);
+  constexpr uint64_t kHighBit = uint64_t{1} << 63;
+  for (const char tc : text) {
+    int hin = 1;  // first row of the DP increases by 1 per column
+    for (size_t b = 0; b < blocks; ++b) {
+      uint64_t eq = peq[b * 256 + static_cast<uint8_t>(tc)];
+      const uint64_t pvb = pv[b];
+      const uint64_t mvb = mv[b];
+      const uint64_t xv = eq | mvb;
+      if (hin < 0) eq |= 1;
+      const uint64_t xh = (((eq & pvb) + pvb) ^ pvb) | eq;
+      uint64_t ph = mvb | ~(xh | pvb);
+      uint64_t mh = pvb & xh;
+      if (b == last_block) {
+        if (ph & last_bit) ++score;
+        if (mh & last_bit) --score;
+      }
+      int hout = 0;
+      if (ph & kHighBit) hout = 1;
+      if (mh & kHighBit) hout = -1;
+      ph <<= 1;
+      mh <<= 1;
+      if (hin > 0) ph |= 1;
+      if (hin < 0) mh |= 1;
+      pv[b] = mh | ~(xv | ph);
+      mv[b] = ph & xv;
+      hin = hout;
+    }
+  }
+  return score;
+}
+
+}  // namespace
 
 int32_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter (pattern)
+  if (b.empty()) return static_cast<int32_t>(a.size());
+  return b.size() <= 64 ? MyersDistance64(b, a) : MyersDistanceBlocks(b, a);
+}
+
+int32_t LevenshteinDistanceDp(std::string_view a, std::string_view b) {
   if (a.size() < b.size()) std::swap(a, b);  // b is the shorter
   if (b.empty()) return static_cast<int32_t>(a.size());
 
@@ -23,6 +113,59 @@ int32_t LevenshteinDistance(std::string_view a, std::string_view b) {
     }
   }
   return row[b.size()];
+}
+
+int32_t BoundedLevenshteinDistance(std::string_view a, std::string_view b,
+                                   int32_t max_distance) {
+  LARGEEA_CHECK_GE(max_distance, 0);
+  if (a.size() < b.size()) std::swap(a, b);  // a is the longer
+  const auto la = static_cast<int64_t>(a.size());
+  const auto lb = static_cast<int64_t>(b.size());
+  // Every alignment needs at least |la - lb| insertions — the common
+  // rejection for non-matching candidate pairs, costing nothing.
+  if (la - lb > max_distance) return max_distance + 1;
+  if (lb == 0) return static_cast<int32_t>(la);  // la <= max_distance here
+  if (max_distance >= la) return LevenshteinDistance(a, b);
+
+  // Banded DP: D[i][j] >= |i - j|, so cells outside the band
+  // |i - j| <= max_distance can never come back under the cap and are
+  // pinned at `inf`. One row of the band costs O(2*max_distance+1).
+  const int32_t inf = max_distance + 1;
+  std::vector<int32_t> row(b.size() + 1);
+  for (int64_t j = 0; j <= lb; ++j) {
+    row[j] = j <= max_distance ? static_cast<int32_t>(j) : inf;
+  }
+  for (int64_t i = 1; i <= la; ++i) {
+    const int64_t j_lo = std::max<int64_t>(1, i - max_distance);
+    const int64_t j_hi = std::min<int64_t>(lb, i + max_distance);
+    // D[i-1][j_lo-1]: column 0 is the boundary D[i-1][0] = i-1 (row[0]
+    // keeps its initial value and cannot serve it); elsewhere the band
+    // cell computed last row.
+    int32_t diagonal =
+        j_lo == 1 ? (i - 1 <= max_distance ? static_cast<int32_t>(i - 1) : inf)
+                  : row[j_lo - 1];
+    // D[i][j_lo-1]: the column-0 boundary inside the band, inf outside.
+    int32_t left = (j_lo == 1 && i <= max_distance)
+                       ? static_cast<int32_t>(i)
+                       : inf;
+    int32_t row_min = inf;
+    for (int64_t j = j_lo; j <= j_hi; ++j) {
+      const int32_t up = row[j];  // D[i-1][j]
+      const int32_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      const int32_t value =
+          std::min({std::min(left, up) + 1, substitution, inf});
+      diagonal = up;
+      left = value;
+      row[j] = value;
+      row_min = std::min(row_min, value);
+    }
+    // The cell just right of the band leaves it next row; make sure its
+    // stale in-band value from an earlier row cannot be read as D[i][j].
+    if (j_hi < lb) row[j_hi + 1] = inf;
+    if (row_min > max_distance) return max_distance + 1;  // cannot recover
+  }
+  return std::min(row[lb], inf);
 }
 
 double LevenshteinSimilarity(std::string_view a, std::string_view b) {

@@ -1,4 +1,12 @@
 // Levenshtein edit distance and the derived string similarity.
+//
+// The production distance is Myers' bit-parallel algorithm: one 64-bit
+// word tracks the +1/-1 deltas of a whole DP column, so the inner loop
+// does O(ceil(|shorter|/64)) word operations per character of the longer
+// string instead of O(|shorter|) cell updates. It is exact and integer,
+// so — unlike the float kernels — identical on every ISA by
+// construction. The classic DP survives as LevenshteinDistanceDp, the
+// test oracle the bit-parallel versions are fuzzed against.
 #ifndef LARGEEA_NAME_LEVENSHTEIN_H_
 #define LARGEEA_NAME_LEVENSHTEIN_H_
 
@@ -8,8 +16,22 @@
 namespace largeea {
 
 /// Classic edit distance (insert/delete/substitute, all cost 1).
-/// O(|a| * |b|) time, O(min) memory.
+/// Myers' bit-parallel algorithm: O(ceil(min/64) * max) time.
 int32_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Reference DP implementation of the same distance. O(|a| * |b|) time,
+/// O(min) memory. Kept as the oracle for the bit-parallel versions (and
+/// as the pre-SIMD baseline in `bench_micro --mode=backend`).
+int32_t LevenshteinDistanceDp(std::string_view a, std::string_view b);
+
+/// Edit distance capped at `max_distance` (>= 0): returns the exact
+/// distance when it is <= max_distance, and max_distance + 1 as soon as
+/// the cap is provably exceeded. Runs a banded DP over the
+/// 2*max_distance+1 diagonal band and bails out the moment a whole row
+/// exceeds the cap, so a hopeless pair costs O(max_distance * |longer|)
+/// at worst and often just the length-difference check.
+int32_t BoundedLevenshteinDistance(std::string_view a, std::string_view b,
+                                   int32_t max_distance);
 
 /// Normalised similarity in [0, 1]: 1 - distance / max(|a|, |b|).
 /// Two empty strings score 1.

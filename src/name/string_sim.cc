@@ -1,5 +1,6 @@
 #include "src/name/string_sim.h"
 
+#include <algorithm>
 #include <tuple>
 #include <vector>
 
@@ -15,6 +16,19 @@ namespace {
 // scoring. Shape-only constants (DESIGN.md §8).
 constexpr int64_t kSignatureGrain = 256;
 constexpr int64_t kScoreGrain = 64;
+
+// The largest edit distance a candidate pair may have and still clear
+// `sim > threshold` with sim = 1 - distance / longest. Solving for
+// distance gives d < (1 - threshold) * longest; one extra unit of slack
+// absorbs the float division's rounding so the cap can never reject a
+// pair the exact `sim > threshold` comparison would keep (the final
+// keep/drop decision always re-checks that comparison).
+int32_t AdmissibleDistance(double threshold, size_t longest) {
+  const auto length = static_cast<int64_t>(longest);
+  const auto bound =
+      static_cast<int64_t>((1.0 - threshold) * static_cast<double>(length));
+  return static_cast<int32_t>(std::min(length - 1, bound + 1));
+}
 
 }  // namespace
 
@@ -62,9 +76,25 @@ SparseSimMatrix ComputeStringSimilarity(const KnowledgeGraph& source,
                 options.jaccard_threshold) {
               continue;
             }
-            const double sim =
-                LevenshteinSimilarity(source_name, target.EntityName(t));
-            if (sim > 0.0) {
+            const std::string& target_name = target.EntityName(t);
+            const size_t longest =
+                std::max(source_name.size(), target_name.size());
+            if (longest == 0) {  // two empty names: similarity 1
+              if (1.0 > options.levenshtein_threshold) {
+                hits.emplace_back(s, t, 1.0f);
+              }
+              continue;
+            }
+            // Bail out of scoring as soon as the distance provably
+            // exceeds what the similarity threshold admits.
+            const int32_t cap =
+                AdmissibleDistance(options.levenshtein_threshold, longest);
+            const int32_t distance =
+                BoundedLevenshteinDistance(source_name, target_name, cap);
+            if (distance > cap) continue;
+            const double sim = 1.0 - static_cast<double>(distance) /
+                                         static_cast<double>(longest);
+            if (sim > options.levenshtein_threshold) {
               hits.emplace_back(s, t, static_cast<float>(sim));
             }
           }

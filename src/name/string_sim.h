@@ -19,6 +19,13 @@ namespace largeea {
 struct StnsOptions {
   /// θ — candidate pairs below this (estimated) Jaccard are discarded.
   double jaccard_threshold = 0.5;
+  /// τ — scored candidates are kept only when their Levenshtein
+  /// similarity exceeds this. Also drives the scoring early exit: the
+  /// threshold and the two name lengths bound the admissible edit
+  /// distance, so hopeless pairs (the common case for non-matches) are
+  /// rejected by a capped/banded distance — often by the length
+  /// difference alone. 0 keeps every pair with positive similarity.
+  double levenshtein_threshold = 0.0;
   /// MinHash signature length = num_bands * rows_per_band.
   int32_t num_bands = 16;
   int32_t rows_per_band = 4;

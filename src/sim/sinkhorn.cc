@@ -8,6 +8,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/par/parallel_for.h"
+#include "src/simd/simd.h"
 
 namespace largeea {
 namespace {
@@ -34,24 +35,29 @@ SparseSimMatrix SinkhornNormalize(const SparseSimMatrix& m,
   registry.GetCounter("sinkhorn.entries").Add(m.TotalEntries());
 
   // Work on a dense-by-row copy of the entries, with CSR-style row
-  // offsets so the row phases can chunk over rows.
-  struct Entry {
-    int32_t row;
-    EntityId column;
-    float value;
-  };
+  // offsets so the row phases can chunk over rows. Structure-of-arrays:
+  // the values are one contiguous float array, which is what lets the
+  // row phases run through the SIMD kernels (src/simd/) — the row/column
+  // indices are only touched by the scatter/gather column phase.
   const int64_t num_rows = m.num_rows();
-  std::vector<Entry> entries;
-  entries.reserve(static_cast<size_t>(m.TotalEntries()));
+  std::vector<int32_t> entry_row;
+  std::vector<EntityId> entry_col;
+  std::vector<float> entry_val;
+  entry_row.reserve(static_cast<size_t>(m.TotalEntries()));
+  entry_col.reserve(static_cast<size_t>(m.TotalEntries()));
+  entry_val.reserve(static_cast<size_t>(m.TotalEntries()));
   std::vector<int64_t> row_offset(static_cast<size_t>(num_rows) + 1, 0);
   for (int32_t r = 0; r < num_rows; ++r) {
-    row_offset[r] = static_cast<int64_t>(entries.size());
+    row_offset[r] = static_cast<int64_t>(entry_val.size());
     for (const SimEntry& e : m.Row(r)) {
-      entries.push_back(Entry{r, e.column, e.score});
+      entry_row.push_back(r);
+      entry_col.push_back(e.column);
+      entry_val.push_back(e.score);
     }
   }
-  row_offset[num_rows] = static_cast<int64_t>(entries.size());
-  const int64_t num_entries = static_cast<int64_t>(entries.size());
+  row_offset[num_rows] = static_cast<int64_t>(entry_val.size());
+  const int64_t num_entries = static_cast<int64_t>(entry_val.size());
+  const simd::KernelTable& kt = simd::Kernels();
 
   // Stabilised exponentiation: subtract each row's max score. The max is
   // computed explicitly — rows arrive sorted descending today, but the
@@ -59,14 +65,14 @@ SparseSimMatrix SinkhornNormalize(const SparseSimMatrix& m,
   par::ParallelFor(0, num_rows, kRowGrain, [&](const par::ChunkRange& rows) {
     for (int64_t r = rows.begin; r < rows.end; ++r) {
       if (row_offset[r] == row_offset[r + 1]) continue;
-      float row_max = entries[row_offset[r]].value;
+      float row_max = entry_val[row_offset[r]];
       for (int64_t e = row_offset[r]; e < row_offset[r + 1]; ++e) {
-        row_max = std::max(row_max, entries[e].value);
+        row_max = std::max(row_max, entry_val[e]);
       }
       LARGEEA_DCHECK_EQ(row_max, m.Row(static_cast<int32_t>(r)).front().score);
       for (int64_t e = row_offset[r]; e < row_offset[r + 1]; ++e) {
-        entries[e].value =
-            std::exp((entries[e].value - row_max) / options.temperature);
+        entry_val[e] =
+            std::exp((entry_val[e] - row_max) / options.temperature);
       }
     }
   });
@@ -76,46 +82,47 @@ SparseSimMatrix SinkhornNormalize(const SparseSimMatrix& m,
       num_entries > 0 ? (num_entries + kColChunks - 1) / kColChunks : 1;
   for (int32_t it = 0; it < options.iterations; ++it) {
     // Row normalisation: sums are row-local, so chunking over rows
-    // preserves the exact serial summation order per row.
+    // cannot change any reduction order; the sum itself uses the
+    // kernel layer's fixed eight-lane tree, identical in every backend.
     par::ParallelFor(0, num_rows, kRowGrain, [&](const par::ChunkRange& rows) {
       for (int64_t r = rows.begin; r < rows.end; ++r) {
-        float sum = 0.0f;
-        for (int64_t e = row_offset[r]; e < row_offset[r + 1]; ++e) {
-          sum += entries[e].value;
-        }
+        const int64_t len = row_offset[r + 1] - row_offset[r];
+        if (len == 0) continue;
+        float* values = entry_val.data() + row_offset[r];
+        const float sum = kt.sum(values, len);
         if (sum <= 0.0f) continue;
-        for (int64_t e = row_offset[r]; e < row_offset[r + 1]; ++e) {
-          entries[e].value /= sum;
-        }
+        kt.divide(values, sum, len);
       }
     });
-    // Column normalisation: every chunk sums into a private dense
-    // vector; partials merge in chunk order (see kColChunks above).
+    // Column normalisation: every chunk scatters into a private dense
+    // vector (index-dependent, so scalar); partials merge in chunk
+    // order (see kColChunks above) through the element-wise add kernel.
     std::fill(col_sum.begin(), col_sum.end(), 0.0f);
     par::ParallelReduceOrdered<std::vector<float>>(
         0, num_entries, col_grain,
         [&](const par::ChunkRange& range, std::vector<float>& partial) {
           partial.assign(col_sum.size(), 0.0f);
           for (int64_t e = range.begin; e < range.end; ++e) {
-            partial[entries[e].column] += entries[e].value;
+            partial[entry_col[e]] += entry_val[e];
           }
         },
         [&](const par::ChunkRange&, std::vector<float>&& partial) {
-          for (size_t c = 0; c < col_sum.size(); ++c) col_sum[c] += partial[c];
+          kt.axpy(1.0f, partial.data(), col_sum.data(),
+                  static_cast<int64_t>(col_sum.size()));
         });
     par::ParallelFor(0, num_entries, col_grain,
                      [&](const par::ChunkRange& range) {
                        for (int64_t e = range.begin; e < range.end; ++e) {
-                         if (col_sum[entries[e].column] > 0.0f) {
-                           entries[e].value /= col_sum[entries[e].column];
+                         if (col_sum[entry_col[e]] > 0.0f) {
+                           entry_val[e] /= col_sum[entry_col[e]];
                          }
                        }
                      });
   }
 
   SparseSimMatrix out(m.num_rows(), m.num_cols(), m.max_entries_per_row());
-  for (const Entry& e : entries) {
-    out.Accumulate(e.row, e.column, e.value);
+  for (int64_t e = 0; e < num_entries; ++e) {
+    out.Accumulate(entry_row[e], entry_col[e], entry_val[e]);
   }
   out.RefreshMemoryTracking();
   return out;

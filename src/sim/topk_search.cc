@@ -11,6 +11,7 @@
 #include "src/obs/trace.h"
 #include "src/par/parallel_for.h"
 #include "src/sim/lsh.h"
+#include "src/simd/simd.h"
 
 namespace largeea {
 namespace {
@@ -20,13 +21,16 @@ namespace {
 // depend on the thread count.
 constexpr int64_t kRowGrain = 32;
 
-float ScorePair(const float* a, const float* b, int64_t dim,
-                SimMetric metric) {
+// The kernel table is resolved once per call (one atomic load) and
+// passed down, so the per-candidate scoring never re-reads the
+// dispatch pointer inside the hot loop.
+float ScorePair(const simd::KernelTable& kt, const float* a, const float* b,
+                int64_t dim, SimMetric metric) {
   switch (metric) {
     case SimMetric::kManhattan:
-      return ManhattanSimilarity(ManhattanDistance(a, b, dim));
+      return ManhattanSimilarity(kt.manhattan(a, b, dim));
     case SimMetric::kDot:
-      return Dot(a, b, dim);
+      return kt.dot(a, b, dim);
   }
   return 0.0f;  // unreachable
 }
@@ -92,6 +96,7 @@ void ExactTopKInto(const MatrixRowRange& source,
   LARGEEA_CHECK_EQ(static_cast<size_t>(target.rows()), col_ids.size());
   LARGEEA_CHECK_GT(options.k, 0);
   const int64_t dim = source.cols();
+  const simd::KernelTable& kt = simd::Kernels();
 
   par::ParallelReduceOrdered<ChunkState>(
       0, source.rows(), kRowGrain,
@@ -106,8 +111,9 @@ void ExactTopKInto(const MatrixRowRange& source,
           heap.Clear();
           const float* src = source.Row(i);
           for (int64_t j = 0; j < target.rows(); ++j) {
-            heap.Offer(static_cast<int32_t>(j),
-                       ScorePair(src, target.Row(j), dim, options.metric));
+            heap.Offer(
+                static_cast<int32_t>(j),
+                ScorePair(kt, src, target.Row(j), dim, options.metric));
           }
           heap.Drain(drained);
           for (const auto& [score, j] : drained) {
@@ -150,6 +156,7 @@ void LshTopKInto(const MatrixRowRange& source,
   LARGEEA_CHECK_EQ(static_cast<size_t>(source.rows()), row_ids.size());
   LARGEEA_CHECK_EQ(static_cast<size_t>(target.rows()), col_ids.size());
   const int64_t dim = source.cols();
+  const simd::KernelTable& kt = simd::Kernels();
 
   int64_t candidates_scanned = 0;
   par::ParallelReduceOrdered<ChunkState>(
@@ -165,7 +172,8 @@ void LshTopKInto(const MatrixRowRange& source,
           index.Query(src, candidates);
           state.candidates_scanned += static_cast<int64_t>(candidates.size());
           for (const int32_t j : candidates) {
-            heap.Offer(j, ScorePair(src, target.Row(j), dim, options.metric));
+            heap.Offer(
+                j, ScorePair(kt, src, target.Row(j), dim, options.metric));
           }
           heap.Drain(drained);
           for (const auto& [score, j] : drained) {

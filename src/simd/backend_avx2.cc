@@ -1,0 +1,56 @@
+// AVX2 backend: the 8 logical lanes are one __m256. This TU (and only
+// this TU) is compiled with -mavx2 — see src/CMakeLists.txt — so the
+// rest of the library never emits AVX instructions and the runtime
+// CPUID dispatch in simd.cc stays sound on SSE-only machines. Note the
+// deliberate absence of _mm256_fmadd_ps: a fused multiply-add rounds
+// once where the other backends round twice, which would break the
+// cross-backend bit-identity contract.
+#include "src/simd/backends.h"
+
+#if (defined(__x86_64__) || defined(__i386__) || defined(_M_X64)) && \
+    defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "src/simd/kernels_impl.h"
+
+namespace largeea::simd {
+namespace {
+
+struct Avx2Vec {
+  using Reg = __m256;
+
+  static Reg Zero() { return _mm256_setzero_ps(); }
+  static Reg LoadU(const float* p) { return _mm256_loadu_ps(p); }
+  static void StoreU(float* p, Reg r) { _mm256_storeu_ps(p, r); }
+  static void Store(float out[8], Reg r) { _mm256_store_ps(out, r); }
+  static Reg Broadcast(float s) { return _mm256_set1_ps(s); }
+  static Reg Add(Reg a, Reg b) { return _mm256_add_ps(a, b); }
+  static Reg Sub(Reg a, Reg b) { return _mm256_sub_ps(a, b); }
+  static Reg Mul(Reg a, Reg b) { return _mm256_mul_ps(a, b); }
+  static Reg Div(Reg a, Reg b) { return _mm256_div_ps(a, b); }
+
+  static Reg Abs(Reg a) {
+    const __m256 mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+    return _mm256_and_ps(a, mask);
+  }
+};
+
+}  // namespace
+
+const KernelTable* Avx2KernelTable() {
+  static constexpr KernelTable kTable = MakeKernelTable<Avx2Vec>();
+  return &kTable;
+}
+
+}  // namespace largeea::simd
+
+#else  // non-x86 build, or the toolchain did not get -mavx2
+
+namespace largeea::simd {
+
+const KernelTable* Avx2KernelTable() { return nullptr; }
+
+}  // namespace largeea::simd
+
+#endif

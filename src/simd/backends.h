@@ -1,0 +1,24 @@
+// Internal: per-backend kernel tables, one TU each so the AVX2 body can
+// be compiled with -mavx2 while the rest of the library stays at the
+// baseline ISA. Only src/simd/simd.cc (the dispatcher) and the
+// equivalence tests should need this header; everything else goes
+// through simd::Kernels().
+#ifndef LARGEEA_SIMD_BACKENDS_H_
+#define LARGEEA_SIMD_BACKENDS_H_
+
+#include "src/simd/simd.h"
+
+namespace largeea::simd {
+
+/// Always available.
+const KernelTable* ScalarKernelTable();
+
+/// Null when the library was built for a non-x86 target (the TU
+/// compiles to a stub). Availability on the *running* CPU is a separate
+/// question — see BackendAvailable().
+const KernelTable* Sse2KernelTable();
+const KernelTable* Avx2KernelTable();
+
+}  // namespace largeea::simd
+
+#endif  // LARGEEA_SIMD_BACKENDS_H_

@@ -1,0 +1,157 @@
+#include "src/simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "src/common/macros.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/simd/backends.h"
+
+namespace largeea::simd {
+namespace {
+
+const KernelTable* TableFor(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return ScalarKernelTable();
+    case Backend::kSse2:
+      return Sse2KernelTable();
+    case Backend::kAvx2:
+      return Avx2KernelTable();
+  }
+  return nullptr;
+}
+
+bool CpuSupports(Backend backend) {
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kSse2:
+      return __builtin_cpu_supports("sse2");
+    case Backend::kAvx2:
+      return __builtin_cpu_supports("avx2");
+  }
+  return false;
+#else
+  return backend == Backend::kScalar;
+#endif
+}
+
+/// The active table, published as an atomic pointer so kernel call
+/// sites pay one relaxed load. Null until the first resolution.
+std::atomic<const KernelTable*> g_active_table{nullptr};
+std::atomic<Backend> g_active_backend{Backend::kScalar};
+std::once_flag g_resolve_once;
+
+void Publish(Backend backend) {
+  const KernelTable* table = TableFor(backend);
+  LARGEEA_CHECK(table != nullptr);
+  g_active_backend.store(backend, std::memory_order_relaxed);
+  g_active_table.store(table, std::memory_order_release);
+  obs::MetricsRegistry::Get().GetGauge("simd.backend").Set(
+      static_cast<double>(static_cast<int32_t>(backend)));
+}
+
+/// First-use resolution: LARGEEA_SIMD if valid, else the CPUID best.
+void ResolveFromEnvironment() {
+  Backend backend = BestBackend();
+  if (const char* env = std::getenv("LARGEEA_SIMD"); env != nullptr) {
+    Backend requested;
+    if (!ParseBackend(env, &requested)) {
+      LARGEEA_LOG_WARN(
+          "LARGEEA_SIMD='%s' is not auto|scalar|sse2|avx2; using %s", env,
+          BackendName(backend));
+    } else if (!BackendAvailable(requested)) {
+      LARGEEA_LOG_WARN("LARGEEA_SIMD=%s not supported by this CPU; using %s",
+                       BackendName(requested), BackendName(backend));
+    } else {
+      backend = requested;
+    }
+  }
+  Publish(backend);
+}
+
+}  // namespace
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool ParseBackend(std::string_view text, Backend* backend) {
+  if (text == "auto") {
+    *backend = BestBackend();
+    return true;
+  }
+  if (text == "scalar") {
+    *backend = Backend::kScalar;
+    return true;
+  }
+  if (text == "sse2") {
+    *backend = Backend::kSse2;
+    return true;
+  }
+  if (text == "avx2") {
+    *backend = Backend::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+Backend BestBackend() {
+  if (BackendAvailable(Backend::kAvx2)) return Backend::kAvx2;
+  if (BackendAvailable(Backend::kSse2)) return Backend::kSse2;
+  return Backend::kScalar;
+}
+
+bool BackendAvailable(Backend backend) {
+  // Needs both a table compiled into the binary and CPU support.
+  return TableFor(backend) != nullptr && CpuSupports(backend);
+}
+
+std::vector<Backend> AvailableBackends() {
+  std::vector<Backend> backends;
+  for (const Backend b : {Backend::kScalar, Backend::kSse2, Backend::kAvx2}) {
+    if (BackendAvailable(b)) backends.push_back(b);
+  }
+  return backends;
+}
+
+Backend ActiveBackend() {
+  std::call_once(g_resolve_once, ResolveFromEnvironment);
+  return g_active_backend.load(std::memory_order_relaxed);
+}
+
+void SetBackend(Backend backend) {
+  LARGEEA_CHECK(BackendAvailable(backend));
+  // Run the env resolution first so a later lazy first-use cannot
+  // overwrite this explicit choice.
+  std::call_once(g_resolve_once, ResolveFromEnvironment);
+  Publish(backend);
+}
+
+const KernelTable& Kernels() {
+  const KernelTable* table = g_active_table.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    std::call_once(g_resolve_once, ResolveFromEnvironment);
+    table = g_active_table.load(std::memory_order_acquire);
+  }
+  return *table;
+}
+
+const KernelTable& KernelsFor(Backend backend) {
+  LARGEEA_CHECK(BackendAvailable(backend));
+  return *TableFor(backend);
+}
+
+}  // namespace largeea::simd

@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <utility>
 
+#include "src/la/aligned_buffer.h"
 #include "src/la/matrix.h"
 #include "src/la/ops.h"
 
@@ -60,6 +63,57 @@ TEST(MatrixTest, FillSetsEverything) {
   for (int64_t i = 0; i < m.size(); ++i) {
     EXPECT_FLOAT_EQ(m.data()[i], 2.5f);
   }
+}
+
+TEST(MatrixTest, MovedFromIsEmpty) {
+  // The moved-from matrix must not keep its old shape: rows()/cols()
+  // describing storage that has been stolen would let Row() read freed
+  // memory.
+  Matrix a(3, 4);
+  a.Fill(1.0f);
+  Matrix b = std::move(a);
+  EXPECT_EQ(b.rows(), 3);
+  EXPECT_EQ(b.cols(), 4);
+  EXPECT_FLOAT_EQ(b.At(2, 3), 1.0f);
+  EXPECT_EQ(a.rows(), 0);  // NOLINT(bugprone-use-after-move): on purpose
+  EXPECT_EQ(a.cols(), 0);
+  EXPECT_EQ(a.size(), 0);
+
+  Matrix c(1, 1);
+  c = std::move(b);
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c.cols(), 4);
+  EXPECT_EQ(b.rows(), 0);  // NOLINT(bugprone-use-after-move): on purpose
+  EXPECT_EQ(b.cols(), 0);
+
+  // Self-move must not corrupt the matrix.
+  Matrix& alias = c;
+  c = std::move(alias);
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_FLOAT_EQ(c.At(2, 3), 1.0f);
+}
+
+TEST(MatrixTest, StorageIsCacheLineAligned) {
+  for (const int64_t cols : {1, 7, 16, 33}) {
+    Matrix m(5, cols);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.data()) %
+                  AlignedBuffer::kAlignment,
+              0u)
+        << "cols=" << cols;
+  }
+}
+
+TEST(AlignedBufferTest, CopyAndMoveSemantics) {
+  AlignedBuffer a(5);
+  for (size_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(i);
+  AlignedBuffer b = a;  // deep copy
+  b[0] = 42.0f;
+  EXPECT_FLOAT_EQ(a[0], 0.0f);
+  AlignedBuffer c = std::move(a);
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_FLOAT_EQ(c[4], 4.0f);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): on purpose
+  EXPECT_EQ(a.data(), nullptr);
 }
 
 TEST(OpsTest, GemmMatchesManual) {

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerates the committed benchmark baselines from a release build:
+#
+#   * BENCH_par.json  — kernel scaling across thread counts
+#     (bench_micro --json-out, see bench/bench_micro.cc);
+#   * BENCH_simd.json — SIMD backend x kernel matrix at one thread
+#     (bench_micro --mode=backend --json-out).
+#
+# Usage:
+#   tools/run_bench.sh                 # both baselines into the repo root
+#   OUT_DIR=/tmp tools/run_bench.sh    # write elsewhere
+#   MIN_TIME=1.0 tools/run_bench.sh    # longer timing windows
+#   THREADS_LIST=1,2,4 tools/run_bench.sh
+#
+# The numbers are machine-dependent; the committed files record the
+# machine the perf trajectory was measured on and are refreshed whenever
+# a kernel change moves them.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${OUT_DIR:-.}"
+MIN_TIME="${MIN_TIME:-0.3}"
+THREADS_LIST="${THREADS_LIST:-1,2,4,8}"
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_micro
+
+echo "=== kernel scaling (threads) ==="
+"${BUILD_DIR}/bench/bench_micro" \
+  --json-out="${OUT_DIR}/BENCH_par.json" \
+  --threads-list="${THREADS_LIST}" --min-time="${MIN_TIME}"
+
+echo "=== SIMD backend matrix ==="
+"${BUILD_DIR}/bench/bench_micro" --mode=backend \
+  --json-out="${OUT_DIR}/BENCH_simd.json" --min-time="${MIN_TIME}"

@@ -7,6 +7,12 @@
 #     forced > 1 so the par::ThreadPool actually starts workers and every
 #     parallel hot path races for real (data races, lock misuse).
 #
+# Each sanitizer runs the suite once per SIMD backend in SIMD_BACKENDS
+# (default: scalar, then auto = best native), so both the scalar kernels
+# and the native vector loads/tails are sanitizer-checked (DESIGN.md §9).
+# The cross-backend equivalence tests additionally exercise every
+# available backend inside a single run via simd::KernelsFor.
+#
 # The full suite runs by default so the fault-injection matrix
 # (tests/fault_tolerance_test.cc) and the IO fuzz tests execute under the
 # sanitizers; pass a gtest filter to narrow the run:
@@ -14,31 +20,37 @@
 #   tools/run_sanitized_tests.sh                    # asan + tsan, via ctest
 #   tools/run_sanitized_tests.sh '*FaultTolerance*' # one suite, direct
 #   SANITIZERS=tsan tools/run_sanitized_tests.sh    # tsan only
+#   SIMD_BACKENDS=auto tools/run_sanitized_tests.sh # native backend only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZERS="${SANITIZERS:-sanitize tsan}"
+SIMD_BACKENDS="${SIMD_BACKENDS:-scalar auto}"
 
 for preset in ${SANITIZERS}; do
-  echo "=== ${preset} ==="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "$(nproc)" --target largeea_tests
 
-  if [[ $# -ge 1 ]]; then
-    case "${preset}" in
-      sanitize)
-        ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
-        UBSAN_OPTIONS=print_stacktrace=1 \
-          "build-${preset}/tests/largeea_tests" --gtest_filter="$1"
-        ;;
-      tsan)
-        TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-        LARGEEA_THREADS=4 \
-          "build-${preset}/tests/largeea_tests" --gtest_filter="$1"
-        ;;
-    esac
-  else
-    ctest --preset "${preset}"
-  fi
+  for simd in ${SIMD_BACKENDS}; do
+    echo "=== ${preset} (LARGEEA_SIMD=${simd}) ==="
+    if [[ $# -ge 1 ]]; then
+      case "${preset}" in
+        sanitize)
+          ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+          UBSAN_OPTIONS=print_stacktrace=1 \
+          LARGEEA_SIMD="${simd}" \
+            "build-${preset}/tests/largeea_tests" --gtest_filter="$1"
+          ;;
+        tsan)
+          TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+          LARGEEA_THREADS=4 \
+          LARGEEA_SIMD="${simd}" \
+            "build-${preset}/tests/largeea_tests" --gtest_filter="$1"
+          ;;
+      esac
+    else
+      LARGEEA_SIMD="${simd}" ctest --preset "${preset}"
+    fi
+  done
 done

@@ -15,7 +15,14 @@
 //     {dot, manhattan, gemm, gemm_tb, sinkhorn, topk, levenshtein} on
 //     identical inputs, rows carry speedup vs the scalar backend. The
 //     perf trajectory invokes it as
-//     `--mode=backend --json-out=BENCH_simd.json`.
+//     `--mode=backend --json-out=BENCH_simd.json`;
+//   * --json-out=FILE --mode=stream — a memory-budget sweep of the
+//     streaming layer (DESIGN.md §10): the name-channel pipeline runs
+//     unbudgeted to record its tracked peak and fused-matrix hash, then
+//     again under budgets of 1/2, 1/4, and 1/8 of that peak. Rows carry
+//     the observed peak, wall time, and whether the fused matrix stayed
+//     bit-identical. The perf trajectory invokes it as
+//     `--mode=stream --json-out=BENCH_stream.json`.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -28,7 +35,9 @@
 
 #include "bench/bench_util.h"
 #include "src/common/flags.h"
+#include "src/common/macros.h"
 #include "src/common/rng.h"
+#include "src/core/large_ea.h"
 #include "src/gen/benchmark_gen.h"
 #include "src/la/ops.h"
 #include "src/name/levenshtein.h"
@@ -39,6 +48,7 @@
 #include "src/par/parallel_for.h"
 #include "src/par/thread_pool.h"
 #include "src/partition/metis.h"
+#include "src/rt/io_util.h"
 #include "src/sim/lsh.h"
 #include "src/sim/sinkhorn.h"
 #include "src/sim/topk_search.h"
@@ -447,6 +457,92 @@ int RunBackendMatrix(const Flags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// Streaming budget sweep (--mode=stream): the name-channel pipeline on a
+// generated dataset, first unbudgeted (recording the tracked peak and
+// the fused matrix's hash), then under successively tighter budgets.
+// The determinism contract extends to streaming (DESIGN.md §10): every
+// budgeted row must reproduce the unbudgeted fused matrix bit-for-bit.
+
+uint64_t FusedMatrixHash(const SparseSimMatrix& m) {
+  std::string bytes;
+  bytes.reserve(static_cast<size_t>(m.TotalEntries()) * sizeof(SimEntry));
+  for (int32_t r = 0; r < m.num_rows(); ++r) {
+    const auto row = m.Row(r);
+    bytes.append(reinterpret_cast<const char*>(row.data()),
+                 row.size_bytes());
+  }
+  return rt::Fnv1a64(bytes);
+}
+
+int RunStreamSweep(const Flags& flags) {
+  bench::BenchJson json(flags, "stream");
+  const double scale = flags.GetDouble("scale", 0.2);
+  BenchmarkSpec spec = Ids15kSpec(LanguagePair::kEnFr, scale);
+  const EaDataset dataset = GenerateBenchmark(spec);
+
+  // Name channel only: those are the streamed whole-graph phases
+  // (semantic top-k, NFF fusion, fused-matrix construction); structure
+  // training would just add budget-independent wall time.
+  LargeEaOptions options;
+  options.use_structure_channel = false;
+  options.name_channel.nff.sens.use_lsh = flags.GetBool("use-lsh", false);
+
+  struct RunResult {
+    double seconds = 0.0;
+    int64_t peak_bytes = 0;
+    uint64_t fused_hash = 0;
+  };
+  const auto run_once = [&](int64_t budget_mb) -> RunResult {
+    LargeEaOptions run_options = options;
+    // 0 disables streaming explicitly (the env var only applies to the
+    // unset sentinel -1), so the baseline is the historical path.
+    run_options.stream.memory_budget_mb = budget_mb;
+    auto run = RunLargeEa(dataset, run_options);
+    LARGEEA_CHECK(run.ok());
+    return RunResult{run->total_seconds, run->peak_bytes,
+                     FusedMatrixHash(run->fused)};
+  };
+
+  std::printf("%-12s %12s %12s %10s %10s\n", "budget_mb", "peak",
+              "seconds", "identical", "compliant");
+  const RunResult baseline = run_once(0);
+  std::printf("%-12s %12s %12.3f %10s %10s\n", "unbudgeted",
+              bench::FormatBytes(baseline.peak_bytes).c_str(),
+              baseline.seconds, "-", "-");
+  {
+    bench::BenchJson::Row row;
+    row.Set("budget_mb", int64_t{0})
+        .Set("peak_bytes", baseline.peak_bytes)
+        .Set("seconds", baseline.seconds)
+        .Set("identical", true)
+        .Set("compliant", true);
+    json.Add(std::move(row));
+  }
+  for (const int64_t divisor : {2, 4, 8}) {
+    const int64_t budget_mb =
+        std::max<int64_t>(1, baseline.peak_bytes / divisor / (1 << 20));
+    const RunResult budgeted = run_once(budget_mb);
+    const bool identical = budgeted.fused_hash == baseline.fused_hash;
+    const bool compliant = budgeted.peak_bytes <= budget_mb * (1 << 20);
+    std::printf("%-12lld %12s %12.3f %10s %10s\n",
+                static_cast<long long>(budget_mb),
+                bench::FormatBytes(budgeted.peak_bytes).c_str(),
+                budgeted.seconds, identical ? "yes" : "NO",
+                compliant ? "yes" : "NO");
+    bench::BenchJson::Row row;
+    row.Set("budget_mb", budget_mb)
+        .Set("peak_bytes", budgeted.peak_bytes)
+        .Set("seconds", budgeted.seconds)
+        .Set("identical", identical)
+        .Set("compliant", compliant);
+    json.Add(std::move(row));
+  }
+  par::ThreadPool::Get().Shutdown();
+  json.Write();
+  return 0;
+}
+
 }  // namespace
 }  // namespace largeea
 
@@ -459,9 +555,9 @@ int main(int argc, char** argv) {
   }
   if (json_mode) {
     const largeea::Flags flags(argc, argv);
-    if (flags.GetString("mode", "threads") == "backend") {
-      return largeea::RunBackendMatrix(flags);
-    }
+    const std::string mode = flags.GetString("mode", "threads");
+    if (mode == "backend") return largeea::RunBackendMatrix(flags);
+    if (mode == "stream") return largeea::RunStreamSweep(flags);
     return largeea::RunKernelScaling(flags);
   }
   benchmark::Initialize(&argc, argv);

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "src/common/flags.h"
+#include "src/common/macros.h"
+#include "src/core/config.h"
 #include "src/core/large_ea.h"
 #include "src/gen/benchmark_gen.h"
 #include "src/obs/json_writer.h"
@@ -71,27 +73,48 @@ inline int32_t LshBitsForSize(int32_t n) {
   return bits;
 }
 
-/// Default LargeEA configuration for a generated dataset: the paper's K
-/// per tier, and the approximate (LSH) semantic search once exact search
+/// Default configuration for a generated dataset: the paper's K per
+/// tier, and the approximate (LSH) semantic search once exact search
 /// stops being affordable — the role Faiss-IVF plays in the paper.
-inline LargeEaOptions DefaultOptions(Tier tier, const EaDataset& dataset,
-                                     ModelKind model, int32_t epochs) {
-  LargeEaOptions options;
-  options.structure_channel.model = model;
-  options.structure_channel.train.epochs = epochs;
+/// Built through largeea::Config (the same aggregate the CLI parses),
+/// so bench defaults and CLI defaults share one source of truth.
+inline Config DefaultConfig(Tier tier, const EaDataset& dataset,
+                            ModelKind model, int32_t epochs) {
+  Config config;
+  switch (model) {
+    case ModelKind::kRrea:
+      config.model = "rrea";
+      break;
+    case ModelKind::kGcnAlign:
+      config.model = "gcn";
+      break;
+    case ModelKind::kTransE:
+      config.model = "transe";
+      break;
+  }
+  config.pipeline.structure_channel.train.epochs = epochs;
   const int32_t n = std::max(dataset.source.num_entities(),
                              dataset.target.num_entities());
   // The paper's K per tier, capped so that scaled-down runs (--scale < 1)
   // keep mini-batches large enough to train on (>= ~600 entities).
-  options.structure_channel.num_batches =
+  config.pipeline.structure_channel.num_batches =
       std::max(2, std::min(TierBatchCount(tier), n / 600));
   if (n > 8000) {
-    auto& sens = options.name_channel.nff.sens;
+    auto& sens = config.pipeline.name_channel.nff.sens;
     sens.use_lsh = true;
     sens.lsh.bits_per_table = LshBitsForSize(n);
     sens.lsh.num_tables = 24;
   }
-  return options;
+  const Status valid = config.Validate();
+  LARGEEA_CHECK(valid.ok());
+  return config;
+}
+
+/// The pipeline slice of DefaultConfig, for benches that hand the
+/// options straight to RunLargeEa.
+inline LargeEaOptions DefaultOptions(Tier tier, const EaDataset& dataset,
+                                     ModelKind model, int32_t epochs) {
+  return DefaultConfig(tier, dataset, model, epochs).pipeline;
 }
 
 /// Formats bytes as "12.3MB" ("0B" for zero; negative values — e.g. a

@@ -5,25 +5,17 @@
 //       writes source.tsv / target.tsv / train.tsv / test.tsv
 //
 //   largeea_cli align     --source A.tsv --target B.tsv --seeds S.tsv
-//                         [--test T.tsv] [--model rrea|gcn|transe]
-//                         [--batches K] [--epochs N] [--out pred.tsv]
-//                         [--trace-out trace.json] [--report-out run.json]
-//                         [--log-level debug|info|warn|error|off]
-//                         [--checkpoint-dir DIR] [--resume] [--strict-io]
-//                         [--threads N] [--simd auto|avx2|sse2|scalar]
-//       runs LargeEA, optionally evaluates and/or writes predictions;
-//       --trace-out saves a chrome://tracing timeline of the run and
-//       --report-out a structured JSON run report (see DESIGN.md
-//       "Observability"); --checkpoint-dir persists per-phase
-//       checkpoints there and --resume restores completed phases from
-//       the same directory after a crash (see DESIGN.md "Failure
-//       model"); --strict-io rejects malformed input lines instead of
-//       skipping them with a warning; --threads caps the worker pool
-//       (default: LARGEEA_THREADS env or hardware concurrency — results
-//       are bit-identical at any thread count, see DESIGN.md
-//       "Execution model"); --simd forces the kernel backend (default:
-//       LARGEEA_SIMD env or the best the CPU supports — results are
-//       bit-identical across backends, see DESIGN.md "SIMD kernels")
+//                         [--test T.tsv] [any Config flag, see --help]
+//       runs LargeEA, optionally evaluates and/or writes predictions.
+//       Every pipeline/runtime knob is a largeea::Config flag
+//       (src/core/config.h) — `largeea_cli --help` lists them all with
+//       defaults. Highlights: --model rrea|gcn|transe, --batches,
+//       --epochs, --memory-budget-mb (stream whole-graph phases under a
+//       tracked-memory budget, DESIGN.md §10), --checkpoint-dir /
+//       --resume (DESIGN.md "Failure model"), --trace-out /
+//       --report-out (DESIGN.md "Observability"), --threads / --simd
+//       (bit-identical results either way, DESIGN.md "Execution
+//       model" / "SIMD kernels"), --strict-io.
 //
 //   largeea_cli partition --source A.tsv --target B.tsv --seeds S.tsv
 //                         [--batches K]
@@ -31,15 +23,16 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "src/common/flags.h"
+#include "src/core/config.h"
 #include "src/core/large_ea.h"
 #include "src/gen/benchmark_gen.h"
 #include "src/kg/kg_io.h"
 #include "src/obs/log.h"
 #include "src/obs/report.h"
 #include "src/obs/trace.h"
-#include "src/par/thread_pool.h"
 #include "src/partition/metis_cps.h"
 #include "src/partition/vps.h"
 #include "src/simd/simd.h"
@@ -53,7 +46,8 @@ int Fail(const char* message) {
   return 1;
 }
 
-EaDataset LoadDatasetOrDie(const Flags& flags, bool need_seeds) {
+EaDataset LoadDatasetOrDie(const Flags& flags, bool need_seeds,
+                           bool strict_io) {
   if (need_seeds && flags.GetString("seeds", "").empty()) {
     std::fprintf(stderr, "error: --seeds is required\n");
     std::exit(1);
@@ -64,7 +58,7 @@ EaDataset LoadDatasetOrDie(const Flags& flags, bool need_seeds) {
   paths.train_pairs = flags.GetString("seeds", "");
   paths.test_pairs = flags.GetString("test", "");
   TsvReadOptions io;
-  io.strict = flags.GetBool("strict-io", false);
+  io.strict = strict_io;
   auto dataset = LoadEaDataset(paths, io, "cli");
   if (!dataset.ok()) {
     std::fprintf(stderr, "error: %s\n",
@@ -148,44 +142,25 @@ void ReportPhases(const LargeEaResult& result, obs::RunReport& report) {
   report.SetTotal(result.total_seconds, result.peak_bytes);
 }
 
-int CmdAlign(const Flags& flags) {
-  const std::string trace_out = flags.GetString("trace-out", "");
-  const std::string report_out = flags.GetString("report-out", "");
-  if (!trace_out.empty()) {
+int CmdAlign(const Flags& flags, Config config) {
+  if (!config.trace_out.empty()) {
     obs::TraceRecorder::Get().Clear();
     obs::TraceRecorder::Get().Enable();
   }
 
-  const EaDataset dataset = LoadDatasetOrDie(flags, /*need_seeds=*/false);
-  LargeEaOptions options;
-  const std::string model = flags.GetString("model", "rrea");
-  if (model == "rrea") {
-    options.structure_channel.model = ModelKind::kRrea;
-  } else if (model == "gcn") {
-    options.structure_channel.model = ModelKind::kGcnAlign;
-  } else if (model == "transe") {
-    options.structure_channel.model = ModelKind::kTransE;
-  } else {
-    return Fail("--model must be rrea, gcn, or transe");
-  }
-  options.structure_channel.num_batches =
-      static_cast<int32_t>(flags.GetInt("batches", 5));
-  options.structure_channel.train.epochs =
-      static_cast<int32_t>(flags.GetInt("epochs", 60));
-  if (std::max(dataset.source.num_entities(),
+  const EaDataset dataset =
+      LoadDatasetOrDie(flags, /*need_seeds=*/false, config.strict_io);
+  // Large graphs default to the approximate LSH path (the DBP1M-tier
+  // setting); an explicit --use-lsh in either direction wins.
+  if (!flags.Has("use-lsh") &&
+      std::max(dataset.source.num_entities(),
                dataset.target.num_entities()) > 8000) {
-    options.name_channel.nff.sens.use_lsh = true;
+    config.pipeline.name_channel.nff.sens.use_lsh = true;
   }
-  options.fault_tolerance.checkpoint_dir =
-      flags.GetString("checkpoint-dir", "");
-  options.fault_tolerance.resume = flags.GetBool("resume", false);
-  if (options.fault_tolerance.resume &&
-      options.fault_tolerance.checkpoint_dir.empty()) {
-    return Fail("--resume requires --checkpoint-dir");
-  }
+  const LargeEaOptions& options = config.pipeline;
   LARGEEA_LOG_INFO("align: %d+%d entities, model=%s, batches=%d, epochs=%d",
                    dataset.source.num_entities(),
-                   dataset.target.num_entities(), model.c_str(),
+                   dataset.target.num_entities(), config.model.c_str(),
                    options.structure_channel.num_batches,
                    options.structure_channel.train.epochs);
 
@@ -226,37 +201,29 @@ int CmdAlign(const Flags& flags) {
                     dataset.target.num_triples(),
                     static_cast<int64_t>(dataset.split.train.size()),
                     static_cast<int64_t>(dataset.split.test.size()));
-  report.AddConfig("model", model);
-  report.AddConfig("simd", simd::BackendName(simd::ActiveBackend()));
-  report.AddConfig("batches",
-                   std::to_string(options.structure_channel.num_batches));
-  report.AddConfig("epochs",
-                   std::to_string(options.structure_channel.train.epochs));
-  if (!options.fault_tolerance.checkpoint_dir.empty()) {
-    report.AddConfig("checkpoint_dir",
-                     options.fault_tolerance.checkpoint_dir);
-    report.AddConfig("resume",
-                     options.fault_tolerance.resume ? "true" : "false");
-  }
+  // The full effective configuration — every Config flag, including the
+  // auto-LSH decision above — plus the backend actually dispatched.
+  config.WriteTo(report);
+  report.AddConfig("simd.active", simd::BackendName(simd::ActiveBackend()));
   ReportPhases(result, report);
   if (result.metrics.num_test_pairs > 0) report.SetEval(result.metrics);
   report.IngestMemoryPhases();
   report.IngestTraceTotals();
 
-  if (!trace_out.empty()) {
-    if (!obs::TraceRecorder::Get().WriteChromeTrace(trace_out)) {
+  if (!config.trace_out.empty()) {
+    if (!obs::TraceRecorder::Get().WriteChromeTrace(config.trace_out)) {
       return Fail("failed to write --trace-out");
     }
-    std::printf("wrote trace to %s\n", trace_out.c_str());
+    std::printf("wrote trace to %s\n", config.trace_out.c_str());
   }
-  if (!report_out.empty()) {
-    if (!report.WriteJson(report_out)) {
+  if (!config.report_out.empty()) {
+    if (!report.WriteJson(config.report_out)) {
       return Fail("failed to write --report-out");
     }
-    std::printf("wrote run report to %s\n", report_out.c_str());
+    std::printf("wrote run report to %s\n", config.report_out.c_str());
   }
 
-  const std::string out = flags.GetString("out", "");
+  const std::string& out = config.out;
   if (!out.empty()) {
     EntityPairList predictions;
     for (int32_t s = 0; s < result.fused.num_rows(); ++s) {
@@ -273,8 +240,9 @@ int CmdAlign(const Flags& flags) {
   return 0;
 }
 
-int CmdPartition(const Flags& flags) {
-  const EaDataset dataset = LoadDatasetOrDie(flags, /*need_seeds=*/true);
+int CmdPartition(const Flags& flags, const Config& config) {
+  const EaDataset dataset =
+      LoadDatasetOrDie(flags, /*need_seeds=*/true, config.strict_io);
   const auto k = static_cast<int32_t>(flags.GetInt("batches", 5));
   const int32_t ns = dataset.source.num_entities();
   const int32_t nt = dataset.target.num_entities();
@@ -309,50 +277,35 @@ int CmdPartition(const Flags& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: largeea_cli generate|align|partition [--flags]\n");
+                 "usage: largeea_cli generate|align|partition [--flags]\n"
+                 "       largeea_cli --help\n");
     return 2;
   }
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h") {
+    std::printf("usage: largeea_cli generate|align|partition [--flags]\n\n"
+                "Config flags (any command; align uses them all):\n%s",
+                ConfigHelp().c_str());
+    return 0;
+  }
   const Flags flags(argc - 1, argv + 1);
-  const std::string log_level = flags.GetString("log-level", "");
-  if (!log_level.empty()) {
-    obs::LogLevel level;
-    if (!obs::ParseLogLevel(log_level, &level)) {
-      std::fprintf(stderr,
-                   "error: --log-level must be debug|info|warn|error|off\n");
-      return 2;
-    }
-    obs::SetLogLevel(level);
+  // All commands share one configuration surface: every pipeline,
+  // runtime, and I/O knob parses through largeea::Config exactly once.
+  // Binary-local inputs (--source, --tier, ...) stay on `flags`.
+  auto config = ConfigFromFlags(flags);
+  if (!config.ok()) {
+    std::fprintf(stderr, "error: %s\n", config.status().ToString().c_str());
+    return 2;
   }
   obs::SetCurrentThreadName("main");
-  const int64_t threads = flags.GetInt("threads", 0);
-  if (threads < 0) return Fail("--threads must be >= 1");
-  if (threads > 0) {
-    par::ThreadPool::Get().SetNumThreads(static_cast<int32_t>(threads));
-  }
-  const std::string simd_flag = flags.GetString("simd", "");
-  if (!simd_flag.empty()) {
-    simd::Backend backend;
-    if (!simd::ParseBackend(simd_flag, &backend)) {
-      return Fail("--simd must be auto, avx2, sse2, or scalar");
-    }
-    if (!simd::BackendAvailable(backend)) {
-      std::string available;
-      for (const simd::Backend b : simd::AvailableBackends()) {
-        if (!available.empty()) available += ", ";
-        available += simd::BackendName(b);
-      }
-      std::fprintf(stderr,
-                   "error: --simd %s is not supported by this CPU "
-                   "(available: %s)\n",
-                   simd_flag.c_str(), available.c_str());
-      return 2;
-    }
-    simd::SetBackend(backend);
+  const Status runtime = config->ApplyRuntime();
+  if (!runtime.ok()) {
+    std::fprintf(stderr, "error: %s\n", runtime.ToString().c_str());
+    return 2;
   }
   if (command == "generate") return CmdGenerate(flags);
-  if (command == "align") return CmdAlign(flags);
-  if (command == "partition") return CmdPartition(flags);
+  if (command == "align") return CmdAlign(flags, std::move(*config));
+  if (command == "partition") return CmdPartition(flags, *config);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 2;
 }

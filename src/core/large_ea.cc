@@ -2,6 +2,8 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <memory>
+#include <utility>
 
 #include "src/common/macros.h"
 #include "src/obs/log.h"
@@ -11,6 +13,7 @@
 #include "src/rt/fault_injection.h"
 #include "src/rt/io_util.h"
 #include "src/simd/simd.h"
+#include "src/stream/stream_context.h"
 
 namespace largeea {
 namespace {
@@ -26,7 +29,15 @@ uint64_t LargeEaConfigFingerprint(const EaDataset& dataset,
   // resume.
   const StructureChannelOptions& s = options.structure_channel;
   const NameChannelOptions& n = options.name_channel;
-  char buf[640];
+  // The budget is part of the fingerprint even though results are
+  // bit-identical across budgets: under release_inputs a streamed run
+  // checkpoints empty intermediate matrices, so resuming a streamed
+  // checkpoint into an unbudgeted run (or across tile layouts) would
+  // silently hand back different artifacts. Resolving here keeps the
+  // fingerprint in agreement with what RunLargeEa will actually do.
+  const stream::StreamOptions stream =
+      stream::ResolveStreamOptions(options.stream);
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "largeea-config v1"
@@ -34,7 +45,8 @@ uint64_t LargeEaConfigFingerprint(const EaDataset& dataset,
       " channels=%d,%d,%d fuse=%d,%.9g,%.9g"
       " name=%d,%.9g,%.9g,%d,%d,%.9g,%d"
       " structure=%d,%d,%d,%d,%d,%d,%" PRIu64
-      " train=%d,%d,%.9g,%.9g,%d,%d,%" PRIu64,
+      " train=%d,%d,%.9g,%.9g,%d,%d,%" PRIu64
+      " stream=%" PRId64 ",%d,%d",
       dataset.source.num_entities(),
       dataset.source.triples().size(),
       dataset.target.num_entities(),
@@ -53,7 +65,9 @@ uint64_t LargeEaConfigFingerprint(const EaDataset& dataset,
       static_cast<int>(s.apply_csls), s.seed,
       s.train.epochs, s.train.dim, s.train.learning_rate,
       s.train.margin, s.train.negatives_per_seed,
-      s.train.hard_negative_refresh, s.train.seed);
+      s.train.hard_negative_refresh, s.train.seed,
+      stream.memory_budget_mb, stream.tile_rows,
+      static_cast<int>(stream.release_inputs));
   return rt::Fnv1a64(buf);
 }
 
@@ -66,6 +80,22 @@ StatusOr<LargeEaResult> RunLargeEa(const EaDataset& dataset,
   obs::Span pipeline_span("pipeline", obs::Span::kTrackMemory);
   pipeline_span.AddAttr("simd.backend",
                         simd::BackendName(simd::ActiveBackend()));
+
+  // Memory-budgeted streaming: one context (budget + spill store) per
+  // run, handed only to the phases that know how to stream. Null when
+  // disabled, which keeps every call site on the historical path.
+  const stream::StreamOptions stream_options =
+      stream::ResolveStreamOptions(options.stream);
+  std::unique_ptr<stream::StreamContext> stream_ctx;
+  if (stream::StreamingEnabled(stream_options)) {
+    stream_ctx = std::make_unique<stream::StreamContext>(stream_options);
+    pipeline_span.AddAttr("stream.budget_mb",
+                          stream_options.memory_budget_mb);
+    LARGEEA_LOG_INFO("pipeline: streaming under a %" PRId64
+                     " MiB budget (spill dir '%s')",
+                     stream_options.memory_budget_mb,
+                     stream_ctx->store().spill_dir().c_str());
+  }
 
   rt::CheckpointManager checkpoint(
       options.fault_tolerance.checkpoint_dir,
@@ -80,7 +110,7 @@ StatusOr<LargeEaResult> RunLargeEa(const EaDataset& dataset,
   if (options.use_name_channel) {
     auto name = RunNameChannel(dataset.source, dataset.target,
                                dataset.split.train, options.name_channel,
-                               &checkpoint);
+                               &checkpoint, stream_ctx.get());
     if (!name.ok()) return name.status().WithContext("name channel");
     result.name_channel = std::move(name).value();
   }
@@ -127,19 +157,45 @@ StatusOr<LargeEaResult> RunLargeEa(const EaDataset& dataset,
       }
     }
     if (!fused_resumed) {
+      // Under a budget with release_inputs, the channel matrices are
+      // consumed (moved/streamed) instead of copied: FuseStreamed frees
+      // each input row as it merges, and the single-channel cases move.
+      // The fused bits are identical either way.
+      const bool consume_inputs = stream_ctx != nullptr &&
+                                  stream_ctx->options().release_inputs;
       if (options.use_name_channel && options.use_structure_channel &&
           !options.fuse_name_similarity) {
         // "w/o name channel": DA already fed ψ'; only M_s is scored.
-        result.fused = result.structure_channel.similarity;
+        result.fused = consume_inputs
+                           ? std::move(result.structure_channel.similarity)
+                           : result.structure_channel.similarity;
       } else if (options.use_name_channel &&
                  options.use_structure_channel) {
-        result.fused = result.structure_channel.similarity.Fuse(
-            result.name_channel.nff.fused, options.structure_weight,
-            options.name_weight, options.fused_top_k);
+        if (consume_inputs) {
+          result.fused = SparseSimMatrix::FuseStreamed(
+              std::move(result.structure_channel.similarity),
+              std::move(result.name_channel.nff.fused),
+              options.structure_weight, options.name_weight,
+              options.fused_top_k);
+        } else {
+          result.fused = result.structure_channel.similarity.Fuse(
+              result.name_channel.nff.fused, options.structure_weight,
+              options.name_weight, options.fused_top_k);
+        }
       } else if (options.use_structure_channel) {
-        result.fused = result.structure_channel.similarity;
+        result.fused = consume_inputs
+                           ? std::move(result.structure_channel.similarity)
+                           : result.structure_channel.similarity;
       } else {
-        result.fused = result.name_channel.nff.fused;
+        result.fused = consume_inputs
+                           ? std::move(result.name_channel.nff.fused)
+                           : result.name_channel.nff.fused;
+      }
+      if (consume_inputs) {
+        // Leave the consumed fields as clean empty matrices, not
+        // moved-from husks.
+        result.structure_channel.similarity = SparseSimMatrix();
+        result.name_channel.nff.fused = SparseSimMatrix();
       }
       if (checkpoint.enabled()) {
         (void)checkpoint.SaveMatrix(kFusedKind, result.fused);
@@ -154,6 +210,9 @@ StatusOr<LargeEaResult> RunLargeEa(const EaDataset& dataset,
   }
   result.total_seconds = pipeline_span.End();
   result.peak_bytes = pipeline_span.peak_bytes();
+  if (stream_ctx != nullptr) {
+    stream_ctx->budget().ReportCompliance(result.peak_bytes);
+  }
   auto& registry = obs::MetricsRegistry::Get();
   registry.GetGauge("pipeline.effective_seeds")
       .Set(static_cast<double>(result.effective_seeds.size()));

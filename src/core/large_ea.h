@@ -21,6 +21,7 @@
 #include "src/core/structure_channel.h"
 #include "src/kg/dataset.h"
 #include "src/rt/status.h"
+#include "src/stream/stream_options.h"
 
 namespace largeea {
 
@@ -52,6 +53,14 @@ struct LargeEaOptions {
   float structure_weight = 1.0f;
   float name_weight = 1.0f;
   FaultToleranceOptions fault_tolerance;
+  /// Memory-budgeted streaming execution (DESIGN.md §10). Resolved
+  /// against LARGEEA_MEMORY_BUDGET_MB at run (and fingerprint) time; a
+  /// positive budget streams the name-channel embeddings and fusions
+  /// through a disk-backed TileStore without changing any result bit.
+  /// With release_inputs (the default) the intermediate matrices
+  /// (nff.semantic, nff.string, structure_channel.similarity) come back
+  /// empty — only `fused` and the metrics are retained.
+  stream::StreamOptions stream;
 };
 
 struct LargeEaResult {

@@ -35,7 +35,7 @@ StatusOr<NameChannelResult> LoadFromCheckpoint(
 StatusOr<NameChannelResult> RunNameChannel(
     const KnowledgeGraph& source, const KnowledgeGraph& target,
     const EntityPairList& existing_seeds, const NameChannelOptions& options,
-    rt::CheckpointManager* checkpoint) {
+    rt::CheckpointManager* checkpoint, stream::StreamContext* stream_ctx) {
   if (checkpoint != nullptr && checkpoint->should_load()) {
     auto resumed = LoadFromCheckpoint(*checkpoint);
     if (resumed.ok()) {
@@ -61,7 +61,7 @@ StatusOr<NameChannelResult> RunNameChannel(
   // Single timing/memory source for total_seconds and peak_bytes.
   obs::Span channel_span("name_channel", obs::Span::kTrackMemory);
   LARGEEA_INJECT_FAULT("name.features");
-  result.nff = ComputeNameFeatures(source, target, options.nff);
+  result.nff = ComputeNameFeatures(source, target, options.nff, stream_ctx);
   if (options.enable_augmentation) {
     LARGEEA_TRACE_SPAN("name/augmentation");
     LARGEEA_INJECT_FAULT("name.augmentation");

@@ -33,11 +33,15 @@ struct NameChannelResult {
 /// Runs the name channel. `existing_seeds` keeps the augmentation from
 /// duplicating already-seeded entities (pass empty for unsupervised EA).
 /// When `checkpoint` is non-null, a completed channel is saved there and
-/// a resume-mode manager restores it without recomputing.
+/// a resume-mode manager restores it without recomputing. A non-null
+/// `stream_ctx` routes the NFF computation through the memory-budgeted
+/// streaming layer (see ComputeNameFeatures); the fused matrix and the
+/// pseudo seeds are bit-identical either way.
 StatusOr<NameChannelResult> RunNameChannel(
     const KnowledgeGraph& source, const KnowledgeGraph& target,
     const EntityPairList& existing_seeds, const NameChannelOptions& options,
-    rt::CheckpointManager* checkpoint = nullptr);
+    rt::CheckpointManager* checkpoint = nullptr,
+    stream::StreamContext* stream_ctx = nullptr);
 
 }  // namespace largeea
 

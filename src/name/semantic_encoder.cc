@@ -94,9 +94,17 @@ void SemanticEncoder::EncodeName(std::string_view name, float* out) const {
 }
 
 Matrix SemanticEncoder::EncodeAllNames(const KnowledgeGraph& kg) const {
-  Matrix embeddings(kg.num_entities(), options_.dim);
-  for (EntityId e = 0; e < kg.num_entities(); ++e) {
-    EncodeName(kg.EntityName(e), embeddings.Row(e));
+  return EncodeNameRange(kg, 0, kg.num_entities());
+}
+
+Matrix SemanticEncoder::EncodeNameRange(const KnowledgeGraph& kg,
+                                        EntityId begin, EntityId end) const {
+  LARGEEA_CHECK_GE(begin, 0);
+  LARGEEA_CHECK_LE(begin, end);
+  LARGEEA_CHECK_LE(end, kg.num_entities());
+  Matrix embeddings(end - begin, options_.dim);
+  for (EntityId e = begin; e < end; ++e) {
+    EncodeName(kg.EntityName(e), embeddings.Row(e - begin));
   }
   return embeddings;
 }

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/types.h"
 #include "src/la/matrix.h"
 #include "src/name/tokenizer.h"
 
@@ -62,6 +63,13 @@ class SemanticEncoder {
 
   /// Embeds every entity name of `kg`; row e is entity e.
   Matrix EncodeAllNames(const KnowledgeGraph& kg) const;
+
+  /// Embeds entities [begin, end); row i is entity begin + i. Encoding
+  /// is per-name, so range-encoded tiles are bit-identical to the
+  /// corresponding rows of EncodeAllNames (the streaming layer relies
+  /// on this).
+  Matrix EncodeNameRange(const KnowledgeGraph& kg, EntityId begin,
+                         EntityId end) const;
 
   int32_t dim() const { return options_.dim; }
 

@@ -1,0 +1,69 @@
+// Single-threaded FIFO task executor for background I/O.
+//
+// The fork-join ThreadPool (thread_pool.h) is the wrong shape for work
+// that should overlap with the caller — Run() blocks until every task
+// finishes. BackgroundWorker is the complementary primitive: Submit()
+// enqueues a closure and returns immediately; one dedicated worker
+// thread drains the queue in submission order. The streaming layer uses
+// it to prefetch spilled tiles while the compute thread is busy with
+// the current block (src/stream/tile_store.h).
+//
+// Determinism: background tasks must only affect *where* data lives
+// (cache warmth), never *what* is computed — the same contract the rest
+// of src/par/ keeps (DESIGN.md §8). Nothing here hands results back to
+// the caller; tasks communicate only through their own synchronised
+// sinks.
+#ifndef LARGEEA_PAR_BACKGROUND_WORKER_H_
+#define LARGEEA_PAR_BACKGROUND_WORKER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace largeea::par {
+
+/// One background thread draining a FIFO closure queue. All methods are
+/// thread-safe. The destructor drains the queue, then joins.
+class BackgroundWorker {
+ public:
+  /// `thread_name` labels the worker in Chrome trace exports.
+  explicit BackgroundWorker(std::string thread_name);
+
+  /// Drains outstanding tasks, then joins the worker.
+  ~BackgroundWorker();
+
+  BackgroundWorker(const BackgroundWorker&) = delete;
+  BackgroundWorker& operator=(const BackgroundWorker&) = delete;
+
+  /// Enqueues `task` and returns immediately. The worker thread is
+  /// started lazily on the first submission, so an idle worker (e.g.
+  /// prefetch disabled) costs nothing.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Drain();
+
+  /// Tasks submitted over the worker's lifetime (test/metrics hook).
+  int64_t submitted() const;
+
+ private:
+  void Loop();
+
+  std::string thread_name_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< wakes the worker for new tasks
+  std::condition_variable idle_cv_;  ///< wakes Drain() when queue empties
+  std::deque<std::function<void()>> queue_;
+  std::thread worker_;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool busy_ = false;  ///< a task is executing (queue may be empty)
+  int64_t submitted_ = 0;
+};
+
+}  // namespace largeea::par
+
+#endif  // LARGEEA_PAR_BACKGROUND_WORKER_H_

@@ -10,28 +10,42 @@
 
 namespace largeea {
 
-LshIndex::LshIndex(const Matrix& data, const LshOptions& options)
-    : dim_(static_cast<int32_t>(data.cols())), options_(options) {
+LshIndex::LshIndex(int32_t dim, const LshOptions& options)
+    : dim_(dim), options_(options) {
   LARGEEA_CHECK_GT(options.num_tables, 0);
   LARGEEA_CHECK_GT(options.bits_per_table, 0);
   LARGEEA_CHECK_LE(options.bits_per_table, 32);
+  // Hyperplanes depend only on (seed, dim), so one-shot and incremental
+  // builds of the same data hash identically.
   Rng rng(options.seed);
   planes_ = Matrix(static_cast<int64_t>(options.num_tables) *
                        options.bits_per_table,
                    dim_);
   planes_.GaussianInit(rng, 1.0f);
+  tables_.resize(options.num_tables);
+}
 
+LshIndex::LshIndex(const Matrix& data, const LshOptions& options)
+    : LshIndex(static_cast<int32_t>(data.cols()), options) {
   obs::Span build_span("lsh/build_index");
   build_span.AddAttr("num_tables", static_cast<int64_t>(options.num_tables));
   build_span.AddAttr("bits_per_table",
                      static_cast<int64_t>(options.bits_per_table));
-  tables_.resize(options.num_tables);
   for (int32_t row = 0; row < data.rows(); ++row) {
-    const float* vec = data.Row(row);
-    for (int32_t t = 0; t < options.num_tables; ++t) {
-      tables_[t][BucketKey(vec, t)].push_back(row);
-    }
+    Insert(row, data.Row(row));
   }
+  FinishBuild();
+}
+
+void LshIndex::Insert(int32_t row, const float* vec) {
+  LARGEEA_CHECK_GT(row, last_inserted_row_);
+  last_inserted_row_ = row;
+  for (int32_t t = 0; t < options_.num_tables; ++t) {
+    tables_[t][BucketKey(vec, t)].push_back(row);
+  }
+}
+
+void LshIndex::FinishBuild() {
   // Bucket-occupancy histogram: the paper's Fig. 4 linearity argument
   // rests on occupancy staying near-constant as the dataset grows.
   obs::Histogram& occupancy = obs::MetricsRegistry::Get().GetHistogram(

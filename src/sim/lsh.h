@@ -25,12 +25,31 @@ struct LshOptions {
   uint64_t seed = 1;
 };
 
-/// Immutable LSH index over the rows of a data matrix.
+/// LSH index over the rows of a data matrix. Immutable once built —
+/// either in one shot from a full matrix, or incrementally (for the
+/// streaming layer, which only ever holds one tile of the data at a
+/// time). Both build paths produce identical indexes for identical
+/// data: the hyperplanes depend only on (seed, dim), and buckets fill
+/// in ascending row order either way.
 class LshIndex {
  public:
   /// Builds the index over `data` (rows are points). The matrix is not
   /// retained; only bucket membership is stored.
   LshIndex(const Matrix& data, const LshOptions& options);
+
+  /// Incremental build: creates an empty index over `dim`-dimensional
+  /// points. Call Insert() with strictly ascending row ids, then
+  /// FinishBuild() before the first Query().
+  LshIndex(int32_t dim, const LshOptions& options);
+
+  /// Adds row `row` with vector `vec` (length dim()). Rows must arrive
+  /// in ascending order — bucket member lists are kept sorted by
+  /// construction, which Query()'s dedup relies on.
+  void Insert(int32_t row, const float* vec);
+
+  /// Seals an incrementally-built index: records the bucket-occupancy
+  /// histogram. Idempotent; the one-shot constructor calls it.
+  void FinishBuild();
 
   /// Appends the ids of all rows colliding with `vec` (dimension must
   /// match) in at least one table. Output may contain duplicates removed —
@@ -44,6 +63,7 @@ class LshIndex {
 
   int32_t dim_ = 0;
   LshOptions options_;
+  int32_t last_inserted_row_ = -1;
   /// Hyperplane normals: one matrix of shape
   /// (num_tables * bits_per_table) x dim, row-major by (table, bit).
   Matrix planes_;

@@ -1,0 +1,143 @@
+#include "src/sim/similarity_search.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/obs/trace.h"
+#include "src/stream/tile_store.h"
+
+namespace largeea {
+namespace {
+
+class ExactSearch : public SimilaritySearch {
+ public:
+  ExactSearch(const Matrix& target, std::span<const EntityId> col_ids,
+              const SimilaritySearchOptions& options)
+      : target_(&target), col_ids_(col_ids), options_(options) {
+    LARGEEA_CHECK_EQ(static_cast<size_t>(target.rows()), col_ids.size());
+    LARGEEA_CHECK_GE(options.num_segments, 1);
+  }
+
+  void SearchInto(const MatrixRowRange& source,
+                  std::span<const EntityId> row_ids,
+                  SparseSimMatrix& out) const override {
+    if (target_->rows() == 0) return;
+    // One target segment hot at a time; segmentation cannot change the
+    // kept set (order-independent top-k), only the working set.
+    const int64_t step =
+        (target_->rows() + options_.num_segments - 1) / options_.num_segments;
+    for (int64_t tb = 0; tb < target_->rows(); tb += step) {
+      const int64_t te = std::min(tb + step, target_->rows());
+      ExactTopKInto(source, row_ids, MatrixRowRange(*target_, tb, te),
+                    col_ids_.subspan(tb, te - tb), options_.topk, out);
+    }
+  }
+
+ private:
+  const Matrix* target_;
+  std::span<const EntityId> col_ids_;
+  SimilaritySearchOptions options_;
+};
+
+class LshSearch : public SimilaritySearch {
+ public:
+  LshSearch(const Matrix& target, std::span<const EntityId> col_ids,
+            const SimilaritySearchOptions& options)
+      : target_(&target),
+        col_ids_(col_ids),
+        options_(options),
+        index_(target, options.lsh) {
+    LARGEEA_CHECK_EQ(static_cast<size_t>(target.rows()), col_ids.size());
+  }
+
+  void SearchInto(const MatrixRowRange& source,
+                  std::span<const EntityId> row_ids,
+                  SparseSimMatrix& out) const override {
+    LshTopKInto(source, row_ids, *target_, col_ids_, index_, options_.topk,
+                out);
+  }
+
+ private:
+  const Matrix* target_;
+  std::span<const EntityId> col_ids_;
+  SimilaritySearchOptions options_;
+  LshIndex index_;
+};
+
+class StreamedExactSearch : public SimilaritySearch {
+ public:
+  StreamedExactSearch(const stream::TileMatrix& target,
+                      const SimilaritySearchOptions& options)
+      : target_(&target), options_(options) {}
+
+  void SearchInto(const MatrixRowRange& source,
+                  std::span<const EntityId> row_ids,
+                  SparseSimMatrix& out) const override {
+    ExactTopKStreamedInto(source, row_ids, *target_, options_.prefetch,
+                          options_.topk, out);
+  }
+
+ private:
+  const stream::TileMatrix* target_;
+  SimilaritySearchOptions options_;
+};
+
+class StreamedLshSearch : public SimilaritySearch {
+ public:
+  StreamedLshSearch(const stream::TileMatrix& target,
+                    const SimilaritySearchOptions& options)
+      : target_(&target),
+        options_(options),
+        index_(static_cast<int32_t>(target.cols()), options.lsh) {
+    // Incremental build, one tile resident at a time. Rows arrive in
+    // ascending order exactly as in the one-shot constructor, so the
+    // finished index is identical to LshIndex(full_target, options).
+    obs::Span build_span("lsh/build_index");
+    build_span.AddAttr("streamed", int64_t{1});
+    for (int64_t t = 0; t < target.num_tiles(); ++t) {
+      if (options.prefetch) target.Prefetch(t + 1);
+      const std::shared_ptr<const Matrix> tile = target.Tile(t);
+      const int32_t base = static_cast<int32_t>(target.TileBegin(t));
+      for (int64_t r = 0; r < tile->rows(); ++r) {
+        index_.Insert(base + static_cast<int32_t>(r), tile->Row(r));
+      }
+    }
+    index_.FinishBuild();
+  }
+
+  void SearchInto(const MatrixRowRange& source,
+                  std::span<const EntityId> row_ids,
+                  SparseSimMatrix& out) const override {
+    LshTopKStreamedInto(source, row_ids, *target_, index_, options_.topk,
+                        out);
+  }
+
+ private:
+  const stream::TileMatrix* target_;
+  SimilaritySearchOptions options_;
+  LshIndex index_;
+};
+
+}  // namespace
+
+std::unique_ptr<SimilaritySearch> MakeSimilaritySearch(
+    const Matrix& target, std::span<const EntityId> col_ids,
+    const SimilaritySearchOptions& options) {
+  if (options.use_lsh) {
+    return std::make_unique<LshSearch>(target, col_ids, options);
+  }
+  return std::make_unique<ExactSearch>(target, col_ids, options);
+}
+
+std::unique_ptr<SimilaritySearch> MakeStreamedSimilaritySearch(
+    const stream::TileMatrix& target, const SimilaritySearchOptions& options) {
+  LARGEEA_CHECK(target.complete());
+  if (options.use_lsh) {
+    return std::make_unique<StreamedLshSearch>(target, options);
+  }
+  return std::make_unique<StreamedExactSearch>(target, options);
+}
+
+}  // namespace largeea

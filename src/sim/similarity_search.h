@@ -1,0 +1,75 @@
+// Unified top-k similarity search over a fixed target set.
+//
+// Exact blocked search, approximate LSH search, and the memory-budgeted
+// streamed variants all answer the same question — "for these source
+// rows, which target rows score highest?" — so callers select a strategy
+// through options instead of branching on `use_lsh` at every site. A
+// SimilaritySearch is built once per target (the expensive part: LSH
+// index construction, tile layout) and queried per source block; every
+// strategy keeps the library's determinism contract, so swapping
+// strategies changes speed and memory, never which entries are exact.
+#ifndef LARGEEA_SIM_SIMILARITY_SEARCH_H_
+#define LARGEEA_SIM_SIMILARITY_SEARCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "src/la/matrix.h"
+#include "src/sim/lsh.h"
+#include "src/sim/sparse_sim.h"
+#include "src/sim/topk_search.h"
+
+namespace largeea {
+
+namespace stream {
+class TileMatrix;
+}  // namespace stream
+
+/// Strategy selection for MakeSimilaritySearch.
+struct SimilaritySearchOptions {
+  TopKOptions topk;
+  /// Approximate candidates from a random-hyperplane LSH index instead
+  /// of scoring every target row (the DBP1M-tier setting).
+  bool use_lsh = false;
+  LshOptions lsh;
+  /// Exact in-memory path: the target is scored in this many row
+  /// segments so only one block is hot at a time (no effect on results).
+  int32_t num_segments = 1;
+  /// Streamed path: prefetch the next tile while the current one scores.
+  bool prefetch = true;
+};
+
+/// Top-k search against a fixed target set. Implementations are
+/// immutable after construction; SearchInto may be called from one
+/// thread at a time (it parallelises internally on the par:: pool).
+class SimilaritySearch {
+ public:
+  virtual ~SimilaritySearch() = default;
+
+  /// Scores `source` rows against the target set and accumulates the
+  /// top-k per row into `out` (row ids via `row_ids`, column ids fixed
+  /// at construction). Accumulation composes: calling with disjoint
+  /// source blocks equals one call with their concatenation.
+  virtual void SearchInto(const MatrixRowRange& source,
+                          std::span<const EntityId> row_ids,
+                          SparseSimMatrix& out) const = 0;
+};
+
+/// In-memory target: exact segmented search, or LSH when
+/// `options.use_lsh` (the index is built here, over all target rows).
+/// `col_ids[j]` is the entity id of target row j; the caller keeps
+/// `target` and `col_ids` alive for the search's lifetime.
+std::unique_ptr<SimilaritySearch> MakeSimilaritySearch(
+    const Matrix& target, std::span<const EntityId> col_ids,
+    const SimilaritySearchOptions& options);
+
+/// Tiled target in a TileStore (the memory-budgeted path). Column ids
+/// are the target's absolute row indices. With `options.use_lsh` the
+/// LSH index is built incrementally, one tile resident at a time.
+std::unique_ptr<SimilaritySearch> MakeStreamedSimilaritySearch(
+    const stream::TileMatrix& target, const SimilaritySearchOptions& options);
+
+}  // namespace largeea
+
+#endif  // LARGEEA_SIM_SIMILARITY_SEARCH_H_

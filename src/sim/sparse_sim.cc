@@ -12,6 +12,34 @@ bool EntryBefore(const SimEntry& a, const SimEntry& b) {
   return a.column < b.column;
 }
 
+// Shared row merge of Fuse and FuseStreamed — one implementation, so the
+// streamed result is bit-identical to the in-memory one by construction.
+void MergeRow(const std::vector<SimEntry>& a, const std::vector<SimEntry>& b,
+              float alpha, float beta, std::vector<SimEntry>& merged) {
+  merged.clear();
+  for (const SimEntry& e : a) {
+    merged.push_back(SimEntry{e.column, alpha * e.score});
+  }
+  for (const SimEntry& e : b) {
+    bool found = false;
+    for (SimEntry& m : merged) {
+      if (m.column == e.column) {
+        m.score += beta * e.score;
+        found = true;
+        break;
+      }
+    }
+    if (!found) merged.push_back(SimEntry{e.column, beta * e.score});
+  }
+  std::sort(merged.begin(), merged.end(), EntryBefore);
+}
+
+size_t RowLimit(size_t merged_size, int32_t max_entries_per_row) {
+  return max_entries_per_row > 0
+             ? std::min(merged_size, static_cast<size_t>(max_entries_per_row))
+             : merged_size;
+}
+
 }  // namespace
 
 SparseSimMatrix::SparseSimMatrix(int32_t num_rows, int32_t num_cols,
@@ -130,28 +158,42 @@ SparseSimMatrix SparseSimMatrix::Fuse(const SparseSimMatrix& other,
   SparseSimMatrix result(num_rows(), num_cols(), max_entries_per_row);
   std::vector<SimEntry> merged;
   for (int32_t r = 0; r < num_rows(); ++r) {
-    merged.clear();
-    for (const SimEntry& e : rows_[r]) {
-      merged.push_back(SimEntry{e.column, alpha * e.score});
-    }
-    for (const SimEntry& e : other.rows_[r]) {
-      bool found = false;
-      for (SimEntry& m : merged) {
-        if (m.column == e.column) {
-          m.score += beta * e.score;
-          found = true;
-          break;
-        }
-      }
-      if (!found) merged.push_back(SimEntry{e.column, beta * e.score});
-    }
-    std::sort(merged.begin(), merged.end(), EntryBefore);
-    const size_t limit =
-        max_entries_per_row > 0
-            ? std::min(merged.size(), static_cast<size_t>(max_entries_per_row))
-            : merged.size();
-    result.rows_[r].assign(merged.begin(), merged.begin() + limit);
+    MergeRow(rows_[r], other.rows_[r], alpha, beta, merged);
+    result.rows_[r].assign(
+        merged.begin(),
+        merged.begin() + RowLimit(merged.size(), max_entries_per_row));
   }
+  result.RefreshMemoryTracking();
+  return result;
+}
+
+SparseSimMatrix SparseSimMatrix::FuseStreamed(SparseSimMatrix a,
+                                              SparseSimMatrix b, float alpha,
+                                              float beta,
+                                              int32_t max_entries_per_row,
+                                              int64_t rows_per_block) {
+  LARGEEA_CHECK_EQ(a.num_rows(), b.num_rows());
+  LARGEEA_CHECK_EQ(a.num_cols(), b.num_cols());
+  LARGEEA_CHECK_GT(rows_per_block, 0);
+  SparseSimMatrix result(a.num_rows(), a.num_cols(), max_entries_per_row);
+  std::vector<SimEntry> merged;
+  for (int32_t r = 0; r < a.num_rows(); ++r) {
+    MergeRow(a.rows_[r], b.rows_[r], alpha, beta, merged);
+    result.rows_[r].assign(
+        merged.begin(),
+        merged.begin() + RowLimit(merged.size(), max_entries_per_row));
+    // Release the consumed rows; swap actually frees (clear() keeps
+    // capacity, which is the whole footprint here).
+    std::vector<SimEntry>().swap(a.rows_[r]);
+    std::vector<SimEntry>().swap(b.rows_[r]);
+    if ((r + 1) % rows_per_block == 0) {
+      a.RefreshMemoryTracking();
+      b.RefreshMemoryTracking();
+      result.RefreshMemoryTracking();
+    }
+  }
+  a.RefreshMemoryTracking();
+  b.RefreshMemoryTracking();
   result.RefreshMemoryTracking();
   return result;
 }

@@ -72,6 +72,18 @@ class SparseSimMatrix {
   SparseSimMatrix Fuse(const SparseSimMatrix& other, float alpha, float beta,
                        int32_t max_entries_per_row) const;
 
+  /// Streaming variant of Fuse for the memory-budgeted path: consumes
+  /// both inputs, releasing each consumed row as it is merged, so peak
+  /// entry storage is ~one matrix instead of three. The merge itself is
+  /// row-identical to Fuse (same helper), so the result is bit-identical
+  /// to `a.Fuse(b, alpha, beta, max_entries_per_row)`. Memory tracking
+  /// is refreshed every `rows_per_block` rows so the MemoryTracker peak
+  /// reflects the shrinking inputs.
+  static SparseSimMatrix FuseStreamed(SparseSimMatrix a, SparseSimMatrix b,
+                                      float alpha, float beta,
+                                      int32_t max_entries_per_row,
+                                      int64_t rows_per_block = 4096);
+
   /// Bytes of entry storage (the Table-6 accounting unit).
   int64_t MemoryBytes() const;
 

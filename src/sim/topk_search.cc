@@ -12,6 +12,7 @@
 #include "src/par/parallel_for.h"
 #include "src/sim/lsh.h"
 #include "src/simd/simd.h"
+#include "src/stream/tile_store.h"
 
 namespace largeea {
 namespace {
@@ -185,6 +186,81 @@ void LshTopKInto(const MatrixRowRange& source,
         candidates_scanned += state.candidates_scanned;
         for (const auto& [i, j, score] : state.entries) {
           out.Accumulate(row_ids[i], col_ids[j], score);
+        }
+      });
+  auto& registry = obs::MetricsRegistry::Get();
+  registry.GetCounter("topk.lsh.rows").Add(source.rows());
+  registry.GetCounter("topk.lsh.candidates_scanned").Add(candidates_scanned);
+}
+
+void ExactTopKStreamedInto(const MatrixRowRange& source,
+                           std::span<const EntityId> row_ids,
+                           const stream::TileMatrix& target, bool prefetch,
+                           const TopKOptions& options, SparseSimMatrix& out) {
+  LARGEEA_CHECK(target.complete());
+  LARGEEA_CHECK_EQ(source.cols(), target.cols());
+  // Tiles partition the target's rows, and the kept top-k per source row
+  // is independent of candidate order, so this accumulation over tiles
+  // equals one pass over the whole target.
+  for (int64_t t = 0; t < target.num_tiles(); ++t) {
+    if (prefetch) target.Prefetch(t + 1);
+    const std::shared_ptr<const Matrix> tile = target.Tile(t);
+    std::vector<EntityId> col_ids(tile->rows());
+    std::iota(col_ids.begin(), col_ids.end(),
+              static_cast<EntityId>(target.TileBegin(t)));
+    ExactTopKInto(source, row_ids, *tile, col_ids, options, out);
+  }
+}
+
+void LshTopKStreamedInto(const MatrixRowRange& source,
+                         std::span<const EntityId> row_ids,
+                         const stream::TileMatrix& target,
+                         const LshIndex& index, const TopKOptions& options,
+                         SparseSimMatrix& out) {
+  LARGEEA_CHECK(target.complete());
+  LARGEEA_CHECK_EQ(source.cols(), target.cols());
+  LARGEEA_CHECK_EQ(source.cols(), index.dim());
+  LARGEEA_CHECK_EQ(static_cast<size_t>(source.rows()), row_ids.size());
+  const int64_t dim = source.cols();
+  const int64_t tile_rows = target.tile_rows();
+  const simd::KernelTable& kt = simd::Kernels();
+
+  int64_t candidates_scanned = 0;
+  par::ParallelReduceOrdered<ChunkState>(
+      0, source.rows(), kRowGrain,
+      [&](const par::ChunkRange& rows, ChunkState& state) {
+        TopKHeap heap(options.k);
+        std::vector<std::pair<float, int32_t>> drained;
+        std::vector<int32_t> candidates;
+        // Pin of the tile the current candidate run lives in. Candidates
+        // are sorted, so each row pins each needed tile exactly once.
+        std::shared_ptr<const Matrix> tile;
+        int64_t tile_idx = -1;
+        for (int64_t i = rows.begin; i < rows.end; ++i) {
+          LARGEEA_TRACE_HOT_SPAN("topk/lsh_row");
+          heap.Clear();
+          const float* src = source.Row(i);
+          index.Query(src, candidates);
+          state.candidates_scanned += static_cast<int64_t>(candidates.size());
+          for (const int32_t j : candidates) {
+            const int64_t t = j / tile_rows;
+            if (t != tile_idx) {
+              tile = target.Tile(t);
+              tile_idx = t;
+            }
+            heap.Offer(j, ScorePair(kt, src, tile->Row(j - t * tile_rows),
+                                    dim, options.metric));
+          }
+          heap.Drain(drained);
+          for (const auto& [score, j] : drained) {
+            state.entries.emplace_back(i, j, score);
+          }
+        }
+      },
+      [&](const par::ChunkRange&, ChunkState&& state) {
+        candidates_scanned += state.candidates_scanned;
+        for (const auto& [i, j, score] : state.entries) {
+          out.Accumulate(row_ids[i], j, score);
         }
       });
   auto& registry = obs::MetricsRegistry::Get();

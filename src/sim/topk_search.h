@@ -54,6 +54,10 @@ SparseSimMatrix ExactTopK(const Matrix& source, const Matrix& target,
 
 class LshIndex;
 
+namespace stream {
+class TileMatrix;
+}  // namespace stream
+
 /// Approximate variant: candidates come from `index` (built over `target`),
 /// then are scored exactly with `options.metric`. Same parallel scan and
 /// deterministic tie-breaking as ExactTopKInto; `target` stays a full
@@ -62,6 +66,28 @@ void LshTopKInto(const MatrixRowRange& source,
                  std::span<const EntityId> row_ids, const Matrix& target,
                  std::span<const EntityId> col_ids, const LshIndex& index,
                  const TopKOptions& options, SparseSimMatrix& out);
+
+/// Memory-budgeted exact variant: the target lives in a TileStore; tiles
+/// are visited in order (prefetching the next while the current one is
+/// scored) and accumulated into the global per-row top-k. Because the
+/// kept set is a pure function of the candidate set, the result is
+/// bit-identical to one ExactTopKInto over the whole target. Column ids
+/// are the target's absolute row indices.
+void ExactTopKStreamedInto(const MatrixRowRange& source,
+                           std::span<const EntityId> row_ids,
+                           const stream::TileMatrix& target, bool prefetch,
+                           const TopKOptions& options, SparseSimMatrix& out);
+
+/// Memory-budgeted approximate variant: candidates from `index` (built
+/// over the tiled target, e.g. incrementally) are scored by pinning each
+/// candidate's tile. Candidates arrive sorted, so each row touches every
+/// needed tile once. Bit-identical to LshTopKInto over the same target.
+/// Column ids are the target's absolute row indices.
+void LshTopKStreamedInto(const MatrixRowRange& source,
+                         std::span<const EntityId> row_ids,
+                         const stream::TileMatrix& target,
+                         const LshIndex& index, const TopKOptions& options,
+                         SparseSimMatrix& out);
 
 }  // namespace largeea
 

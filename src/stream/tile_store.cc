@@ -1,0 +1,269 @@
+#include "src/stream/tile_store.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string_view>
+#include <utility>
+
+#include "src/common/macros.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/rt/io_util.h"
+
+namespace largeea::stream {
+
+namespace {
+
+constexpr std::string_view kTileMagic = "largeea-tile v1";
+
+std::string SerializeTile(const Matrix& tile, uint64_t* payload_hash) {
+  const size_t payload_bytes =
+      static_cast<size_t>(tile.size()) * sizeof(float);
+  std::string_view payload(reinterpret_cast<const char*>(tile.data()),
+                           payload_bytes);
+  *payload_hash = rt::Fnv1a64(payload);
+  char header[128];
+  const int n = std::snprintf(
+      header, sizeof(header),
+      "%s %" PRId64 " %" PRId64 " %zu %016" PRIx64 "\n",
+      kTileMagic.data(), tile.rows(), tile.cols(), payload_bytes,
+      *payload_hash);
+  LARGEEA_CHECK(n > 0 && n < static_cast<int>(sizeof(header)));
+  std::string blob;
+  blob.reserve(static_cast<size_t>(n) + payload_bytes);
+  blob.append(header, static_cast<size_t>(n));
+  blob.append(payload);
+  return blob;
+}
+
+std::string UniqueSpillDir() {
+  static std::atomic<int64_t> counter{0};
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path base = fs::temp_directory_path(ec);
+  if (ec) base = ".";
+  char name[64];
+  std::snprintf(name, sizeof(name), "largeea-tiles-%d-%" PRId64,
+                static_cast<int>(::getpid()),
+                counter.fetch_add(1));
+  return (base / name).string();
+}
+
+}  // namespace
+
+TileStore::TileStore(const MemoryBudget& budget, std::string spill_dir)
+    : budget_(budget), spill_dir_(std::move(spill_dir)) {
+  if (spill_dir_.empty()) {
+    spill_dir_ = UniqueSpillDir();
+    owns_dir_ = true;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(spill_dir_, ec);
+  // A failing mkdir surfaces as per-tile spill failures (tiles then stay
+  // pinned in RAM), so it is not fatal here.
+}
+
+TileStore::~TileStore() {
+  prefetcher_.Drain();
+  std::error_code ec;
+  for (const Tile& tile : tiles_) {
+    if (tile.on_disk) std::filesystem::remove(tile.path, ec);
+  }
+  if (owns_dir_) std::filesystem::remove(spill_dir_, ec);
+}
+
+TileId TileStore::Put(Matrix tile) {
+  TileId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = static_cast<TileId>(tiles_.size());
+    tiles_.emplace_back();
+  }
+  char file[32];
+  std::snprintf(file, sizeof(file), "tile-%06" PRId64 ".bin", id);
+  const std::string path =
+      (std::filesystem::path(spill_dir_) / file).string();
+
+  obs::Span span("stream/spill");
+  span.AddAttr("tile", id);
+  uint64_t hash = 0;
+  const std::string blob = SerializeTile(tile, &hash);
+  const Status write_status = rt::AtomicallyWriteFile(path, blob);
+  span.End();
+
+  auto& metrics = obs::MetricsRegistry::Get();
+  const int64_t bytes = tile.size() * static_cast<int64_t>(sizeof(float));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Tile& t = tiles_[id];
+  t.path = path;
+  t.rows = tile.rows();
+  t.cols = tile.cols();
+  t.resident = std::make_shared<const Matrix>(std::move(tile));
+  t.on_disk = write_status.ok();
+  t.lru = ++lru_clock_;
+  resident_bytes_ += bytes;
+  if (bytes > max_tile_bytes_) max_tile_bytes_ = bytes;
+  if (t.on_disk) {
+    metrics.GetCounter("stream.spill.tiles").Increment();
+    metrics.GetCounter("stream.spill.bytes").Add(static_cast<int64_t>(blob.size()));
+  } else {
+    metrics.GetCounter("stream.spill_failures").Increment();
+  }
+  EvictLocked();
+  return id;
+}
+
+std::shared_ptr<const Matrix> TileStore::Get(TileId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  LARGEEA_CHECK_GE(id, 0);
+  LARGEEA_CHECK_LT(id, static_cast<TileId>(tiles_.size()));
+  Tile& t = tiles_[id];
+  auto& metrics = obs::MetricsRegistry::Get();
+  while (true) {
+    if (t.resident) {
+      metrics.GetCounter("stream.cache.hits").Increment();
+      t.lru = ++lru_clock_;
+      return t.resident;
+    }
+    if (!t.loading) break;
+    // Another thread (usually the prefetcher) is reading this tile;
+    // piggy-back on its load instead of issuing a second read.
+    load_cv_.wait(lock);
+  }
+  metrics.GetCounter("stream.cache.misses").Increment();
+  t.loading = true;
+  lock.unlock();
+
+  obs::Span span("stream/load");
+  span.AddAttr("tile", id);
+  auto loaded = std::make_shared<const Matrix>(LoadTileFile(t));
+  metrics.GetHistogram("stream.load_ms").Observe(span.End() * 1e3);
+
+  const int64_t bytes = loaded->size() * static_cast<int64_t>(sizeof(float));
+  lock.lock();
+  t.loading = false;
+  t.resident = loaded;
+  t.lru = ++lru_clock_;
+  resident_bytes_ += bytes;
+  EvictLocked();
+  load_cv_.notify_all();
+  return loaded;
+}
+
+void TileStore::Prefetch(TileId id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LARGEEA_CHECK_GE(id, 0);
+    LARGEEA_CHECK_LT(id, static_cast<TileId>(tiles_.size()));
+    const Tile& t = tiles_[id];
+    if (t.resident || t.loading || !t.on_disk) return;
+  }
+  obs::MetricsRegistry::Get().GetCounter("stream.prefetch.issued").Increment();
+  // The loaded tile lands in the cache; the value is dropped here and
+  // picked up by the consumer's Get(), which counts as a hit.
+  prefetcher_.Submit([this, id] { (void)Get(id); });
+}
+
+void TileStore::DrainPrefetches() { prefetcher_.Drain(); }
+
+int64_t TileStore::num_tiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(tiles_.size());
+}
+
+int64_t TileStore::ResidentBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+void TileStore::EvictLocked() {
+  const int64_t capacity = budget_.CacheCapacityBytes(max_tile_bytes_);
+  auto& evictions = obs::MetricsRegistry::Get().GetCounter("stream.cache.evictions");
+  while (resident_bytes_ > capacity) {
+    Tile* victim = nullptr;
+    for (Tile& t : tiles_) {
+      // Only unpinned on-disk tiles are evictable; a use_count above 1
+      // means a caller still holds the pin from Get().
+      if (!t.resident || !t.on_disk || t.resident.use_count() > 1) continue;
+      if (victim == nullptr || t.lru < victim->lru) victim = &t;
+    }
+    if (victim == nullptr) return;  // everything resident is pinned
+    resident_bytes_ -=
+        victim->resident->size() * static_cast<int64_t>(sizeof(float));
+    victim->resident.reset();
+    evictions.Increment();
+  }
+}
+
+Matrix TileStore::LoadTileFile(const Tile& tile) const {
+  StatusOr<std::string> blob = rt::ReadFileToString(tile.path);
+  if (!blob.ok()) {
+    std::fprintf(stderr, "stream: cannot reload tile %s: %s\n",
+                 tile.path.c_str(), blob.status().ToString().c_str());
+    LARGEEA_CHECK(blob.ok());
+  }
+  const std::string& data = *blob;
+  const size_t header_end = data.find('\n');
+  LARGEEA_CHECK(header_end != std::string::npos);
+
+  int64_t rows = 0;
+  int64_t cols = 0;
+  size_t payload_bytes = 0;
+  uint64_t stored_hash = 0;
+  char magic[32] = {0};
+  char version[16] = {0};
+  const int fields = std::sscanf(
+      data.c_str(), "%31s %15s %" SCNd64 " %" SCNd64 " %zu %" SCNx64,
+      magic, version, &rows, &cols, &payload_bytes, &stored_hash);
+  LARGEEA_CHECK_EQ(fields, 6);
+  LARGEEA_CHECK(std::string(magic) + " " + version == kTileMagic);
+  LARGEEA_CHECK_EQ(rows, tile.rows);
+  LARGEEA_CHECK_EQ(cols, tile.cols);
+  LARGEEA_CHECK_EQ(data.size() - header_end - 1, payload_bytes);
+  LARGEEA_CHECK_EQ(payload_bytes,
+                   static_cast<size_t>(rows * cols) * sizeof(float));
+
+  std::string_view payload(data.data() + header_end + 1, payload_bytes);
+  LARGEEA_CHECK_EQ(rt::Fnv1a64(payload), stored_hash);  // DATA_LOSS
+
+  Matrix m(rows, cols);
+  std::memcpy(m.data(), payload.data(), payload_bytes);
+  return m;
+}
+
+TileMatrix::TileMatrix(TileStore* store, int64_t rows, int64_t cols,
+                       int64_t tile_rows)
+    : store_(store), rows_(rows), cols_(cols), tile_rows_(tile_rows) {
+  LARGEEA_CHECK(store != nullptr);
+  LARGEEA_CHECK_GE(rows, 0);
+  LARGEEA_CHECK_GE(cols, 0);
+  LARGEEA_CHECK_GT(tile_rows, 0);
+  ids_.reserve(static_cast<size_t>(num_tiles()));
+}
+
+void TileMatrix::Append(Matrix tile) {
+  const int64_t t = static_cast<int64_t>(ids_.size());
+  LARGEEA_CHECK_LT(t, num_tiles());
+  LARGEEA_CHECK_EQ(tile.rows(), TileEnd(t) - TileBegin(t));
+  LARGEEA_CHECK_EQ(tile.cols(), cols_);
+  ids_.push_back(store_->Put(std::move(tile)));
+}
+
+std::shared_ptr<const Matrix> TileMatrix::Tile(int64_t t) const {
+  LARGEEA_CHECK_GE(t, 0);
+  LARGEEA_CHECK_LT(t, static_cast<int64_t>(ids_.size()));
+  return store_->Get(ids_[t]);
+}
+
+void TileMatrix::Prefetch(int64_t t) const {
+  if (t < 0 || t >= static_cast<int64_t>(ids_.size())) return;
+  store_->Prefetch(ids_[t]);
+}
+
+}  // namespace largeea::stream

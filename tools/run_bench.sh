@@ -4,7 +4,12 @@
 #   * BENCH_par.json  — kernel scaling across thread counts
 #     (bench_micro --json-out, see bench/bench_micro.cc);
 #   * BENCH_simd.json — SIMD backend x kernel matrix at one thread
-#     (bench_micro --mode=backend --json-out).
+#     (bench_micro --mode=backend --json-out);
+#   * BENCH_stream.json — memory-budget sweep of the streaming layer:
+#     unbudgeted peak, then budgets of 1/2, 1/4, 1/8 of it, each row
+#     recording peak/seconds and that the fused matrix stayed
+#     bit-identical (bench_micro --mode=stream --json-out,
+#     DESIGN.md §10). STREAM_SCALE tunes the dataset size.
 #
 # Usage:
 #   tools/run_bench.sh                 # both baselines into the repo root
@@ -23,6 +28,7 @@ OUT_DIR="${OUT_DIR:-.}"
 MIN_TIME="${MIN_TIME:-0.3}"
 THREADS_LIST="${THREADS_LIST:-1,2,4,8}"
 BUILD_DIR="${BUILD_DIR:-build}"
+STREAM_SCALE="${STREAM_SCALE:-0.2}"
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_micro
@@ -35,3 +41,7 @@ echo "=== kernel scaling (threads) ==="
 echo "=== SIMD backend matrix ==="
 "${BUILD_DIR}/bench/bench_micro" --mode=backend \
   --json-out="${OUT_DIR}/BENCH_simd.json" --min-time="${MIN_TIME}"
+
+echo "=== streaming budget sweep ==="
+"${BUILD_DIR}/bench/bench_micro" --mode=stream \
+  --json-out="${OUT_DIR}/BENCH_stream.json" --scale="${STREAM_SCALE}"

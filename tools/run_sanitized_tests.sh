@@ -21,12 +21,23 @@
 #   tools/run_sanitized_tests.sh '*FaultTolerance*' # one suite, direct
 #   SANITIZERS=tsan tools/run_sanitized_tests.sh    # tsan only
 #   SIMD_BACKENDS=auto tools/run_sanitized_tests.sh # native backend only
+#
+# After the main matrix, a streamed pass re-runs a curated filter with
+# LARGEEA_MEMORY_BUDGET_MB set to a tiny budget, so the sanitizers see
+# the TileStore spill/reload path, the background prefetcher, and
+# FuseStreamed under memory/race checking (DESIGN.md §10). The filter is
+# curated on purpose: under the env budget, default-configured pipelines
+# release their intermediate matrices (release_inputs), so suites that
+# assert on nff.semantic / structure similarity contents would
+# mis-assert by design. STREAM_BUDGET_MB tunes the budget.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZERS="${SANITIZERS:-sanitize tsan}"
 SIMD_BACKENDS="${SIMD_BACKENDS:-scalar auto}"
+STREAM_BUDGET_MB="${STREAM_BUDGET_MB:-8}"
+STREAM_FILTER='Stream*:TileStore*:TileMatrix*:FuseStreamed*:MemoryBudget*:ParDeterminism*'
 
 for preset in ${SANITIZERS}; do
   cmake --preset "${preset}"
@@ -53,4 +64,22 @@ for preset in ${SANITIZERS}; do
       LARGEEA_SIMD="${simd}" ctest --preset "${preset}"
     fi
   done
+
+  echo "=== ${preset} (streamed, LARGEEA_MEMORY_BUDGET_MB=${STREAM_BUDGET_MB}) ==="
+  case "${preset}" in
+    sanitize)
+      ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+      UBSAN_OPTIONS=print_stacktrace=1 \
+      LARGEEA_MEMORY_BUDGET_MB="${STREAM_BUDGET_MB}" \
+        "build-${preset}/tests/largeea_tests" \
+        --gtest_filter="${STREAM_FILTER}"
+      ;;
+    tsan)
+      TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+      LARGEEA_THREADS=4 \
+      LARGEEA_MEMORY_BUDGET_MB="${STREAM_BUDGET_MB}" \
+        "build-${preset}/tests/largeea_tests" \
+        --gtest_filter="${STREAM_FILTER}"
+      ;;
+  esac
 done

@@ -22,7 +22,15 @@
 //     again under budgets of 1/2, 1/4, and 1/8 of that peak. Rows carry
 //     the observed peak, wall time, and whether the fused matrix stayed
 //     bit-identical. The perf trajectory invokes it as
-//     `--mode=stream --json-out=BENCH_stream.json`.
+//     `--mode=stream --json-out=BENCH_stream.json`;
+//   * --json-out=FILE --mode=profile — the kernel-scaling sweep with the
+//     profiler (DESIGN.md §11) enabled: the same threads x kernels grid,
+//     but each row additionally carries the profiler's utilization,
+//     chunk-imbalance ratio, declared-traffic GB/s, and arithmetic
+//     intensity, so a kernel that stops scaling is classifiable
+//     (bandwidth-bound vs imbalanced vs merge-serialised) from the JSON
+//     alone. The perf trajectory invokes it as
+//     `--mode=profile --json-out=BENCH_profile.json`.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -45,6 +53,7 @@
 #include "src/name/semantic_encoder.h"
 #include "src/nn/batch_graph.h"
 #include "src/nn/ea_model.h"
+#include "src/obs/profiler.h"
 #include "src/par/parallel_for.h"
 #include "src/par/thread_pool.h"
 #include "src/partition/metis.h"
@@ -226,78 +235,119 @@ std::vector<int32_t> ParseThreadsList(const std::string& list) {
   return threads;
 }
 
+// Problem sizes for the scaling/profile sweeps: DBP1M-representative
+// magnitudes (PAPER.md), i.e. what one mini-batch of the real workload
+// looks like, not toy shapes. A training batch on DBP1M holds ~20k
+// entities at dim 128, so the gemm row count, the sinkhorn row count,
+// and the minhash name count all sit at 20k; the brute-force top-k grid
+// is 4000^2 because the exact path is only ever used on sub-batch
+// candidate sets (the full graphs go through LSH).
+constexpr int64_t kScaleGemmRows = 20000;
+constexpr int64_t kScaleGemmDim = 128;
+constexpr int64_t kScaleTopKRows = 4000;
+constexpr int64_t kScaleTopKDim = 64;
+constexpr int32_t kScaleSinkRows = 20000;
+constexpr int32_t kScaleSinkEntries = 50;
+constexpr int64_t kScaleMinHashNames = 20000;
+
+struct ScalingKernel {
+  const char* name;          // row name in the JSON
+  const char* profile_name;  // the profiler attribution it runs under
+  int64_t items;             // per iteration, for items_per_sec
+  std::function<void()> fn;
+};
+
+// Inputs and kernel closures shared by the scaling and profile sweeps,
+// identical for every thread count (and between the two modes, so their
+// seconds columns are directly comparable).
+struct ScalingBench {
+  Rng rng{13};
+  Matrix gemm_a{kScaleGemmRows, kScaleGemmDim};
+  Matrix gemm_b{kScaleGemmDim, kScaleGemmDim};
+  Matrix gemm_c{kScaleGemmRows, kScaleGemmDim};
+  Matrix topk_a{kScaleTopKRows, kScaleTopKDim};
+  Matrix topk_b{kScaleTopKRows, kScaleTopKDim};
+  TopKOptions topk{.k = 50, .metric = SimMetric::kManhattan};
+  SparseSimMatrix sink_in{kScaleSinkRows, kScaleSinkRows, kScaleSinkEntries};
+  SinkhornOptions sink;
+  MinHasher hasher{64, 7};
+  std::vector<std::vector<std::string>> names;
+  std::vector<std::vector<uint64_t>> signatures;
+  std::vector<ScalingKernel> kernels;
+
+  ScalingBench() {
+    gemm_a.GlorotInit(rng);
+    gemm_b.GlorotInit(rng);
+    topk_a.GlorotInit(rng);
+    topk_b.GlorotInit(rng);
+    for (int32_t r = 0; r < kScaleSinkRows; ++r) {
+      for (int32_t e = 0; e < kScaleSinkEntries; ++e) {
+        sink_in.Accumulate(
+            r, static_cast<EntityId>(rng.Uniform(kScaleSinkRows)),
+            static_cast<float>(rng.Uniform(1000)) * 1e-3f);
+      }
+    }
+    names.resize(static_cast<size_t>(kScaleMinHashNames));
+    for (size_t i = 0; i < names.size(); ++i) {
+      names[i] = TokenizeName("entity name number " + std::to_string(i) +
+                              " with a few more tokens " +
+                              std::to_string(rng.Next() % 99991));
+    }
+    signatures.resize(names.size());
+    kernels = {
+        {"gemm", "la.gemm", kScaleGemmRows * kScaleGemmDim * kScaleGemmDim,
+         [this] { Gemm(gemm_a, gemm_b, gemm_c); }},
+        {"topk", "sim.topk.exact", kScaleTopKRows * kScaleTopKRows,
+         [this] {
+           benchmark::DoNotOptimize(ExactTopK(topk_a, topk_b, topk));
+         }},
+        {"sinkhorn", "sim.sinkhorn",
+         int64_t{kScaleSinkRows} * kScaleSinkEntries * sink.iterations,
+         [this] {
+           benchmark::DoNotOptimize(SinkhornNormalize(sink_in, sink));
+         }},
+        {"minhash", "bench.minhash", kScaleMinHashNames, [this] {
+           // Mirrors string_sim.cc's signature-build loop, annotated the
+           // same way so the profile sweep can attribute its pool jobs.
+           obs::ProfileScope prof("bench.minhash");
+           prof.AddBytes(0, kScaleMinHashNames * 64 * 8);
+           par::ParallelFor(
+               0, static_cast<int64_t>(names.size()), 256,
+               [&](const par::ChunkRange& range) {
+                 for (int64_t t = range.begin; t < range.end; ++t) {
+                   signatures[t] = hasher.Signature(names[t]);
+                 }
+               });
+           benchmark::DoNotOptimize(signatures);
+         }}};
+  }
+};
+
 int RunKernelScaling(const Flags& flags) {
   bench::BenchJson json(flags, "par");
   const std::vector<int32_t> thread_counts =
       ParseThreadsList(flags.GetString("threads-list", "1,2,4,8"));
   const double min_time = flags.GetDouble("min-time", 0.3);
-
-  // Identical inputs for every thread count.
-  Rng rng(13);
-  Matrix gemm_a(256, 256), gemm_b(256, 256), gemm_c(256, 256);
-  gemm_a.GlorotInit(rng);
-  gemm_b.GlorotInit(rng);
-  Matrix topk_a(1000, 64), topk_b(1000, 64);
-  topk_a.GlorotInit(rng);
-  topk_b.GlorotInit(rng);
-  const TopKOptions topk{.k = 50, .metric = SimMetric::kManhattan};
-  SparseSimMatrix sink_in(2000, 2000, 50);
-  for (int32_t r = 0; r < 2000; ++r) {
-    for (int32_t e = 0; e < 50; ++e) {
-      sink_in.Accumulate(r, static_cast<EntityId>(rng.Uniform(2000)),
-                         static_cast<float>(rng.Uniform(1000)) * 1e-3f);
-    }
-  }
-  SinkhornOptions sink;
-  const MinHasher hasher(64, 7);
-  std::vector<std::vector<std::string>> names(4000);
-  for (size_t i = 0; i < names.size(); ++i) {
-    names[i] = TokenizeName("entity name number " + std::to_string(i) +
-                            " with a few more tokens " +
-                            std::to_string(rng.Next() % 99991));
-  }
-  std::vector<std::vector<uint64_t>> signatures(names.size());
-
-  struct Kernel {
-    const char* name;
-    int64_t items;  // per iteration, for items_per_sec
-    std::function<void()> fn;
-  };
-  const std::vector<Kernel> kernels = {
-      {"gemm", int64_t{256} * 256 * 256,
-       [&] { Gemm(gemm_a, gemm_b, gemm_c); }},
-      {"topk", int64_t{1000} * 1000,
-       [&] { benchmark::DoNotOptimize(ExactTopK(topk_a, topk_b, topk)); }},
-      {"sinkhorn", int64_t{2000} * 50 * sink.iterations,
-       [&] { benchmark::DoNotOptimize(SinkhornNormalize(sink_in, sink)); }},
-      {"minhash", static_cast<int64_t>(names.size()),
-       [&] {
-         par::ParallelFor(0, static_cast<int64_t>(names.size()), 256,
-                          [&](const par::ChunkRange& range) {
-                            for (int64_t t = range.begin; t < range.end; ++t) {
-                              signatures[t] = hasher.Signature(names[t]);
-                            }
-                          });
-         benchmark::DoNotOptimize(signatures);
-       }}};
+  ScalingBench bench;
 
   std::printf("%-10s %8s %14s %16s %12s\n", "kernel", "threads",
               "sec/iter", "items/sec", "speedup_1t");
-  std::vector<double> base_seconds(kernels.size(), 0.0);
+  std::vector<double> base_seconds(bench.kernels.size(), 0.0);
   for (const int32_t threads : thread_counts) {
     par::ThreadPool::Get().SetNumThreads(threads);
-    for (size_t k = 0; k < kernels.size(); ++k) {
-      const double seconds = TimeKernel(kernels[k].fn, min_time);
+    for (size_t k = 0; k < bench.kernels.size(); ++k) {
+      const double seconds = TimeKernel(bench.kernels[k].fn, min_time);
       if (threads == thread_counts.front()) base_seconds[k] = seconds;
       const double speedup =
           seconds > 0.0 ? base_seconds[k] / seconds : 0.0;
       const double items_per_sec =
-          seconds > 0.0 ? static_cast<double>(kernels[k].items) / seconds
-                        : 0.0;
-      std::printf("%-10s %8d %14.6f %16.0f %12.2f\n", kernels[k].name,
+          seconds > 0.0
+              ? static_cast<double>(bench.kernels[k].items) / seconds
+              : 0.0;
+      std::printf("%-10s %8d %14.6f %16.0f %12.2f\n", bench.kernels[k].name,
                   threads, seconds, items_per_sec, speedup);
       bench::BenchJson::Row row;
-      row.Set("kernel", kernels[k].name)
+      row.Set("kernel", bench.kernels[k].name)
           .Set("threads", threads)
           .Set("seconds", seconds)
           .Set("items_per_sec", items_per_sec)
@@ -305,6 +355,71 @@ int RunKernelScaling(const Flags& flags) {
       json.Add(std::move(row));
     }
   }
+  par::ThreadPool::Get().Shutdown();
+  json.Write();
+  return 0;
+}
+
+// ---------------------------------------------------------------------
+// Profile sweep (--mode=profile): the scaling grid re-run under the
+// profiler. The wall-clock column still comes from TimeKernel (the
+// profiler's own timing is per-scope, not per-sweep-iteration); the
+// utilization/imbalance/GB-per-sec columns come from the profiler
+// records accumulated while the cell ran. Ratios are insensitive to the
+// iteration count, so TimeKernel's adaptive looping does not skew them.
+
+int RunProfileSweep(const Flags& flags) {
+  bench::BenchJson json(flags, "profile");
+  const std::vector<int32_t> thread_counts =
+      ParseThreadsList(flags.GetString("threads-list", "1,2,4,8"));
+  const double min_time = flags.GetDouble("min-time", 0.3);
+  ScalingBench bench;
+  obs::Profiler& profiler = obs::Profiler::Get();
+
+  std::printf("%-10s %8s %12s %8s %8s %10s %10s %8s\n", "kernel", "threads",
+              "sec/iter", "util", "imbal", "GB/s", "flop/B", "chunks");
+  for (const int32_t threads : thread_counts) {
+    par::ThreadPool::Get().SetNumThreads(threads);
+    for (const ScalingKernel& kernel : bench.kernels) {
+      kernel.fn();  // warm-up outside the profiled window
+      profiler.Clear();
+      profiler.Enable();
+      const double seconds = TimeKernel(kernel.fn, min_time);
+      profiler.Disable();
+
+      obs::KernelProfile kp;
+      for (const obs::KernelProfile& k : profiler.KernelTotals()) {
+        if (k.kernel == kernel.profile_name) kp = k;
+      }
+      obs::PoolKernelTotal pt;
+      for (const obs::PoolKernelTotal& t : profiler.PoolTotals()) {
+        if (t.kernel == kernel.profile_name) pt = t;
+      }
+      const double chunks_per_job =
+          pt.jobs > 0 ? static_cast<double>(pt.chunks) /
+                            static_cast<double>(pt.jobs)
+                      : 0.0;
+      const double items_per_sec =
+          seconds > 0.0 ? static_cast<double>(kernel.items) / seconds : 0.0;
+      std::printf("%-10s %8d %12.6f %8.2f %8.2f %10.2f %10.2f %8.0f\n",
+                  kernel.name, threads, seconds, pt.Utilization(),
+                  pt.max_imbalance, kp.GBPerSec(), kp.ArithmeticIntensity(),
+                  chunks_per_job);
+      bench::BenchJson::Row row;
+      row.Set("kernel", kernel.name)
+          .Set("threads", threads)
+          .Set("seconds", seconds)
+          .Set("items_per_sec", items_per_sec)
+          .Set("utilization", pt.Utilization())
+          .Set("imbalance_ratio", pt.max_imbalance)
+          .Set("gb_per_sec", kp.GBPerSec())
+          .Set("arithmetic_intensity", kp.ArithmeticIntensity())
+          .Set("chunks_per_job", chunks_per_job)
+          .Set("merge_seconds", pt.merge_seconds);
+      json.Add(std::move(row));
+    }
+  }
+  profiler.Clear();
   par::ThreadPool::Get().Shutdown();
   json.Write();
   return 0;
@@ -558,6 +673,7 @@ int main(int argc, char** argv) {
     const std::string mode = flags.GetString("mode", "threads");
     if (mode == "backend") return largeea::RunBackendMatrix(flags);
     if (mode == "stream") return largeea::RunStreamSweep(flags);
+    if (mode == "profile") return largeea::RunProfileSweep(flags);
     return largeea::RunKernelScaling(flags);
   }
   benchmark::Initialize(&argc, argv);

@@ -31,6 +31,7 @@
 #include "src/gen/benchmark_gen.h"
 #include "src/kg/kg_io.h"
 #include "src/obs/log.h"
+#include "src/obs/profiler.h"
 #include "src/obs/report.h"
 #include "src/obs/trace.h"
 #include "src/partition/metis_cps.h"
@@ -142,6 +143,29 @@ void ReportPhases(const LargeEaResult& result, obs::RunReport& report) {
   report.SetTotal(result.total_seconds, result.peak_bytes);
 }
 
+// Prints the --profile summary: the per-kernel roofline columns and the
+// pool utilization/imbalance aggregates. The same numbers land in the
+// report's `profile` section (RunReport::ToJson splices them there), so
+// this table is just the human-readable view.
+void PrintProfileSummary() {
+  const obs::Profiler& profiler = obs::Profiler::Get();
+  std::printf("\n%-24s %8s %10s %10s %10s %8s\n", "Kernel", "Calls",
+              "Time(s)", "GB/s", "Flop/B", "MB");
+  for (const obs::KernelProfile& k : profiler.KernelTotals()) {
+    std::printf("%-24s %8ld %10.4f %10.2f %10.2f %8.1f\n", k.kernel.c_str(),
+                static_cast<long>(k.calls), k.seconds, k.GBPerSec(),
+                k.ArithmeticIntensity(), k.TotalBytes() / (1 << 20));
+  }
+  std::printf("%-24s %8s %10s %10s %10s\n", "Pool (by kernel)", "Jobs",
+              "Busy(s)", "Util", "Imbal");
+  for (const obs::PoolKernelTotal& t : profiler.PoolTotals()) {
+    std::printf("%-24s %8ld %10.4f %10.2f %10.2f\n",
+                t.kernel.empty() ? "(unattributed)" : t.kernel.c_str(),
+                static_cast<long>(t.jobs), t.busy_seconds, t.Utilization(),
+                t.max_imbalance);
+  }
+}
+
 int CmdAlign(const Flags& flags, Config config) {
   if (!config.trace_out.empty()) {
     obs::TraceRecorder::Get().Clear();
@@ -209,6 +233,7 @@ int CmdAlign(const Flags& flags, Config config) {
   if (result.metrics.num_test_pairs > 0) report.SetEval(result.metrics);
   report.IngestMemoryPhases();
   report.IngestTraceTotals();
+  if (config.profile) PrintProfileSummary();
 
   if (!config.trace_out.empty()) {
     if (!obs::TraceRecorder::Get().WriteChromeTrace(config.trace_out)) {

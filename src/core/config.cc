@@ -1,6 +1,7 @@
 #include "src/core/config.h"
 
 #include "src/obs/log.h"
+#include "src/obs/profiler.h"
 #include "src/obs/report.h"
 #include "src/par/thread_pool.h"
 #include "src/simd/simd.h"
@@ -112,6 +113,9 @@ void Config::Register(FlagRegistry& r) {
   r.String("trace-out", &trace_out, "write a chrome://tracing timeline here");
   r.String("report-out", &report_out, "write the JSON run report here");
   r.String("out", &out, "write predicted alignment pairs here");
+  r.Bool("profile", &profile,
+         "per-kernel timing, bytes/flops, and pool utilization accounting "
+         "(adds a `profile` report section and trace counter tracks)");
 }
 
 Status Config::Validate() {
@@ -205,6 +209,9 @@ Status Config::ApplyRuntime() const {
                                   available + ")");
     }
     simd::SetBackend(backend);
+  }
+  if (profile) {
+    obs::Profiler::Get().Enable();
   }
   return OkStatus();
 }

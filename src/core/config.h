@@ -58,6 +58,12 @@ struct Config {
   std::string report_out;
   std::string out;
 
+  /// Kernel-level profiling (DESIGN.md §11). Off by default: the
+  /// disabled profiler costs one relaxed atomic load per annotated
+  /// kernel entry. When on, the run report gains a `profile` section and
+  /// Chrome traces gain utilization/imbalance counter tracks.
+  bool profile = false;
+
   /// Binds every flag to its field. Called by ConfigFromFlags and
   /// WriteTo; call it directly to compose Config with binary-local
   /// flags in one registry.

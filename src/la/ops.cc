@@ -5,11 +5,18 @@
 #include <cstring>
 
 #include "src/common/macros.h"
+#include "src/obs/profiler.h"
 #include "src/par/parallel_for.h"
 #include "src/simd/simd.h"
 
 namespace largeea {
 namespace {
+
+// Logical traffic declarations for the profiler (DESIGN.md §11): each
+// operand is counted once per algorithmic pass, not per cache miss —
+// the roofline convention. sizeof(float) spelled as 4 to match the
+// declared-bytes semantics (these are f32 kernels by construction).
+constexpr int64_t kF = 4;
 
 // Grain/block sizes for the parallel and cache-blocked loops. These are
 // functions of nothing (or of the problem shape only) — never of the
@@ -34,6 +41,9 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix& c) {
   LARGEEA_CHECK_EQ(c.cols(), b.cols());
   c.Fill(0.0f);
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  obs::ProfileScope prof("la.gemm");
+  prof.AddBytes(kF * (m * k + k * n), kF * m * n);
+  prof.AddFlops(2 * m * k * n);
   const simd::KernelTable& kt = simd::Kernels();
   // p-panel blocking keeps the active rows of B cache-resident while the
   // chunk's C rows accumulate — but when all of B fits in cache anyway,
@@ -63,6 +73,9 @@ void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix& c) {
   LARGEEA_CHECK_EQ(c.rows(), a.rows());
   LARGEEA_CHECK_EQ(c.cols(), b.rows());
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  obs::ProfileScope prof("la.gemm_tb");
+  prof.AddBytes(kF * (m * k + n * k), kF * m * n);
+  prof.AddFlops(2 * m * k * n);
   const simd::KernelTable& kt = simd::Kernels();
   par::ParallelFor(0, m, kRowGrain, [&](const par::ChunkRange& rows) {
     // Tile over B rows so a tile of B is reused across every A row of
@@ -86,6 +99,9 @@ void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix& c) {
   c.Fill(0.0f);
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   if (m == 0) return;
+  obs::ProfileScope prof("la.gemm_ta");
+  prof.AddBytes(kF * (m * k + m * n), kF * k * n);
+  prof.AddFlops(2 * m * k * n);
   const simd::KernelTable& kt = simd::Kernels();
   // Every input row touches all of C, so chunks accumulate into private
   // partial matrices merged in chunk order.
@@ -116,6 +132,9 @@ void Axpy(float alpha, const Matrix& x, Matrix& y) {
   LARGEEA_CHECK_EQ(x.cols(), y.cols());
   const float* xv = x.data();
   float* yv = y.data();
+  obs::ProfileScope prof("la.axpy");
+  prof.AddBytes(kF * 2 * x.size(), kF * x.size());
+  prof.AddFlops(2 * x.size());
   const simd::KernelTable& kt = simd::Kernels();
   par::ParallelFor(0, x.size(), kElemGrain, [&](const par::ChunkRange& r) {
     kt.axpy(alpha, xv + r.begin, yv + r.begin, r.end - r.begin);
@@ -124,6 +143,9 @@ void Axpy(float alpha, const Matrix& x, Matrix& y) {
 
 void Scale(Matrix& m, float alpha) {
   float* v = m.data();
+  obs::ProfileScope prof("la.scale");
+  prof.AddBytes(kF * m.size(), kF * m.size());
+  prof.AddFlops(m.size());
   const simd::KernelTable& kt = simd::Kernels();
   par::ParallelFor(0, m.size(), kElemGrain, [&](const par::ChunkRange& r) {
     kt.scale(v + r.begin, alpha, r.end - r.begin);
@@ -132,6 +154,9 @@ void Scale(Matrix& m, float alpha) {
 
 void L2NormalizeRows(Matrix& m, float epsilon) {
   const int64_t cols = m.cols();
+  obs::ProfileScope prof("la.l2norm_rows");
+  prof.AddBytes(kF * m.size(), kF * m.size());
+  prof.AddFlops(3 * m.size());
   const simd::KernelTable& kt = simd::Kernels();
   par::ParallelFor(0, m.rows(), kNormRowGrain, [&](const par::ChunkRange& r) {
     for (int64_t row = r.begin; row < r.end; ++row) {

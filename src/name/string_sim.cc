@@ -7,6 +7,7 @@
 #include "src/common/macros.h"
 #include "src/name/levenshtein.h"
 #include "src/name/minhash.h"
+#include "src/obs/profiler.h"
 #include "src/par/parallel_for.h"
 
 namespace largeea {
@@ -45,14 +46,22 @@ SparseSimMatrix ComputeStringSimilarity(const KnowledgeGraph& source,
   // shared buckets and stay serial, in id order.
   std::vector<std::vector<uint64_t>> target_signatures(
       target.num_entities());
-  par::ParallelFor(
-      0, target.num_entities(), kSignatureGrain,
-      [&](const par::ChunkRange& range) {
-        for (int64_t t = range.begin; t < range.end; ++t) {
-          target_signatures[t] = hasher.Signature(TokenizeName(
-              target.EntityName(static_cast<EntityId>(t)), options.tokenizer));
-        }
-      });
+  {
+    // Signature build: each entity's name is hashed signature_length
+    // times; the output is one u64 per hash slot.
+    obs::ProfileScope prof("name.minhash.signatures");
+    prof.AddBytes(0, static_cast<int64_t>(target.num_entities()) *
+                         signature_length * 8);
+    par::ParallelFor(
+        0, target.num_entities(), kSignatureGrain,
+        [&](const par::ChunkRange& range) {
+          for (int64_t t = range.begin; t < range.end; ++t) {
+            target_signatures[t] = hasher.Signature(
+                TokenizeName(target.EntityName(static_cast<EntityId>(t)),
+                             options.tokenizer));
+          }
+        });
+  }
   for (EntityId t = 0; t < target.num_entities(); ++t) {
     lsh.Insert(t, target_signatures[t]);
   }
@@ -63,6 +72,13 @@ SparseSimMatrix ComputeStringSimilarity(const KnowledgeGraph& source,
   SparseSimMatrix m_st(source.num_entities(), target.num_entities(),
                        options.max_entries_per_row);
   using Hit = std::tuple<EntityId, int32_t, float>;
+  // Scoring reads each source signature once; candidate Jaccard checks
+  // and Levenshtein work are data-dependent and not declared — the
+  // profiler still times the pass, it just has no GB/s for it.
+  obs::ProfileScope prof("name.stns.score");
+  prof.AddBytes(static_cast<int64_t>(source.num_entities()) *
+                    signature_length * 8,
+                0);
   par::ParallelReduceOrdered<std::vector<Hit>>(
       0, source.num_entities(), kScoreGrain,
       [&](const par::ChunkRange& range, std::vector<Hit>& hits) {

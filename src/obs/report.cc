@@ -3,6 +3,7 @@
 #include "src/common/memory_tracker.h"
 #include "src/obs/json_writer.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 
 namespace largeea::obs {
@@ -119,6 +120,12 @@ std::string RunReport::ToJson() const {
   w.EndArray();
 
   w.Key("metrics").Raw(MetricsRegistry::Get().ToJson());
+
+  if (Profiler::Get().enabled()) {
+    w.Key("profile");
+    Profiler::Get().WriteJson(w);
+  }
+
   w.EndObject();
   return w.str();
 }

@@ -20,6 +20,12 @@
 //     "spans":   [{"name", "count", "total_seconds"}],
 //     "metrics": {"counters", "gauges", "histograms"}
 //   }
+//
+// Two sections are conditional: "eval" appears once SetEval() ran, and
+// "profile" (per-kernel seconds/bytes/GB-per-sec plus pool utilization,
+// see src/obs/profiler.h) appears only when the run was profiled
+// (`--profile`), so unprofiled reports stay byte-for-byte comparable
+// with pre-profiler ones.
 #ifndef LARGEEA_OBS_REPORT_H_
 #define LARGEEA_OBS_REPORT_H_
 

@@ -43,12 +43,25 @@ int64_t TraceRecorder::NowMicros() const {
 void TraceRecorder::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   records_.clear();
+  counters_.clear();
 }
 
 void TraceRecorder::Record(SpanRecord&& record) {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(mu_);
   records_.push_back(std::move(record));
+}
+
+void TraceRecorder::RecordCounter(std::string name, double value) {
+  if (!enabled()) return;
+  const int64_t ts = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.push_back(CounterRecord{std::move(name), ts, value});
+}
+
+std::vector<CounterRecord> TraceRecorder::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
 }
 
 std::vector<SpanRecord> TraceRecorder::Records() const {
@@ -89,6 +102,7 @@ void TraceRecorder::SetThreadName(int32_t thread_id, std::string name) {
 
 std::string TraceRecorder::ToChromeTraceJson() const {
   std::vector<SpanRecord> records = Records();
+  std::vector<CounterRecord> counters = Counters();
   std::vector<std::pair<int32_t, std::string>> thread_names;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -130,6 +144,20 @@ std::string TraceRecorder::ToChromeTraceJson() const {
     for (const SpanAttr& a : r.attrs) {
       w.Key(a.key).String(a.value);
     }
+    w.EndObject();
+    w.EndObject();
+  }
+  // Counter tracks (ph:"C"): one track per counter name, one sample per
+  // record. Chrome keys the track by (pid, name) and plots args values.
+  for (const CounterRecord& c : counters) {
+    w.BeginObject();
+    w.Key("name").String(c.name);
+    w.Key("cat").String("largeea");
+    w.Key("ph").String("C");
+    w.Key("ts").Int(c.ts_us);
+    w.Key("pid").Int(1);
+    w.Key("args").BeginObject();
+    w.Key("value").Double(c.value);
     w.EndObject();
     w.EndObject();
   }

@@ -46,6 +46,15 @@ struct SpanTotal {
   double total_seconds = 0.0;
 };
 
+/// One sample on a counter track (rendered by Chrome/Perfetto as a
+/// stacked area chart under the thread timelines). The profiler emits
+/// per-kernel utilization and imbalance samples here.
+struct CounterRecord {
+  std::string name;
+  int64_t ts_us = 0;
+  double value = 0.0;
+};
+
 /// Process-wide span sink. All methods are thread-safe.
 class TraceRecorder {
  public:
@@ -84,6 +93,13 @@ class TraceRecorder {
   /// Retains a closed span if enabled (called by Span::End).
   void Record(SpanRecord&& record);
 
+  /// Retains a counter sample at the current time if enabled; exported
+  /// as a Chrome trace-event ph:"C" counter track named `name`.
+  void RecordCounter(std::string name, double value);
+
+  /// Copies out the retained counter samples (record order).
+  std::vector<CounterRecord> Counters() const;
+
  private:
   TraceRecorder();
 
@@ -91,6 +107,7 @@ class TraceRecorder {
   int64_t epoch_ns_ = 0;
   mutable std::mutex mu_;
   std::vector<SpanRecord> records_;
+  std::vector<CounterRecord> counters_;
   std::vector<std::pair<int32_t, std::string>> thread_names_;
 };
 

@@ -16,13 +16,40 @@ std::vector<ChunkRange> ComputeChunks(int64_t begin, int64_t end,
   return chunks;
 }
 
+namespace internal {
+
+void RecordLoopProfile(const ThreadPool::JobStats& stats, int64_t chunks,
+                       int64_t grain, double merge_seconds) {
+  obs::PoolJobProfile job;
+  job.kernel = obs::CurrentProfileKernel();
+  job.chunks = chunks;
+  job.grain = grain;
+  job.threads = stats.threads;
+  job.wall_seconds = stats.wall_seconds;
+  job.busy_seconds = stats.busy_seconds;
+  job.max_chunk_seconds = stats.max_task_seconds;
+  job.sum_chunk_seconds = stats.sum_task_seconds;
+  job.merge_seconds = merge_seconds;
+  obs::Profiler::Get().RecordPoolJob(std::move(job));
+}
+
+}  // namespace internal
+
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const std::function<void(const ChunkRange&)>& body) {
   const std::vector<ChunkRange> chunks = ComputeChunks(begin, end, grain);
   if (chunks.empty()) return;
-  ThreadPool::Get().Run(static_cast<int64_t>(chunks.size()), [&](int64_t task) {
-    body(chunks[static_cast<size_t>(task)]);
-  });
+  const bool profiled = obs::ProfilingEnabled();
+  ThreadPool::JobStats stats;
+  ThreadPool::Get().Run(
+      static_cast<int64_t>(chunks.size()),
+      [&](int64_t task) { body(chunks[static_cast<size_t>(task)]); },
+      profiled ? &stats : nullptr);
+  if (profiled) {
+    internal::RecordLoopProfile(stats, static_cast<int64_t>(chunks.size()),
+                                grain > 0 ? grain : end - begin,
+                                /*merge_seconds=*/0.0);
+  }
 }
 
 }  // namespace largeea::par

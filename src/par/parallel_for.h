@@ -7,6 +7,12 @@
 // library's determinism contract (DESIGN.md §8): identical results, bit
 // for bit, at any `--threads N`, because neither chunk boundaries nor
 // any floating-point reduction order depend on scheduling.
+//
+// When the profiler (src/obs/profiler.h) is enabled, every loop records
+// one PoolJobProfile — chunk count, grain, worker utilization, chunk
+// imbalance, and (for reductions) ordered-merge time — attributed to
+// the innermost open ProfileScope. Profiling only observes: chunking
+// and merge order are computed identically either way.
 #ifndef LARGEEA_PAR_PARALLEL_FOR_H_
 #define LARGEEA_PAR_PARALLEL_FOR_H_
 
@@ -15,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/profiler.h"
 #include "src/par/thread_pool.h"
 
 namespace largeea::par {
@@ -31,6 +38,13 @@ struct ChunkRange {
 /// Depends only on the arguments — never on the thread count.
 std::vector<ChunkRange> ComputeChunks(int64_t begin, int64_t end,
                                       int64_t grain);
+
+namespace internal {
+/// Folds one profiled loop execution into the Profiler's pool stream,
+/// attributed to the innermost open ProfileScope.
+void RecordLoopProfile(const ThreadPool::JobStats& stats, int64_t chunks,
+                       int64_t grain, double merge_seconds);
+}  // namespace internal
 
 /// Runs body(chunk) for every chunk of [begin, end), in parallel on the
 /// ThreadPool. The body must only write chunk-private or element-private
@@ -49,13 +63,27 @@ void ParallelReduceOrdered(int64_t begin, int64_t end, int64_t grain,
   const std::vector<ChunkRange> chunks = ComputeChunks(begin, end, grain);
   if (chunks.empty()) return;
   std::vector<State> states(chunks.size());
+  const bool profiled = obs::ProfilingEnabled();
+  ThreadPool::JobStats stats;
   ThreadPool::Get().Run(
-      static_cast<int64_t>(chunks.size()), [&](int64_t task) {
+      static_cast<int64_t>(chunks.size()),
+      [&](int64_t task) {
         body(chunks[static_cast<size_t>(task)],
              states[static_cast<size_t>(task)]);
-      });
+      },
+      profiled ? &stats : nullptr);
+  // The ordered merge is the serial tail of every reduction; the
+  // profiler times it because it bounds the loop's parallel speedup
+  // (Amdahl) no matter how well the chunks balance.
+  const uint64_t merge_start = profiled ? obs::TscClock::Now() : 0;
   for (size_t i = 0; i < chunks.size(); ++i) {
     merge(chunks[i], std::move(states[i]));
+  }
+  if (profiled) {
+    internal::RecordLoopProfile(
+        stats, static_cast<int64_t>(chunks.size()),
+        grain > 0 ? grain : end - begin,
+        obs::TscClock::ToSeconds(obs::TscClock::Now() - merge_start));
   }
 }
 

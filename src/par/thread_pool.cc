@@ -6,6 +6,7 @@
 #include <string>
 
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 
 namespace largeea::par {
@@ -21,6 +22,29 @@ int64_t NowMicros() {
       .count();
 }
 
+// Pool-health bookkeeping shared by both Run() paths: cumulative
+// busy/capacity counters plus the derived utilization gauge, and a
+// monotone peak of the task backlog a job put in front of the workers.
+// One-time gauge updates per job — nothing per task — so the pool's
+// health is visible in every run report even without --profile.
+void UpdatePoolHealthMetrics(obs::MetricsRegistry& metrics, int64_t busy_us,
+                             int64_t capacity_us, int64_t num_tasks) {
+  obs::Counter& busy = metrics.GetCounter("par.busy_micros");
+  obs::Counter& capacity = metrics.GetCounter("par.capacity_micros");
+  busy.Add(busy_us);
+  capacity.Add(capacity_us);
+  const int64_t cap_total = capacity.Value();
+  if (cap_total > 0) {
+    metrics.GetGauge("par.utilization")
+        .Set(static_cast<double>(busy.Value()) /
+             static_cast<double>(cap_total));
+  }
+  obs::Gauge& depth = metrics.GetGauge("par.queue_depth.peak");
+  if (static_cast<double>(num_tasks) > depth.Value()) {
+    depth.Set(static_cast<double>(num_tasks));
+  }
+}
+
 }  // namespace
 
 // All scheduling state for one Run() call. Heap-allocated and shared
@@ -29,9 +53,14 @@ int64_t NowMicros() {
 struct ThreadPool::Job {
   const std::function<void(int64_t)>* fn = nullptr;
   int64_t num_tasks = 0;
+  // Per-task clock reads happen only when a JobStats consumer asked for
+  // them (profiling); the flag is fixed before workers see the job.
+  bool timed = false;
   std::atomic<int64_t> next{0};
   std::atomic<int64_t> done{0};
   std::atomic<int64_t> busy_us{0};
+  std::atomic<uint64_t> task_ticks_sum{0};
+  std::atomic<uint64_t> task_ticks_max{0};
   std::mutex mu;
   std::condition_variable done_cv;
   std::exception_ptr error;      // guarded by mu; lowest failing task wins
@@ -102,9 +131,12 @@ void ThreadPool::StopWorkersLocked(std::unique_lock<std::mutex>& lock) {
 
 void ThreadPool::WorkerLoop(int32_t worker_index) {
   obs::SetCurrentThreadName("par/worker-" + std::to_string(worker_index));
+  obs::Counter& idle_counter =
+      obs::MetricsRegistry::Get().GetCounter("par.worker_idle_micros");
   uint64_t seen_generation = 0;
   while (true) {
     std::shared_ptr<Job> job;
+    const int64_t wait_start_us = NowMicros();
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
@@ -115,6 +147,9 @@ void ThreadPool::WorkerLoop(int32_t worker_index) {
       seen_generation = job_generation_;
       job = current_job_;
     }
+    // Time between jobs is idle capacity: the worker existed but had
+    // nothing to claim. One counter add per wake-up.
+    idle_counter.Add(NowMicros() - wait_start_us);
     WorkOnJob(*job);
   }
 }
@@ -122,11 +157,14 @@ void ThreadPool::WorkerLoop(int32_t worker_index) {
 void ThreadPool::WorkOnJob(Job& job) {
   const int64_t start_us = NowMicros();
   int64_t executed = 0;
+  uint64_t ticks_sum = 0;
+  uint64_t ticks_max = 0;
   std::exception_ptr error;
   int64_t error_task = -1;
   while (true) {
     const int64_t task = job.next.fetch_add(1, std::memory_order_relaxed);
     if (task >= job.num_tasks) break;
+    const uint64_t task_start = job.timed ? obs::TscClock::Now() : 0;
     in_pool_task = true;
     try {
       (*job.fn)(task);
@@ -137,10 +175,22 @@ void ThreadPool::WorkOnJob(Job& job) {
       }
     }
     in_pool_task = false;
+    if (job.timed) {
+      const uint64_t ticks = obs::TscClock::Now() - task_start;
+      ticks_sum += ticks;
+      if (ticks > ticks_max) ticks_max = ticks;
+    }
     ++executed;
   }
   job.busy_us.fetch_add(NowMicros() - start_us, std::memory_order_relaxed);
   if (executed == 0) return;
+  if (job.timed) {
+    job.task_ticks_sum.fetch_add(ticks_sum, std::memory_order_relaxed);
+    uint64_t cur = job.task_ticks_max.load(std::memory_order_relaxed);
+    while (ticks_max > cur &&
+           !job.task_ticks_max.compare_exchange_weak(cur, ticks_max)) {
+    }
+  }
   std::lock_guard<std::mutex> lock(job.mu);
   if (error && (job.error_task < 0 || error_task < job.error_task)) {
     job.error = error;
@@ -154,6 +204,12 @@ void ThreadPool::WorkOnJob(Job& job) {
 
 void ThreadPool::Run(int64_t num_tasks,
                      const std::function<void(int64_t)>& fn) {
+  Run(num_tasks, fn, nullptr);
+}
+
+void ThreadPool::Run(int64_t num_tasks,
+                     const std::function<void(int64_t)>& fn,
+                     JobStats* stats) {
   if (num_tasks <= 0) return;
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Get();
   metrics.GetCounter("par.jobs").Add(1);
@@ -164,30 +220,55 @@ void ThreadPool::Run(int64_t num_tasks,
   if (in_pool_task || num_tasks == 1 || num_threads() <= 1) {
     const int64_t start_us = NowMicros();
     const bool was_in_task = in_pool_task;
+    uint64_t ticks_sum = 0;
+    uint64_t ticks_max = 0;
     in_pool_task = true;
     try {
-      for (int64_t task = 0; task < num_tasks; ++task) fn(task);
+      for (int64_t task = 0; task < num_tasks; ++task) {
+        const uint64_t task_start = stats ? obs::TscClock::Now() : 0;
+        fn(task);
+        if (stats) {
+          const uint64_t ticks = obs::TscClock::Now() - task_start;
+          ticks_sum += ticks;
+          if (ticks > ticks_max) ticks_max = ticks;
+        }
+      }
     } catch (...) {
       in_pool_task = was_in_task;
-      metrics.GetCounter("par.busy_micros").Add(NowMicros() - start_us);
+      const int64_t elapsed_us = NowMicros() - start_us;
+      UpdatePoolHealthMetrics(metrics, elapsed_us, elapsed_us, num_tasks);
       throw;
     }
     in_pool_task = was_in_task;
-    metrics.GetCounter("par.busy_micros").Add(NowMicros() - start_us);
+    const int64_t elapsed_us = NowMicros() - start_us;
+    // Inline execution occupies exactly one thread, so capacity == busy:
+    // a serial loop is 100% utilised by definition.
+    UpdatePoolHealthMetrics(metrics, elapsed_us, elapsed_us, num_tasks);
+    if (stats) {
+      stats->wall_seconds = static_cast<double>(elapsed_us) * 1e-6;
+      stats->busy_seconds = stats->wall_seconds;
+      stats->sum_task_seconds = obs::TscClock::ToSeconds(ticks_sum);
+      stats->max_task_seconds = obs::TscClock::ToSeconds(ticks_max);
+      stats->threads = 1;
+    }
     return;
   }
 
   // One job in flight at a time; concurrent Run() callers queue here.
   std::lock_guard<std::mutex> run_lock(run_mu_);
+  const int64_t submit_us = NowMicros();
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->num_tasks = num_tasks;
+  job->timed = stats != nullptr;
+  int32_t job_threads;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (num_threads_ == 0) {
       num_threads_ = DefaultNumThreads();
       metrics.GetGauge("par.threads").Set(num_threads_);
     }
+    job_threads = num_threads_;
     StartWorkersLocked();
     current_job_ = job;
     ++job_generation_;
@@ -208,8 +289,19 @@ void ThreadPool::Run(int64_t num_tasks,
     std::lock_guard<std::mutex> lock(mu_);
     if (current_job_ == job) current_job_ = nullptr;
   }
-  metrics.GetCounter("par.busy_micros").Add(
-      job->busy_us.load(std::memory_order_relaxed));
+  const int64_t wall_us = NowMicros() - submit_us;
+  const int64_t busy_us = job->busy_us.load(std::memory_order_relaxed);
+  UpdatePoolHealthMetrics(metrics, busy_us, wall_us * job_threads,
+                          num_tasks);
+  if (stats) {
+    stats->wall_seconds = static_cast<double>(wall_us) * 1e-6;
+    stats->busy_seconds = static_cast<double>(busy_us) * 1e-6;
+    stats->sum_task_seconds = obs::TscClock::ToSeconds(
+        job->task_ticks_sum.load(std::memory_order_relaxed));
+    stats->max_task_seconds = obs::TscClock::ToSeconds(
+        job->task_ticks_max.load(std::memory_order_relaxed));
+    stats->threads = job_threads;
+  }
   if (error) std::rethrow_exception(error);
 }
 

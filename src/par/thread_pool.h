@@ -28,6 +28,18 @@ namespace largeea::par {
 /// Process-wide worker pool. All methods are thread-safe.
 class ThreadPool {
  public:
+  /// Per-job accounting filled by Run() when the caller asks for it
+  /// (the par/ loop layer does, when profiling is enabled). Task timing
+  /// is only measured when stats are requested, so the normal path pays
+  /// nothing per task.
+  struct JobStats {
+    double wall_seconds = 0.0;      ///< submit-to-complete on the caller
+    double busy_seconds = 0.0;      ///< task execution, summed over workers
+    double max_task_seconds = 0.0;  ///< slowest single task
+    double sum_task_seconds = 0.0;  ///< total across tasks
+    int32_t threads = 1;            ///< pool width the job ran under
+  };
+
   /// Returns the singleton pool.
   static ThreadPool& Get();
 
@@ -61,6 +73,12 @@ class ThreadPool {
   /// If tasks throw, the exception from the lowest-numbered failing task
   /// is rethrown on the caller after all in-flight tasks finish.
   void Run(int64_t num_tasks, const std::function<void(int64_t)>& fn);
+
+  /// As above, and additionally fills `*stats` (when non-null) with the
+  /// job's wall/busy/per-task timing. Passing stats turns on per-task
+  /// clock reads for this job only.
+  void Run(int64_t num_tasks, const std::function<void(int64_t)>& fn,
+           JobStats* stats);
 
   /// Joins and destroys the workers. Safe to call when idle; the pool
   /// restarts lazily on the next Run().

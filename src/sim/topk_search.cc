@@ -8,6 +8,7 @@
 #include "src/common/macros.h"
 #include "src/la/ops.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 #include "src/par/parallel_for.h"
 #include "src/sim/lsh.h"
@@ -99,6 +100,14 @@ void ExactTopKInto(const MatrixRowRange& source,
   const int64_t dim = source.cols();
   const simd::KernelTable& kt = simd::Kernels();
 
+  // Every source row streams the full target once; the survivors are
+  // (score, id) pairs. The brute-force scan dominates, so this is the
+  // canonical bandwidth-bound kernel in a profile.
+  obs::ProfileScope prof("sim.topk.exact");
+  prof.AddBytes(4 * (source.rows() * dim + source.rows() * target.rows() * dim),
+                source.rows() * options.k * 8);
+  prof.AddFlops(2 * source.rows() * target.rows() * dim);
+
   par::ParallelReduceOrdered<ChunkState>(
       0, source.rows(), kRowGrain,
       [&](const par::ChunkRange& rows, ChunkState& state) {
@@ -159,6 +168,13 @@ void LshTopKInto(const MatrixRowRange& source,
   const int64_t dim = source.cols();
   const simd::KernelTable& kt = simd::Kernels();
 
+  // LSH candidate counts are data-dependent: the fixed source-read and
+  // result-write traffic is declared up front, and the scored-candidate
+  // traffic is added after the reduce once candidates_scanned is known
+  // (ProfileScope accumulators are caller-thread-only by design).
+  obs::ProfileScope prof("sim.topk.lsh");
+  prof.AddBytes(4 * source.rows() * dim, source.rows() * options.k * 8);
+
   int64_t candidates_scanned = 0;
   par::ParallelReduceOrdered<ChunkState>(
       0, source.rows(), kRowGrain,
@@ -188,6 +204,8 @@ void LshTopKInto(const MatrixRowRange& source,
           out.Accumulate(row_ids[i], col_ids[j], score);
         }
       });
+  prof.AddBytes(4 * candidates_scanned * dim, 0);
+  prof.AddFlops(2 * candidates_scanned * dim);
   auto& registry = obs::MetricsRegistry::Get();
   registry.GetCounter("topk.lsh.rows").Add(source.rows());
   registry.GetCounter("topk.lsh.candidates_scanned").Add(candidates_scanned);
@@ -224,6 +242,9 @@ void LshTopKStreamedInto(const MatrixRowRange& source,
   const int64_t dim = source.cols();
   const int64_t tile_rows = target.tile_rows();
   const simd::KernelTable& kt = simd::Kernels();
+
+  obs::ProfileScope prof("sim.topk.lsh");
+  prof.AddBytes(4 * source.rows() * dim, source.rows() * options.k * 8);
 
   int64_t candidates_scanned = 0;
   par::ParallelReduceOrdered<ChunkState>(
@@ -263,6 +284,8 @@ void LshTopKStreamedInto(const MatrixRowRange& source,
           out.Accumulate(row_ids[i], j, score);
         }
       });
+  prof.AddBytes(4 * candidates_scanned * dim, 0);
+  prof.AddFlops(2 * candidates_scanned * dim);
   auto& registry = obs::MetricsRegistry::Get();
   registry.GetCounter("topk.lsh.rows").Add(source.rows());
   registry.GetCounter("topk.lsh.candidates_scanned").Add(candidates_scanned);

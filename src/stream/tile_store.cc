@@ -12,6 +12,7 @@
 
 #include "src/common/macros.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 #include "src/rt/io_util.h"
 
@@ -92,7 +93,12 @@ TileId TileStore::Put(Matrix tile) {
   obs::Span span("stream/spill");
   span.AddAttr("tile", id);
   uint64_t hash = 0;
+  // Tile IO bytes are the actual blob size (header + payload), so a
+  // profile's stream.tile_write GB/s is real disk write throughput.
+  obs::ProfileScope prof("stream.tile_write");
   const std::string blob = SerializeTile(tile, &hash);
+  prof.AddBytes(tile.size() * static_cast<int64_t>(sizeof(float)),
+                static_cast<int64_t>(blob.size()));
   const Status write_status = rt::AtomicallyWriteFile(path, blob);
   span.End();
 
@@ -202,6 +208,7 @@ void TileStore::EvictLocked() {
 }
 
 Matrix TileStore::LoadTileFile(const Tile& tile) const {
+  obs::ProfileScope prof("stream.tile_read");
   StatusOr<std::string> blob = rt::ReadFileToString(tile.path);
   if (!blob.ok()) {
     std::fprintf(stderr, "stream: cannot reload tile %s: %s\n",
@@ -232,6 +239,8 @@ Matrix TileStore::LoadTileFile(const Tile& tile) const {
   std::string_view payload(data.data() + header_end + 1, payload_bytes);
   LARGEEA_CHECK_EQ(rt::Fnv1a64(payload), stored_hash);  // DATA_LOSS
 
+  prof.AddBytes(static_cast<int64_t>(data.size()),
+                static_cast<int64_t>(payload_bytes));
   Matrix m(rows, cols);
   std::memcpy(m.data(), payload.data(), payload_bytes);
   return m;

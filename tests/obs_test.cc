@@ -246,6 +246,24 @@ TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
   EXPECT_EQ(v.array[2].number, 1.5);
 }
 
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNullInObjects) {
+  // The degradation must hold for keyed values too (the report writes
+  // derived ratios like utilization as object members), and for both
+  // infinity signs — a 0/0 imbalance ratio must corrupt one value, not
+  // the whole document.
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("neg_inf").Double(-HUGE_VAL);
+  w.Key("nan").Double(std::nan("1"));
+  w.Key("fine").Double(-2.5);
+  w.EndObject();
+  ASSERT_TRUE(w.complete());
+  const JsonValue v = ParseOrDie(w.str());
+  EXPECT_EQ(v.at("neg_inf").kind, JsonValue::kNull);
+  EXPECT_EQ(v.at("nan").kind, JsonValue::kNull);
+  EXPECT_EQ(v.at("fine").number, -2.5);
+}
+
 TEST(JsonWriterTest, ControlCharactersAreEscaped) {
   const std::string escaped = obs::JsonEscape(std::string("a\x01z", 3));
   EXPECT_EQ(escaped, "a\\u0001z");
@@ -553,6 +571,37 @@ TEST(MetricsTest, EmptyHistogramIsZeroed) {
   EXPECT_EQ(hist.Min(), 0.0);
   EXPECT_EQ(hist.Max(), 0.0);
   EXPECT_EQ(hist.Percentile(0.5), 0.0);
+}
+
+TEST(MetricsTest, EmptyHistogramPercentileIsZeroAtEveryQuantile) {
+  obs::Histogram hist({10.0, 20.0});
+  EXPECT_EQ(hist.Percentile(0.0), 0.0);
+  EXPECT_EQ(hist.Percentile(0.5), 0.0);
+  EXPECT_EQ(hist.Percentile(1.0), 0.0);
+}
+
+TEST(MetricsTest, HistogramPercentileExtremeQuantilesBracketObservations) {
+  obs::Histogram hist({10.0, 20.0, 30.0});
+  hist.Observe(12.0);
+  hist.Observe(18.0);
+  hist.Observe(25.0);
+  // q=0 can never undershoot the smallest observation and q=1 can never
+  // overshoot the largest — the clamp to [Min, Max] is the contract that
+  // keeps report percentiles inside real data.
+  EXPECT_EQ(hist.Percentile(0.0), 12.0);
+  EXPECT_EQ(hist.Percentile(1.0), 25.0);
+  // Out-of-range quantiles clamp to the same endpoints rather than
+  // extrapolating or crashing.
+  EXPECT_EQ(hist.Percentile(-0.5), hist.Percentile(0.0));
+  EXPECT_EQ(hist.Percentile(1.5), hist.Percentile(1.0));
+}
+
+TEST(MetricsTest, HistogramSingleSampleIsEveryPercentile) {
+  obs::Histogram hist({10.0, 20.0});
+  hist.Observe(17.0);
+  EXPECT_EQ(hist.Percentile(0.0), 17.0);
+  EXPECT_EQ(hist.Percentile(0.5), 17.0);
+  EXPECT_EQ(hist.Percentile(1.0), 17.0);
 }
 
 TEST(MetricsTest, HistogramResetClearsState) {

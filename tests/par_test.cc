@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/par/parallel_for.h"
 #include "src/par/thread_pool.h"
 
@@ -199,6 +200,36 @@ TEST(ParallelReduceOrderedTest, MergesInChunkOrder) {
   std::vector<int64_t> expected(merge_order.size());
   std::iota(expected.begin(), expected.end(), 0);
   EXPECT_EQ(merge_order, expected);
+}
+
+TEST(ThreadPoolTest, PoolHealthMetricsVisibleWithoutProfiler) {
+  // The par.* gauges are part of the always-on metrics surface: they
+  // must move after any pool job even when --profile is off.
+  auto& metrics = obs::MetricsRegistry::Get();
+  obs::Counter& busy = metrics.GetCounter("par.busy_micros");
+  obs::Counter& capacity = metrics.GetCounter("par.capacity_micros");
+  obs::Gauge& depth = metrics.GetGauge("par.queue_depth.peak");
+  const int64_t busy_before = busy.Value();
+  const int64_t capacity_before = capacity.Value();
+
+  ScopedThreads scoped(2);
+  ParallelFor(0, 20000, 64, [](const ChunkRange& r) {
+    volatile int64_t sink = 0;
+    for (int64_t i = r.begin; i < r.end; ++i) sink = sink + i;
+  });
+
+  EXPECT_GE(busy.Value(), busy_before);
+  EXPECT_GT(capacity.Value(), capacity_before);
+  // Capacity counts every worker's window; busy can never exceed it.
+  EXPECT_LE(busy.Value(), capacity.Value());
+  const double util = metrics.GetGauge("par.utilization").Value();
+  EXPECT_GE(util, 0.0);
+  EXPECT_LE(util, 1.05);  // worker windows are clocked separately from wall
+  // 20000/64 chunks through a 2-thread pool leaves a visible queue.
+  EXPECT_GE(depth.Value(), 1.0);
+  // Idle accounting exists (its value depends on wake timing, so only
+  // non-negativity is asserted).
+  EXPECT_GE(metrics.GetCounter("par.worker_idle_micros").Value(), 0);
 }
 
 TEST(ParallelReduceOrderedTest, FloatSumBitIdenticalAcrossThreadCounts) {

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Regenerates the committed benchmark baselines from a release build:
+# Regenerates the committed benchmark baselines from a release build,
+# or gates a fresh run against them:
 #
 #   * BENCH_par.json  — kernel scaling across thread counts
 #     (bench_micro --json-out, see bench/bench_micro.cc);
 #   * BENCH_simd.json — SIMD backend x kernel matrix at one thread
 #     (bench_micro --mode=backend --json-out);
+#   * BENCH_profile.json — the scaling grid under the profiler
+#     (bench_micro --mode=profile --json-out, DESIGN.md §11): rows add
+#     utilization, chunk-imbalance, GB/s, arithmetic intensity;
 #   * BENCH_stream.json — memory-budget sweep of the streaming layer:
 #     unbudgeted peak, then budgets of 1/2, 1/4, 1/8 of it, each row
 #     recording peak/seconds and that the fused matrix stayed
@@ -12,14 +16,27 @@
 #     DESIGN.md §10). STREAM_SCALE tunes the dataset size.
 #
 # Usage:
-#   tools/run_bench.sh                 # both baselines into the repo root
+#   tools/run_bench.sh                 # regenerate baselines in repo root
+#   tools/run_bench.sh --gate          # fresh par+simd runs vs committed
+#                                      # baselines; non-zero exit on a
+#                                      # >GATE_TOLERANCE throughput drop
+#   tools/run_bench.sh --gate-check    # validate committed baselines only
+#                                      # (no benches run; CI-safe)
 #   OUT_DIR=/tmp tools/run_bench.sh    # write elsewhere
 #   MIN_TIME=1.0 tools/run_bench.sh    # longer timing windows
 #   THREADS_LIST=1,2,4 tools/run_bench.sh
+#   GATE_TOLERANCE=0.25 tools/run_bench.sh --gate
+#   BENCH_RUNS=5 tools/run_bench.sh    # best-of-N for the gated benches
+#
+# The gated benches (par, simd) are measured as best-of-BENCH_RUNS per
+# row — noise is one-sided, so taking the max on both the baseline and
+# the fresh side keeps GATE_TOLERANCE meaningful on machines whose
+# single-run jitter exceeds it.
 #
 # The numbers are machine-dependent; the committed files record the
 # machine the perf trajectory was measured on and are refreshed whenever
-# a kernel change moves them.
+# a kernel change moves them. The gate therefore only means something
+# when run on that same machine — CI uses --gate-check instead.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,18 +46,87 @@ MIN_TIME="${MIN_TIME:-0.3}"
 THREADS_LIST="${THREADS_LIST:-1,2,4,8}"
 BUILD_DIR="${BUILD_DIR:-build}"
 STREAM_SCALE="${STREAM_SCALE:-0.2}"
+GATE_TOLERANCE="${GATE_TOLERANCE:-0.15}"
+BENCH_RUNS="${BENCH_RUNS:-3}"
+
+# Runs a bench BENCH_RUNS times and keeps, per row, the fastest run.
+# System noise is one-sided (it only slows runs down), so best-of-N on
+# both the baseline and the fresh side is what lets GATE_TOLERANCE sit
+# below the machine's single-run jitter.
+bench_best() {
+  local out="$1"
+  shift
+  local -a runs=()
+  local tmp i
+  for ((i = 1; i <= BENCH_RUNS; ++i)); do
+    tmp="$(mktemp)"
+    runs+=("${tmp}")
+    "$@" --json-out="${tmp}"
+  done
+  python3 tools/bench_gate.py --merge-best "${out}" "${runs[@]}"
+  rm -f "${runs[@]}"
+}
+
+MODE="generate"
+case "${1:-}" in
+  --gate) MODE="gate" ;;
+  --gate-check) MODE="gate-check" ;;
+  "") ;;
+  *)
+    echo "usage: tools/run_bench.sh [--gate|--gate-check]" >&2
+    exit 2
+    ;;
+esac
+
+if [[ "${MODE}" == "gate-check" ]]; then
+  exec python3 tools/bench_gate.py --check BENCH_par.json BENCH_simd.json
+fi
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_micro
 
-echo "=== kernel scaling (threads) ==="
-"${BUILD_DIR}/bench/bench_micro" \
-  --json-out="${OUT_DIR}/BENCH_par.json" \
+if [[ "${MODE}" == "gate" ]]; then
+  # Fresh runs land in a scratch dir and are compared row-by-row against
+  # the committed baselines; any kernel whose throughput dropped more
+  # than GATE_TOLERANCE fails the script.
+  GATE_DIR="$(mktemp -d)"
+  trap 'rm -rf "${GATE_DIR}"' EXIT
+
+  echo "=== gate: kernel scaling (threads, best of ${BENCH_RUNS}) ==="
+  bench_best "${GATE_DIR}/BENCH_par.json" \
+    "${BUILD_DIR}/bench/bench_micro" \
+    --threads-list="${THREADS_LIST}" --min-time="${MIN_TIME}"
+
+  echo "=== gate: SIMD backend matrix (best of ${BENCH_RUNS}) ==="
+  bench_best "${GATE_DIR}/BENCH_simd.json" \
+    "${BUILD_DIR}/bench/bench_micro" --mode=backend --min-time="${MIN_TIME}"
+
+  status=0
+  python3 tools/bench_gate.py --tolerance "${GATE_TOLERANCE}" \
+    --baseline BENCH_par.json --fresh "${GATE_DIR}/BENCH_par.json" \
+    || status=1
+  python3 tools/bench_gate.py --tolerance "${GATE_TOLERANCE}" \
+    --baseline BENCH_simd.json --fresh "${GATE_DIR}/BENCH_simd.json" \
+    || status=1
+  if [[ "${status}" -ne 0 ]]; then
+    echo "run_bench.sh: PERF GATE FAILED (see rows above)" >&2
+  fi
+  exit "${status}"
+fi
+
+echo "=== kernel scaling (threads, best of ${BENCH_RUNS}) ==="
+bench_best "${OUT_DIR}/BENCH_par.json" \
+  "${BUILD_DIR}/bench/bench_micro" \
   --threads-list="${THREADS_LIST}" --min-time="${MIN_TIME}"
 
-echo "=== SIMD backend matrix ==="
-"${BUILD_DIR}/bench/bench_micro" --mode=backend \
-  --json-out="${OUT_DIR}/BENCH_simd.json" --min-time="${MIN_TIME}"
+echo "=== SIMD backend matrix (best of ${BENCH_RUNS}) ==="
+bench_best "${OUT_DIR}/BENCH_simd.json" \
+  "${BUILD_DIR}/bench/bench_micro" --mode=backend --min-time="${MIN_TIME}"
+
+echo "=== profile sweep ==="
+"${BUILD_DIR}/bench/bench_micro" --mode=profile \
+  --json-out="${OUT_DIR}/BENCH_profile.json" \
+  --threads-list="${THREADS_LIST}" --min-time="${MIN_TIME}"
 
 echo "=== streaming budget sweep ==="
 "${BUILD_DIR}/bench/bench_micro" --mode=stream \

@@ -20,22 +20,34 @@
 //   largeea_cli partition --source A.tsv --target B.tsv --seeds S.tsv
 //                         [--batches K]
 //       reports METIS-CPS vs VPS partition quality
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "src/common/flags.h"
 #include "src/core/config.h"
 #include "src/core/large_ea.h"
 #include "src/gen/benchmark_gen.h"
 #include "src/kg/kg_io.h"
+#include "src/obs/json_writer.h"
 #include "src/obs/log.h"
 #include "src/obs/profiler.h"
 #include "src/obs/report.h"
 #include "src/obs/trace.h"
+#include "src/obs/trace_merge.h"
 #include "src/partition/metis_cps.h"
 #include "src/partition/vps.h"
+#include "src/rt/fault_injection.h"
+#include "src/rt/io_util.h"
+#include "src/shard/orchestrator.h"
+#include "src/shard/worker.h"
 #include "src/simd/simd.h"
 
 using namespace largeea;
@@ -45,6 +57,60 @@ namespace {
 int Fail(const char* message) {
   std::fprintf(stderr, "error: %s\n", message);
   return 1;
+}
+
+// Graceful SIGTERM/SIGINT: the async-signal handler only records the
+// signal; a watcher thread does the non-reentrant work — flushing the
+// run report (with an `interrupted` marker), the Chrome trace, and the
+// metrics snapshot the report carries — then exits with the shell
+// convention 128+signal (143 for SIGTERM, 130 for SIGINT). A second
+// signal while flushing is ignored; the orchestrator escalates to
+// SIGKILL for workers that truly stop responding.
+std::atomic<int> g_shutdown_signal{0};
+
+void OnShutdownSignal(int sig) {
+  g_shutdown_signal.store(sig, std::memory_order_relaxed);
+}
+
+void StartShutdownWatcher(const Config& config_in) {
+  std::signal(SIGTERM, OnShutdownSignal);
+  std::signal(SIGINT, OnShutdownSignal);
+  std::thread([config = config_in]() {
+    int sig;
+    while ((sig = g_shutdown_signal.load(std::memory_order_relaxed)) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    const char* name = sig == SIGTERM ? "SIGTERM" : "SIGINT";
+    std::fprintf(stderr, "largeea_cli: caught %s, flushing outputs\n", name);
+    if (!config.report_out.empty()) {
+      obs::RunReport report;
+      report.SetTool("largeea_cli align");
+      config.WriteTo(report);
+      report.AddConfig("interrupted", name);
+      report.IngestMemoryPhases();
+      report.IngestTraceTotals();
+      (void)report.WriteJson(config.report_out);
+    }
+    if (!config.trace_out.empty()) {
+      (void)obs::TraceRecorder::Get().WriteChromeTrace(config.trace_out);
+    }
+    std::_Exit(128 + sig);
+  }).detach();
+}
+
+// The command line to re-invoke this binary as a shard worker: the real
+// executable (argv[0] may be PATH-relative and the worker inherits a
+// different cwd-independent spawn) plus the user's original arguments.
+// The orchestrator appends its per-worker overrides after these; the
+// flag parser is last-wins.
+std::vector<std::string> WorkerCommand(int argc, char** argv) {
+  std::vector<std::string> cmd;
+  std::error_code ec;
+  const std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  cmd.push_back(ec ? std::string(argv[0]) : self.string());
+  for (int i = 1; i < argc; ++i) cmd.emplace_back(argv[i]);
+  return cmd;
 }
 
 EaDataset LoadDatasetOrDie(const Flags& flags, bool need_seeds,
@@ -166,29 +232,66 @@ void PrintProfileSummary() {
   }
 }
 
-int CmdAlign(const Flags& flags, Config config) {
+int CmdAlign(const Flags& flags, Config config, int argc, char** argv) {
   if (!config.trace_out.empty()) {
     obs::TraceRecorder::Get().Clear();
     obs::TraceRecorder::Get().Enable();
   }
+  StartShutdownWatcher(config);
 
   const EaDataset dataset =
       LoadDatasetOrDie(flags, /*need_seeds=*/false, config.strict_io);
   // Large graphs default to the approximate LSH path (the DBP1M-tier
-  // setting); an explicit --use-lsh in either direction wins.
+  // setting); an explicit --use-lsh in either direction wins. This runs
+  // before the shard-worker branch on purpose: the decision enters the
+  // config fingerprint, and orchestrator and workers see the same
+  // dataset and flags, so they land on the same fingerprint.
   if (!flags.Has("use-lsh") &&
       std::max(dataset.source.num_entities(),
                dataset.target.num_entities()) > 8000) {
     config.pipeline.name_channel.nff.sens.use_lsh = true;
   }
   const LargeEaOptions& options = config.pipeline;
+
+  if (config.shard_worker >= 0) {
+    shard::ShardWorkerOptions worker;
+    worker.shard_index = config.shard_worker;
+    worker.shard_count = config.shards;
+    worker.heartbeat_file = config.shard_heartbeat_file;
+    worker.heartbeat_interval_ms = config.shard_heartbeat_ms;
+    const Status status = shard::RunShardWorker(dataset, options, worker);
+    if (!config.trace_out.empty()) {
+      (void)obs::TraceRecorder::Get().WriteChromeTrace(config.trace_out);
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
   LARGEEA_LOG_INFO("align: %d+%d entities, model=%s, batches=%d, epochs=%d",
                    dataset.source.num_entities(),
                    dataset.target.num_entities(), config.model.c_str(),
                    options.structure_channel.num_batches,
                    options.structure_channel.train.epochs);
 
-  auto run = RunLargeEa(dataset, options);
+  shard::ShardRunStats shard_stats;
+  StatusOr<LargeEaResult> run = [&]() {
+    if (config.shards <= 0) return RunLargeEa(dataset, options);
+    shard::ShardOptions sharding;
+    sharding.num_shards = config.shards;
+    sharding.max_shard_retries = config.shard_max_retries;
+    sharding.retry_backoff_ms = config.shard_backoff_ms;
+    sharding.heartbeat_interval_ms = config.shard_heartbeat_ms;
+    sharding.heartbeat_timeout_ms = config.shard_heartbeat_timeout_ms;
+    sharding.shard_deadline_s = config.shard_deadline_s;
+    sharding.degrade_failed_shards = config.shard_degrade;
+    sharding.capture_worker_traces = !config.trace_out.empty();
+    sharding.worker_command = WorkerCommand(argc, argv);
+    return shard::RunShardedLargeEa(dataset, options, sharding,
+                                    &shard_stats);
+  }();
   if (!run.ok()) {
     std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
     if (!options.fault_tolerance.checkpoint_dir.empty()) {
@@ -209,6 +312,12 @@ int CmdAlign(const Flags& flags, Config config) {
                 result.structure_channel.batches_resumed,
                 result.structure_channel.batches_retried,
                 result.structure_channel.batches_dropped);
+  }
+  if (config.shards > 0) {
+    std::printf(
+        "shards: %d workers launched, %d retried, %d degraded, %d resumed\n",
+        shard_stats.workers_launched, shard_stats.workers_retried,
+        shard_stats.shards_degraded, shard_stats.shards_resumed);
   }
   if (result.metrics.num_test_pairs > 0) {
     std::printf("H@1 %.2f%%  H@5 %.2f%%  MRR %.4f  (%ld test pairs)\n",
@@ -236,7 +345,29 @@ int CmdAlign(const Flags& flags, Config config) {
   if (config.profile) PrintProfileSummary();
 
   if (!config.trace_out.empty()) {
-    if (!obs::TraceRecorder::Get().WriteChromeTrace(config.trace_out)) {
+    // A sharded run merges the orchestrator's own timeline with every
+    // worker trace into one multi-process document; pid 1 stays the
+    // orchestrator, workers get pids 2..N+1.
+    std::string trace = obs::TraceRecorder::Get().ToChromeTraceJson();
+    if (!shard_stats.worker_trace_files.empty()) {
+      std::vector<obs::TraceProcess> processes;
+      processes.push_back(obs::TraceProcess{"orchestrator", 1,
+                                            std::move(trace)});
+      int32_t pid = 2;
+      for (const std::string& path : shard_stats.worker_trace_files) {
+        auto json = rt::ReadFileToString(path);
+        // "worker-3-trace.json" -> track label "worker-3".
+        std::string label = std::filesystem::path(path).stem().string();
+        if (const size_t pos = label.rfind("-trace"); pos != std::string::npos) {
+          label.resize(pos);
+        }
+        processes.push_back(obs::TraceProcess{
+            std::move(label), pid++,
+            json.ok() ? std::move(json).value() : std::string()});
+      }
+      trace = obs::MergeChromeTraces(processes);
+    }
+    if (!obs::WriteStringToFile(config.trace_out, trace)) {
       return Fail("failed to write --trace-out");
     }
     std::printf("wrote trace to %s\n", config.trace_out.c_str());
@@ -328,8 +459,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", runtime.ToString().c_str());
     return 2;
   }
+  // Deterministic chaos testing: LARGEEA_FAULTS (gated per shard by
+  // LARGEEA_FAULTS_SHARD) arms named fault points in this process.
+  (void)rt::ArmFaultsFromEnv(config->shard_worker);
   if (command == "generate") return CmdGenerate(flags);
-  if (command == "align") return CmdAlign(flags, std::move(*config));
+  if (command == "align") {
+    return CmdAlign(flags, std::move(*config), argc, argv);
+  }
   if (command == "partition") return CmdPartition(flags, *config);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 2;

@@ -88,6 +88,30 @@ void Config::Register(FlagRegistry& r) {
   r.Bool("resume", &pipeline.fault_tolerance.resume,
          "restore completed phases from --checkpoint-dir");
 
+  // Multi-process sharding (DESIGN.md §12).
+  r.Int32("shards", &shards,
+          "run the structure channel across this many supervised worker "
+          "processes (0 = single-process; requires --checkpoint-dir)");
+  r.Int32("shard-worker", &shard_worker,
+          "run as shard worker with this index (internal; spawned by the "
+          "orchestrator, -1 = not a worker)");
+  r.Int32("shard-max-retries", &shard_max_retries,
+          "respawns allowed per shard after its first attempt fails");
+  r.Int32("shard-backoff-ms", &shard_backoff_ms,
+          "base of the exponential respawn backoff");
+  r.Int32("shard-heartbeat-ms", &shard_heartbeat_ms,
+          "interval workers rewrite their heartbeat file at");
+  r.Int32("shard-heartbeat-timeout-ms", &shard_heartbeat_timeout_ms,
+          "SIGKILL a worker whose heartbeat does not change for this long "
+          "(0 disables hang detection)");
+  r.Int32("shard-deadline-s", &shard_deadline_s,
+          "hard wall-clock deadline per worker attempt (0 disables)");
+  r.Bool("shard-degrade", &shard_degrade,
+         "degrade a shard that exhausts its retries to name-channel-only "
+         "fusion instead of failing the run");
+  r.String("shard-heartbeat-file", &shard_heartbeat_file,
+           "heartbeat file this worker rewrites (internal)");
+
   // Memory-budgeted streaming (DESIGN.md §10).
   r.Int64("memory-budget-mb", &pipeline.stream.memory_budget_mb,
           "stream whole-graph phases under this tracked-memory budget "
@@ -172,6 +196,24 @@ Status Config::Validate() {
   if (pipeline.fault_tolerance.resume &&
       pipeline.fault_tolerance.checkpoint_dir.empty()) {
     return InvalidArgumentError("--resume requires --checkpoint-dir");
+  }
+  if (shards < 0) {
+    return InvalidArgumentError("--shards must be >= 0");
+  }
+  if (shards > 0 && pipeline.fault_tolerance.checkpoint_dir.empty()) {
+    return InvalidArgumentError("--shards requires --checkpoint-dir (the "
+                                "workers hand their trained blocks to the "
+                                "merge through it)");
+  }
+  if (shard_worker >= 0) {
+    if (pipeline.fault_tolerance.checkpoint_dir.empty()) {
+      return InvalidArgumentError("--shard-worker requires --checkpoint-dir");
+    }
+    if (shards < 1 || shard_worker >= shards) {
+      return InvalidArgumentError(
+          "--shard-worker " + std::to_string(shard_worker) +
+          " out of range for --shards " + std::to_string(shards));
+    }
   }
   if (!pipeline.use_name_channel && !pipeline.use_structure_channel) {
     return InvalidArgumentError(

@@ -58,6 +58,21 @@ struct Config {
   std::string report_out;
   std::string out;
 
+  /// Multi-process sharding (DESIGN.md §12). `shards > 0` makes `align`
+  /// an orchestrator that re-invokes this binary once per shard with
+  /// `--shard-worker i`; `shard_worker >= 0` makes it that worker. None
+  /// of these enter the config fingerprint: a sharded run shares its
+  /// checkpoints with the equivalent single-process run by design.
+  int32_t shards = 0;
+  int32_t shard_worker = -1;
+  int32_t shard_max_retries = 2;
+  int32_t shard_backoff_ms = 200;
+  int32_t shard_heartbeat_ms = 250;
+  int32_t shard_heartbeat_timeout_ms = 30000;
+  int32_t shard_deadline_s = 0;
+  bool shard_degrade = true;
+  std::string shard_heartbeat_file;
+
   /// Kernel-level profiling (DESIGN.md §11). Off by default: the
   /// disabled profiler costs one relaxed atomic load per annotated
   /// kernel entry. When on, the run report gains a `profile` section and

@@ -24,12 +24,6 @@ namespace {
 
 constexpr const char* kPartitionKind = "partition";
 
-std::string BatchKind(size_t batch_index) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "batch_%04zu", batch_index);
-  return buf;
-}
-
 StatusOr<MiniBatchSet> GenerateBatches(
     const KnowledgeGraph& source, const KnowledgeGraph& target,
     const EntityPairList& seeds, const StructureChannelOptions& options) {
@@ -61,12 +55,71 @@ StatusOr<MiniBatchSet> GenerateBatches(
   return InternalError("unknown partition strategy");
 }
 
-bool BatchTooSmall(const MiniBatch& batch) {
-  return batch.source_entities.size() < 2 ||
-         batch.target_entities.size() < 2;
+}  // namespace
+
+std::string StructureBatchArtifactKind(size_t batch_index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "batch_%04zu", batch_index);
+  return buf;
 }
 
-}  // namespace
+bool StructureBatchTrainable(const MiniBatch& batch) {
+  return batch.source_entities.size() >= 2 &&
+         batch.target_entities.size() >= 2;
+}
+
+StatusOr<MiniBatchSet> PrepareStructureBatches(
+    const KnowledgeGraph& source, const KnowledgeGraph& target,
+    const EntityPairList& seeds, const StructureChannelOptions& options,
+    rt::CheckpointManager* checkpoint, double* partition_seconds) {
+  auto& registry = obs::MetricsRegistry::Get();
+  // The span is the single timing source for partition_seconds (no
+  // separate Timer). The batch set is checkpointed so a resumed run
+  // trains against the *identical* partition even if the partitioner's
+  // randomisation were to drift.
+  obs::Span partition_span("structure/partition");
+  partition_span.AddAttr("num_batches",
+                         static_cast<int64_t>(options.num_batches));
+  MiniBatchSet result;
+  bool loaded = false;
+  if (checkpoint != nullptr && checkpoint->should_load()) {
+    auto batches = checkpoint->LoadBatches(kPartitionKind);
+    if (batches.ok()) {
+      result = std::move(batches).value();
+      loaded = true;
+    } else if (batches.status().code() != StatusCode::kNotFound) {
+      registry.GetCounter("checkpoint.load_failures").Increment();
+      LARGEEA_LOG_WARN("structure: ignoring unusable partition "
+                       "checkpoint (%s); repartitioning",
+                       batches.status().ToString().c_str());
+    }
+  }
+  if (!loaded) {
+    if (options.shard_count > 0) {
+      // A shard worker only sees ψ (the raw train pairs), never the
+      // pseudo-seed-augmented ψ' the orchestrator partitioned with, so
+      // regenerating here would silently train a *different* partition.
+      return FailedPreconditionError(
+          "shard worker requires the partition artifact in the checkpoint "
+          "directory (run the orchestrator first)");
+    }
+    auto batches = GenerateBatches(source, target, seeds, options);
+    if (!batches.ok()) {
+      return batches.status().WithContext("structure channel: partition");
+    }
+    result = std::move(batches).value();
+    if (options.overlap_degree > 1) {
+      result = MakeOverlappingBatches(result, source, target,
+                                      options.overlap_degree);
+    }
+    if (checkpoint != nullptr && checkpoint->enabled()) {
+      (void)checkpoint->SaveBatches(kPartitionKind, result);
+    }
+  }
+  const double seconds = partition_span.End();
+  if (partition_seconds != nullptr) *partition_seconds = seconds;
+  return result;
+}
 
 StatusOr<StructureChannelResult> RunStructureChannel(
     const KnowledgeGraph& source, const KnowledgeGraph& target,
@@ -75,43 +128,12 @@ StatusOr<StructureChannelResult> RunStructureChannel(
   StructureChannelResult result;
   auto& registry = obs::MetricsRegistry::Get();
 
-  // Partition phase. The span is the single timing source for
-  // partition_seconds (no separate Timer). The batch set is checkpointed
-  // so a resumed run trains against the *identical* partition even if
-  // the partitioner's randomisation were to drift.
   {
-    obs::Span partition_span("structure/partition");
-    partition_span.AddAttr("num_batches",
-                           static_cast<int64_t>(options.num_batches));
-    bool loaded = false;
-    if (checkpoint != nullptr && checkpoint->should_load()) {
-      auto batches = checkpoint->LoadBatches(kPartitionKind);
-      if (batches.ok()) {
-        result.batches = std::move(batches).value();
-        loaded = true;
-      } else if (batches.status().code() != StatusCode::kNotFound) {
-        registry.GetCounter("checkpoint.load_failures").Increment();
-        LARGEEA_LOG_WARN("structure: ignoring unusable partition "
-                         "checkpoint (%s); repartitioning",
-                         batches.status().ToString().c_str());
-      }
-    }
-    if (!loaded) {
-      auto batches = GenerateBatches(source, target, seeds, options);
-      if (!batches.ok()) {
-        return batches.status().WithContext("structure channel: partition");
-      }
-      result.batches = std::move(batches).value();
-      if (options.overlap_degree > 1) {
-        result.batches = MakeOverlappingBatches(result.batches, source,
-                                                target,
-                                                options.overlap_degree);
-      }
-      if (checkpoint != nullptr && checkpoint->enabled()) {
-        (void)checkpoint->SaveBatches(kPartitionKind, result.batches);
-      }
-    }
-    result.partition_seconds = partition_span.End();
+    auto batches = PrepareStructureBatches(source, target, seeds, options,
+                                           checkpoint,
+                                           &result.partition_seconds);
+    if (!batches.ok()) return batches.status();
+    result.batches = std::move(batches).value();
   }
 
   // Per-batch training seeds are derived up front, in the exact order the
@@ -120,9 +142,13 @@ StatusOr<StructureChannelResult> RunStructureChannel(
   // every remaining batch the seed it would have received uninterrupted.
   std::vector<uint64_t> batch_seeds(result.batches.size(), 0);
   {
+    // NOTE: the fork iterates every trainable batch regardless of any
+    // shard filter below — a worker process that trains only its own
+    // batches must still hand each of them the seed a single-process run
+    // would have.
     Rng rng(options.seed);
     for (size_t b = 0; b < result.batches.size(); ++b) {
-      if (!BatchTooSmall(result.batches[b])) {
+      if (StructureBatchTrainable(result.batches[b])) {
         batch_seeds[b] = rng.Fork(b).Next();
       }
     }
@@ -220,7 +246,14 @@ StatusOr<StructureChannelResult> RunStructureChannel(
   // cursor is advanced eagerly as batches resolve: batch b is merged and
   // checkpointed as soon as batches 0..b are all done, preserving PR 2's
   // prompt-checkpoint property.
-  enum class SlotState { kPending, kSkipped, kResumed, kTrained, kFailed };
+  enum class SlotState {
+    kPending,
+    kSkipped,
+    kForeign,  ///< another shard's batch: not merged, not checkpointed
+    kResumed,
+    kTrained,
+    kFailed,
+  };
   struct BatchSlot {
     SlotState state = SlotState::kPending;
     SparseSimMatrix block;
@@ -230,16 +263,22 @@ StatusOr<StructureChannelResult> RunStructureChannel(
   std::vector<size_t> to_train;
 
   // Dispositions are resolved serially first: too-small batches are
-  // skipped and checkpointed batches are loaded, in ascending order as
-  // before.
+  // skipped, other shards' batches are passed over, and checkpointed
+  // batches are loaded, in ascending order as before.
   for (size_t b = 0; b < result.batches.size(); ++b) {
-    if (BatchTooSmall(result.batches[b])) {
+    if (!StructureBatchTrainable(result.batches[b])) {
       slots[b].state = SlotState::kSkipped;
       registry.GetCounter("structure.batches_skipped").Increment();
       continue;
     }
+    if (options.shard_count > 0 &&
+        static_cast<int32_t>(b % static_cast<size_t>(options.shard_count)) !=
+            options.shard_index) {
+      slots[b].state = SlotState::kForeign;
+      continue;
+    }
     if (checkpoint != nullptr && checkpoint->should_load()) {
-      auto block = checkpoint->LoadMatrix(BatchKind(b));
+      auto block = checkpoint->LoadMatrix(StructureBatchArtifactKind(b));
       if (block.ok()) {
         slots[b].state = SlotState::kResumed;
         slots[b].block = std::move(block).value();
@@ -253,6 +292,20 @@ StatusOr<StructureChannelResult> RunStructureChannel(
                          "batch %zu (%s); retraining",
                          b, block.status().ToString().c_str());
       }
+      if (options.resume_missing_batches_as_failed) {
+        // Merge-only mode: this process must not train. The batch is
+        // accounted a failure — dropped (degradation) or fatal per
+        // drop_failed_batches.
+        slots[b].state = SlotState::kFailed;
+        slots[b].error = block.status().WithContext(
+            "batch artifact unusable in merge-only resume");
+        continue;
+      }
+    } else if (options.resume_missing_batches_as_failed) {
+      slots[b].state = SlotState::kFailed;
+      slots[b].error = FailedPreconditionError(
+          "merge-only resume requires a checkpoint store");
+      continue;
     }
     to_train.push_back(b);
   }
@@ -271,6 +324,7 @@ StatusOr<StructureChannelResult> RunStructureChannel(
         case SlotState::kPending:
           return;
         case SlotState::kSkipped:
+        case SlotState::kForeign:
           break;
         case SlotState::kResumed:
           merge_block(slot.block);
@@ -280,7 +334,8 @@ StatusOr<StructureChannelResult> RunStructureChannel(
           merge_block(slot.block);
           registry.GetCounter("structure.batches_trained").Increment();
           if (checkpoint != nullptr && checkpoint->enabled()) {
-            (void)checkpoint->SaveMatrix(BatchKind(b), slot.block);
+            (void)checkpoint->SaveMatrix(StructureBatchArtifactKind(b),
+                                         slot.block);
           }
           slot.block = SparseSimMatrix();
           break;
@@ -296,10 +351,9 @@ StatusOr<StructureChannelResult> RunStructureChannel(
           // run report shows exactly how many batches were sacrificed.
           ++result.batches_dropped;
           registry.GetCounter("structure.batches_dropped").Increment();
-          LARGEEA_LOG_WARN("structure: dropping batch %zu after %d "
-                           "attempts (%s); its similarity block stays zero",
-                           b, options.max_batch_retries + 1,
-                           slot.error.ToString().c_str());
+          LARGEEA_LOG_WARN("structure: dropping batch %zu (%s); its "
+                           "similarity block stays zero",
+                           b, slot.error.ToString().c_str());
           break;
       }
       ++cursor;

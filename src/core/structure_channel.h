@@ -54,6 +54,24 @@ struct StructureChannelOptions {
   /// When true, a batch that exhausts its retries is dropped (similarity
   /// contribution zeroed, counted); when false it fails the channel.
   bool drop_failed_batches = true;
+
+  /// Sharded execution (src/shard/, DESIGN.md §12). With shard_count > 0
+  /// this process trains only the batches assigned to shard_index
+  /// (batch b belongs to shard b % shard_count); every other batch is
+  /// left untouched for its own worker process. The partition artifact
+  /// must then already exist in the checkpoint store — a worker must
+  /// never re-derive it, because it does not hold the augmented seed set
+  /// ψ' the orchestrator partitioned with. These fields are deliberately
+  /// NOT part of the config fingerprint: the shard layout must never
+  /// invalidate checkpoints shared across processes.
+  int32_t shard_count = 0;
+  int32_t shard_index = 0;
+  /// Merge-only resume (the orchestrator's fuse phase): a batch whose
+  /// checkpoint artifact cannot be loaded is treated as a *failed* batch
+  /// — dropped and counted under drop_failed_batches, channel failure
+  /// otherwise — instead of being retrained in this process. Guarantees
+  /// the merge trains nothing.
+  bool resume_missing_batches_as_failed = false;
 };
 
 struct StructureChannelResult {
@@ -68,6 +86,26 @@ struct StructureChannelResult {
   int32_t batches_retried = 0;
   int32_t batches_resumed = 0;
 };
+
+/// Checkpoint artifact kind for batch `batch_index`'s similarity block
+/// ("batch_0004") — the shard orchestrator uses it to test shard
+/// completeness against the shared checkpoint store.
+std::string StructureBatchArtifactKind(size_t batch_index);
+
+/// Whether `batch` is large enough to train (too-small batches are
+/// skipped by the channel and excluded from shard plans).
+bool StructureBatchTrainable(const MiniBatch& batch);
+
+/// The partition phase alone: loads the checkpointed batch set, or
+/// generates (+overlaps, + checkpoints) it. Exposed so the shard
+/// orchestrator can materialise the partition once before spawning
+/// workers. With options.shard_count > 0 the partition is load-only and
+/// a missing artifact is FAILED_PRECONDITION (see the field comment).
+/// `partition_seconds`, when non-null, receives the phase wall time.
+StatusOr<MiniBatchSet> PrepareStructureBatches(
+    const KnowledgeGraph& source, const KnowledgeGraph& target,
+    const EntityPairList& seeds, const StructureChannelOptions& options,
+    rt::CheckpointManager* checkpoint, double* partition_seconds = nullptr);
 
 /// Runs the structure channel. `seeds` is ψ' (train pairs, possibly
 /// already augmented with pseudo seeds). When `checkpoint` is non-null,

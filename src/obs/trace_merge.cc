@@ -1,0 +1,82 @@
+#include "src/obs/trace_merge.h"
+
+#include "src/obs/json_writer.h"
+
+namespace largeea::obs {
+
+namespace {
+
+// Returns the content between "traceEvents":[ and its closing bracket,
+// or empty if the document does not look like TraceRecorder output.
+// Events never nest arrays (args are flat objects), so the last ']' in
+// the document closes the event array.
+std::string ExtractEvents(const std::string& json) {
+  static constexpr char kOpen[] = "\"traceEvents\":[";
+  const size_t begin = json.find(kOpen);
+  if (begin == std::string::npos) return {};
+  const size_t start = begin + sizeof(kOpen) - 1;
+  const size_t end = json.rfind(']');
+  if (end == std::string::npos || end < start) return {};
+  return json.substr(start, end - start);
+}
+
+// Rewrites every "pid":1 stamp to the given pid. TraceRecorder is the
+// only producer of these documents and stamps the literal "pid":1 on
+// every event, so a plain token replacement is exact; the next-char
+// check keeps a hypothetical "pid":12 intact.
+std::string RewritePid(const std::string& events, int32_t pid) {
+  static constexpr char kToken[] = "\"pid\":1";
+  const std::string replacement = "\"pid\":" + std::to_string(pid);
+  std::string out;
+  out.reserve(events.size() + events.size() / 8);
+  size_t pos = 0;
+  while (pos < events.size()) {
+    const size_t hit = events.find(kToken, pos);
+    if (hit == std::string::npos) {
+      out.append(events, pos, std::string::npos);
+      break;
+    }
+    out.append(events, pos, hit - pos);
+    const size_t after = hit + sizeof(kToken) - 1;
+    if (after < events.size() && events[after] >= '0' &&
+        events[after] <= '9') {
+      out.append(events, hit, after + 1 - hit);
+      pos = after + 1;
+      continue;
+    }
+    out += replacement;
+    pos = after;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MergeChromeTraces(const std::vector<TraceProcess>& processes) {
+  std::string merged = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceProcess& p : processes) {
+    const std::string events = ExtractEvents(p.json);
+    if (events.empty()) continue;  // missing or torn worker trace
+    if (!first) merged += ',';
+    first = false;
+    // Label the process track so the viewer shows "shard-worker-2"
+    // instead of a bare pid.
+    JsonWriter meta;
+    meta.BeginObject();
+    meta.Key("name").String("process_name");
+    meta.Key("ph").String("M");
+    meta.Key("pid").Int(p.pid);
+    meta.Key("args").BeginObject();
+    meta.Key("name").String(p.label);
+    meta.EndObject();
+    meta.EndObject();
+    merged += meta.str();
+    merged += ',';
+    merged += RewritePid(events, p.pid);
+  }
+  merged += "]}";
+  return merged;
+}
+
+}  // namespace largeea::obs

@@ -1,0 +1,37 @@
+// Merging per-process Chrome traces into one multi-process timeline.
+//
+// Every TraceRecorder export stamps its events with pid 1 (a process
+// only knows itself). A sharded run produces one trace per worker plus
+// the orchestrator's own; this merger rewrites each document onto a
+// distinct pid, labels it with a process_name metadata event, and
+// splices the event arrays — so chrome://tracing shows the orchestrator
+// and every worker as parallel process tracks on one shared time axis.
+// (Each process's timestamps are relative to its own start; the offset
+// between tracks is spawn latency, which is exactly the information the
+// supervision timeline needs.)
+#ifndef LARGEEA_OBS_TRACE_MERGE_H_
+#define LARGEEA_OBS_TRACE_MERGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace largeea::obs {
+
+/// One process's contribution to the merged trace.
+struct TraceProcess {
+  std::string label;  ///< "orchestrator", "shard-worker-2", ...
+  int32_t pid = 1;    ///< must be unique across the vector
+  std::string json;   ///< a full TraceRecorder Chrome trace document
+};
+
+/// Splices the processes' traceEvents arrays into one Chrome trace
+/// document, rewriting each document's pid stamps to its TraceProcess
+/// pid. Documents that do not look like TraceRecorder output contribute
+/// nothing (a crashed worker may have left no or a torn trace file —
+/// the merge must survive that).
+std::string MergeChromeTraces(const std::vector<TraceProcess>& processes);
+
+}  // namespace largeea::obs
+
+#endif  // LARGEEA_OBS_TRACE_MERGE_H_

@@ -23,16 +23,27 @@
 #include <string>
 #include <thread>
 
+#include "src/rt/status.h"
+
 namespace largeea::par {
 
 /// One background thread draining a FIFO closure queue. All methods are
 /// thread-safe. The destructor drains the queue, then joins.
+///
+/// Error contract: a task that throws does NOT terminate the process
+/// (the historical behaviour — an escaped exception on a std::thread is
+/// std::terminate). The first exception is captured on the worker thread
+/// and surfaced as an INTERNAL Status from the next Submit()/Drain()
+/// call; later tasks keep running, because background work is
+/// best-effort cache warming whose loss must degrade, not kill,
+/// the run (DESIGN.md §8).
 class BackgroundWorker {
  public:
   /// `thread_name` labels the worker in Chrome trace exports.
   explicit BackgroundWorker(std::string thread_name);
 
-  /// Drains outstanding tasks, then joins the worker.
+  /// Drains outstanding tasks, then joins the worker. A still-unreported
+  /// task failure is logged here, never thrown.
   ~BackgroundWorker();
 
   BackgroundWorker(const BackgroundWorker&) = delete;
@@ -40,17 +51,23 @@ class BackgroundWorker {
 
   /// Enqueues `task` and returns immediately. The worker thread is
   /// started lazily on the first submission, so an idle worker (e.g.
-  /// prefetch disabled) costs nothing.
-  void Submit(std::function<void()> task);
+  /// prefetch disabled) costs nothing. Returns (and clears) the first
+  /// captured failure of a *previous* task; the new task is enqueued
+  /// either way.
+  Status Submit(std::function<void()> task);
 
-  /// Blocks until every task submitted so far has finished.
-  void Drain();
+  /// Blocks until every task submitted so far has finished. Returns
+  /// (and clears) the first captured task failure, if any.
+  Status Drain();
 
   /// Tasks submitted over the worker's lifetime (test/metrics hook).
   int64_t submitted() const;
 
  private:
   void Loop();
+
+  /// Must hold mu_. Returns and clears the pending task failure.
+  Status TakeErrorLocked();
 
   std::string thread_name_;
   mutable std::mutex mu_;
@@ -62,6 +79,8 @@ class BackgroundWorker {
   bool stopping_ = false;
   bool busy_ = false;  ///< a task is executing (queue may be empty)
   int64_t submitted_ = 0;
+  std::string task_error_;  ///< first captured failure; empty = none
+  bool has_task_error_ = false;
 };
 
 }  // namespace largeea::par

@@ -293,35 +293,62 @@ Status CheckpointManager::SaveBatches(std::string_view kind,
   return SavePayload(kind, MiniBatchesToString(batches));
 }
 
+Status CheckpointManager::MaybeQuarantine(std::string_view kind,
+                                          Status status) {
+  if (status.code() != StatusCode::kDataLoss) return status;
+  const std::string path = PathFor(kind);
+  const std::string quarantine = path + ".corrupt";
+  std::error_code ec;
+  std::filesystem::rename(path, quarantine, ec);
+  if (ec) {
+    // The rename is best-effort: the load already failed cleanly and the
+    // caller will recompute either way.
+    LARGEEA_LOG_WARN("checkpoint: cannot quarantine '%s': %s", path.c_str(),
+                     ec.message().c_str());
+    return status;
+  }
+  obs::MetricsRegistry::Get().GetCounter("checkpoint.quarantined")
+      .Increment();
+  LARGEEA_LOG_WARN("checkpoint: quarantined corrupt artifact '%s' -> '%s'",
+                   path.c_str(), quarantine.c_str());
+  return status.WithContext("quarantined to '" + quarantine + "'");
+}
+
 StatusOr<SparseSimMatrix> CheckpointManager::LoadMatrix(
     std::string_view kind) {
-  LARGEEA_ASSIGN_OR_RETURN(const std::string payload, LoadPayload(kind));
-  auto m = SimMatrixFromString(payload);
+  auto payload = LoadPayload(kind);
+  if (!payload.ok()) return MaybeQuarantine(kind, payload.status());
+  auto m = SimMatrixFromString(*payload);
   if (!m.ok()) {
     // A payload that passed the checksum but fails to parse means the
     // writer and reader disagree — treat as corruption, not bad input.
-    return DataLossError("'" + PathFor(kind) +
-                         "': " + m.status().message());
+    return MaybeQuarantine(
+        kind, DataLossError("'" + PathFor(kind) +
+                            "': " + m.status().message()));
   }
   return m;
 }
 
 StatusOr<EntityPairList> CheckpointManager::LoadPairs(std::string_view kind) {
-  LARGEEA_ASSIGN_OR_RETURN(const std::string payload, LoadPayload(kind));
-  auto pairs = EntityPairsFromString(payload);
+  auto payload = LoadPayload(kind);
+  if (!payload.ok()) return MaybeQuarantine(kind, payload.status());
+  auto pairs = EntityPairsFromString(*payload);
   if (!pairs.ok()) {
-    return DataLossError("'" + PathFor(kind) +
-                         "': " + pairs.status().message());
+    return MaybeQuarantine(
+        kind, DataLossError("'" + PathFor(kind) +
+                            "': " + pairs.status().message()));
   }
   return pairs;
 }
 
 StatusOr<MiniBatchSet> CheckpointManager::LoadBatches(std::string_view kind) {
-  LARGEEA_ASSIGN_OR_RETURN(const std::string payload, LoadPayload(kind));
-  auto batches = MiniBatchesFromString(payload);
+  auto payload = LoadPayload(kind);
+  if (!payload.ok()) return MaybeQuarantine(kind, payload.status());
+  auto batches = MiniBatchesFromString(*payload);
   if (!batches.ok()) {
-    return DataLossError("'" + PathFor(kind) +
-                         "': " + batches.status().message());
+    return MaybeQuarantine(
+        kind, DataLossError("'" + PathFor(kind) +
+                            "': " + batches.status().message()));
   }
   return batches;
 }

@@ -65,7 +65,11 @@ class CheckpointManager {
   Status SaveBatches(std::string_view kind, const MiniBatchSet& batches);
 
   /// Loads one artifact: NOT_FOUND when absent, FAILED_PRECONDITION on a
-  /// fingerprint/version mismatch, DATA_LOSS on corruption.
+  /// fingerprint/version mismatch, DATA_LOSS on corruption. A DATA_LOSS
+  /// artifact is *quarantined* — renamed to "<path>.corrupt" and counted
+  /// in `checkpoint.quarantined` — so the caller's recompute-and-save of
+  /// the unit writes a fresh artifact instead of fighting the corrupt
+  /// one on every future resume, and the evidence survives for forensics.
   StatusOr<SparseSimMatrix> LoadMatrix(std::string_view kind);
   StatusOr<EntityPairList> LoadPairs(std::string_view kind);
   StatusOr<MiniBatchSet> LoadBatches(std::string_view kind);
@@ -76,6 +80,9 @@ class CheckpointManager {
  private:
   Status SavePayload(std::string_view kind, std::string_view payload);
   StatusOr<std::string> LoadPayload(std::string_view kind);
+  /// Renames `kind`'s artifact to "<path>.corrupt" when `status` is
+  /// DATA_LOSS; passes every status through unchanged otherwise.
+  Status MaybeQuarantine(std::string_view kind, Status status);
 
   std::string dir_;
   uint64_t fingerprint_ = 0;

@@ -1,5 +1,11 @@
 #include "src/rt/fault_injection.h"
 
+#include <csignal>
+#include <cstdlib>
+
+#include "src/common/string_util.h"
+#include "src/obs/log.h"
+
 namespace largeea::rt {
 
 FaultInjector& FaultInjector::Get() {
@@ -29,18 +35,41 @@ void FaultInjector::Reset() {
 }
 
 Status FaultInjector::Check(std::string_view point) {
-  std::lock_guard<std::mutex> lock(mu_);
-  PointState& state = points_[std::string(point)];
-  ++state.hits;
-  if (!state.armed) return OkStatus();
-  const FaultSpec& spec = state.spec;
-  if (state.hits < spec.trigger_on_hit) return OkStatus();
-  if (spec.max_triggers >= 0 && state.triggers >= spec.max_triggers) {
-    return OkStatus();
+  FaultAction action = FaultAction::kFail;
+  Status failure = OkStatus();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PointState& state = points_[std::string(point)];
+    ++state.hits;
+    if (!state.armed) return OkStatus();
+    const FaultSpec& spec = state.spec;
+    if (state.hits < spec.trigger_on_hit) return OkStatus();
+    if (spec.max_triggers >= 0 && state.triggers >= spec.max_triggers) {
+      return OkStatus();
+    }
+    ++state.triggers;
+    action = spec.action;
+    failure = Status(
+        spec.code,
+        spec.message + " (fault point '" + std::string(point) + "')");
   }
-  ++state.triggers;
-  return Status(spec.code,
-                spec.message + " (fault point '" + std::string(point) + "')");
+  // Process-level actions run outside the lock: SIGSTOP freezes every
+  // thread, and a resumed process must not wake up inside the injector's
+  // critical section.
+  switch (action) {
+    case FaultAction::kFail:
+      break;
+    case FaultAction::kKill:
+      std::raise(SIGKILL);
+      break;
+    case FaultAction::kStop:
+      std::raise(SIGSTOP);
+      // Only reached if some supervisor SIGCONTs the process instead of
+      // killing it; surface the injected status so the run still ends in
+      // a classified failure rather than silently continuing.
+      break;
+  }
+  return failure;
 }
 
 int64_t FaultInjector::HitCount(std::string_view point) const {
@@ -61,6 +90,88 @@ std::vector<std::string> FaultInjector::SeenPoints() const {
   out.reserve(points_.size());
   for (const auto& [name, state] : points_) out.push_back(name);
   return out;
+}
+
+int ArmFaultsFromEnv(int32_t shard_index) {
+  const char* env = std::getenv("LARGEEA_FAULTS");
+  if (env == nullptr || env[0] == '\0') return 0;
+  if (const char* only = std::getenv("LARGEEA_FAULTS_SHARD")) {
+    const auto target = ParseInt(only);
+    if (!target || *target != shard_index) return 0;
+  }
+  int armed = 0;
+  for (const std::string& entry : Split(env, ';')) {
+    const std::string_view stripped = StripAsciiWhitespace(entry);
+    if (stripped.empty()) continue;
+    const size_t eq = stripped.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      LARGEEA_LOG_WARN("faults: skipping malformed entry '%s'",
+                       std::string(stripped).c_str());
+      continue;
+    }
+    std::string_view target = stripped.substr(0, eq);
+    const std::string_view action = stripped.substr(eq + 1);
+
+    FaultSpec spec;
+    const size_t at = target.find('@');
+    if (at != std::string_view::npos) {
+      std::string_view when = target.substr(at + 1);
+      target = target.substr(0, at);
+      const size_t x = when.find('x');
+      if (x != std::string_view::npos) {
+        const auto n = ParseInt(when.substr(x + 1));
+        if (!n) {
+          LARGEEA_LOG_WARN("faults: bad max_triggers in '%s'",
+                           std::string(stripped).c_str());
+          continue;
+        }
+        spec.max_triggers = static_cast<int32_t>(*n);
+        when = when.substr(0, x);
+      }
+      const auto hit = ParseInt(when);
+      if (!hit || *hit < 1) {
+        LARGEEA_LOG_WARN("faults: bad trigger hit in '%s'",
+                         std::string(stripped).c_str());
+        continue;
+      }
+      spec.trigger_on_hit = static_cast<int32_t>(*hit);
+    }
+
+    if (action == "kill") {
+      spec.action = FaultAction::kKill;
+    } else if (action == "stop") {
+      spec.action = FaultAction::kStop;
+    } else if (action == "fail" || action.substr(0, 5) == "fail:") {
+      spec.action = FaultAction::kFail;
+      spec.message = "injected env fault";
+      if (action.size() > 5) {
+        const std::string_view code = action.substr(5);
+        if (code == "UNAVAILABLE") {
+          spec.code = StatusCode::kUnavailable;
+        } else if (code == "ABORTED") {
+          spec.code = StatusCode::kAborted;
+        } else if (code == "DATA_LOSS") {
+          spec.code = StatusCode::kDataLoss;
+        } else if (code == "INTERNAL") {
+          spec.code = StatusCode::kInternal;
+        } else {
+          LARGEEA_LOG_WARN("faults: unknown status code in '%s'",
+                           std::string(stripped).c_str());
+          continue;
+        }
+      }
+    } else {
+      LARGEEA_LOG_WARN("faults: unknown action in '%s'",
+                       std::string(stripped).c_str());
+      continue;
+    }
+    FaultInjector::Get().Arm(target, spec);
+    ++armed;
+  }
+  if (armed > 0) {
+    LARGEEA_LOG_INFO("faults: armed %d point(s) from LARGEEA_FAULTS", armed);
+  }
+  return armed;
 }
 
 }  // namespace largeea::rt

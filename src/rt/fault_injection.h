@@ -30,6 +30,20 @@
 
 namespace largeea::rt {
 
+/// What a triggered fault point does to the process. kFail is the
+/// classic in-band injection: the macro returns `code` from the
+/// enclosing function. The other two simulate whole-process failures for
+/// the multi-process shard chaos tests (DESIGN.md §12): kKill raises
+/// SIGKILL — instant death, nothing flushed, exactly what an OOM killer
+/// delivers — and kStop raises SIGSTOP, freezing every thread (including
+/// heartbeat writers) until a supervisor notices the stale heartbeat and
+/// SIGKILLs the process. Both are deterministic in the hit counter.
+enum class FaultAction {
+  kFail,
+  kKill,
+  kStop,
+};
+
 /// When and how an armed fault point fires.
 struct FaultSpec {
   StatusCode code = StatusCode::kUnavailable;
@@ -38,6 +52,7 @@ struct FaultSpec {
   int32_t trigger_on_hit = 1;
   /// Consecutive firings once triggered; -1 = every hit from then on.
   int32_t max_triggers = 1;
+  FaultAction action = FaultAction::kFail;
 };
 
 /// Process-wide fault-point registry. All methods are thread-safe.
@@ -80,6 +95,26 @@ class FaultInjector {
   mutable std::mutex mu_;
   std::map<std::string, PointState, std::less<>> points_;
 };
+
+/// Arms fault points described by the LARGEEA_FAULTS environment
+/// variable — the only way a *subprocess* (a shard worker) can be given
+/// a failure schedule, since the in-process Arm() API dies with the
+/// parent's address space. Format, semicolon-separated:
+///
+///   point[@hit[xN]]=action[;point2...]
+///
+/// where `hit` is the 1-based trigger hit (default 1), `N` is
+/// max_triggers (default 1, -1 = unbounded), and `action` is `kill`,
+/// `stop`, `fail` (UNAVAILABLE), or `fail:CODE` with CODE one of
+/// UNAVAILABLE | ABORTED | DATA_LOSS | INTERNAL. Example:
+///
+///   LARGEEA_FAULTS="structure.batch.train@2=kill;checkpoint.write@1x-1=fail"
+///
+/// If LARGEEA_FAULTS_SHARD is also set, the schedule only applies to the
+/// worker whose --shard-worker index matches it (`shard_index` here);
+/// other processes arm nothing. Returns the number of points armed;
+/// malformed entries are skipped with a warning, never fatal.
+int ArmFaultsFromEnv(int32_t shard_index = -1);
 
 }  // namespace largeea::rt
 

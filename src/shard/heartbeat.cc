@@ -1,0 +1,72 @@
+#include "src/shard/heartbeat.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/rt/io_util.h"
+
+namespace largeea::shard {
+
+HeartbeatWriter::HeartbeatWriter(std::string path, int32_t interval_ms)
+    : path_(std::move(path)), interval_ms_(interval_ms) {
+  WriteBeat();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+HeartbeatWriter::~HeartbeatWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void HeartbeatWriter::SetPhase(std::string phase) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    phase_ = std::move(phase);
+  }
+  // Beat immediately so the orchestrator's logs see phase transitions
+  // without waiting out an interval.
+  WriteBeat();
+}
+
+void HeartbeatWriter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                 [&] { return stopping_; });
+    if (stopping_) return;
+    lock.unlock();
+    WriteBeat();
+    lock.lock();
+  }
+}
+
+void HeartbeatWriter::WriteBeat() {
+  const int64_t beat = beats_.fetch_add(1) + 1;
+  std::string phase;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    phase = phase_;
+  }
+  // Best-effort: a worker that cannot write beats will be classified as
+  // hung and SIGKILLed — which is the correct outcome for a worker whose
+  // scratch disk has died under it.
+  (void)rt::AtomicallyWriteFile(
+      path_, "beat " + std::to_string(beat) + ' ' + phase + '\n');
+}
+
+HeartbeatMonitor::HeartbeatMonitor(std::string path)
+    : path_(std::move(path)) {}
+
+bool HeartbeatMonitor::Poll() {
+  auto content = rt::ReadFileToString(path_);
+  if (!content.ok()) return false;
+  if (*content == last_content_) return false;
+  last_content_ = std::move(content).value();
+  return true;
+}
+
+}  // namespace largeea::shard

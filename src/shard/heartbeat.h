@@ -1,0 +1,79 @@
+// Worker liveness via heartbeat files on shared disk.
+//
+// A worker process cannot be trusted to report its own death, and an
+// exit code cannot distinguish "still training a slow batch" from
+// "wedged in a deadlock". The heartbeat file resolves the ambiguity
+// with one observable: a counter the worker rewrites every interval.
+// The orchestrator never compares file timestamps or clocks across
+// processes — it remembers the last *content* it saw and how long ago
+// (on its own steady clock) the content last changed. A frozen worker
+// (SIGSTOP, deadlock, infinite loop with the writer thread starved)
+// stops changing the content; wall-clock skew between machines is
+// irrelevant.
+#ifndef LARGEEA_SHARD_HEARTBEAT_H_
+#define LARGEEA_SHARD_HEARTBEAT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace largeea::shard {
+
+/// Worker side: rewrites `path` with an increasing beat counter and a
+/// phase label every `interval_ms` on a dedicated thread (atomic
+/// tmp+rename writes, so the orchestrator never reads a torn beat).
+/// Construction writes the first beat synchronously; destruction stops
+/// the thread and leaves the file behind for post-mortems.
+class HeartbeatWriter {
+ public:
+  HeartbeatWriter(std::string path, int32_t interval_ms);
+  ~HeartbeatWriter();
+
+  HeartbeatWriter(const HeartbeatWriter&) = delete;
+  HeartbeatWriter& operator=(const HeartbeatWriter&) = delete;
+
+  /// Labels subsequent beats ("partition", "train", "finalize") — pure
+  /// diagnostics for the orchestrator's failure classification logs.
+  void SetPhase(std::string phase);
+
+  int64_t beats() const { return beats_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+  void WriteBeat();
+
+  std::string path_;
+  int32_t interval_ms_;
+  std::atomic<int64_t> beats_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::string phase_ = "start";  ///< guarded by mu_
+  bool stopping_ = false;        ///< guarded by mu_
+  std::thread thread_;
+};
+
+/// Orchestrator side: the content-change detector for one worker's
+/// heartbeat file. Thread-compatible; owned by the supervision loop.
+class HeartbeatMonitor {
+ public:
+  explicit HeartbeatMonitor(std::string path);
+
+  /// Re-reads the file; returns true when its content changed since the
+  /// last Poll (a missing file counts as unchanged — the worker may not
+  /// have started yet, which the spawn deadline covers).
+  bool Poll();
+
+  /// Last content seen ("beat 42 train"), for failure classification.
+  const std::string& last_content() const { return last_content_; }
+
+ private:
+  std::string path_;
+  std::string last_content_;
+};
+
+}  // namespace largeea::shard
+
+#endif  // LARGEEA_SHARD_HEARTBEAT_H_

@@ -1,0 +1,30 @@
+#include "src/shard/shard_plan.h"
+
+#include "src/common/macros.h"
+#include "src/core/structure_channel.h"
+
+namespace largeea::shard {
+
+ShardPlan PlanShards(const MiniBatchSet& batches, int32_t num_shards) {
+  LARGEEA_CHECK_GE(num_shards, 1);
+  ShardPlan plan;
+  plan.num_shards = num_shards;
+  plan.batches_of.resize(static_cast<size_t>(num_shards));
+  for (size_t b = 0; b < batches.size(); ++b) {
+    if (!StructureBatchTrainable(batches[b])) continue;
+    plan.batches_of[b % static_cast<size_t>(num_shards)].push_back(b);
+  }
+  return plan;
+}
+
+bool ShardComplete(rt::CheckpointManager& checkpoint,
+                   const std::vector<size_t>& batch_indices) {
+  for (const size_t b : batch_indices) {
+    if (!checkpoint.LoadMatrix(StructureBatchArtifactKind(b)).ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace largeea::shard

@@ -1,0 +1,52 @@
+// Shard planning: which METIS-CPS mini-batches each worker process owns.
+//
+// The batch is the paper's own unit of scale (Section 2.2), and PR 2
+// made it the unit of recovery — every trained batch persists its
+// similarity block as a checksummed checkpoint artifact. The shard
+// layer builds on exactly that: shard s owns every trainable batch b
+// with b % num_shards == s, a pure function of the checkpointed batch
+// set, so the orchestrator, each worker, and a resumed orchestrator all
+// derive the *same* plan independently, with no plan file to corrupt.
+#ifndef LARGEEA_SHARD_SHARD_PLAN_H_
+#define LARGEEA_SHARD_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/partition/mini_batch.h"
+#include "src/rt/checkpoint.h"
+
+namespace largeea::shard {
+
+/// The batch→shard assignment for one run. Only trainable batches are
+/// assigned; too-small batches are skipped by every process identically.
+struct ShardPlan {
+  int32_t num_shards = 0;
+  /// batches_of[s] = ascending batch indices shard s owns. A trailing
+  /// shard can be empty when num_shards exceeds the trainable batch
+  /// count; empty shards are complete by definition and never spawned.
+  std::vector<std::vector<size_t>> batches_of;
+
+  int64_t total_batches() const {
+    int64_t n = 0;
+    for (const auto& b : batches_of) n += static_cast<int64_t>(b.size());
+    return n;
+  }
+};
+
+/// Deterministic round-robin assignment of the trainable batches in
+/// `batches` over `num_shards` shards (requires num_shards >= 1).
+ShardPlan PlanShards(const MiniBatchSet& batches, int32_t num_shards);
+
+/// True when every batch in `batch_indices` has a loadable similarity
+/// artifact in `checkpoint` — the shard's completion predicate, checked
+/// against shared disk so a restarted orchestrator re-attaches to
+/// finished shards instead of recomputing them. A corrupt artifact
+/// fails the check (and is quarantined by the load), which is what
+/// forces the owning shard to be re-run.
+bool ShardComplete(rt::CheckpointManager& checkpoint,
+                   const std::vector<size_t>& batch_indices);
+
+}  // namespace largeea::shard
+
+#endif  // LARGEEA_SHARD_SHARD_PLAN_H_

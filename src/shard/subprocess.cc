@@ -1,0 +1,113 @@
+#include "src/shard/subprocess.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+extern char** environ;
+
+namespace largeea::shard {
+
+namespace {
+
+ProcessStatus Classify(int wait_status) {
+  ProcessStatus out;
+  if (WIFEXITED(wait_status)) {
+    out.state = ProcessStatus::State::kExited;
+    out.exit_code = WEXITSTATUS(wait_status);
+  } else if (WIFSIGNALED(wait_status)) {
+    out.state = ProcessStatus::State::kSignaled;
+    out.term_signal = WTERMSIG(wait_status);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<pid_t> SpawnProcess(const std::vector<std::string>& argv,
+                             const std::vector<std::string>& extra_env,
+                             const std::string& output_path) {
+  if (argv.empty()) return InvalidArgumentError("empty argv");
+
+  // Materialise argv/envp before forking: the child must not allocate
+  // (malloc may hold a lock owned by another thread at fork time).
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  std::vector<char*> cenv;
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    cenv.push_back(*e);
+  }
+  for (const std::string& e : extra_env) {
+    cenv.push_back(const_cast<char*>(e.c_str()));
+  }
+  cenv.push_back(nullptr);
+
+  int out_fd = -1;
+  if (!output_path.empty()) {
+    out_fd = ::open(output_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (out_fd < 0) {
+      return UnavailableError("cannot open worker log '" + output_path +
+                              "': " + ::strerror(errno));
+    }
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (out_fd >= 0) ::close(out_fd);
+    return UnavailableError(std::string("fork failed: ") +
+                            ::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: async-signal-safe territory only.
+    if (out_fd >= 0) {
+      ::dup2(out_fd, STDOUT_FILENO);
+      ::dup2(out_fd, STDERR_FILENO);
+      ::close(out_fd);
+    }
+    ::execve(cargv[0], cargv.data(), cenv.data());
+    // Exec failed; 127 is the shell convention for "command not found".
+    ::_exit(127);
+  }
+  if (out_fd >= 0) ::close(out_fd);
+  return pid;
+}
+
+ProcessStatus PollProcess(pid_t pid) {
+  int wait_status = 0;
+  const pid_t r = ::waitpid(pid, &wait_status, WNOHANG);
+  if (r == 0) return ProcessStatus{};  // still running
+  if (r < 0) {
+    // Already reaped (or never ours): report a clean exit-with-error so
+    // the supervision loop classifies and moves on instead of spinning.
+    ProcessStatus out;
+    out.state = ProcessStatus::State::kExited;
+    out.exit_code = 255;
+    return out;
+  }
+  return Classify(wait_status);
+}
+
+ProcessStatus WaitProcess(pid_t pid) {
+  int wait_status = 0;
+  while (::waitpid(pid, &wait_status, 0) < 0) {
+    if (errno != EINTR) {
+      ProcessStatus out;
+      out.state = ProcessStatus::State::kExited;
+      out.exit_code = 255;
+      return out;
+    }
+  }
+  return Classify(wait_status);
+}
+
+void KillProcess(pid_t pid) { ::kill(pid, SIGKILL); }
+
+}  // namespace largeea::shard

@@ -1,0 +1,58 @@
+// Minimal POSIX subprocess supervision: spawn, poll, kill, reap.
+//
+// Deliberately not a general process library — just the four operations
+// the shard orchestrator needs, with the two properties it cares about:
+// (a) everything between fork() and execve() is async-signal-safe
+// (argv/envp arrays are materialised *before* forking, the child only
+// dup2s and execs), because the orchestrator forks from a process with
+// live threads; (b) polling never blocks (waitpid WNOHANG), so one hung
+// worker cannot stall supervision of the others.
+#ifndef LARGEEA_SHARD_SUBPROCESS_H_
+#define LARGEEA_SHARD_SUBPROCESS_H_
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "src/rt/status.h"
+
+namespace largeea::shard {
+
+/// Outcome of one Poll/Wait on a child.
+struct ProcessStatus {
+  enum class State { kRunning, kExited, kSignaled };
+  State state = State::kRunning;
+  int exit_code = 0;    ///< valid when kExited
+  int term_signal = 0;  ///< valid when kSignaled
+
+  bool running() const { return state == State::kRunning; }
+  bool succeeded() const {
+    return state == State::kExited && exit_code == 0;
+  }
+};
+
+/// Forks and execs `argv` (argv[0] is the binary path). `extra_env`
+/// entries ("NAME=value") are appended to the inherited environment —
+/// later entries win over inherited ones at getenv time on every libc
+/// that scans linearly, but pass distinct names to be portable. When
+/// `output_path` is non-empty, the child's stdout+stderr are redirected
+/// there (truncating), keeping worker chatter out of the orchestrator's
+/// terminal and preserving it for failure forensics.
+StatusOr<pid_t> SpawnProcess(const std::vector<std::string>& argv,
+                             const std::vector<std::string>& extra_env,
+                             const std::string& output_path);
+
+/// Non-blocking status check; reaps the child if it finished.
+ProcessStatus PollProcess(pid_t pid);
+
+/// Blocks until the child finishes; reaps it.
+ProcessStatus WaitProcess(pid_t pid);
+
+/// SIGKILL — for workers classified as hung or over deadline. The
+/// caller must still Poll/Wait to reap the corpse.
+void KillProcess(pid_t pid);
+
+}  // namespace largeea::shard
+
+#endif  // LARGEEA_SHARD_SUBPROCESS_H_

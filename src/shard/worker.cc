@@ -1,0 +1,84 @@
+#include "src/shard/worker.h"
+
+#include <memory>
+#include <optional>
+
+#include "src/obs/log.h"
+#include "src/obs/trace.h"
+#include "src/rt/checkpoint.h"
+#include "src/rt/fault_injection.h"
+#include "src/shard/heartbeat.h"
+#include "src/shard/shard_plan.h"
+
+namespace largeea::shard {
+
+Status RunShardWorker(const EaDataset& dataset,
+                      const LargeEaOptions& options,
+                      const ShardWorkerOptions& worker) {
+  if (options.fault_tolerance.checkpoint_dir.empty()) {
+    return InvalidArgumentError("shard worker requires --checkpoint-dir");
+  }
+  if (worker.shard_count < 1 || worker.shard_index < 0 ||
+      worker.shard_index >= worker.shard_count) {
+    return InvalidArgumentError(
+        "shard index " + std::to_string(worker.shard_index) +
+        " out of range for " + std::to_string(worker.shard_count) +
+        " shards");
+  }
+
+  obs::Span span("shard/worker");
+  span.AddAttr("shard", static_cast<int64_t>(worker.shard_index));
+
+  std::optional<HeartbeatWriter> heartbeat;
+  if (!worker.heartbeat_file.empty()) {
+    heartbeat.emplace(worker.heartbeat_file, worker.heartbeat_interval_ms);
+  }
+  LARGEEA_INJECT_FAULT("shard.worker.start");
+
+  // The fingerprint comes from the orchestrator's options, BEFORE the
+  // worker-side adjustments below: shard layout and the skipped CSLS
+  // pass must never produce artifacts the parent would reject.
+  rt::CheckpointManager checkpoint(
+      options.fault_tolerance.checkpoint_dir,
+      LargeEaConfigFingerprint(dataset, options),
+      /*resume=*/true);
+
+  StructureChannelOptions structure = options.structure_channel;
+  structure.shard_count = worker.shard_count;
+  structure.shard_index = worker.shard_index;
+  // CSLS rescales across the whole M_s; it belongs to the merge phase.
+  structure.apply_csls = false;
+  // A batch the worker cannot train is a worker failure — degradation
+  // policy (drop vs fail the run) is the orchestrator's call, after
+  // retries across fresh processes are exhausted.
+  structure.drop_failed_batches = false;
+
+  if (heartbeat) heartbeat->SetPhase("train");
+  auto trained = RunStructureChannel(dataset.source, dataset.target,
+                                     /*seeds=*/{}, structure, &checkpoint);
+  if (!trained.ok()) {
+    return trained.status().WithContext(
+        "shard worker " + std::to_string(worker.shard_index));
+  }
+
+  if (heartbeat) heartbeat->SetPhase("finalize");
+  LARGEEA_INJECT_FAULT("shard.worker.finalize");
+
+  // Trust nothing that is not on disk: training can succeed while every
+  // checkpoint save fails (best-effort writes, full disk). The contract
+  // with the orchestrator is "exit 0 == my artifacts load".
+  const ShardPlan plan =
+      PlanShards(trained->batches, worker.shard_count);
+  const auto& mine = plan.batches_of[static_cast<size_t>(worker.shard_index)];
+  if (!ShardComplete(checkpoint, mine)) {
+    return UnavailableError(
+        "shard " + std::to_string(worker.shard_index) +
+        ": trained, but not every batch artifact is loadable "
+        "(checkpoint writes failing? disk full?)");
+  }
+  LARGEEA_LOG_INFO("shard worker %d: %zu batch(es) trained and verified",
+                   worker.shard_index, mine.size());
+  return OkStatus();
+}
+
+}  // namespace largeea::shard

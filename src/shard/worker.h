@@ -1,0 +1,44 @@
+// Shard worker: the in-process half of `largeea_cli --shard-worker`.
+//
+// A worker is a whole largeea_cli process that trains exactly one
+// shard's mini-batches against the shared checkpoint directory and then
+// exits. It never runs the name channel, never merges, never evaluates:
+// its only output is the per-batch similarity artifacts it checkpoints,
+// written under the SAME config fingerprint the orchestrator computes,
+// so the merge phase cannot tell worker-trained blocks from blocks
+// trained in-process (the root of the bit-identity guarantee,
+// DESIGN.md §12).
+#ifndef LARGEEA_SHARD_WORKER_H_
+#define LARGEEA_SHARD_WORKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/large_ea.h"
+#include "src/kg/dataset.h"
+#include "src/rt/status.h"
+
+namespace largeea::shard {
+
+struct ShardWorkerOptions {
+  int32_t shard_index = 0;
+  int32_t shard_count = 1;
+  /// Heartbeat file to rewrite while alive; empty disables (tests).
+  std::string heartbeat_file;
+  int32_t heartbeat_interval_ms = 200;
+};
+
+/// Trains this worker's shard of the structure channel. `options` must
+/// be the orchestrator's ORIGINAL pipeline options (the fingerprint is
+/// computed from them before any worker-side adjustment). Requires the
+/// partition artifact to already exist. Fails — with a non-zero exit in
+/// the CLI — when any assigned batch ends the run without a loadable
+/// artifact, so a silently failing checkpoint disk (disk-full) turns
+/// into a classified worker failure instead of a wrong merge.
+Status RunShardWorker(const EaDataset& dataset,
+                      const LargeEaOptions& options,
+                      const ShardWorkerOptions& worker);
+
+}  // namespace largeea::shard
+
+#endif  // LARGEEA_SHARD_WORKER_H_

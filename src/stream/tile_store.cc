@@ -11,9 +11,11 @@
 #include <utility>
 
 #include "src/common/macros.h"
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
 #include "src/obs/trace.h"
+#include "src/rt/fault_injection.h"
 #include "src/rt/io_util.h"
 
 namespace largeea::stream {
@@ -70,7 +72,7 @@ TileStore::TileStore(const MemoryBudget& budget, std::string spill_dir)
 }
 
 TileStore::~TileStore() {
-  prefetcher_.Drain();
+  (void)prefetcher_.Drain();
   std::error_code ec;
   for (const Tile& tile : tiles_) {
     if (tile.on_disk) std::filesystem::remove(tile.path, ec);
@@ -99,7 +101,13 @@ TileId TileStore::Put(Matrix tile) {
   const std::string blob = SerializeTile(tile, &hash);
   prof.AddBytes(tile.size() * static_cast<int64_t>(sizeof(float)),
                 static_cast<int64_t>(blob.size()));
-  const Status write_status = rt::AtomicallyWriteFile(path, blob);
+  // The named fault point simulates a full scratch disk: a failed spill
+  // write leaves the tile pinned in RAM (on_disk=false below), which
+  // breaks the budget but never the results.
+  const Status write_status = [&]() -> Status {
+    LARGEEA_INJECT_FAULT("stream.spill.write");
+    return rt::AtomicallyWriteFile(path, blob);
+  }();
   span.End();
 
   auto& metrics = obs::MetricsRegistry::Get();
@@ -173,10 +181,21 @@ void TileStore::Prefetch(TileId id) {
   obs::MetricsRegistry::Get().GetCounter("stream.prefetch.issued").Increment();
   // The loaded tile lands in the cache; the value is dropped here and
   // picked up by the consumer's Get(), which counts as a hit.
-  prefetcher_.Submit([this, id] { (void)Get(id); });
+  const Status submitted =
+      prefetcher_.Submit([this, id] { (void)Get(id); });
+  if (!submitted.ok()) {
+    // A failed earlier prefetch costs its cache miss; nothing to do but
+    // make the loss visible.
+    LARGEEA_LOG_WARN("stream: %s", submitted.ToString().c_str());
+  }
 }
 
-void TileStore::DrainPrefetches() { prefetcher_.Drain(); }
+void TileStore::DrainPrefetches() {
+  const Status drained = prefetcher_.Drain();
+  if (!drained.ok()) {
+    LARGEEA_LOG_WARN("stream: %s", drained.ToString().c_str());
+  }
+}
 
 int64_t TileStore::num_tiles() const {
   std::lock_guard<std::mutex> lock(mu_);

@@ -272,6 +272,42 @@ TEST_F(CheckpointTest, GarbageFileIsDataLoss) {
   EXPECT_EQ(ckpt.LoadMatrix("m").status().code(), StatusCode::kDataLoss);
 }
 
+TEST_F(CheckpointTest, CorruptArtifactIsQuarantinedNotReread) {
+  rt::CheckpointManager ckpt(dir_, 9, true);
+  ASSERT_TRUE(ckpt.SaveMatrix("m", SampleMatrix()).ok());
+  const std::string path = ckpt.PathFor("m");
+  auto content = *rt::ReadFileToString(path);
+  content[content.size() - 2] ^= 0x20;
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << content;
+  out.close();
+
+  // First load: DATA_LOSS, and the artifact is moved aside so the next
+  // attempt recomputes instead of tripping over the same bytes.
+  const auto first = ckpt.LoadMatrix("m");
+  EXPECT_EQ(first.status().code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(path + ".corrupt"));
+  EXPECT_EQ(ckpt.LoadMatrix("m").status().code(), StatusCode::kNotFound);
+
+  // Recompute-and-save proceeds normally over the quarantined name.
+  ASSERT_TRUE(ckpt.SaveMatrix("m", SampleMatrix()).ok());
+  EXPECT_TRUE(ckpt.LoadMatrix("m").ok());
+  EXPECT_TRUE(fs::exists(path + ".corrupt"));  // kept for forensics
+}
+
+TEST_F(CheckpointTest, FingerprintMismatchIsNotQuarantined) {
+  rt::CheckpointManager writer(dir_, 1, false);
+  ASSERT_TRUE(writer.SaveMatrix("m", SampleMatrix()).ok());
+  rt::CheckpointManager reader(dir_, 2, true);
+  EXPECT_EQ(reader.LoadMatrix("m").status().code(),
+            StatusCode::kFailedPrecondition);
+  // The artifact belongs to a *different* configuration — it is healthy,
+  // just not ours, and the original run must still be able to resume it.
+  EXPECT_TRUE(fs::exists(writer.PathFor("m")));
+  EXPECT_TRUE(writer.LoadMatrix("m").ok());
+}
+
 TEST_F(CheckpointTest, KindMismatchIsDataLoss) {
   rt::CheckpointManager ckpt(dir_, 9, true);
   ASSERT_TRUE(ckpt.SavePairs("seeds", {{1, 1}}).ok());

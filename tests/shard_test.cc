@@ -1,0 +1,219 @@
+// Unit tests for the multi-process shard layer (src/shard/, DESIGN.md
+// §12): the batch->shard plan, heartbeat writer/monitor pair, the POSIX
+// subprocess supervision primitives, the multi-process Chrome trace
+// merge, and the orchestrator's argument validation. Whole-pipeline
+// chaos scenarios (SIGKILL mid-phase, hangs, corrupt checkpoints,
+// resume) live in fault_tolerance_test.cc, where a dataset and the real
+// largeea_cli binary are available.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/trace_merge.h"
+#include "src/rt/checkpoint.h"
+#include "src/rt/io_util.h"
+#include "src/shard/heartbeat.h"
+#include "src/shard/orchestrator.h"
+#include "src/shard/shard_plan.h"
+#include "src/shard/subprocess.h"
+#include "src/shard/worker.h"
+
+namespace largeea::shard {
+namespace {
+
+namespace fs = std::filesystem;
+
+MiniBatch BatchOfSize(int32_t n) {
+  MiniBatch b;
+  for (int32_t i = 0; i < n; ++i) {
+    b.source_entities.push_back(i);
+    b.target_entities.push_back(i);
+  }
+  return b;
+}
+
+std::string TempDir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("shard_test_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+TEST(ShardPlanTest, RoundRobinsByIndexSkippingUntrainableBatches) {
+  MiniBatchSet batches;
+  batches.push_back(BatchOfSize(4));  // 0: trainable -> shard 0
+  batches.push_back(BatchOfSize(1));  // 1: too small, unassigned
+  batches.push_back(BatchOfSize(4));  // 2: trainable -> shard 0
+  batches.push_back(BatchOfSize(4));  // 3: trainable -> shard 1
+  const ShardPlan plan = PlanShards(batches, 2);
+  ASSERT_EQ(plan.num_shards, 2);
+  // Assignment keys on the batch INDEX (b % shards), so a batch's owner
+  // never depends on which other batches happen to be trainable.
+  EXPECT_EQ(plan.batches_of[0], (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(plan.batches_of[1], (std::vector<size_t>{3}));
+  EXPECT_EQ(plan.total_batches(), 3);
+}
+
+TEST(ShardPlanTest, OneShardOwnsEverything) {
+  MiniBatchSet batches(3, BatchOfSize(4));
+  const ShardPlan plan = PlanShards(batches, 1);
+  EXPECT_EQ(plan.batches_of[0], (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(ShardPlanTest, MoreShardsThanBatchesLeavesEmptyShards) {
+  MiniBatchSet batches(2, BatchOfSize(4));
+  const ShardPlan plan = PlanShards(batches, 5);
+  EXPECT_EQ(plan.batches_of[0], (std::vector<size_t>{0}));
+  EXPECT_EQ(plan.batches_of[1], (std::vector<size_t>{1}));
+  for (size_t i = 2; i < 5; ++i) {
+    EXPECT_TRUE(plan.batches_of[i].empty()) << "shard " << i;
+  }
+}
+
+TEST(ShardPlanTest, EmptyBatchSetYieldsEmptyPlan) {
+  const ShardPlan plan = PlanShards({}, 3);
+  EXPECT_EQ(plan.total_batches(), 0);
+  for (const auto& shard : plan.batches_of) EXPECT_TRUE(shard.empty());
+}
+
+TEST(ShardCompleteTest, TrueOnlyWhenEveryArtifactLoads) {
+  const std::string dir = TempDir("complete");
+  rt::CheckpointManager ckpt(dir, 7, /*resume=*/true);
+  SparseSimMatrix m(2, 2, 1);
+  m.Accumulate(0, 1, 1.0f);
+  ASSERT_TRUE(ckpt.SaveMatrix(StructureBatchArtifactKind(0), m).ok());
+  EXPECT_TRUE(ShardComplete(ckpt, {0}));
+  EXPECT_FALSE(ShardComplete(ckpt, {0, 2}));
+  EXPECT_TRUE(ShardComplete(ckpt, {}));  // an empty shard is complete
+}
+
+TEST(HeartbeatTest, MonitorSeesContentChangesNotTime) {
+  const std::string dir = TempDir("heartbeat");
+  const std::string path = dir + "/hb.txt";
+  HeartbeatMonitor monitor(path);
+  EXPECT_FALSE(monitor.Poll());  // missing file: no progress
+  {
+    // Long interval: only the synchronous beats (construction and
+    // SetPhase) fire during the test, so change counts are exact.
+    HeartbeatWriter writer(path, /*interval_ms=*/60000);
+    EXPECT_TRUE(monitor.Poll());   // first beat
+    EXPECT_FALSE(monitor.Poll());  // unchanged since
+    writer.SetPhase("finalize");
+    EXPECT_TRUE(monitor.Poll());
+    EXPECT_NE(monitor.last_content().find("finalize"), std::string::npos);
+  }
+  EXPECT_TRUE(fs::exists(path));  // the file outlives the writer
+}
+
+TEST(SubprocessTest, ExitCodeAndOutputCaptured) {
+  const std::string dir = TempDir("subprocess");
+  const std::string log = dir + "/out.log";
+  auto pid = SpawnProcess({"/bin/sh", "-c", "echo captured; exit 7"}, {},
+                          log);
+  ASSERT_TRUE(pid.ok()) << pid.status().ToString();
+  const ProcessStatus status = WaitProcess(*pid);
+  EXPECT_EQ(status.state, ProcessStatus::State::kExited);
+  EXPECT_EQ(status.exit_code, 7);
+  const auto captured = rt::ReadFileToString(log);
+  ASSERT_TRUE(captured.ok());
+  EXPECT_NE(captured->find("captured"), std::string::npos);
+}
+
+TEST(SubprocessTest, ExtraEnvReachesTheChild) {
+  const std::string dir = TempDir("subprocess_env");
+  const std::string log = dir + "/out.log";
+  auto pid = SpawnProcess({"/bin/sh", "-c", "echo \"v=$SHARD_TEST_VAR\""},
+                          {"SHARD_TEST_VAR=hello"}, log);
+  ASSERT_TRUE(pid.ok());
+  EXPECT_TRUE(WaitProcess(*pid).succeeded());
+  const auto captured = rt::ReadFileToString(log);
+  ASSERT_TRUE(captured.ok());
+  EXPECT_NE(captured->find("v=hello"), std::string::npos);
+}
+
+TEST(SubprocessTest, KillIsReportedAsSignaled) {
+  auto pid = SpawnProcess({"/bin/sh", "-c", "sleep 30"}, {}, "");
+  ASSERT_TRUE(pid.ok());
+  EXPECT_TRUE(PollProcess(*pid).running());
+  KillProcess(*pid);
+  const ProcessStatus status = WaitProcess(*pid);
+  EXPECT_EQ(status.state, ProcessStatus::State::kSignaled);
+  EXPECT_EQ(status.term_signal, SIGKILL);
+}
+
+TEST(SubprocessTest, ExecFailureExits127) {
+  auto pid = SpawnProcess({"/no/such/binary"}, {}, "");
+  ASSERT_TRUE(pid.ok());  // fork succeeded; exec fails in the child
+  const ProcessStatus status = WaitProcess(*pid);
+  EXPECT_EQ(status.state, ProcessStatus::State::kExited);
+  EXPECT_EQ(status.exit_code, 127);
+}
+
+TEST(TraceMergeTest, RewritesPidsAndLabelsProcesses) {
+  const std::string doc_a =
+      R"({"displayTimeUnit":"ms","traceEvents":[)"
+      R"({"name":"pipeline","ph":"X","ts":0,"dur":5,"pid":1,"tid":0}]})";
+  const std::string doc_b =
+      R"({"displayTimeUnit":"ms","traceEvents":[)"
+      R"({"name":"shard/worker","ph":"X","ts":1,"dur":2,"pid":1,"tid":0}]})";
+  const std::string merged = obs::MergeChromeTraces(
+      {{"orchestrator", 1, doc_a}, {"worker-0", 2, doc_b}});
+  EXPECT_NE(merged.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(merged.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(merged.find("\"orchestrator\""), std::string::npos);
+  EXPECT_NE(merged.find("\"worker-0\""), std::string::npos);
+  EXPECT_NE(merged.find("shard/worker"), std::string::npos);
+  // The worker's events were actually re-stamped, not duplicated.
+  EXPECT_EQ(merged.find("\"pid\":1,\"tid\":0}]"), std::string::npos);
+}
+
+TEST(TraceMergeTest, TornOrMissingWorkerTracesContributeNothing) {
+  const std::string good =
+      R"({"displayTimeUnit":"ms","traceEvents":[)"
+      R"({"name":"a","ph":"X","ts":0,"dur":1,"pid":1,"tid":0}]})";
+  const std::string merged = obs::MergeChromeTraces(
+      {{"orchestrator", 1, good},
+       {"dead-worker", 2, ""},
+       {"torn-worker", 3, "{\"displayTimeUnit\""}});
+  EXPECT_NE(merged.find("\"name\":\"a\""), std::string::npos);
+  EXPECT_EQ(merged.find("dead-worker"), std::string::npos);
+  EXPECT_EQ(merged.find("torn-worker"), std::string::npos);
+}
+
+TEST(OrchestratorTest, RequiresCheckpointDirAndWorkerCommand) {
+  const EaDataset dataset;
+  LargeEaOptions options;
+  ShardOptions shards;
+  shards.num_shards = 2;
+  auto no_dir = RunShardedLargeEa(dataset, options, shards);
+  ASSERT_FALSE(no_dir.ok());
+  EXPECT_EQ(no_dir.status().code(), StatusCode::kInvalidArgument);
+
+  options.fault_tolerance.checkpoint_dir = TempDir("orchestrator_args");
+  auto no_cmd = RunShardedLargeEa(dataset, options, shards);
+  ASSERT_FALSE(no_cmd.ok());
+  EXPECT_EQ(no_cmd.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WorkerTest, RejectsOutOfRangeIndexAndMissingDir) {
+  const EaDataset dataset;
+  LargeEaOptions options;
+  ShardWorkerOptions worker;
+  worker.shard_index = 0;
+  worker.shard_count = 1;
+  EXPECT_EQ(RunShardWorker(dataset, options, worker).code(),
+            StatusCode::kInvalidArgument);  // no checkpoint dir
+
+  options.fault_tolerance.checkpoint_dir = TempDir("worker_args");
+  worker.shard_index = 3;
+  EXPECT_EQ(RunShardWorker(dataset, options, worker).code(),
+            StatusCode::kInvalidArgument);  // index out of range
+}
+
+}  // namespace
+}  // namespace largeea::shard

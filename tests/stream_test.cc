@@ -19,6 +19,7 @@
 #include "src/la/matrix.h"
 #include "src/obs/metrics.h"
 #include "src/par/thread_pool.h"
+#include "src/rt/fault_injection.h"
 #include "src/rt/io_util.h"
 #include "src/sim/sparse_sim.h"
 #include "src/simd/simd.h"
@@ -93,6 +94,41 @@ TEST(TileStoreTest, SpillReloadRoundTripIsBitExact) {
     ExpectMatrixEq(*tile, originals[i]);
   }
 }
+
+#if LARGEEA_FAULT_INJECTION
+TEST(TileStoreTest, SpillWriteFailurePinsTilesInRamBitIdentically) {
+  auto& metrics = obs::MetricsRegistry::Get();
+  const int64_t failures_before =
+      metrics.GetCounter("stream.spill_failures").Value();
+
+  // Every spill write fails from here on — a full or broken scratch
+  // disk. The store must fall back to pinning tiles in RAM and serve
+  // every read with the exact bytes that were Put.
+  rt::FaultInjector::Get().Arm(
+      "stream.spill.write",
+      rt::FaultSpec{StatusCode::kUnavailable, "scratch disk full", 1, -1,
+                    rt::FaultAction::kFail});
+  {
+    const stream::MemoryBudget budget = BudgetOfMb(1);
+    stream::TileStore store(budget);
+    std::vector<Matrix> originals;
+    std::vector<stream::TileId> ids;
+    for (int i = 0; i < 6; ++i) {
+      originals.push_back(RandomMatrix(64, 32, 2000 + i));
+      ids.push_back(store.Put(originals.back()));
+    }
+    for (int i = 0; i < 6; ++i) {
+      const std::shared_ptr<const Matrix> tile = store.Get(ids[i]);
+      ASSERT_NE(tile, nullptr);
+      ExpectMatrixEq(*tile, originals[i]);
+    }
+  }
+  rt::FaultInjector::Get().Reset();
+
+  EXPECT_GT(metrics.GetCounter("stream.spill_failures").Value(),
+            failures_before);
+}
+#endif  // LARGEEA_FAULT_INJECTION
 
 TEST(TileStoreTest, EvictsUnderTinyBudgetAndReloadsEvictedTiles) {
   auto& metrics = obs::MetricsRegistry::Get();

@@ -65,6 +65,22 @@ for preset in ${SANITIZERS}; do
     fi
   done
 
+  # The crash/chaos matrix always runs under ASan — even when a narrowing
+  # filter was passed for the main pass — because the multi-process shard
+  # scenarios (SIGKILLed workers, SIGSTOP hangs, corrupt artifacts) spawn
+  # sanitized largeea_cli workers and are exactly where lifetime bugs in
+  # the supervision/recovery paths would hide. tsan is skipped here: the
+  # scenarios stop and kill whole processes, which the tsan runtime
+  # tolerates poorly, and the in-process parallelism they exercise is
+  # already covered by the main tsan pass.
+  if [[ "${preset}" == sanitize ]]; then
+    echo "=== ${preset} (fault-tolerance + shard chaos matrix) ==="
+    ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+    UBSAN_OPTIONS=print_stacktrace=1 \
+      "build-${preset}/tests/largeea_tests" \
+      --gtest_filter='FaultTolerance*:ShardChaos*:ShardPlan*:ShardComplete*:Heartbeat*:Subprocess*:TraceMerge*'
+  fi
+
   echo "=== ${preset} (streamed, LARGEEA_MEMORY_BUDGET_MB=${STREAM_BUDGET_MB}) ==="
   case "${preset}" in
     sanitize)

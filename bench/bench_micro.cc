@@ -30,7 +30,15 @@
 //     intensity, so a kernel that stops scaling is classifiable
 //     (bandwidth-bound vs imbalanced vs merge-serialised) from the JSON
 //     alone. The perf trajectory invokes it as
-//     `--mode=profile --json-out=BENCH_profile.json`.
+//     `--mode=profile --json-out=BENCH_profile.json`;
+//   * --json-out=FILE --mode=tune — the autotune sweep (DESIGN.md §13):
+//     every tunable parameter's candidate list timed on representative
+//     shapes, one row per (param, candidate) with the winner flagged.
+//     --scale shrinks the shapes (CI uses a tiny scale) and --min-time
+//     sets the per-candidate timing window. --tune-out additionally
+//     persists the winners as a checksummed tuning file loadable via
+//     `largeea_cli --tune-file`. The perf trajectory invokes it as
+//     `--mode=tune --json-out=BENCH_tune.json`.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -62,6 +70,8 @@
 #include "src/sim/sinkhorn.h"
 #include "src/sim/topk_search.h"
 #include "src/simd/simd.h"
+#include "src/tune/autotune.h"
+#include "src/tune/tune_table.h"
 
 namespace largeea {
 namespace {
@@ -415,11 +425,57 @@ int RunProfileSweep(const Flags& flags) {
           .Set("gb_per_sec", kp.GBPerSec())
           .Set("arithmetic_intensity", kp.ArithmeticIntensity())
           .Set("chunks_per_job", chunks_per_job)
+          .Set("chunk_cov", pt.max_chunk_cov)
+          .Set("grain", pt.last_grain)
           .Set("merge_seconds", pt.merge_seconds);
       json.Add(std::move(row));
     }
   }
   profiler.Clear();
+  par::ThreadPool::Get().Shutdown();
+  json.Write();
+  return 0;
+}
+
+// ---------------------------------------------------------------------
+// Autotune sweep (--mode=tune): tune::RunAutotune's candidate timings as
+// JSON rows, one per (param, candidate). candidate=0 is the analytic
+// default; `winner` marks the value RunAutotune would install. The pool
+// size is whatever --threads requests (0 = hardware), matching how the
+// CLI's --autotune runs.
+
+int RunTuneSweep(const Flags& flags) {
+  bench::BenchJson json(flags, "tune");
+  par::ThreadPool::Get().SetNumThreads(
+      static_cast<int32_t>(flags.GetInt("threads", 0)));
+  tune::AutotuneOptions options;
+  options.scale = flags.GetDouble("scale", 1.0);
+  options.min_seconds = flags.GetDouble("min-time", 0.05);
+  const tune::AutotuneResult result = tune::RunAutotune(options);
+
+  std::printf("%-22s %12s %14s %8s\n", "param", "candidate", "sec/iter",
+              "winner");
+  for (const tune::AutotuneRow& r : result.rows) {
+    std::printf("%-22s %12lld %14.6f %8s\n", r.param.c_str(),
+                static_cast<long long>(r.candidate), r.seconds,
+                r.winner ? "yes" : "");
+    bench::BenchJson::Row row;
+    row.Set("param", r.param)
+        .Set("candidate", r.candidate)
+        .Set("seconds", r.seconds)
+        .Set("winner", r.winner);
+    json.Add(std::move(row));
+  }
+  const std::string tune_out = flags.GetString("tune-out", "");
+  if (!tune_out.empty()) {
+    const Status saved = tune::SaveTuneFile(tune_out, result.winners);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "tune-out: %s\n",
+                   std::string(saved.message()).c_str());
+      return 1;
+    }
+    std::printf("winners -> %s\n", tune_out.c_str());
+  }
   par::ThreadPool::Get().Shutdown();
   json.Write();
   return 0;
@@ -674,6 +730,7 @@ int main(int argc, char** argv) {
     if (mode == "backend") return largeea::RunBackendMatrix(flags);
     if (mode == "stream") return largeea::RunStreamSweep(flags);
     if (mode == "profile") return largeea::RunProfileSweep(flags);
+    if (mode == "tune") return largeea::RunTuneSweep(flags);
     return largeea::RunKernelScaling(flags);
   }
   benchmark::Initialize(&argc, argv);

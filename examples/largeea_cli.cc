@@ -49,6 +49,7 @@
 #include "src/shard/orchestrator.h"
 #include "src/shard/worker.h"
 #include "src/simd/simd.h"
+#include "src/tune/tune_table.h"
 
 using namespace largeea;
 
@@ -458,6 +459,13 @@ int main(int argc, char** argv) {
   if (!runtime.ok()) {
     std::fprintf(stderr, "error: %s\n", runtime.ToString().c_str());
     return 2;
+  }
+  // ApplyRuntime installed the tune table (analytic defaults layered
+  // with --tune-file / --tune-override, then --autotune winners); echo
+  // the effective state whenever the user asked for anything non-default.
+  if (config->autotune || !config->tune_file.empty() ||
+      !config->tune_override.empty()) {
+    std::printf("%s\n", tune::TuneTable::Get().Describe().c_str());
   }
   // Deterministic chaos testing: LARGEEA_FAULTS (gated per shard by
   // LARGEEA_FAULTS_SHARD) arms named fault points in this process.

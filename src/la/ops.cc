@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <mutex>
+#include <vector>
 
 #include "src/common/macros.h"
+#include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
 #include "src/par/parallel_for.h"
 #include "src/simd/simd.h"
+#include "src/tune/tune_table.h"
 
 namespace largeea {
 namespace {
@@ -18,20 +22,61 @@ namespace {
 // declared-bytes semantics (these are f32 kernels by construction).
 constexpr int64_t kF = 4;
 
-// Grain/block sizes for the parallel and cache-blocked loops. These are
-// functions of nothing (or of the problem shape only) — never of the
-// thread count — so chunk boundaries, and therefore every float
-// reduction order, are identical at any `--threads N` (DESIGN.md §8).
-constexpr int64_t kRowGrain = 32;        // GEMM output-row chunks
-constexpr int64_t kPanelSize = 64;       // Gemm p-panel (cache block over K)
-constexpr int64_t kGemmCacheBytes = 1 << 20;  // B-fits-in-cache threshold
-constexpr int64_t kTileCols = 32;        // GemmTransposeB tile of B rows
-constexpr int64_t kElemGrain = 1 << 15;  // element-wise op chunks
-constexpr int64_t kNormRowGrain = 128;   // row-normalisation chunks
-// GemmTransposeA accumulates chunk-private partial C matrices, so cap the
-// chunk count to bound the extra memory and merge traffic.
-constexpr int64_t kTransposeAMaxChunks = 16;
-constexpr int64_t kTransposeAMinGrain = 64;
+// Grain and block sizes come from the tune::TuneTable (DESIGN.md §13):
+// shape-aware analytic defaults, optionally overridden by a tuning file
+// or --tune-override. Every tunable parameter is a function of the
+// problem shape and the table only — never of the thread count — so
+// chunk boundaries, and therefore every float reduction order, are
+// identical at any `--threads N` (DESIGN.md §8).
+
+/// Bounded pool of k×n scratch matrices for GemmTransposeA partials:
+/// reusing a partial across jobs replaces an alloc + full zero-fill
+/// with first-touch zeroing of only the rows a chunk actually writes.
+/// Contents are stale by design — TaPartial's touched bitmap is what
+/// makes reuse safe.
+class ScratchPool {
+ public:
+  static ScratchPool& Get() {
+    static ScratchPool* const pool = new ScratchPool();
+    return *pool;
+  }
+
+  Matrix Acquire(int64_t rows, int64_t cols) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < pool_.size(); ++i) {
+        if (pool_[i].rows() == rows && pool_[i].cols() == cols) {
+          Matrix m = std::move(pool_[i]);
+          pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(i));
+          obs::MetricsRegistry::Get().GetCounter("par.scratch.reused").Add(1);
+          return m;
+        }
+      }
+    }
+    obs::MetricsRegistry::Get().GetCounter("par.scratch.allocated").Add(1);
+    return Matrix(rows, cols);
+  }
+
+  void Release(Matrix&& m) {
+    if (m.size() == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pool_.size() < kMaxPooled) pool_.push_back(std::move(m));
+  }
+
+ private:
+  static constexpr size_t kMaxPooled = 16;
+  std::mutex mu_;
+  std::vector<Matrix> pool_;
+};
+
+/// Chunk-private GemmTransposeA state: a scratch partial plus per-row
+/// dirty bits. Rows are zeroed on first touch, so an untouched row may
+/// hold stale bytes from a previous job — the merge skips it.
+struct TaPartial {
+  Matrix m;
+  std::vector<uint8_t> touched;
+  bool active = false;
+};
 
 }  // namespace
 
@@ -45,14 +90,15 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix& c) {
   prof.AddBytes(kF * (m * k + k * n), kF * m * n);
   prof.AddFlops(2 * m * k * n);
   const simd::KernelTable& kt = simd::Kernels();
+  const tune::TuneTable& tt = tune::TuneTable::Get();
   // p-panel blocking keeps the active rows of B cache-resident while the
   // chunk's C rows accumulate — but when all of B fits in cache anyway,
-  // panelling only re-streams A and C, so fall back to one panel. Either
-  // way each c[i][j] receives its contributions in ascending p order, so
-  // the blocking (a function of the problem shape alone) never changes
-  // the result.
-  const int64_t panel = k * n * 4 <= kGemmCacheBytes ? k : kPanelSize;
-  par::ParallelFor(0, m, kRowGrain, [&](const par::ChunkRange& rows) {
+  // panelling only re-streams A and C, so the table returns one panel.
+  // Either way each c[i][j] receives its contributions in ascending p
+  // order, so the blocking (shape + table, never thread count) never
+  // changes the result.
+  const int64_t panel = tt.GemmPanel(k, n);
+  par::ParallelFor(0, m, tt.GemmRowGrain(m), [&](const par::ChunkRange& rows) {
     for (int64_t p0 = 0; p0 < k; p0 += panel) {
       const int64_t p1 = std::min(p0 + panel, k);
       for (int64_t i = rows.begin; i < rows.end; ++i) {
@@ -77,12 +123,14 @@ void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix& c) {
   prof.AddBytes(kF * (m * k + n * k), kF * m * n);
   prof.AddFlops(2 * m * k * n);
   const simd::KernelTable& kt = simd::Kernels();
-  par::ParallelFor(0, m, kRowGrain, [&](const par::ChunkRange& rows) {
+  const tune::TuneTable& tt = tune::TuneTable::Get();
+  const int64_t tile_cols = tt.GemmTileCols(k);
+  par::ParallelFor(0, m, tt.GemmRowGrain(m), [&](const par::ChunkRange& rows) {
     // Tile over B rows so a tile of B is reused across every A row of
     // the chunk. Each element is one dot kernel call — no cross-tile
     // sums.
-    for (int64_t j0 = 0; j0 < n; j0 += kTileCols) {
-      const int64_t j1 = std::min(j0 + kTileCols, n);
+    for (int64_t j0 = 0; j0 < n; j0 += tile_cols) {
+      const int64_t j1 = std::min(j0 + tile_cols, n);
       for (int64_t i = rows.begin; i < rows.end; ++i) {
         const float* arow = a.Row(i);
         float* crow = c.Row(i);
@@ -104,26 +152,43 @@ void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix& c) {
   prof.AddFlops(2 * m * k * n);
   const simd::KernelTable& kt = simd::Kernels();
   // Every input row touches all of C, so chunks accumulate into private
-  // partial matrices merged in chunk order.
-  const int64_t grain =
-      std::max(kTransposeAMinGrain,
-               (m + kTransposeAMaxChunks - 1) / kTransposeAMaxChunks);
-  par::ParallelReduceOrdered<Matrix>(
+  // partial matrices merged in chunk order. The chunk count picks the
+  // float merge order, so the grain is an analytic-only shape function
+  // (tune::TuneTable::GemmTransposeAGrain) — never overridable.
+  const int64_t grain = tune::TuneTable::GemmTransposeAGrain(m);
+  par::ParallelReduceOrdered<TaPartial>(
       0, m, grain,
-      [&](const par::ChunkRange& rows, Matrix& partial) {
-        partial = Matrix(k, n);
+      [&](const par::ChunkRange& rows, TaPartial& partial) {
         for (int64_t i = rows.begin; i < rows.end; ++i) {
           const float* arow = a.Row(i);
           const float* brow = b.Row(i);
           for (int64_t p = 0; p < k; ++p) {
             const float av = arow[p];
             if (av == 0.0f) continue;
-            kt.axpy(av, brow, partial.Row(p), n);
+            if (!partial.active) {
+              partial.m = ScratchPool::Get().Acquire(k, n);
+              partial.touched.assign(static_cast<size_t>(k), 0);
+              partial.active = true;
+            }
+            if (!partial.touched[static_cast<size_t>(p)]) {
+              std::memset(partial.m.Row(p), 0,
+                          static_cast<size_t>(n) * sizeof(float));
+              partial.touched[static_cast<size_t>(p)] = 1;
+            }
+            kt.axpy(av, brow, partial.m.Row(p), n);
           }
         }
       },
-      [&](const par::ChunkRange&, Matrix&& partial) {
-        Axpy(1.0f, partial, c);
+      [&](const par::ChunkRange&, TaPartial&& partial) {
+        if (!partial.active) return;
+        // Same ascending-chunk axpy order (and bytes) as accumulating
+        // full zero-filled partials; untouched rows would only have
+        // added 0.0f and are skipped instead.
+        for (int64_t p = 0; p < k; ++p) {
+          if (!partial.touched[static_cast<size_t>(p)]) continue;
+          kt.axpy(1.0f, partial.m.Row(p), c.Row(p), n);
+        }
+        ScratchPool::Get().Release(std::move(partial.m));
       });
 }
 
@@ -136,7 +201,8 @@ void Axpy(float alpha, const Matrix& x, Matrix& y) {
   prof.AddBytes(kF * 2 * x.size(), kF * x.size());
   prof.AddFlops(2 * x.size());
   const simd::KernelTable& kt = simd::Kernels();
-  par::ParallelFor(0, x.size(), kElemGrain, [&](const par::ChunkRange& r) {
+  const int64_t grain = tune::TuneTable::Get().ElemGrain(x.size());
+  par::ParallelFor(0, x.size(), grain, [&](const par::ChunkRange& r) {
     kt.axpy(alpha, xv + r.begin, yv + r.begin, r.end - r.begin);
   });
 }
@@ -147,7 +213,8 @@ void Scale(Matrix& m, float alpha) {
   prof.AddBytes(kF * m.size(), kF * m.size());
   prof.AddFlops(m.size());
   const simd::KernelTable& kt = simd::Kernels();
-  par::ParallelFor(0, m.size(), kElemGrain, [&](const par::ChunkRange& r) {
+  const int64_t grain = tune::TuneTable::Get().ElemGrain(m.size());
+  par::ParallelFor(0, m.size(), grain, [&](const par::ChunkRange& r) {
     kt.scale(v + r.begin, alpha, r.end - r.begin);
   });
 }
@@ -158,7 +225,8 @@ void L2NormalizeRows(Matrix& m, float epsilon) {
   prof.AddBytes(kF * m.size(), kF * m.size());
   prof.AddFlops(3 * m.size());
   const simd::KernelTable& kt = simd::Kernels();
-  par::ParallelFor(0, m.rows(), kNormRowGrain, [&](const par::ChunkRange& r) {
+  const int64_t grain = tune::TuneTable::Get().NormRowGrain(m.rows());
+  par::ParallelFor(0, m.rows(), grain, [&](const par::ChunkRange& r) {
     for (int64_t row = r.begin; row < r.end; ++row) {
       float* v = m.Row(row);
       const float norm = std::sqrt(kt.dot(v, v, cols)) + epsilon;
@@ -169,7 +237,8 @@ void L2NormalizeRows(Matrix& m, float epsilon) {
 
 void ReluInPlace(Matrix& m) {
   float* v = m.data();
-  par::ParallelFor(0, m.size(), kElemGrain, [&](const par::ChunkRange& r) {
+  const int64_t grain = tune::TuneTable::Get().ElemGrain(m.size());
+  par::ParallelFor(0, m.size(), grain, [&](const par::ChunkRange& r) {
     for (int64_t i = r.begin; i < r.end; ++i) {
       if (v[i] < 0.0f) v[i] = 0.0f;
     }
@@ -181,7 +250,8 @@ void ReluBackwardInPlace(const Matrix& pre_activation, Matrix& grad) {
   LARGEEA_CHECK_EQ(pre_activation.cols(), grad.cols());
   const float* pre = pre_activation.data();
   float* g = grad.data();
-  par::ParallelFor(0, grad.size(), kElemGrain, [&](const par::ChunkRange& r) {
+  const int64_t grain = tune::TuneTable::Get().ElemGrain(grad.size());
+  par::ParallelFor(0, grad.size(), grain, [&](const par::ChunkRange& r) {
     for (int64_t i = r.begin; i < r.end; ++i) {
       if (pre[i] <= 0.0f) g[i] = 0.0f;
     }

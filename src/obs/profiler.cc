@@ -173,6 +173,8 @@ std::vector<PoolKernelTotal> Profiler::PoolTotals() const {
     it->capacity_seconds += j.wall_seconds * j.threads;
     it->merge_seconds += j.merge_seconds;
     it->max_imbalance = std::max(it->max_imbalance, j.ImbalanceRatio());
+    it->max_chunk_cov = std::max(it->max_chunk_cov, j.ChunkCov());
+    it->last_grain = j.grain;
   }
   std::sort(totals.begin(), totals.end(),
             [](const PoolKernelTotal& a, const PoolKernelTotal& b) {
@@ -212,6 +214,8 @@ void Profiler::WriteJson(JsonWriter& w) const {
     w.Key("merge_seconds").Double(t.merge_seconds);
     w.Key("utilization").Double(t.Utilization());
     w.Key("max_imbalance").Double(t.max_imbalance);
+    w.Key("chunk_cov").Double(t.max_chunk_cov);
+    w.Key("grain").Int(t.last_grain);
     w.EndObject();
   }
   w.EndArray();

@@ -20,6 +20,7 @@
 #define LARGEEA_OBS_PROFILER_H_
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -87,6 +88,8 @@ struct PoolJobProfile {
   double busy_seconds = 0.0;       ///< task execution, summed over workers
   double max_chunk_seconds = 0.0;  ///< slowest single chunk
   double sum_chunk_seconds = 0.0;
+  double sum_chunk_seconds_sq = 0.0;  ///< sum of squared chunk times
+  double max_worker_seconds = 0.0;    ///< busiest worker's task total
   double merge_seconds = 0.0;  ///< ordered-merge time (reduce loops only)
 
   /// busy / (wall * threads): 1.0 = every worker busy the whole job.
@@ -94,11 +97,26 @@ struct PoolJobProfile {
     const double capacity = wall_seconds * threads;
     return capacity > 0.0 ? busy_seconds / capacity : 0.0;
   }
-  /// max / mean chunk time: 1.0 = perfectly balanced chunks.
+  /// Scheduling imbalance: busiest worker / (total work / threads).
+  /// 1.0 = the work spread evenly over the pool — including at
+  /// threads=1, where one worker doing everything is the only option,
+  /// not imbalance. Chunk-size variance is ChunkCov(), a property of
+  /// the chunking rather than the schedule.
   double ImbalanceRatio() const {
-    if (chunks <= 0 || sum_chunk_seconds <= 0.0) return 1.0;
-    const double mean = sum_chunk_seconds / static_cast<double>(chunks);
-    return mean > 0.0 ? max_chunk_seconds / mean : 1.0;
+    if (threads <= 0 || sum_chunk_seconds <= 0.0) return 1.0;
+    const double fair_share =
+        sum_chunk_seconds / static_cast<double>(threads);
+    return fair_share > 0.0 ? max_worker_seconds / fair_share : 1.0;
+  }
+  /// Coefficient of variation (stddev / mean) of per-chunk times:
+  /// 0 = equal-cost chunks. High values mean the grain carved the range
+  /// into uneven work, whoever ran it.
+  double ChunkCov() const {
+    if (chunks <= 0 || sum_chunk_seconds <= 0.0) return 0.0;
+    const double n = static_cast<double>(chunks);
+    const double mean = sum_chunk_seconds / n;
+    const double var = sum_chunk_seconds_sq / n - mean * mean;
+    return (var > 0.0 && mean > 0.0) ? std::sqrt(var) / mean : 0.0;
   }
 };
 
@@ -111,7 +129,9 @@ struct PoolKernelTotal {
   double busy_seconds = 0.0;
   double capacity_seconds = 0.0;  ///< sum of wall * threads
   double merge_seconds = 0.0;
-  double max_imbalance = 1.0;  ///< worst job's max/mean chunk ratio
+  double max_imbalance = 1.0;  ///< worst job's worker max/mean ratio
+  double max_chunk_cov = 0.0;  ///< worst job's per-chunk time CoV
+  int64_t last_grain = 0;      ///< grain of the most recent job (tuned)
 
   double Utilization() const {
     return capacity_seconds > 0.0 ? busy_seconds / capacity_seconds : 0.0;

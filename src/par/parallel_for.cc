@@ -1,5 +1,9 @@
 #include "src/par/parallel_for.h"
 
+#include <algorithm>
+
+#include "src/tune/tune_table.h"
+
 namespace largeea::par {
 
 std::vector<ChunkRange> ComputeChunks(int64_t begin, int64_t end,
@@ -7,13 +11,33 @@ std::vector<ChunkRange> ComputeChunks(int64_t begin, int64_t end,
   std::vector<ChunkRange> chunks;
   if (begin >= end) return chunks;
   if (grain <= 0) grain = end - begin;
-  chunks.reserve(static_cast<size_t>((end - begin + grain - 1) / grain));
+  // (end - begin - 1) / grain + 1 == ceil(range / grain) without the
+  // `range + grain - 1` intermediate, which overflows for ranges near
+  // INT64_MAX.
+  chunks.reserve(static_cast<size_t>((end - begin - 1) / grain + 1));
   int64_t index = 0;
-  for (int64_t b = begin; b < end; b += grain) {
-    const int64_t e = b + grain < end ? b + grain : end;
+  int64_t b = begin;
+  while (b < end) {
+    // `end - b > grain` instead of `b + grain < end`: the sum overflows
+    // when b is within `grain` of INT64_MAX.
+    const int64_t e = end - b > grain ? b + grain : end;
     chunks.push_back(ChunkRange{index++, b, e});
+    b = e;
   }
   return chunks;
+}
+
+std::vector<ChunkRange> ComputeChunksCapped(int64_t begin, int64_t end,
+                                            int64_t grain,
+                                            int64_t max_chunks) {
+  if (begin >= end) return {};
+  const int64_t range = end - begin;
+  if (grain <= 0) grain = range;
+  if (max_chunks > 0) {
+    const int64_t chunks = (range - 1) / grain + 1;
+    if (chunks > max_chunks) grain = (range - 1) / max_chunks + 1;
+  }
+  return ComputeChunks(begin, end, grain);
 }
 
 namespace internal {
@@ -29,6 +53,8 @@ void RecordLoopProfile(const ThreadPool::JobStats& stats, int64_t chunks,
   job.busy_seconds = stats.busy_seconds;
   job.max_chunk_seconds = stats.max_task_seconds;
   job.sum_chunk_seconds = stats.sum_task_seconds;
+  job.sum_chunk_seconds_sq = stats.task_seconds_sq_sum;
+  job.max_worker_seconds = stats.max_worker_seconds;
   job.merge_seconds = merge_seconds;
   obs::Profiler::Get().RecordPoolJob(std::move(job));
 }
@@ -37,7 +63,16 @@ void RecordLoopProfile(const ThreadPool::JobStats& stats, int64_t chunks,
 
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const std::function<void(const ChunkRange&)>& body) {
-  const std::vector<ChunkRange> chunks = ComputeChunks(begin, end, grain);
+  // Plain loops write only chunk-/element-private state (header
+  // contract), so results cannot depend on the chunking — which makes
+  // it safe to cap the chunk count relative to the pool size here and
+  // cut per-chunk scheduling overhead. Reductions are NEVER capped this
+  // way: their merge order is part of the §8 determinism contract.
+  const int64_t max_chunks =
+      tune::TuneTable::Get().ChunksPerThread() *
+      static_cast<int64_t>(std::max(1, ThreadPool::Get().num_threads()));
+  const std::vector<ChunkRange> chunks =
+      ComputeChunksCapped(begin, end, grain, max_chunks);
   if (chunks.empty()) return;
   const bool profiled = obs::ProfilingEnabled();
   ThreadPool::JobStats stats;
@@ -47,7 +82,7 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
       profiled ? &stats : nullptr);
   if (profiled) {
     internal::RecordLoopProfile(stats, static_cast<int64_t>(chunks.size()),
-                                grain > 0 ? grain : end - begin,
+                                chunks[0].end - chunks[0].begin,
                                 /*merge_seconds=*/0.0);
   }
 }

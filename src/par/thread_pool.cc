@@ -65,6 +65,12 @@ struct ThreadPool::Job {
   std::condition_variable done_cv;
   std::exception_ptr error;      // guarded by mu; lowest failing task wins
   int64_t error_task = -1;       // guarded by mu
+  // Worker-level accounting for the corrected imbalance metric: the
+  // busiest worker's task-tick total and the sum of squared per-task
+  // seconds (chunk-size variance). Guarded by mu — each worker folds
+  // its locals in once, at job end.
+  uint64_t worker_ticks_max = 0;  // guarded by mu
+  double task_secs_sq = 0.0;      // guarded by mu
 };
 
 ThreadPool::ThreadPool() = default;
@@ -159,6 +165,7 @@ void ThreadPool::WorkOnJob(Job& job) {
   int64_t executed = 0;
   uint64_t ticks_sum = 0;
   uint64_t ticks_max = 0;
+  double secs_sq = 0.0;
   std::exception_ptr error;
   int64_t error_task = -1;
   while (true) {
@@ -179,6 +186,8 @@ void ThreadPool::WorkOnJob(Job& job) {
       const uint64_t ticks = obs::TscClock::Now() - task_start;
       ticks_sum += ticks;
       if (ticks > ticks_max) ticks_max = ticks;
+      const double secs = obs::TscClock::ToSeconds(ticks);
+      secs_sq += secs * secs;
     }
     ++executed;
   }
@@ -192,6 +201,10 @@ void ThreadPool::WorkOnJob(Job& job) {
     }
   }
   std::lock_guard<std::mutex> lock(job.mu);
+  if (job.timed) {
+    if (ticks_sum > job.worker_ticks_max) job.worker_ticks_max = ticks_sum;
+    job.task_secs_sq += secs_sq;
+  }
   if (error && (job.error_task < 0 || error_task < job.error_task)) {
     job.error = error;
     job.error_task = error_task;
@@ -222,6 +235,7 @@ void ThreadPool::Run(int64_t num_tasks,
     const bool was_in_task = in_pool_task;
     uint64_t ticks_sum = 0;
     uint64_t ticks_max = 0;
+    double secs_sq = 0.0;
     in_pool_task = true;
     try {
       for (int64_t task = 0; task < num_tasks; ++task) {
@@ -231,6 +245,8 @@ void ThreadPool::Run(int64_t num_tasks,
           const uint64_t ticks = obs::TscClock::Now() - task_start;
           ticks_sum += ticks;
           if (ticks > ticks_max) ticks_max = ticks;
+          const double secs = obs::TscClock::ToSeconds(ticks);
+          secs_sq += secs * secs;
         }
       }
     } catch (...) {
@@ -249,6 +265,10 @@ void ThreadPool::Run(int64_t num_tasks,
       stats->busy_seconds = stats->wall_seconds;
       stats->sum_task_seconds = obs::TscClock::ToSeconds(ticks_sum);
       stats->max_task_seconds = obs::TscClock::ToSeconds(ticks_max);
+      // One thread ran everything: by definition no scheduling
+      // imbalance, so max worker == the whole job.
+      stats->max_worker_seconds = stats->sum_task_seconds;
+      stats->task_seconds_sq_sum = secs_sq;
       stats->threads = 1;
     }
     return;
@@ -278,12 +298,16 @@ void ThreadPool::Run(int64_t num_tasks,
   WorkOnJob(*job);  // the caller participates
 
   std::exception_ptr error;
+  uint64_t worker_ticks_max = 0;
+  double task_secs_sq = 0.0;
   {
     std::unique_lock<std::mutex> lock(job->mu);
     job->done_cv.wait(lock, [&] {
       return job->done.load(std::memory_order_acquire) == job->num_tasks;
     });
     error = job->error;
+    worker_ticks_max = job->worker_ticks_max;
+    task_secs_sq = job->task_secs_sq;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -300,6 +324,8 @@ void ThreadPool::Run(int64_t num_tasks,
         job->task_ticks_sum.load(std::memory_order_relaxed));
     stats->max_task_seconds = obs::TscClock::ToSeconds(
         job->task_ticks_max.load(std::memory_order_relaxed));
+    stats->max_worker_seconds = obs::TscClock::ToSeconds(worker_ticks_max);
+    stats->task_seconds_sq_sum = task_secs_sq;
     stats->threads = job_threads;
   }
   if (error) std::rethrow_exception(error);

@@ -37,6 +37,15 @@ class ThreadPool {
     double busy_seconds = 0.0;      ///< task execution, summed over workers
     double max_task_seconds = 0.0;  ///< slowest single task
     double sum_task_seconds = 0.0;  ///< total across tasks
+    /// Busiest single worker's task-execution total. max over workers /
+    /// (sum / threads) is the scheduling imbalance: 1.0 when work
+    /// spread evenly — and also 1.0 at threads=1, where one worker
+    /// doing everything is not imbalance (DESIGN.md §11).
+    double max_worker_seconds = 0.0;
+    /// Sum of squared per-task seconds, for the chunk-size coefficient
+    /// of variation (per-chunk variance is a property of the chunking,
+    /// reported separately from scheduling imbalance).
+    double task_seconds_sq_sum = 0.0;
     int32_t threads = 1;            ///< pool width the job ran under
   };
 

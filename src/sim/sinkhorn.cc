@@ -10,21 +10,18 @@
 #include "src/obs/trace.h"
 #include "src/par/parallel_for.h"
 #include "src/simd/simd.h"
+#include "src/tune/tune_table.h"
 
 namespace largeea {
-namespace {
 
-// Rows per chunk for the row-local phases. Row sums never cross a row
-// boundary, so any grain gives bit-identical results; this one just
-// keeps scheduling overhead low.
-constexpr int64_t kRowGrain = 256;
-// Column sums accumulate chunk-private dense partial vectors, so the
-// chunk count is a fixed constant: it bounds the extra memory
-// (kColChunks * num_cols floats) and — because it never depends on the
-// thread count — fixes the merge order of the float sums.
-constexpr int64_t kColChunks = 8;
-
-}  // namespace
+// Rows per chunk for the row-local phases come from the tune table: row
+// sums never cross a row boundary, so any grain gives bit-identical
+// results and the parameter is freely tunable. The column-sum chunk
+// count is the analytic-only tune::TuneTable::SinkhornColChunks(shape):
+// it bounds the extra memory (col_chunks * num_cols floats) and —
+// because it is a pure shape function, never of the thread count or
+// tuning file — fixes both the scatter partitioning and the pairwise
+// tree topology of the float merge.
 
 SparseSimMatrix SinkhornNormalize(const SparseSimMatrix& m,
                                   const SinkhornOptions& options) {
@@ -70,11 +67,12 @@ SparseSimMatrix SinkhornNormalize(const SparseSimMatrix& m,
   row_offset[num_rows] = static_cast<int64_t>(entry_val.size());
   const int64_t num_entries = static_cast<int64_t>(entry_val.size());
   const simd::KernelTable& kt = simd::Kernels();
+  const int64_t row_grain = tune::TuneTable::Get().SinkhornRowGrain(num_rows);
 
   // Stabilised exponentiation: subtract each row's max score. The max is
   // computed explicitly — rows arrive sorted descending today, but the
   // stability of the exp must not hinge on that invariant.
-  par::ParallelFor(0, num_rows, kRowGrain, [&](const par::ChunkRange& rows) {
+  par::ParallelFor(0, num_rows, row_grain, [&](const par::ChunkRange& rows) {
     for (int64_t r = rows.begin; r < rows.end; ++r) {
       if (row_offset[r] == row_offset[r + 1]) continue;
       float row_max = entry_val[row_offset[r]];
@@ -90,13 +88,15 @@ SparseSimMatrix SinkhornNormalize(const SparseSimMatrix& m,
   });
 
   std::vector<float> col_sum(m.num_cols());
+  const int64_t num_cols = static_cast<int64_t>(col_sum.size());
+  const int64_t col_chunks = tune::TuneTable::SinkhornColChunks(num_entries);
   const int64_t col_grain =
-      num_entries > 0 ? (num_entries + kColChunks - 1) / kColChunks : 1;
+      num_entries > 0 ? (num_entries + col_chunks - 1) / col_chunks : 1;
   for (int32_t it = 0; it < options.iterations; ++it) {
     // Row normalisation: sums are row-local, so chunking over rows
     // cannot change any reduction order; the sum itself uses the
     // kernel layer's fixed eight-lane tree, identical in every backend.
-    par::ParallelFor(0, num_rows, kRowGrain, [&](const par::ChunkRange& rows) {
+    par::ParallelFor(0, num_rows, row_grain, [&](const par::ChunkRange& rows) {
       for (int64_t r = rows.begin; r < rows.end; ++r) {
         const int64_t len = row_offset[r + 1] - row_offset[r];
         if (len == 0) continue;
@@ -107,21 +107,23 @@ SparseSimMatrix SinkhornNormalize(const SparseSimMatrix& m,
       }
     });
     // Column normalisation: every chunk scatters into a private dense
-    // vector (index-dependent, so scalar); partials merge in chunk
-    // order (see kColChunks above) through the element-wise add kernel.
-    std::fill(col_sum.begin(), col_sum.end(), 0.0f);
-    par::ParallelReduceOrdered<std::vector<float>>(
+    // vector (index-dependent, so scalar); partials fold along the
+    // fixed pairwise tree (topology = f(chunk count) only, so the float
+    // order is thread-invariant) and the folded root *becomes* col_sum
+    // — no serial tail beyond the O(log chunks) tree levels.
+    std::vector<float> summed = par::ParallelReduceTree<std::vector<float>>(
         0, num_entries, col_grain,
         [&](const par::ChunkRange& range, std::vector<float>& partial) {
-          partial.assign(col_sum.size(), 0.0f);
+          partial.assign(static_cast<size_t>(num_cols), 0.0f);
           for (int64_t e = range.begin; e < range.end; ++e) {
             partial[entry_col[e]] += entry_val[e];
           }
         },
-        [&](const par::ChunkRange&, std::vector<float>&& partial) {
-          kt.axpy(1.0f, partial.data(), col_sum.data(),
-                  static_cast<int64_t>(col_sum.size()));
+        [&](std::vector<float>& into, std::vector<float>& from) {
+          kt.axpy(1.0f, from.data(), into.data(), num_cols);
         });
+    if (summed.empty()) summed.assign(static_cast<size_t>(num_cols), 0.0f);
+    col_sum.swap(summed);
     par::ParallelFor(0, num_entries, col_grain,
                      [&](const par::ChunkRange& range) {
                        for (int64_t e = range.begin; e < range.end; ++e) {

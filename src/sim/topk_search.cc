@@ -1,8 +1,8 @@
 #include "src/sim/topk_search.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
-#include <tuple>
 #include <vector>
 
 #include "src/common/macros.h"
@@ -14,14 +14,17 @@
 #include "src/sim/lsh.h"
 #include "src/simd/simd.h"
 #include "src/stream/tile_store.h"
+#include "src/tune/tune_table.h"
 
 namespace largeea {
 namespace {
 
-// Source rows per parallel chunk. A shape-only constant: chunk
-// boundaries (and so the merge order into the SparseSimMatrix) never
-// depend on the thread count.
-constexpr int64_t kRowGrain = 32;
+// Source rows per parallel chunk come from the tune table. The scatter
+// below writes each result straight into its own SparseSimMatrix row
+// from the parallel body, so the output is a pure per-row function of
+// the inputs — any grain (and any thread count) produces identical
+// bytes, which is what makes this parameter freely tunable and lets
+// the kernels run with no merge tail at all.
 
 // The kernel table is resolved once per call (one atomic load) and
 // passed down, so the per-candidate scoring never re-reads the
@@ -79,13 +82,6 @@ class TopKHeap {
   std::vector<std::pair<float, int32_t>> heap_;
 };
 
-// Chunk-private accumulation state for the parallel row scans: scored
-// (row, col, score) entries in drain order plus the candidate count.
-struct ChunkState {
-  std::vector<std::tuple<int64_t, int32_t, float>> entries;
-  int64_t candidates_scanned = 0;
-};
-
 }  // namespace
 
 void ExactTopKInto(const MatrixRowRange& source,
@@ -108,9 +104,15 @@ void ExactTopKInto(const MatrixRowRange& source,
                 source.rows() * options.k * 8);
   prof.AddFlops(2 * source.rows() * target.rows() * dim);
 
-  par::ParallelReduceOrdered<ChunkState>(
-      0, source.rows(), kRowGrain,
-      [&](const par::ChunkRange& rows, ChunkState& state) {
+  // Chunks partition the source rows and row_ids are distinct, so each
+  // parallel body writes a disjoint set of `out` rows — the scatter
+  // happens in the body and the former serial result-merge tail is
+  // gone. Per-row entry order (heap drain order) is unchanged, so the
+  // output bytes match the merged version exactly.
+  const int64_t row_grain =
+      tune::TuneTable::Get().TopKRowGrain(source.rows());
+  par::ParallelFor(
+      0, source.rows(), row_grain, [&](const par::ChunkRange& rows) {
         TopKHeap heap(options.k);
         std::vector<std::pair<float, int32_t>> drained;
         for (int64_t i = rows.begin; i < rows.end; ++i) {
@@ -127,13 +129,8 @@ void ExactTopKInto(const MatrixRowRange& source,
           }
           heap.Drain(drained);
           for (const auto& [score, j] : drained) {
-            state.entries.emplace_back(i, j, score);
+            out.Accumulate(row_ids[i], col_ids[j], score);
           }
-        }
-      },
-      [&](const par::ChunkRange&, ChunkState&& state) {
-        for (const auto& [i, j, score] : state.entries) {
-          out.Accumulate(row_ids[i], col_ids[j], score);
         }
       });
   // Counters are accumulated outside the loop: one atomic add per call,
@@ -175,35 +172,38 @@ void LshTopKInto(const MatrixRowRange& source,
   obs::ProfileScope prof("sim.topk.lsh");
   prof.AddBytes(4 * source.rows() * dim, source.rows() * options.k * 8);
 
-  int64_t candidates_scanned = 0;
-  par::ParallelReduceOrdered<ChunkState>(
-      0, source.rows(), kRowGrain,
-      [&](const par::ChunkRange& rows, ChunkState& state) {
+  // Direct scatter, same argument as ExactTopKInto: disjoint source
+  // rows → disjoint `out` rows. The data-dependent candidate count is
+  // the only cross-chunk aggregate left — one relaxed add per chunk.
+  std::atomic<int64_t> candidates_total{0};
+  const int64_t row_grain =
+      tune::TuneTable::Get().TopKRowGrain(source.rows());
+  par::ParallelFor(
+      0, source.rows(), row_grain, [&](const par::ChunkRange& rows) {
         TopKHeap heap(options.k);
         std::vector<std::pair<float, int32_t>> drained;
         std::vector<int32_t> candidates;
+        int64_t candidates_scanned = 0;
         for (int64_t i = rows.begin; i < rows.end; ++i) {
           LARGEEA_TRACE_HOT_SPAN("topk/lsh_row");
           heap.Clear();
           const float* src = source.Row(i);
           index.Query(src, candidates);
-          state.candidates_scanned += static_cast<int64_t>(candidates.size());
+          candidates_scanned += static_cast<int64_t>(candidates.size());
           for (const int32_t j : candidates) {
             heap.Offer(
                 j, ScorePair(kt, src, target.Row(j), dim, options.metric));
           }
           heap.Drain(drained);
           for (const auto& [score, j] : drained) {
-            state.entries.emplace_back(i, j, score);
+            out.Accumulate(row_ids[i], col_ids[j], score);
           }
         }
-      },
-      [&](const par::ChunkRange&, ChunkState&& state) {
-        candidates_scanned += state.candidates_scanned;
-        for (const auto& [i, j, score] : state.entries) {
-          out.Accumulate(row_ids[i], col_ids[j], score);
-        }
+        candidates_total.fetch_add(candidates_scanned,
+                                   std::memory_order_relaxed);
       });
+  const int64_t candidates_scanned =
+      candidates_total.load(std::memory_order_relaxed);
   prof.AddBytes(4 * candidates_scanned * dim, 0);
   prof.AddFlops(2 * candidates_scanned * dim);
   auto& registry = obs::MetricsRegistry::Get();
@@ -246,13 +246,15 @@ void LshTopKStreamedInto(const MatrixRowRange& source,
   obs::ProfileScope prof("sim.topk.lsh");
   prof.AddBytes(4 * source.rows() * dim, source.rows() * options.k * 8);
 
-  int64_t candidates_scanned = 0;
-  par::ParallelReduceOrdered<ChunkState>(
-      0, source.rows(), kRowGrain,
-      [&](const par::ChunkRange& rows, ChunkState& state) {
+  std::atomic<int64_t> candidates_total{0};
+  const int64_t row_grain =
+      tune::TuneTable::Get().TopKRowGrain(source.rows());
+  par::ParallelFor(
+      0, source.rows(), row_grain, [&](const par::ChunkRange& rows) {
         TopKHeap heap(options.k);
         std::vector<std::pair<float, int32_t>> drained;
         std::vector<int32_t> candidates;
+        int64_t candidates_scanned = 0;
         // Pin of the tile the current candidate run lives in. Candidates
         // are sorted, so each row pins each needed tile exactly once.
         std::shared_ptr<const Matrix> tile;
@@ -262,7 +264,7 @@ void LshTopKStreamedInto(const MatrixRowRange& source,
           heap.Clear();
           const float* src = source.Row(i);
           index.Query(src, candidates);
-          state.candidates_scanned += static_cast<int64_t>(candidates.size());
+          candidates_scanned += static_cast<int64_t>(candidates.size());
           for (const int32_t j : candidates) {
             const int64_t t = j / tile_rows;
             if (t != tile_idx) {
@@ -274,16 +276,14 @@ void LshTopKStreamedInto(const MatrixRowRange& source,
           }
           heap.Drain(drained);
           for (const auto& [score, j] : drained) {
-            state.entries.emplace_back(i, j, score);
+            out.Accumulate(row_ids[i], j, score);
           }
         }
-      },
-      [&](const par::ChunkRange&, ChunkState&& state) {
-        candidates_scanned += state.candidates_scanned;
-        for (const auto& [i, j, score] : state.entries) {
-          out.Accumulate(row_ids[i], j, score);
-        }
+        candidates_total.fetch_add(candidates_scanned,
+                                   std::memory_order_relaxed);
       });
+  const int64_t candidates_scanned =
+      candidates_total.load(std::memory_order_relaxed);
   prof.AddBytes(4 * candidates_scanned * dim, 0);
   prof.AddFlops(2 * candidates_scanned * dim);
   auto& registry = obs::MetricsRegistry::Get();

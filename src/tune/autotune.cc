@@ -1,0 +1,159 @@
+#include "src/tune/autotune.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/la/matrix.h"
+#include "src/la/ops.h"
+#include "src/sim/sinkhorn.h"
+#include "src/sim/sparse_sim.h"
+#include "src/sim/topk_search.h"
+
+namespace largeea::tune {
+namespace {
+
+int64_t Scaled(double scale, int64_t representative, int64_t floor) {
+  const int64_t scaled = static_cast<int64_t>(representative * scale);
+  return scaled < floor ? floor : scaled;
+}
+
+/// Best-effort per-call seconds: one warm-up call, then doubling
+/// iteration counts until the window exceeds min_seconds.
+double TimeFn(const std::function<void()>& fn, double min_seconds) {
+  fn();
+  int64_t iters = 1;
+  for (;;) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int64_t i = 0; i < iters; ++i) fn();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (seconds >= min_seconds || iters >= (int64_t{1} << 20)) {
+      return seconds / static_cast<double>(iters);
+    }
+    iters *= 2;
+  }
+}
+
+struct Sweep {
+  const char* param;
+  int64_t TuneOverrides::* field;
+  std::vector<int64_t> candidates;  // 0 (= analytic) must come first
+  std::function<void()> kernel;
+};
+
+}  // namespace
+
+AutotuneResult RunAutotune(const AutotuneOptions& options) {
+  const double scale = options.scale > 0 ? options.scale : 1.0;
+  Rng rng(1234);
+
+  // DBP1M-representative shapes (bench_micro's profile sweep sizes),
+  // scaled down for smoke runs.
+  const int64_t gemm_m = Scaled(scale, 20000, 256);
+  const int64_t dim = 128;
+  const int64_t wide_n = Scaled(scale, 4096, 256);
+  const int64_t elem_n = Scaled(scale, 4096, 512);
+  const int64_t topk_n = Scaled(scale, 4000, 128);
+  const int64_t sink_rows = Scaled(scale, 20000, 512);
+
+  Matrix a(gemm_m, dim), b(dim, dim), c(gemm_m, dim);
+  a.GlorotInit(rng);
+  b.GlorotInit(rng);
+  Matrix b_wide(dim, wide_n), c_wide(gemm_m, wide_n);
+  b_wide.GlorotInit(rng);
+  Matrix bt(dim, dim);
+  bt.GlorotInit(rng);
+  Matrix ex(elem_n, elem_n / 4), ey(elem_n, elem_n / 4);
+  ex.GlorotInit(rng);
+  ey.GlorotInit(rng);
+  Matrix norm_m(gemm_m, dim);
+  norm_m.GlorotInit(rng);
+  Matrix tk_src(topk_n, 64), tk_dst(topk_n, 64);
+  tk_src.GlorotInit(rng);
+  tk_dst.GlorotInit(rng);
+  SparseSimMatrix sink_in(static_cast<int32_t>(sink_rows),
+                          static_cast<int32_t>(sink_rows), 50);
+  for (int32_t r = 0; r < sink_rows; ++r) {
+    for (int32_t e = 0; e < 50; ++e) {
+      sink_in.Accumulate(
+          r, static_cast<EntityId>(rng.Uniform(static_cast<uint64_t>(sink_rows))),
+          static_cast<float>(rng.Uniform(1000)) * 1e-3f);
+    }
+  }
+  SinkhornOptions sink_options;
+  sink_options.iterations = 3;
+  TopKOptions tk_options;
+  tk_options.k = 50;
+
+  const std::vector<Sweep> sweeps = {
+      {"gemm.row_grain",
+       &TuneOverrides::gemm_row_grain,
+       {0, 16, 32, 64, 128, 320},
+       [&] { Gemm(a, b, c); }},
+      {"gemm.panel",
+       &TuneOverrides::gemm_panel,
+       {0, 32, 64, 128},
+       [&] { Gemm(a, b_wide, c_wide); }},
+      {"gemm.tile_cols",
+       &TuneOverrides::gemm_tile_cols,
+       {0, 8, 16, 32, 64},
+       [&] { GemmTransposeB(a, bt, c); }},
+      {"elem.grain",
+       &TuneOverrides::elem_grain,
+       {0, 1 << 14, 1 << 15, 1 << 16, 1 << 18},
+       [&] { Axpy(0.5f, ex, ey); }},
+      {"norm.row_grain",
+       &TuneOverrides::norm_row_grain,
+       {0, 64, 128, 256, 512},
+       [&] { L2NormalizeRows(norm_m); }},
+      {"sinkhorn.row_grain",
+       &TuneOverrides::sinkhorn_row_grain,
+       {0, 128, 256, 512},
+       [&] { SinkhornNormalize(sink_in, sink_options); }},
+      {"topk.row_grain",
+       &TuneOverrides::topk_row_grain,
+       {0, 16, 32, 64},
+       [&] {
+         SparseSimMatrix out = ExactTopK(tk_src, tk_dst, tk_options);
+         (void)out;
+       }},
+      {"par.chunks_per_thread",
+       &TuneOverrides::chunks_per_thread,
+       {0, 8, 16, 32, 64},
+       [&] { Gemm(a, b, c); }},
+  };
+
+  AutotuneResult result;
+  // Start from whatever is installed so earlier --tune-file /
+  // --tune-override choices shape the sweep's context.
+  TuneOverrides current = TuneTable::Get().overrides();
+  for (const Sweep& sweep : sweeps) {
+    int64_t best_candidate = 0;
+    double best_seconds = -1.0;
+    const size_t first_row = result.rows.size();
+    for (const int64_t candidate : sweep.candidates) {
+      TuneOverrides trial = current;
+      trial.*sweep.field = candidate;
+      TuneTable::Set(trial);
+      const double seconds = TimeFn(sweep.kernel, options.min_seconds);
+      result.rows.push_back({sweep.param, candidate, seconds, false});
+      // Strict < keeps the first (analytic) candidate on exact ties.
+      if (best_seconds < 0 || seconds < best_seconds) {
+        best_seconds = seconds;
+        best_candidate = candidate;
+      }
+    }
+    current.*sweep.field = best_candidate;
+    for (size_t i = first_row; i < result.rows.size(); ++i) {
+      result.rows[i].winner = result.rows[i].candidate == best_candidate;
+    }
+  }
+  TuneTable::Set(current);
+  result.winners = current;
+  return result;
+}
+
+}  // namespace largeea::tune

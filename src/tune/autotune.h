@@ -1,0 +1,54 @@
+// Offline/startup parameter sweep (DESIGN.md §13): times candidate
+// block sizes for every tunable TuneTable parameter on representative
+// shapes of the hot kernels, picks the fastest candidate per parameter,
+// and installs the winners process-wide.
+//
+// Because every swept parameter is reduction-order-neutral (see
+// tune_table.h), the sweep can never change a result bit — timing noise
+// at worst picks a slower-but-identical configuration. Candidate 0
+// ("analytic default") is always timed first and wins ties, so on a
+// machine where the sweep cannot tell candidates apart the table stays
+// at its analytic defaults.
+#ifndef LARGEEA_TUNE_AUTOTUNE_H_
+#define LARGEEA_TUNE_AUTOTUNE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tune/tune_table.h"
+
+namespace largeea::tune {
+
+struct AutotuneOptions {
+  /// Scales the representative shapes (1.0 = DBP1M-representative bench
+  /// sizes; CI uses ~0.02 for a sub-second smoke sweep).
+  double scale = 1.0;
+  /// Minimum timing window per candidate, seconds.
+  double min_seconds = 0.05;
+};
+
+/// One timed candidate. `candidate == 0` is the analytic default.
+struct AutotuneRow {
+  std::string param;
+  int64_t candidate = 0;
+  double seconds = 0.0;
+  bool winner = false;
+};
+
+struct AutotuneResult {
+  /// Winning override per parameter (0 where the analytic default won).
+  TuneOverrides winners;
+  /// Every timed (param, candidate) pair, in sweep order.
+  std::vector<AutotuneRow> rows;
+};
+
+/// Runs the sweep and installs `winners` via TuneTable::Set(). The
+/// previously installed overrides are the sweep's starting point, so
+/// --tune-file / --tune-override values are honoured for parameters the
+/// sweep visits later than they are consumed.
+AutotuneResult RunAutotune(const AutotuneOptions& options);
+
+}  // namespace largeea::tune
+
+#endif  // LARGEEA_TUNE_AUTOTUNE_H_

@@ -1,0 +1,141 @@
+// Kernel autotuner table (DESIGN.md §13): the single source of the
+// block/grain/panel parameters the hot kernels used to hard-code.
+//
+// The table is consulted at kernel entry and filled three ways, in
+// increasing priority: shape-aware analytic defaults (computed from the
+// problem size and the detected cache hierarchy), a checksummed JSON
+// tuning file (--tune-file, produced by --autotune or bench_micro
+// --mode=tune), and explicit --tune-override pairs.
+//
+// Determinism contract: every parameter exposed through TuneOverrides is
+// *reduction-order-neutral* — it may change how work is chunked across
+// pool tasks, but chunk-private kernels produce the same bytes for any
+// chunking (DESIGN.md §8), so no override can change a result bit.
+// Parameters that DO pick a float reduction order (the Sinkhorn column
+// split, the GemmTransposeA partial count) are analytic-only functions
+// of shape, deliberately NOT overridable: that is what lets a tuning
+// file stay outside the config fingerprint while checkpoints remain
+// byte-identical tuned vs untuned.
+#ifndef LARGEEA_TUNE_TUNE_TABLE_H_
+#define LARGEEA_TUNE_TUNE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/rt/status.h"
+
+namespace largeea::tune {
+
+/// Per-core data cache sizes, detected once at first use (sysconf on
+/// Linux; conservative 32KB/1MB fallbacks elsewhere). Tunable via the
+/// gemm.cache_bytes override when detection misreads the machine.
+struct CacheSizes {
+  int64_t l1_bytes = 32 * 1024;
+  int64_t l2_bytes = 1024 * 1024;
+};
+
+CacheSizes DetectCacheSizes();
+
+/// Explicit parameter overrides; 0 means "use the analytic default".
+/// Every field here is reduction-order-neutral (see file comment).
+struct TuneOverrides {
+  int64_t gemm_row_grain = 0;     ///< Gemm/GemmTransposeB row grain
+  int64_t gemm_panel = 0;         ///< Gemm k-panel depth
+  int64_t gemm_cache_bytes = 0;   ///< cache budget for panel sizing
+  int64_t gemm_tile_cols = 0;     ///< GemmTransposeB B-row tile width
+  int64_t elem_grain = 0;         ///< Axpy/Scale/Relu element grain
+  int64_t norm_row_grain = 0;     ///< L2NormalizeRows row grain
+  int64_t sinkhorn_row_grain = 0; ///< Sinkhorn row-normalise grain
+  int64_t topk_row_grain = 0;     ///< top-k source-row grain
+  int64_t chunks_per_thread = 0;  ///< ParallelFor chunk cap multiplier
+
+  friend bool operator==(const TuneOverrides& a, const TuneOverrides& b) {
+    return a.gemm_row_grain == b.gemm_row_grain &&
+           a.gemm_panel == b.gemm_panel &&
+           a.gemm_cache_bytes == b.gemm_cache_bytes &&
+           a.gemm_tile_cols == b.gemm_tile_cols &&
+           a.elem_grain == b.elem_grain &&
+           a.norm_row_grain == b.norm_row_grain &&
+           a.sinkhorn_row_grain == b.sinkhorn_row_grain &&
+           a.topk_row_grain == b.topk_row_grain &&
+           a.chunks_per_thread == b.chunks_per_thread;
+  }
+};
+
+/// Stable registry of override names ("gemm.row_grain", ...) — the
+/// vocabulary of tuning files, --tune-override lists, and BENCH_tune
+/// rows.
+struct TuneParamInfo {
+  const char* name;
+  int64_t TuneOverrides::* field;
+};
+const std::vector<TuneParamInfo>& TuneParams();
+
+/// Sets one override by registry name. kInvalidArgument on an unknown
+/// name or a negative value.
+Status SetOverrideByName(TuneOverrides& overrides, const std::string& name,
+                         int64_t value);
+
+/// Applies a comma-separated "name=value,name=value" list.
+Status ApplyOverrideList(TuneOverrides& overrides, const std::string& list);
+
+/// Canonical "name=value;" string over all parameters in registry order;
+/// the checksum input of the tuning file.
+std::string CanonicalTuneString(const TuneOverrides& overrides);
+uint64_t TuneFingerprint(const TuneOverrides& overrides);
+
+/// Persists overrides as checksummed JSON via an atomic tmp+rename
+/// write. Only non-zero (explicitly tuned) parameters are stored.
+Status SaveTuneFile(const std::string& path, const TuneOverrides& overrides);
+
+/// Loads a tuning file; kNotFound if absent, kDataLoss on checksum
+/// mismatch, kInvalidArgument on malformed content or unknown names.
+StatusOr<TuneOverrides> LoadTuneFile(const std::string& path);
+
+/// The process-wide tuning table. Get() is lock-free after first use;
+/// Set() installs a new table (startup/config time — racing Set against
+/// hot kernels is safe but the switch point is unspecified).
+class TuneTable {
+ public:
+  static const TuneTable& Get();
+  static void Set(const TuneOverrides& overrides);
+
+  const TuneOverrides& overrides() const { return overrides_; }
+  const CacheSizes& cache() const { return cache_; }
+
+  // --- Order-neutral tunables: override wins, else shape-aware
+  // analytic default targeting ~kTargetChunks chunks per job.
+  int64_t GemmRowGrain(int64_t m) const;
+  int64_t GemmPanel(int64_t k, int64_t n) const;
+  int64_t GemmTileCols(int64_t k) const;
+  int64_t ElemGrain(int64_t size) const;
+  int64_t NormRowGrain(int64_t rows) const;
+  int64_t SinkhornRowGrain(int64_t rows) const;
+  int64_t TopKRowGrain(int64_t rows) const;
+  int64_t ChunksPerThread() const;
+
+  // --- Analytic-only shape functions. These choose a float reduction
+  // topology, so they are pure functions of shape — never overridable,
+  // never thread-dependent (the determinism argument in the file
+  // comment depends on exactly this).
+  static int64_t SinkhornColChunks(int64_t num_entries);
+  static int64_t GemmTransposeAGrain(int64_t m);
+
+  /// Target chunk count per job for the analytic grain formulas.
+  static constexpr int64_t kTargetChunks = 64;
+
+  /// Human-readable parameter dump for reports and --autotune logs.
+  std::string Describe() const;
+
+ private:
+  TuneTable();
+  explicit TuneTable(const TuneOverrides& overrides);
+
+  TuneOverrides overrides_;
+  CacheSizes cache_;
+};
+
+}  // namespace largeea::tune
+
+#endif  // LARGEEA_TUNE_TUNE_TABLE_H_

@@ -5,11 +5,15 @@
 // covered separately by par_determinism_test.cc.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <limits>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/obs/metrics.h"
@@ -70,6 +74,149 @@ TEST(ComputeChunksTest, BoundariesIndependentOfThreadCount) {
   for (size_t i = 0; i < before.size(); ++i) {
     EXPECT_EQ(before[i].begin, after[i].begin);
     EXPECT_EQ(before[i].end, after[i].end);
+  }
+}
+
+TEST(ComputeChunksTest, GrainLargerThanRangeYieldsOneExactChunk) {
+  const auto chunks = ComputeChunks(2, 9, 1000);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].begin, 2);
+  EXPECT_EQ(chunks[0].end, 9);
+  EXPECT_EQ(chunks[0].index, 0);
+}
+
+TEST(ComputeChunksTest, NonZeroBeginOffsetsEveryBoundary) {
+  const auto chunks = ComputeChunks(100, 110, 4);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].begin, 100);
+  EXPECT_EQ(chunks[0].end, 104);
+  EXPECT_EQ(chunks[1].begin, 104);
+  EXPECT_EQ(chunks[1].end, 108);
+  EXPECT_EQ(chunks[2].begin, 108);
+  EXPECT_EQ(chunks[2].end, 110);
+}
+
+TEST(ComputeChunksTest, RangeEndingAtInt64MaxDoesNotOverflow) {
+  // begin + grain would overflow a naive `b += grain` loop; the chunker
+  // must still produce exact boundaries right up to INT64_MAX.
+  const int64_t end = std::numeric_limits<int64_t>::max();
+  const int64_t begin = end - 100;
+  const auto chunks = ComputeChunks(begin, end, 30);
+  ASSERT_EQ(chunks.size(), 4u);
+  EXPECT_EQ(chunks[0].begin, begin);
+  EXPECT_EQ(chunks[0].end, begin + 30);
+  EXPECT_EQ(chunks[3].begin, begin + 90);
+  EXPECT_EQ(chunks[3].end, end);
+}
+
+TEST(ComputeChunksTest, GrainLargerThanRangeNearInt64Max) {
+  const int64_t end = std::numeric_limits<int64_t>::max();
+  const auto chunks = ComputeChunks(end - 5, end, end);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].begin, end - 5);
+  EXPECT_EQ(chunks[0].end, end);
+}
+
+TEST(ComputeChunksCappedTest, UnderCapMatchesUncapped) {
+  const auto capped = ComputeChunksCapped(0, 100, 10, 32);
+  const auto plain = ComputeChunks(0, 100, 10);
+  ASSERT_EQ(capped.size(), plain.size());
+  for (size_t i = 0; i < capped.size(); ++i) {
+    EXPECT_EQ(capped[i].begin, plain[i].begin);
+    EXPECT_EQ(capped[i].end, plain[i].end);
+  }
+}
+
+TEST(ComputeChunksCappedTest, RaisesGrainToRespectCap) {
+  // 1000/1 = 1000 chunks uncapped; the cap coarsens the grain, it never
+  // truncates coverage.
+  const auto chunks = ComputeChunksCapped(0, 1000, 1, 8);
+  ASSERT_LE(chunks.size(), 8u);
+  EXPECT_EQ(chunks.front().begin, 0);
+  EXPECT_EQ(chunks.back().end, 1000);
+  for (size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].begin, chunks[i - 1].end);
+  }
+}
+
+TEST(ComputeChunksCappedTest, NonPositiveCapMeansUncapped) {
+  EXPECT_EQ(ComputeChunksCapped(0, 1000, 1, 0).size(), 1000u);
+  EXPECT_EQ(ComputeChunksCapped(0, 1000, 1, -3).size(), 1000u);
+}
+
+TEST(ComputeChunksCappedTest, EmptyRangeAndOversizedGrain) {
+  EXPECT_TRUE(ComputeChunksCapped(5, 5, 4, 8).empty());
+  const auto one = ComputeChunksCapped(3, 7, 100, 2);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].begin, 3);
+  EXPECT_EQ(one[0].end, 7);
+}
+
+TEST(ComputeChunksCappedTest, BoundariesIndependentOfThreadCount) {
+  // The pure function itself never consults the pool: only ParallelFor
+  // derives a cap from the pool size, and plain-for bodies are
+  // chunking-independent by contract.
+  const auto before = ComputeChunksCapped(0, 5000, 3, 16);
+  ScopedThreads threads(8);
+  const auto after = ComputeChunksCapped(0, 5000, 3, 16);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].begin, after[i].begin);
+    EXPECT_EQ(before[i].end, after[i].end);
+  }
+}
+
+TEST(ParallelReduceTreeTest, SumMatchesSerialAndIsThreadInvariant) {
+  const auto run = [] {
+    return ParallelReduceTree<int64_t>(
+        0, 1000, 7,
+        [](const ChunkRange& r, int64_t& acc) {
+          acc = 0;
+          for (int64_t i = r.begin; i < r.end; ++i) acc += i;
+        },
+        [](int64_t& into, int64_t& from) { into += from; });
+  };
+  const int64_t at1 = run();
+  EXPECT_EQ(at1, 1000 * 999 / 2);
+  ScopedThreads threads(8);
+  EXPECT_EQ(run(), at1);
+}
+
+TEST(ParallelReduceTreeTest, EmptyRangeReturnsDefaultState) {
+  const int64_t sum = ParallelReduceTree<int64_t>(
+      5, 5, 4, [](const ChunkRange&, int64_t& acc) { acc = 99; },
+      [](int64_t& into, int64_t& from) { into += from; });
+  EXPECT_EQ(sum, 0);
+}
+
+TEST(ParallelReduceTreeTest, CombineTopologyIsFixedPairwiseTree) {
+  // Record the merge pairs for 5 chunks: stride 1 gives (0,1) (2,3),
+  // stride 2 gives (0,2), stride 4 gives (0,4) — a pure function of the
+  // chunk count, never of the thread count.
+  using Pairs = std::vector<std::pair<std::string, std::string>>;
+  Pairs observed;
+  std::mutex mu;
+  const auto chunk_name = [](const ChunkRange& r) {
+    return std::to_string(r.index);
+  };
+  struct Labeled {
+    std::string label;
+  };
+  for (int32_t threads : {1, 4}) {
+    ScopedThreads scoped(threads);
+    observed.clear();
+    ParallelReduceTree<Labeled>(
+        0, 5, 1,
+        [&](const ChunkRange& r, Labeled& s) { s.label = chunk_name(r); },
+        [&](Labeled& into, Labeled& from) {
+          std::lock_guard<std::mutex> lock(mu);
+          observed.emplace_back(into.label, from.label);
+        });
+    // Pairs within a level may run in any order; the *set* of merge
+    // edges is what the topology fixes.
+    std::sort(observed.begin(), observed.end());
+    const Pairs expected = {{"0", "1"}, {"0", "2"}, {"0", "4"}, {"2", "3"}};
+    EXPECT_EQ(observed, expected) << "threads=" << threads;
   }
 }
 

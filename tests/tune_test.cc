@@ -1,0 +1,259 @@
+// Unit tests for the kernel autotuner table (src/tune/, DESIGN.md §13):
+// the override registry and parser, the checksummed tuning-file round
+// trip and its failure modes, the analytic shape formulas, and the
+// process-wide table swap. The integration-level proof that a tuning
+// file cannot change result bits lives in par_determinism_test.cc.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/rt/io_util.h"
+#include "src/tune/tune_table.h"
+
+namespace largeea::tune {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Restores the default (analytic) table on scope exit.
+class ScopedTable {
+ public:
+  explicit ScopedTable(const TuneOverrides& overrides) {
+    TuneTable::Set(overrides);
+  }
+  ~ScopedTable() { TuneTable::Set(TuneOverrides{}); }
+};
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+TEST(TuneOverridesTest, SetByNameCoversEveryRegistryEntry) {
+  TuneOverrides overrides;
+  int64_t next = 10;
+  for (const TuneParamInfo& param : TuneParams()) {
+    ASSERT_TRUE(SetOverrideByName(overrides, param.name, next).ok());
+    EXPECT_EQ(overrides.*param.field, next);
+    ++next;
+  }
+}
+
+TEST(TuneOverridesTest, UnknownNameAndNegativeValueRejected) {
+  TuneOverrides overrides;
+  EXPECT_EQ(SetOverrideByName(overrides, "gemm.bogus", 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SetOverrideByName(overrides, "gemm.row_grain", -1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(overrides, TuneOverrides{});
+}
+
+TEST(TuneOverridesTest, ApplyOverrideListParsesAndRejects) {
+  TuneOverrides overrides;
+  ASSERT_TRUE(
+      ApplyOverrideList(overrides, "gemm.row_grain=48,topk.row_grain=17")
+          .ok());
+  EXPECT_EQ(overrides.gemm_row_grain, 48);
+  EXPECT_EQ(overrides.topk_row_grain, 17);
+  // Zero resets a field to "analytic".
+  ASSERT_TRUE(ApplyOverrideList(overrides, "gemm.row_grain=0").ok());
+  EXPECT_EQ(overrides.gemm_row_grain, 0);
+  // Empty list and stray commas are fine.
+  EXPECT_TRUE(ApplyOverrideList(overrides, "").ok());
+  EXPECT_TRUE(ApplyOverrideList(overrides, ",,elem.grain=4096,").ok());
+  EXPECT_EQ(overrides.elem_grain, 4096);
+  // Malformed items are not.
+  EXPECT_EQ(ApplyOverrideList(overrides, "gemm.row_grain").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ApplyOverrideList(overrides, "gemm.row_grain=abc").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ApplyOverrideList(overrides, "nope=3").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TuneFileTest, RoundTripPreservesEveryParameter) {
+  TuneOverrides overrides;
+  overrides.gemm_row_grain = 48;
+  overrides.gemm_panel = 96;
+  overrides.elem_grain = 1 << 15;
+  overrides.chunks_per_thread = 8;
+  const std::string path = TempPath("tune_roundtrip.json");
+  ASSERT_TRUE(SaveTuneFile(path, overrides).ok());
+  const auto loaded = LoadTuneFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(*loaded == overrides);
+  fs::remove(path);
+}
+
+TEST(TuneFileTest, AllAnalyticRoundTripsToEmptyOverrides) {
+  const std::string path = TempPath("tune_empty.json");
+  ASSERT_TRUE(SaveTuneFile(path, TuneOverrides{}).ok());
+  const auto loaded = LoadTuneFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(*loaded == TuneOverrides{});
+  fs::remove(path);
+}
+
+TEST(TuneFileTest, MissingFileIsNotFound) {
+  const auto loaded = LoadTuneFile(TempPath("tune_does_not_exist.json"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TuneFileTest, TamperedValueIsDataLoss) {
+  TuneOverrides overrides;
+  overrides.gemm_row_grain = 48;
+  const std::string path = TempPath("tune_tampered.json");
+  ASSERT_TRUE(SaveTuneFile(path, overrides).ok());
+  auto text = rt::ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  const size_t pos = text->find("48");
+  ASSERT_NE(pos, std::string::npos);
+  (*text)[pos] = '9';  // 48 -> 98, checksum now stale
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << *text;
+  }
+  const auto loaded = LoadTuneFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  fs::remove(path);
+}
+
+TEST(TuneFileTest, UnrecognisedContentIsInvalidArgument) {
+  const std::string path = TempPath("tune_garbage.json");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "{\"not_a_tune_file\": true}\n";
+  }
+  const auto loaded = LoadTuneFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  fs::remove(path);
+}
+
+TEST(TuneFileTest, UnknownParameterNameIsInvalidArgument) {
+  // A file from a future version with a parameter this build does not
+  // know must fail loudly, not silently drop the parameter.
+  TuneOverrides overrides;
+  overrides.gemm_row_grain = 48;
+  const std::string path = TempPath("tune_unknown.json");
+  ASSERT_TRUE(SaveTuneFile(path, overrides).ok());
+  auto text = rt::ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  const size_t pos = text->find("gemm.row_grain");
+  ASSERT_NE(pos, std::string::npos);
+  text->replace(pos, 14, "gemm.from_future");  // same length not required
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << *text;
+  }
+  const auto loaded = LoadTuneFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  fs::remove(path);
+}
+
+TEST(TuneFingerprintTest, SensitiveToEveryField) {
+  const uint64_t base = TuneFingerprint(TuneOverrides{});
+  for (const TuneParamInfo& param : TuneParams()) {
+    TuneOverrides overrides;
+    overrides.*param.field = 7;
+    EXPECT_NE(TuneFingerprint(overrides), base) << param.name;
+  }
+}
+
+TEST(TuneTableTest, AnalyticGemmRowGrainTargetsChunkBand) {
+  const TuneTable& tt = TuneTable::Get();
+  // The historical constant (32) put a 20000-row GEMM at 625 chunks; the
+  // analytic grain lands the job in a band near kTargetChunks.
+  const int64_t grain = tt.GemmRowGrain(20000);
+  EXPECT_EQ(grain % 16, 0);
+  const int64_t chunks = (20000 + grain - 1) / grain;
+  EXPECT_LE(chunks, TuneTable::kTargetChunks);
+  EXPECT_GE(chunks, TuneTable::kTargetChunks / 2);
+  // Small problems: one cache-line-aligned chunk, never a zero grain.
+  EXPECT_GE(tt.GemmRowGrain(1), 1);
+  EXPECT_GE(tt.GemmRowGrain(0), 1);
+  // Grain never exceeds what 16-row rounding requires.
+  EXPECT_LE(tt.GemmRowGrain(100), 112);
+}
+
+TEST(TuneTableTest, AnalyticGrainsArePositiveAcrossShapes) {
+  const TuneTable& tt = TuneTable::Get();
+  for (int64_t shape : {int64_t{0}, int64_t{1}, int64_t{7}, int64_t{1000},
+                        int64_t{20000}, int64_t{1} << 30}) {
+    EXPECT_GT(tt.GemmRowGrain(shape), 0) << shape;
+    EXPECT_GT(tt.GemmPanel(shape, 128), 0) << shape;
+    EXPECT_GT(tt.GemmTileCols(shape), 0) << shape;
+    EXPECT_GT(tt.ElemGrain(shape), 0) << shape;
+    EXPECT_GT(tt.NormRowGrain(shape), 0) << shape;
+    EXPECT_GT(tt.SinkhornRowGrain(shape), 0) << shape;
+    EXPECT_GT(tt.TopKRowGrain(shape), 0) << shape;
+    EXPECT_GT(TuneTable::SinkhornColChunks(shape), 0) << shape;
+    EXPECT_GT(TuneTable::GemmTransposeAGrain(shape), 0) << shape;
+  }
+  EXPECT_GT(tt.ChunksPerThread(), 0);
+}
+
+TEST(TuneTableTest, SinkhornColChunksIsBoundedShapeFunction) {
+  EXPECT_EQ(TuneTable::SinkhornColChunks(0), 2);
+  EXPECT_EQ(TuneTable::SinkhornColChunks(1), 2);
+  EXPECT_EQ(TuneTable::SinkhornColChunks(int64_t{1} << 40), 32);
+  // Monotone non-decreasing in the entry count.
+  int64_t prev = 0;
+  for (int64_t entries = 1; entries <= (int64_t{1} << 24); entries *= 4) {
+    const int64_t chunks = TuneTable::SinkhornColChunks(entries);
+    EXPECT_GE(chunks, prev);
+    prev = chunks;
+  }
+}
+
+TEST(TuneTableTest, OverridesWinOverAnalyticDefaults) {
+  TuneOverrides overrides;
+  overrides.gemm_row_grain = 48;
+  overrides.elem_grain = 4096;
+  overrides.chunks_per_thread = 4;
+  ScopedTable scoped(overrides);
+  const TuneTable& tt = TuneTable::Get();
+  EXPECT_EQ(tt.GemmRowGrain(20000), 48);
+  EXPECT_EQ(tt.ElemGrain(int64_t{1} << 24), 4096);
+  EXPECT_EQ(tt.ChunksPerThread(), 4);
+  // Untouched parameters keep their analytic defaults (rows=100 =>
+  // ceil(100/64)=2, floored at 16).
+  EXPECT_EQ(tt.NormRowGrain(100), 16);
+}
+
+TEST(TuneTableTest, SetInstallsAndRestores) {
+  TuneOverrides overrides;
+  overrides.topk_row_grain = 17;
+  {
+    ScopedTable scoped(overrides);
+    EXPECT_EQ(TuneTable::Get().TopKRowGrain(4000), 17);
+  }
+  EXPECT_NE(TuneTable::Get().TopKRowGrain(4000), 17);
+}
+
+TEST(TuneTableTest, GemmPanelRespectsCacheBudgetOverride) {
+  TuneOverrides overrides;
+  overrides.gemm_cache_bytes = 64 * 1024;  // pretend a tiny L2
+  ScopedTable scoped(overrides);
+  const TuneTable& tt = TuneTable::Get();
+  // B (k=4096, n=4096) is way past 64KB: panel = budget/2 / (4*n),
+  // clamped to [16, 256].
+  EXPECT_EQ(tt.GemmPanel(4096, 4096), 16);
+  // Whole B fits: no panelling (panel = k).
+  EXPECT_EQ(tt.GemmPanel(64, 64), 64);
+}
+
+TEST(TuneTableTest, DescribeMentionsEveryParameter) {
+  const std::string text = TuneTable::Get().Describe();
+  for (const TuneParamInfo& param : TuneParams()) {
+    EXPECT_NE(text.find(param.name), std::string::npos) << param.name;
+  }
+}
+
+}  // namespace
+}  // namespace largeea::tune

@@ -10,6 +10,15 @@ key columns, so a re-ordered or extended sweep still gates correctly:
     par     -> (kernel, threads)      on items_per_sec
     simd    -> (kernel, backend)      on items_per_sec
     profile -> (kernel, threads)      on items_per_sec
+                                      + utilization / imbalance_ratio
+    tune    -> (param, candidate)     schema-checked only (timings of
+                                      autotune candidates, no gate)
+
+Profile rows carry the profiler's quality columns besides throughput;
+those are gated too: a kernel whose worker imbalance grows past the
+baseline (beyond tolerance plus a small absolute slack) or whose pool
+utilization drops fails the gate even if wall-clock throughput held up
+— that is exactly the early-warning signal the profiler exists for.
 
 Usage:
     bench_gate.py --baseline BENCH_par.json --fresh /tmp/par.json
@@ -40,10 +49,24 @@ KEY_COLUMNS = {
     "simd": ("kernel", "backend"),
     "profile": ("kernel", "threads"),
     "stream": ("budget_mb",),
+    "tune": ("param", "candidate"),
 }
 
 # The gated metric per bench (higher is better).
 GATE_METRIC = "items_per_sec"
+
+# Quality columns gated per bench besides throughput. Each entry is
+# (column, direction, absolute_slack): "lower" means fresh must stay
+# under baseline * (1 + tolerance) + slack, "higher" means fresh must
+# stay above baseline * (1 - tolerance) - slack. The absolute slack
+# absorbs scheduler noise on ratios whose baseline sits near their floor
+# (an imbalance of 1.02 vs a 1.0 baseline is not a regression).
+QUALITY_METRICS = {
+    "profile": (
+        ("imbalance_ratio", "lower", 0.25),
+        ("utilization", "higher", 0.05),
+    ),
+}
 
 DEFAULT_TOLERANCE = 0.15
 
@@ -90,6 +113,10 @@ def check_file(path):
         if GATE_METRIC in row and not row[GATE_METRIC] > 0:
             raise ValueError(
                 f"{path}: row {key} has non-positive {GATE_METRIC}")
+        for column, _, _ in QUALITY_METRICS.get(bench, ()):
+            if column in row and not row[column] > 0:
+                raise ValueError(
+                    f"{path}: row {key} has non-positive {column}")
     print(f"bench_gate: {path}: ok ({bench}, {len(seen)} rows)")
 
 
@@ -155,6 +182,35 @@ def compare(baseline_path, fresh_path, tolerance):
         elif ratio > 1.0 + tolerance:
             status = "improved"
         print(f"bench_gate: {bench} {key}: {ratio:.2f}x {status}")
+
+    for key, base in sorted(base_rows.items(), key=lambda kv: str(kv[0])):
+        if key not in fresh_rows:
+            continue  # already reported by the throughput loop
+        for column, direction, slack in QUALITY_METRICS.get(bench, ()):
+            if column not in base:
+                continue
+            base_v = base[column]
+            fresh_v = fresh_rows[key].get(column)
+            if fresh_v is None:
+                regressions.append((key, f"{column} missing from fresh run"))
+                continue
+            compared += 1
+            if direction == "lower":
+                allowed = base_v * (1.0 + tolerance) + slack
+                bad = fresh_v > allowed
+                bound = f"<= {allowed:.3g}"
+            else:
+                allowed = base_v * (1.0 - tolerance) - slack
+                bad = fresh_v < allowed
+                bound = f">= {allowed:.3g}"
+            status = "ok"
+            if bad:
+                status = "REGRESSION"
+                regressions.append(
+                    (key, f"{column} {fresh_v:.3g} vs baseline "
+                          f"{base_v:.3g} (needed {bound})"))
+            print(f"bench_gate: {bench} {key}: {column} "
+                  f"{fresh_v:.3g} (baseline {base_v:.3g}) {status}")
 
     if compared == 0:
         return fail(f"no comparable rows between {baseline_path} "

@@ -13,13 +13,20 @@
 #     unbudgeted peak, then budgets of 1/2, 1/4, 1/8 of it, each row
 #     recording peak/seconds and that the fused matrix stayed
 #     bit-identical (bench_micro --mode=stream --json-out,
-#     DESIGN.md §10). STREAM_SCALE tunes the dataset size.
+#     DESIGN.md §10). STREAM_SCALE tunes the dataset size;
+#   * BENCH_tune.json — the autotune candidate sweep (bench_micro
+#     --mode=tune --json-out, DESIGN.md §13): one row per
+#     (param, candidate) with the winner flagged. TUNE_SCALE shrinks
+#     the sweep shapes.
 #
 # Usage:
 #   tools/run_bench.sh                 # regenerate baselines in repo root
-#   tools/run_bench.sh --gate          # fresh par+simd runs vs committed
-#                                      # baselines; non-zero exit on a
-#                                      # >GATE_TOLERANCE throughput drop
+#   tools/run_bench.sh --gate          # fresh par+simd+profile runs vs
+#                                      # committed baselines; non-zero exit
+#                                      # on a >GATE_TOLERANCE throughput
+#                                      # drop or a profile-quality
+#                                      # regression (utilization down /
+#                                      # imbalance up, see bench_gate.py)
 #   tools/run_bench.sh --gate-check    # validate committed baselines only
 #                                      # (no benches run; CI-safe)
 #   OUT_DIR=/tmp tools/run_bench.sh    # write elsewhere
@@ -46,6 +53,7 @@ MIN_TIME="${MIN_TIME:-0.3}"
 THREADS_LIST="${THREADS_LIST:-1,2,4,8}"
 BUILD_DIR="${BUILD_DIR:-build}"
 STREAM_SCALE="${STREAM_SCALE:-0.2}"
+TUNE_SCALE="${TUNE_SCALE:-1.0}"
 GATE_TOLERANCE="${GATE_TOLERANCE:-0.15}"
 BENCH_RUNS="${BENCH_RUNS:-3}"
 
@@ -79,7 +87,8 @@ case "${1:-}" in
 esac
 
 if [[ "${MODE}" == "gate-check" ]]; then
-  exec python3 tools/bench_gate.py --check BENCH_par.json BENCH_simd.json
+  exec python3 tools/bench_gate.py --check \
+    BENCH_par.json BENCH_simd.json BENCH_profile.json BENCH_tune.json
 fi
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -101,12 +110,20 @@ if [[ "${MODE}" == "gate" ]]; then
   bench_best "${GATE_DIR}/BENCH_simd.json" \
     "${BUILD_DIR}/bench/bench_micro" --mode=backend --min-time="${MIN_TIME}"
 
+  echo "=== gate: profile sweep (best of ${BENCH_RUNS}) ==="
+  bench_best "${GATE_DIR}/BENCH_profile.json" \
+    "${BUILD_DIR}/bench/bench_micro" --mode=profile \
+    --threads-list="${THREADS_LIST}" --min-time="${MIN_TIME}"
+
   status=0
   python3 tools/bench_gate.py --tolerance "${GATE_TOLERANCE}" \
     --baseline BENCH_par.json --fresh "${GATE_DIR}/BENCH_par.json" \
     || status=1
   python3 tools/bench_gate.py --tolerance "${GATE_TOLERANCE}" \
     --baseline BENCH_simd.json --fresh "${GATE_DIR}/BENCH_simd.json" \
+    || status=1
+  python3 tools/bench_gate.py --tolerance "${GATE_TOLERANCE}" \
+    --baseline BENCH_profile.json --fresh "${GATE_DIR}/BENCH_profile.json" \
     || status=1
   if [[ "${status}" -ne 0 ]]; then
     echo "run_bench.sh: PERF GATE FAILED (see rows above)" >&2
@@ -131,3 +148,8 @@ echo "=== profile sweep ==="
 echo "=== streaming budget sweep ==="
 "${BUILD_DIR}/bench/bench_micro" --mode=stream \
   --json-out="${OUT_DIR}/BENCH_stream.json" --scale="${STREAM_SCALE}"
+
+echo "=== autotune candidate sweep ==="
+"${BUILD_DIR}/bench/bench_micro" --mode=tune \
+  --json-out="${OUT_DIR}/BENCH_tune.json" --scale="${TUNE_SCALE}" \
+  --min-time="${MIN_TIME}"

@@ -205,6 +205,29 @@ void ReportPhases(const LargeEaResult& result, obs::RunReport& report) {
     std::printf("%-22s %10.3f %12s\n", row.name, row.seconds, mem);
     report.AddPhase(row.name, row.seconds, row.peak_bytes);
   }
+  // DAG-executor node stats (empty on --no-dag): per-operator wall
+  // time and tracked peak, plus the measured critical path — the wall
+  // clock floor at infinite concurrency.
+  for (const DagNodeStats& node : result.dag_nodes) {
+    char mem[32];
+    std::snprintf(mem, sizeof(mem), "%.1fMB",
+                  static_cast<double>(node.peak_bytes) / (1 << 20));
+    const std::string name = "dag/" + node.name;
+    std::printf("%-22s %10.3f %12s%s\n", name.c_str(), node.seconds, mem,
+                node.from_checkpoint ? "  (checkpoint)" : "");
+    report.AddPhase(name, node.seconds, node.peak_bytes);
+  }
+  if (!result.dag_critical_path.empty()) {
+    std::string path;
+    for (const std::string& name : result.dag_critical_path) {
+      if (!path.empty()) path += " -> ";
+      path += name;
+    }
+    std::printf("%-22s %10.3f              %s\n", "dag/critical_path",
+                result.dag_critical_path_seconds, path.c_str());
+    report.AddPhase("dag/critical_path", result.dag_critical_path_seconds,
+                    -1);
+  }
   std::printf("%-22s %10.3f %12.1fMB\n", "total", result.total_seconds,
               static_cast<double>(result.peak_bytes) / (1 << 20));
   report.SetTotal(result.total_seconds, result.peak_bytes);

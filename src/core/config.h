@@ -73,6 +73,10 @@ struct Config {
   bool shard_degrade = true;
   std::string shard_heartbeat_file;
 
+  /// Convenience spelling for `--dag=false` (DESIGN.md §14). Folded
+  /// into pipeline.dag by Validate(); wins when both are passed.
+  bool no_dag = false;
+
   /// Kernel-level profiling (DESIGN.md §11). Off by default: the
   /// disabled profiler costs one relaxed atomic load per annotated
   /// kernel entry. When on, the run report gains a `profile` section and

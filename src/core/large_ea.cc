@@ -6,9 +6,12 @@
 #include <utility>
 
 #include "src/common/macros.h"
+#include "src/core/pipeline_fingerprint.h"
+#include "src/dag/pipeline_dag.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/par/thread_pool.h"
 #include "src/rt/checkpoint.h"
 #include "src/rt/fault_injection.h"
 #include "src/rt/io_util.h"
@@ -71,46 +74,22 @@ uint64_t LargeEaConfigFingerprint(const EaDataset& dataset,
   return rt::Fnv1a64(buf);
 }
 
-StatusOr<LargeEaResult> RunLargeEa(const EaDataset& dataset,
-                                   const LargeEaOptions& options) {
-  LARGEEA_CHECK(options.use_name_channel || options.use_structure_channel);
+namespace {
+
+/// The historical serial executor (--no-dag): phases run in Algorithm-1
+/// order on the calling thread. Kept as the reference the DAG schedule
+/// is proven bit-identical against (tests/dag_test.cc).
+StatusOr<LargeEaResult> RunLargeEaSerial(const EaDataset& dataset,
+                                         const LargeEaOptions& options,
+                                         rt::CheckpointManager& checkpoint,
+                                         stream::StreamContext* stream_ctx) {
   LargeEaResult result;
-  // The pipeline span is the single source for total_seconds and
-  // peak_bytes; nested channel spans feed the same trace and report.
-  obs::Span pipeline_span("pipeline", obs::Span::kTrackMemory);
-  pipeline_span.AddAttr("simd.backend",
-                        simd::BackendName(simd::ActiveBackend()));
-
-  // Memory-budgeted streaming: one context (budget + spill store) per
-  // run, handed only to the phases that know how to stream. Null when
-  // disabled, which keeps every call site on the historical path.
-  const stream::StreamOptions stream_options =
-      stream::ResolveStreamOptions(options.stream);
-  std::unique_ptr<stream::StreamContext> stream_ctx;
-  if (stream::StreamingEnabled(stream_options)) {
-    stream_ctx = std::make_unique<stream::StreamContext>(stream_options);
-    pipeline_span.AddAttr("stream.budget_mb",
-                          stream_options.memory_budget_mb);
-    LARGEEA_LOG_INFO("pipeline: streaming under a %" PRId64
-                     " MiB budget (spill dir '%s')",
-                     stream_options.memory_budget_mb,
-                     stream_ctx->store().spill_dir().c_str());
-  }
-
-  rt::CheckpointManager checkpoint(
-      options.fault_tolerance.checkpoint_dir,
-      LargeEaConfigFingerprint(dataset, options),
-      options.fault_tolerance.resume);
-  if (checkpoint.should_load()) {
-    LARGEEA_LOG_INFO("pipeline: resuming from checkpoints in '%s'",
-                     checkpoint.dir().c_str());
-  }
 
   // --- Name channel: M_n and pseudo seeds. ---
   if (options.use_name_channel) {
     auto name = RunNameChannel(dataset.source, dataset.target,
                                dataset.split.train, options.name_channel,
-                               &checkpoint, stream_ctx.get());
+                               &checkpoint, stream_ctx);
     if (!name.ok()) return name.status().WithContext("name channel");
     result.name_channel = std::move(name).value();
   }
@@ -208,6 +187,65 @@ StatusOr<LargeEaResult> RunLargeEa(const EaDataset& dataset,
     LARGEEA_INJECT_FAULT("pipeline.evaluate");
     result.metrics = Evaluate(result.fused, dataset.split.test);
   }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<LargeEaResult> RunLargeEa(const EaDataset& dataset,
+                                   const LargeEaOptions& options) {
+  if (!options.use_name_channel && !options.use_structure_channel) {
+    return InvalidArgumentError(
+        "at least one of use_name_channel / use_structure_channel must be "
+        "enabled (both channels are ablated)");
+  }
+  // The pipeline span is the single source for total_seconds and
+  // peak_bytes; nested operator/channel spans feed the same trace and
+  // report.
+  obs::Span pipeline_span("pipeline", obs::Span::kTrackMemory);
+  pipeline_span.AddAttr("simd.backend",
+                        simd::BackendName(simd::ActiveBackend()));
+  pipeline_span.AddAttr("executor",
+                        options.dag ? std::string("dag")
+                                    : std::string("serial"));
+
+  // Memory-budgeted streaming: one context (budget + spill store) per
+  // run, handed only to the phases that know how to stream. Null when
+  // disabled, which keeps every call site on the historical path.
+  const stream::StreamOptions stream_options =
+      stream::ResolveStreamOptions(options.stream);
+  std::unique_ptr<stream::StreamContext> stream_ctx;
+  if (stream::StreamingEnabled(stream_options)) {
+    stream_ctx = std::make_unique<stream::StreamContext>(stream_options);
+    pipeline_span.AddAttr("stream.budget_mb",
+                          stream_options.memory_budget_mb);
+    LARGEEA_LOG_INFO("pipeline: streaming under a %" PRId64
+                     " MiB budget (spill dir '%s')",
+                     stream_options.memory_budget_mb,
+                     stream_ctx->store().spill_dir().c_str());
+  }
+
+  // The global fingerprint stays the default stamp; per-node
+  // fingerprints cover every artifact the pipeline actually writes, so
+  // a changed option re-executes only the dirty subgraph on --resume.
+  rt::CheckpointManager checkpoint = MakePipelineCheckpointManager(
+      dataset, options, options.fault_tolerance.checkpoint_dir,
+      options.fault_tolerance.resume);
+  if (checkpoint.should_load()) {
+    LARGEEA_LOG_INFO("pipeline: resuming from checkpoints in '%s'",
+                     checkpoint.dir().c_str());
+  }
+
+  StatusOr<LargeEaResult> run =
+      options.dag
+          ? dag::RunLargeEaPipeline(dataset, options, checkpoint,
+                                    stream_ctx.get(),
+                                    par::ThreadPool::Get().num_threads())
+          : RunLargeEaSerial(dataset, options, checkpoint,
+                             stream_ctx.get());
+  if (!run.ok()) return run.status();
+  LargeEaResult result = std::move(run).value();
+
   result.total_seconds = pipeline_span.End();
   result.peak_bytes = pipeline_span.peak_bytes();
   if (stream_ctx != nullptr) {
@@ -220,6 +258,14 @@ StatusOr<LargeEaResult> RunLargeEa(const EaDataset& dataset,
       .Set(static_cast<double>(result.structure_channel.batches_dropped));
   registry.GetGauge("pipeline.batches_resumed")
       .Set(static_cast<double>(result.structure_channel.batches_resumed));
+  if (options.dag) {
+    // Compliant when unbudgeted, or when the run's tracked peak stayed
+    // under the budget the scheduler admitted against.
+    const bool compliant =
+        stream_ctx == nullptr ||
+        result.peak_bytes <= stream_ctx->budget().budget_bytes();
+    registry.GetGauge("dag.budget.compliant").Set(compliant ? 1.0 : 0.0);
+  }
   return result;
 }
 

@@ -14,7 +14,9 @@
 #ifndef LARGEEA_CORE_LARGE_EA_H_
 #define LARGEEA_CORE_LARGE_EA_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/core/evaluator.h"
 #include "src/core/name_channel.h"
@@ -61,6 +63,23 @@ struct LargeEaOptions {
   /// (nff.semantic, nff.string, structure_channel.similarity) come back
   /// empty — only `fused` and the metrics are retained.
   stream::StreamOptions stream;
+  /// Run the pipeline through the operator-DAG executor (src/dag/):
+  /// independent operators overlap on worker threads, admission is
+  /// budget-aware, and intermediates are released at their last use.
+  /// False runs the historical serial order. Scheduling-only — results
+  /// and checkpoints are bit-identical either way, so this flag is
+  /// deliberately NOT part of the config fingerprint.
+  bool dag = true;
+};
+
+/// Per-operator execution record when the DAG executor ran.
+struct DagNodeStats {
+  std::string name;
+  double seconds = 0.0;
+  int64_t peak_bytes = 0;       ///< tracked peak while the node ran
+  int64_t estimated_bytes = 0;  ///< declared admission estimate
+  bool from_checkpoint = false;
+  int32_t deferrals = 0;  ///< admissions denied by the memory budget
 };
 
 struct LargeEaResult {
@@ -72,6 +91,11 @@ struct LargeEaResult {
   EntityPairList effective_seeds;
   double total_seconds = 0.0;
   int64_t peak_bytes = 0;
+  /// DAG-executor diagnostics; empty when the serial path ran.
+  std::vector<DagNodeStats> dag_nodes;
+  double dag_critical_path_seconds = 0.0;
+  std::vector<std::string> dag_critical_path;  ///< node names, source→sink
+  int64_t dag_deferrals = 0;
 };
 
 /// Fingerprint of everything that shapes the numeric result (dataset

@@ -121,20 +121,13 @@ StatusOr<MiniBatchSet> PrepareStructureBatches(
   return result;
 }
 
-StatusOr<StructureChannelResult> RunStructureChannel(
+StatusOr<StructureChannelResult> TrainStructureChannel(
     const KnowledgeGraph& source, const KnowledgeGraph& target,
-    const EntityPairList& seeds, const StructureChannelOptions& options,
+    MiniBatchSet batches, const StructureChannelOptions& options,
     rt::CheckpointManager* checkpoint) {
   StructureChannelResult result;
+  result.batches = std::move(batches);
   auto& registry = obs::MetricsRegistry::Get();
-
-  {
-    auto batches = PrepareStructureBatches(source, target, seeds, options,
-                                           checkpoint,
-                                           &result.partition_seconds);
-    if (!batches.ok()) return batches.status();
-    result.batches = std::move(batches).value();
-  }
 
   // Per-batch training seeds are derived up front, in the exact order the
   // pre-resume code forked them (trainable batches only, ascending), so a
@@ -419,6 +412,21 @@ StatusOr<StructureChannelResult> RunStructureChannel(
   result.similarity.RefreshMemoryTracking();
   result.training_seconds = train_span.End();
   result.peak_training_bytes = train_span.peak_bytes();
+  return result;
+}
+
+StatusOr<StructureChannelResult> RunStructureChannel(
+    const KnowledgeGraph& source, const KnowledgeGraph& target,
+    const EntityPairList& seeds, const StructureChannelOptions& options,
+    rt::CheckpointManager* checkpoint) {
+  double partition_seconds = 0.0;
+  auto batches = PrepareStructureBatches(source, target, seeds, options,
+                                         checkpoint, &partition_seconds);
+  if (!batches.ok()) return batches.status();
+  auto result = TrainStructureChannel(source, target,
+                                      std::move(batches).value(), options,
+                                      checkpoint);
+  if (result.ok()) result.value().partition_seconds = partition_seconds;
   return result;
 }
 

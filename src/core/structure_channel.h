@@ -107,9 +107,20 @@ StatusOr<MiniBatchSet> PrepareStructureBatches(
     const EntityPairList& seeds, const StructureChannelOptions& options,
     rt::CheckpointManager* checkpoint, double* partition_seconds = nullptr);
 
-/// Runs the structure channel. `seeds` is ψ' (train pairs, possibly
-/// already augmented with pseudo seeds). When `checkpoint` is non-null,
-/// the partition and each completed batch's similarity block are saved
+/// The training phase alone: trains (or resumes) every trainable batch
+/// of an already-materialised partition and merges the blocks into M_s.
+/// The pipeline DAG runs this as its own operator downstream of the
+/// partition node; `result.batches` takes ownership of `batches` and
+/// `partition_seconds` stays zero.
+StatusOr<StructureChannelResult> TrainStructureChannel(
+    const KnowledgeGraph& source, const KnowledgeGraph& target,
+    MiniBatchSet batches, const StructureChannelOptions& options,
+    rt::CheckpointManager* checkpoint = nullptr);
+
+/// Runs the structure channel — PrepareStructureBatches followed by
+/// TrainStructureChannel. `seeds` is ψ' (train pairs, possibly already
+/// augmented with pseudo seeds). When `checkpoint` is non-null, the
+/// partition and each completed batch's similarity block are saved
 /// there; in resume mode completed units are loaded instead of retrained.
 StatusOr<StructureChannelResult> RunStructureChannel(
     const KnowledgeGraph& source, const KnowledgeGraph& target,

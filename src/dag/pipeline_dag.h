@@ -1,0 +1,47 @@
+// The LargeEA pipeline expressed as an operator DAG (DESIGN.md §14).
+//
+// BuildLargeEaGraph decomposes Algorithm 1 into nine operators —
+//
+//   name_semantic ─┐
+//                  ├─ name_fuse ── name_augmentation ─┐
+//   name_string ──┘                                   │
+//                                 seed_augmentation ──┴─ (ψ')
+//                                        │
+//                                    partition ── structure_train ─┐
+//                                                                  │
+//                              name_fuse ──────────────── fusion ──┴─ eval
+//
+// — wired so the two channels' independent prefixes (the whole name
+// string/semantic computation vs. nothing-to-wait-for structure work)
+// overlap: with augmentation disabled (or the name channel ablated)
+// ψ' needs no name-channel output, so the structure channel launches
+// immediately and runs concurrently with SENS/STNS.
+//
+// Every operator keeps the serial pipeline's checkpoint artifact, fault
+// injection point, and numeric behaviour; only the schedule differs.
+// RunLargeEaPipeline is the drop-in body RunLargeEa delegates to when
+// LargeEaOptions::dag is set.
+#ifndef LARGEEA_DAG_PIPELINE_DAG_H_
+#define LARGEEA_DAG_PIPELINE_DAG_H_
+
+#include "src/core/large_ea.h"
+#include "src/dag/scheduler.h"
+#include "src/rt/checkpoint.h"
+#include "src/stream/stream_context.h"
+
+namespace largeea::dag {
+
+/// Runs the full pipeline as a scheduled operator graph and fills a
+/// LargeEaResult identical (bit-for-bit on `fused`, the metrics, and
+/// every checkpoint artifact) to the serial path's. `checkpoint` must
+/// come from MakePipelineCheckpointManager so per-node artifacts carry
+/// per-node fingerprints; `stream_ctx` may be null (unbudgeted).
+/// `max_concurrency` bounds overlapping operators (1 = serial order).
+StatusOr<LargeEaResult> RunLargeEaPipeline(
+    const EaDataset& dataset, const LargeEaOptions& options,
+    rt::CheckpointManager& checkpoint, stream::StreamContext* stream_ctx,
+    int32_t max_concurrency);
+
+}  // namespace largeea::dag
+
+#endif  // LARGEEA_DAG_PIPELINE_DAG_H_

@@ -1,0 +1,41 @@
+#include "src/par/task_group.h"
+
+#include <utility>
+
+#include "src/obs/trace.h"
+
+namespace largeea::par {
+
+TaskGroup::TaskGroup(std::string name_prefix)
+    : prefix_(std::move(name_prefix)) {}
+
+TaskGroup::~TaskGroup() { JoinAll(); }
+
+void TaskGroup::Spawn(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int32_t index = spawned_++;
+  threads_.emplace_back([name = prefix_ + "-" + std::to_string(index),
+                         fn = std::move(fn)]() {
+    obs::SetCurrentThreadName(name);
+    fn();
+  });
+}
+
+void TaskGroup::JoinAll() {
+  // Joining outside the lock lets a task Spawn() siblings without
+  // deadlocking against a concurrent JoinAll.
+  std::vector<std::thread> draining;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (threads_.empty()) return;
+      draining.swap(threads_);
+    }
+    for (std::thread& t : draining) {
+      if (t.joinable()) t.join();
+    }
+    draining.clear();
+  }
+}
+
+}  // namespace largeea::par

@@ -1,0 +1,57 @@
+// A small group of dedicated threads for coarse, long-lived tasks.
+//
+// The par::ThreadPool is a fork-join pool for *data* parallelism: Run()
+// blocks the caller until every task finishes, serializes concurrent
+// jobs, and inlines nested Run() calls. DAG *node* bodies are the wrong
+// shape for it — each node is itself a pool client (its kernels call
+// ParallelFor), so running node bodies on pool workers would inline and
+// serialise every inner loop. TaskGroup instead gives each spawned task
+// its own OS thread: the task runs concurrently with its siblings while
+// its inner ParallelFor calls still fan out across the shared pool
+// (which serialises concurrent jobs internally, keeping every loop's
+// chunking — and therefore every result bit — schedule-independent).
+//
+// Spawn() is cheap relative to the node granularity it is used at
+// (whole pipeline phases); the scheduler bounds how many tasks are in
+// flight, so a group never holds more live threads than the admission
+// policy allows.
+#ifndef LARGEEA_PAR_TASK_GROUP_H_
+#define LARGEEA_PAR_TASK_GROUP_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace largeea::par {
+
+class TaskGroup {
+ public:
+  /// `name_prefix` names the spawned threads in Chrome traces
+  /// ("<prefix>-0", "<prefix>-1", ...).
+  explicit TaskGroup(std::string name_prefix = "task");
+
+  /// Joins every spawned thread.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Runs `fn` on a new dedicated thread. Thread-safe.
+  void Spawn(std::function<void()> fn);
+
+  /// Blocks until every task spawned so far has finished. Safe to call
+  /// repeatedly; Spawn() may be called again afterwards.
+  void JoinAll();
+
+ private:
+  std::string prefix_;
+  std::mutex mu_;
+  std::vector<std::thread> threads_;
+  int32_t spawned_ = 0;
+};
+
+}  // namespace largeea::par
+
+#endif  // LARGEEA_PAR_TASK_GROUP_H_

@@ -201,6 +201,26 @@ std::string CheckpointManager::PathFor(std::string_view kind) const {
   return dir_ + "/" + std::string(kind) + ".ckpt";
 }
 
+void CheckpointManager::SetKindFingerprint(std::string kind_prefix,
+                                           uint64_t fingerprint) {
+  kind_fingerprints_.emplace_back(std::move(kind_prefix), fingerprint);
+}
+
+uint64_t CheckpointManager::FingerprintFor(std::string_view kind) const {
+  uint64_t best = fingerprint_;
+  size_t best_len = 0;
+  bool overridden = false;
+  for (const auto& [prefix, fingerprint] : kind_fingerprints_) {
+    if (kind.substr(0, prefix.size()) == prefix &&
+        (!overridden || prefix.size() > best_len)) {
+      best = fingerprint;
+      best_len = prefix.size();
+      overridden = true;
+    }
+  }
+  return best;
+}
+
 Status CheckpointManager::SavePayload(std::string_view kind,
                                       std::string_view payload) {
   if (!enabled()) return OkStatus();
@@ -220,7 +240,7 @@ Status CheckpointManager::SavePayload(std::string_view kind,
   content += ' ';
   content += kVersion;
   content += ' ';
-  content += std::string(kind) + ' ' + HexU64(fingerprint_) + ' ' +
+  content += std::string(kind) + ' ' + HexU64(FingerprintFor(kind)) + ' ' +
              std::to_string(payload.size()) + ' ' +
              HexU64(Fnv1a64(payload)) + '\n';
   content += payload;
@@ -258,11 +278,12 @@ StatusOr<std::string> CheckpointManager::LoadPayload(std::string_view kind) {
     return DataLossError("'" + path + "': artifact kind mismatch ('" +
                          stored_kind + "' vs '" + std::string(kind) + "')");
   }
-  if (fingerprint_hex != HexU64(fingerprint_)) {
+  const uint64_t expected = FingerprintFor(kind);
+  if (fingerprint_hex != HexU64(expected)) {
     return FailedPreconditionError(
         "'" + path + "': checkpoint was written under a different "
         "configuration (fingerprint " + fingerprint_hex + ", expected " +
-        HexU64(fingerprint_) + ")");
+        HexU64(expected) + ")");
   }
   const std::string payload = content.substr(newline + 1);
   if (payload_size < 0 ||

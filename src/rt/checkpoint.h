@@ -28,6 +28,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "src/partition/mini_batch.h"
 #include "src/rt/status.h"
@@ -58,6 +60,20 @@ class CheckpointManager {
   bool should_load() const { return enabled() && resume_; }
   const std::string& dir() const { return dir_; }
 
+  /// Stamps every artifact whose kind starts with `kind_prefix` with
+  /// `fingerprint` instead of the constructor's global fingerprint.
+  /// The longest matching prefix wins ("batch_" covers "batch_0003"),
+  /// so the pipeline DAG can give each node a fingerprint of exactly
+  /// the inputs and options that shape *that* artifact — a changed
+  /// training option then invalidates the batch blocks without
+  /// touching the name-channel artifacts (dirty-subgraph resume).
+  /// Not thread-safe: install every override before the manager is
+  /// shared across scheduler threads.
+  void SetKindFingerprint(std::string kind_prefix, uint64_t fingerprint);
+
+  /// The fingerprint artifacts of `kind` are saved and validated under.
+  uint64_t FingerprintFor(std::string_view kind) const;
+
   /// Saves one artifact. Errors are already counted/logged; callers
   /// typically ignore the returned Status (best-effort contract).
   Status SaveMatrix(std::string_view kind, const SparseSimMatrix& m);
@@ -87,6 +103,8 @@ class CheckpointManager {
   std::string dir_;
   uint64_t fingerprint_ = 0;
   bool resume_ = false;
+  /// (kind prefix, fingerprint) overrides; longest prefix match wins.
+  std::vector<std::pair<std::string, uint64_t>> kind_fingerprints_;
 };
 
 }  // namespace largeea::rt

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/core/name_channel.h"
+#include "src/core/pipeline_fingerprint.h"
 #include "src/core/structure_channel.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
@@ -88,9 +89,11 @@ StatusOr<LargeEaResult> RunShardedLargeEa(const EaDataset& dataset,
   // artifacts are the ones a plain run would have written.
   const stream::StreamOptions stream_options =
       stream::ResolveStreamOptions(options.stream);
-  rt::CheckpointManager checkpoint(dir,
-                                   LargeEaConfigFingerprint(dataset, options),
-                                   /*resume=*/true);
+  // The pipeline manager (global fingerprint + per-node overrides) —
+  // workers and the merge construct the identical manager, so artifacts
+  // from the three process roles validate interchangeably.
+  rt::CheckpointManager checkpoint =
+      MakePipelineCheckpointManager(dataset, options, dir, /*resume=*/true);
   MiniBatchSet batches;
   {
     obs::Span prefix_span("shard/prefix");

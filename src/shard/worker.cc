@@ -3,6 +3,7 @@
 #include <memory>
 #include <optional>
 
+#include "src/core/pipeline_fingerprint.h"
 #include "src/obs/log.h"
 #include "src/obs/trace.h"
 #include "src/rt/checkpoint.h"
@@ -35,12 +36,14 @@ Status RunShardWorker(const EaDataset& dataset,
   }
   LARGEEA_INJECT_FAULT("shard.worker.start");
 
-  // The fingerprint comes from the orchestrator's options, BEFORE the
+  // The fingerprints come from the orchestrator's options, BEFORE the
   // worker-side adjustments below: shard layout and the skipped CSLS
-  // pass must never produce artifacts the parent would reject.
-  rt::CheckpointManager checkpoint(
-      options.fault_tolerance.checkpoint_dir,
-      LargeEaConfigFingerprint(dataset, options),
+  // pass must never produce artifacts the parent would reject. The
+  // per-node batch fingerprint excludes apply_csls by design (blocks
+  // are saved pre-CSLS), so the adjusted options below would stamp the
+  // same batch fingerprint anyway.
+  rt::CheckpointManager checkpoint = MakePipelineCheckpointManager(
+      dataset, options, options.fault_tolerance.checkpoint_dir,
       /*resume=*/true);
 
   StructureChannelOptions structure = options.structure_channel;

@@ -13,6 +13,8 @@ key columns, so a re-ordered or extended sweep still gates correctly:
                                       + utilization / imbalance_ratio
     tune    -> (param, candidate)     schema-checked only (timings of
                                       autotune candidates, no gate)
+    dag     -> (row,)                 schema-checked only (serial vs
+                                      DAG wall clock, node timings)
 
 Profile rows carry the profiler's quality columns besides throughput;
 those are gated too: a kernel whose worker imbalance grows past the
@@ -50,6 +52,7 @@ KEY_COLUMNS = {
     "profile": ("kernel", "threads"),
     "stream": ("budget_mb",),
     "tune": ("param", "candidate"),
+    "dag": ("row",),
 }
 
 # The gated metric per bench (higher is better).

@@ -17,7 +17,11 @@
 #   * BENCH_tune.json — the autotune candidate sweep (bench_micro
 #     --mode=tune --json-out, DESIGN.md §13): one row per
 #     (param, candidate) with the winner flagged. TUNE_SCALE shrinks
-#     the sweep shapes.
+#     the sweep shapes;
+#   * BENCH_dag.json — serial vs operator-DAG executor on the full
+#     pipeline (bench_micro --mode=dag --json-out, DESIGN.md §14):
+#     both wall clocks, per-node timings, and the node-level critical
+#     path, with bit-identity asserted. DAG_SCALE tunes the dataset.
 #
 # Usage:
 #   tools/run_bench.sh                 # regenerate baselines in repo root
@@ -54,6 +58,7 @@ THREADS_LIST="${THREADS_LIST:-1,2,4,8}"
 BUILD_DIR="${BUILD_DIR:-build}"
 STREAM_SCALE="${STREAM_SCALE:-0.2}"
 TUNE_SCALE="${TUNE_SCALE:-1.0}"
+DAG_SCALE="${DAG_SCALE:-0.2}"
 GATE_TOLERANCE="${GATE_TOLERANCE:-0.15}"
 BENCH_RUNS="${BENCH_RUNS:-3}"
 
@@ -88,7 +93,8 @@ esac
 
 if [[ "${MODE}" == "gate-check" ]]; then
   exec python3 tools/bench_gate.py --check \
-    BENCH_par.json BENCH_simd.json BENCH_profile.json BENCH_tune.json
+    BENCH_par.json BENCH_simd.json BENCH_profile.json BENCH_tune.json \
+    BENCH_dag.json
 fi
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -153,3 +159,7 @@ echo "=== autotune candidate sweep ==="
 "${BUILD_DIR}/bench/bench_micro" --mode=tune \
   --json-out="${OUT_DIR}/BENCH_tune.json" --scale="${TUNE_SCALE}" \
   --min-time="${MIN_TIME}"
+
+echo "=== DAG executor sweep ==="
+"${BUILD_DIR}/bench/bench_micro" --mode=dag \
+  --json-out="${OUT_DIR}/BENCH_dag.json" --scale="${DAG_SCALE}"

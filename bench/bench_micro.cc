@@ -44,12 +44,27 @@
 //     both schedules, bit-identity of the fused matrix, per-node
 //     seconds/peaks from the scheduler, and the measured critical path
 //     (the wall-time floor at infinite concurrency). The perf
-//     trajectory invokes it as `--mode=dag --json-out=BENCH_dag.json`.
+//     trajectory invokes it as `--mode=dag --json-out=BENCH_dag.json`;
+//   * --json-out=FILE --mode=serve — single-query latency/throughput of
+//     the serving layer (DESIGN.md §15) across index sizes
+//     (--targets-list). Per size, three rows keyed (targets, path):
+//     `entity` (fused-row read), `name_ann` (encode + HNSW/LSH
+//     shortlist + exact re-rank), `name_exact` (encode + full scan, the
+//     reference path). Rows carry QPS and p50/p99/p999 latency; the
+//     name_ann row additionally carries recall@k against the exact
+//     scan, the top-1 agreement rate, and its p50 speedup over the
+//     scan. The sweep asserts that every served entity answer equals
+//     the batch fused row and, at the largest size, that the ANN p50 is
+//     at least --min-ann-speedup (default 10) times faster than the
+//     scan. The perf trajectory invokes it as
+//     `--mode=serve --json-out=BENCH_serve.json`.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <string_view>
@@ -72,6 +87,9 @@
 #include "src/par/thread_pool.h"
 #include "src/partition/metis.h"
 #include "src/rt/io_util.h"
+#include "src/serve/index_artifact.h"
+#include "src/serve/index_manager.h"
+#include "src/serve/query_engine.h"
 #include "src/sim/lsh.h"
 #include "src/sim/sinkhorn.h"
 #include "src/sim/topk_search.h"
@@ -808,6 +826,310 @@ int RunDagSweep(const Flags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// Serve sweep (--mode=serve): single-query latency of the serving layer
+// across index sizes, through the real IndexManager -> QueryEngine path
+// (snapshot per query, serve.* histograms live). Synthetic fused matrix
+// and names, same generators as tests/serve_test.cc.
+
+std::vector<std::string> ServeNames(int32_t n, uint64_t seed) {
+  // Three words from a 24-word vocabulary plus a unique suffix: mostly
+  // distinct strings with realistic token overlap (the DBpedia regime),
+  // not a handful of giant near-duplicate clusters — those would
+  // degenerate both the LSH buckets and the HNSW beam into linear
+  // scans, which is not the workload the serving layer is sized for.
+  static const char* const kWords[] = {
+      "alda", "brin",  "ceto",  "doral", "evik", "fenor", "gil",  "hasem",
+      "irol", "jun",   "kolv",  "lira",  "moth", "nerel", "ospa", "pran",
+      "quel", "rosta", "sivel", "tor",   "ulm",  "vask",  "wex",  "yole"};
+  constexpr int32_t kVocab = 24;
+  Rng rng(seed);
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (int32_t i = 0; i < n; ++i) {
+    std::string name = kWords[rng.Uniform(kVocab)];
+    name += ' ';
+    name += kWords[rng.Uniform(kVocab)];
+    name += ' ';
+    name += kWords[rng.Uniform(kVocab)];
+    name += ' ';
+    name += std::to_string(i);
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+SparseSimMatrix ServeFused(int32_t num_source, int32_t num_target,
+                           uint64_t seed) {
+  SparseSimMatrix fused(num_source, num_target, 8);
+  Rng rng(seed);
+  for (int32_t s = 0; s < num_source; ++s) {
+    for (int32_t j = 0; j < 6; ++j) {
+      fused.Accumulate(s, static_cast<EntityId>(rng.Uniform(num_target)),
+                       static_cast<float>(rng.UniformDouble()));
+    }
+  }
+  return fused;
+}
+
+struct ServeLatency {
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+};
+
+double SortedPercentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx =
+      static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+/// Times `fn(i)` one call at a time for at least `min_seconds` after a
+/// short warm-up; QPS from the wall clock, percentiles from the
+/// individual samples (this is a latency bench, not an averaging one).
+ServeLatency TimeQueries(const std::function<void(int64_t)>& fn,
+                         double min_seconds) {
+  for (int64_t i = 0; i < 16; ++i) fn(i);
+  std::vector<double> samples_us;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  int64_t count = 0;
+  do {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn(count);
+    const auto t1 = std::chrono::steady_clock::now();
+    samples_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    ++count;
+    elapsed = std::chrono::duration<double>(t1 - start).count();
+  } while (elapsed < min_seconds);
+  std::sort(samples_us.begin(), samples_us.end());
+  ServeLatency out;
+  out.qps = static_cast<double>(count) / elapsed;
+  out.p50_us = SortedPercentile(samples_us, 0.5);
+  out.p99_us = SortedPercentile(samples_us, 0.99);
+  out.p999_us = SortedPercentile(samples_us, 0.999);
+  return out;
+}
+
+int RunServeSweep(const Flags& flags) {
+  bench::BenchJson json(flags, "serve");
+  const double min_time = flags.GetDouble("min-time", 0.3);
+  const auto k = static_cast<int32_t>(flags.GetInt("k", 10));
+  const double min_ann_speedup = flags.GetDouble("min-ann-speedup", 10.0);
+  const std::vector<int32_t> sizes = ParseThreadsList(
+      flags.GetString("targets-list", "2000,8000,32000,256000"));
+
+  std::printf("%8s %-12s %14s %10s %10s %10s\n", "targets", "path",
+              "items_per_sec", "p50_us", "p99_us", "p999_us");
+  const auto print_row = [](int32_t targets, const char* path,
+                            const ServeLatency& lat) {
+    std::printf("%8d %-12s %14.0f %10.1f %10.1f %10.1f\n", targets, path,
+                lat.qps, lat.p50_us, lat.p99_us, lat.p999_us);
+  };
+
+  double last_speedup = 0.0;
+  int32_t last_targets = 0;
+  for (const int32_t targets : sizes) {
+    const int32_t sources = std::max<int32_t>(64, targets / 4);
+    serve::ServeIndexOptions options;
+    options.encoder.dim = static_cast<int32_t>(flags.GetInt("dim", 64));
+    auto built = serve::ServeIndex::Build(
+        ServeFused(sources, targets, 101), ServeNames(sources, 7),
+        ServeNames(targets, 8),
+        /*pipeline_fingerprint=*/static_cast<uint64_t>(targets), options);
+    LARGEEA_CHECK(built.ok());
+    serve::IndexManager manager(std::move(built).value());
+    const serve::QueryEngine engine(&manager);
+    const auto index = manager.Current();
+
+    // Entity path correctness: every served top-1 is the batch fused
+    // row's top-1 — serving re-serves the pipeline answer exactly.
+    for (int32_t s = 0; s < sources; ++s) {
+      const auto row = index->fused().Row(s);
+      if (row.empty()) continue;
+      serve::QueryRequest request;
+      request.kind = serve::QueryRequest::Kind::kEntity;
+      request.entity = s;
+      request.k = 1;
+      const auto response = engine.Execute(request);
+      LARGEEA_CHECK(response.status.ok());
+      LARGEEA_CHECK(!response.candidates.empty());
+      LARGEEA_CHECK(response.candidates[0].target == row[0].column);
+      LARGEEA_CHECK(response.candidates[0].score == row[0].score);
+    }
+
+    const std::vector<std::string> queries =
+        ServeNames(std::min<int32_t>(256, targets), 9);
+    const auto name_query = [&](int64_t i, bool exact) {
+      serve::QueryRequest request;
+      request.kind = serve::QueryRequest::Kind::kName;
+      request.name = queries[static_cast<size_t>(i) % queries.size()];
+      request.k = k;
+      request.exact = exact;
+      const auto response = engine.Execute(request);
+      LARGEEA_CHECK(response.status.ok());
+    };
+
+    // Component sub-timings of the name path (printf diagnostics only):
+    // where does a name query spend its time — encode, graph walk, or
+    // the string shortlist + re-rank?
+    {
+      std::vector<float> qvec(index->encoder().dim());
+      std::vector<SimEntry> scratch;
+      int64_t shortlist_total = 0, shortlist_calls = 0;
+      const ServeLatency enc = TimeQueries(
+          [&](int64_t i) {
+            index->encoder().EncodeName(
+                queries[static_cast<size_t>(i) % queries.size()], qvec.data());
+          },
+          min_time / 4);
+      const ServeLatency graph = TimeQueries(
+          [&](int64_t i) {
+            index->encoder().EncodeName(
+                queries[static_cast<size_t>(i) % queries.size()], qvec.data());
+            index->ann().QueryTopK(qvec, k, scratch);
+          },
+          min_time / 4);
+      const int32_t shortlist_cap = std::max(4 * k, 64);  // engine's cap
+      const ServeLatency shortlist = TimeQueries(
+          [&](int64_t i) {
+            shortlist_total += static_cast<int64_t>(
+                index
+                    ->StringShortlist(
+                        queries[static_cast<size_t>(i) % queries.size()],
+                        shortlist_cap)
+                    .size());
+            ++shortlist_calls;
+          },
+          min_time / 4);
+      std::printf(
+          "%8d %-12s encode %.1fus  encode+graph %.1fus  shortlist %.1fus "
+          "(avg %lld ids)\n",
+          targets, "ann_parts", enc.p50_us, graph.p50_us, shortlist.p50_us,
+          static_cast<long long>(shortlist_total /
+                                 std::max<int64_t>(1, shortlist_calls)));
+    }
+
+    const ServeLatency entity = TimeQueries(
+        [&](int64_t i) {
+          serve::QueryRequest request;
+          request.kind = serve::QueryRequest::Kind::kEntity;
+          request.entity = static_cast<EntityId>(i % sources);
+          request.k = k;
+          const auto response = engine.Execute(request);
+          LARGEEA_CHECK(response.status.ok());
+        },
+        min_time);
+    const ServeLatency ann =
+        TimeQueries([&](int64_t i) { name_query(i, /*exact=*/false); },
+                    min_time);
+    const ServeLatency exact =
+        TimeQueries([&](int64_t i) { name_query(i, /*exact=*/true); },
+                    min_time);
+
+    // Recall of the ANN shortlist against the full scan, same queries,
+    // same k, same exact re-rank scores on both sides.
+    int64_t recalled = 0, expected = 0, top1_match = 0, top1_total = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      serve::QueryRequest request;
+      request.kind = serve::QueryRequest::Kind::kName;
+      request.name = queries[i];
+      request.k = k;
+      request.exact = true;
+      const auto exact_response = engine.Execute(request);
+      request.exact = false;
+      const auto ann_response = engine.Execute(request);
+      LARGEEA_CHECK(exact_response.status.ok());
+      LARGEEA_CHECK(ann_response.status.ok());
+      expected += static_cast<int64_t>(exact_response.candidates.size());
+      for (const serve::Candidate& c : ann_response.candidates) {
+        for (const serve::Candidate& e : exact_response.candidates) {
+          if (e.target == c.target) {
+            ++recalled;
+            break;
+          }
+        }
+      }
+      if (!exact_response.candidates.empty() &&
+          !ann_response.candidates.empty()) {
+        ++top1_total;
+        if (ann_response.candidates[0].target ==
+            exact_response.candidates[0].target) {
+          ++top1_match;
+        }
+      }
+    }
+    const double recall =
+        expected > 0
+            ? static_cast<double>(recalled) / static_cast<double>(expected)
+            : 0.0;
+    const double top1_rate =
+        top1_total > 0
+            ? static_cast<double>(top1_match) / static_cast<double>(top1_total)
+            : 0.0;
+    const double speedup = ann.p50_us > 0.0 ? exact.p50_us / ann.p50_us : 0.0;
+    last_speedup = speedup;
+    last_targets = targets;
+
+    print_row(targets, "entity", entity);
+    print_row(targets, "name_ann", ann);
+    print_row(targets, "name_exact", exact);
+    std::printf("%8d %-12s recall@%d %.3f  top1 %.3f  speedup %.1fx\n",
+                targets, "ann_quality", k, recall, top1_rate, speedup);
+
+    {
+      bench::BenchJson::Row row;
+      row.Set("targets", targets)
+          .Set("path", "entity")
+          .Set("items_per_sec", entity.qps)
+          .Set("p50_us", entity.p50_us)
+          .Set("p99_us", entity.p99_us)
+          .Set("p999_us", entity.p999_us)
+          .Set("k", k);
+      json.Add(std::move(row));
+    }
+    {
+      bench::BenchJson::Row row;
+      row.Set("targets", targets)
+          .Set("path", "name_ann")
+          .Set("items_per_sec", ann.qps)
+          .Set("p50_us", ann.p50_us)
+          .Set("p99_us", ann.p99_us)
+          .Set("p999_us", ann.p999_us)
+          .Set("k", k)
+          .Set("recall_at_k", recall)
+          .Set("top1_match", top1_rate)
+          .Set("ann_speedup_vs_scan", speedup);
+      json.Add(std::move(row));
+    }
+    {
+      bench::BenchJson::Row row;
+      row.Set("targets", targets)
+          .Set("path", "name_exact")
+          .Set("items_per_sec", exact.qps)
+          .Set("p50_us", exact.p50_us)
+          .Set("p99_us", exact.p99_us)
+          .Set("p999_us", exact.p999_us)
+          .Set("k", k);
+      json.Add(std::move(row));
+    }
+  }
+
+  par::ThreadPool::Get().Shutdown();
+  json.Write();
+  if (min_ann_speedup > 0.0 && last_speedup < min_ann_speedup) {
+    std::fprintf(stderr,
+                 "serve sweep: ANN p50 speedup %.1fx at %d targets is below "
+                 "the required %.1fx\n",
+                 last_speedup, last_targets, min_ann_speedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace largeea
 
@@ -826,6 +1148,7 @@ int main(int argc, char** argv) {
     if (mode == "dag") return largeea::RunDagSweep(flags);
     if (mode == "profile") return largeea::RunProfileSweep(flags);
     if (mode == "tune") return largeea::RunTuneSweep(flags);
+    if (mode == "serve") return largeea::RunServeSweep(flags);
     return largeea::RunKernelScaling(flags);
   }
   benchmark::Initialize(&argc, argv);

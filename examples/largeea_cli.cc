@@ -1,31 +1,55 @@
 // largeea_cli — command-line front end for the library.
 //
-//   largeea_cli generate  --tier ids15k|ids100k|dbp1m --pair enfr|ende
-//                         [--scale 1.0] --out_dir DIR
+//   largeea_cli generate    --tier ids15k|ids100k|dbp1m --pair enfr|ende
+//                           [--scale 1.0] --out_dir DIR
 //       writes source.tsv / target.tsv / train.tsv / test.tsv
 //
-//   largeea_cli align     --source A.tsv --target B.tsv --seeds S.tsv
-//                         [--test T.tsv] [any Config flag, see --help]
-//       runs LargeEA, optionally evaluates and/or writes predictions.
-//       Every pipeline/runtime knob is a largeea::Config flag
-//       (src/core/config.h) — `largeea_cli --help` lists them all with
-//       defaults. Highlights: --model rrea|gcn|transe, --batches,
+//   largeea_cli run         --source A.tsv --target B.tsv --seeds S.tsv
+//                           [--test T.tsv] [any Config flag, see --help]
+//       runs LargeEA end to end, optionally evaluates and/or writes
+//       predictions. Every pipeline/runtime knob is a largeea::Config
+//       flag (src/core/config.h) — `largeea_cli --help` lists them all
+//       with defaults. Highlights: --model rrea|gcn|transe, --batches,
 //       --epochs, --memory-budget-mb (stream whole-graph phases under a
 //       tracked-memory budget, DESIGN.md §10), --checkpoint-dir /
 //       --resume (DESIGN.md "Failure model"), --trace-out /
 //       --report-out (DESIGN.md "Observability"), --threads / --simd
 //       (bit-identical results either way, DESIGN.md "Execution
 //       model" / "SIMD kernels"), --strict-io.
+//       (`align`, and invoking with bare flags and no subcommand, are
+//       deprecated spellings of `run`.)
 //
-//   largeea_cli partition --source A.tsv --target B.tsv --seeds S.tsv
-//                         [--batches K]
+//   largeea_cli index-build --source A.tsv --target B.tsv [--seeds S.tsv]
+//                           --index-out INDEX [any Config flag]
+//       runs the pipeline, then packs the fused matrix, name tables,
+//       target-name embeddings + HNSW graph, and MinHash/LSH structures
+//       into one checksummed serve-index artifact (DESIGN.md §15).
+//
+//   largeea_cli serve       --index INDEX [--serve-batch N] [--k K]
+//                           [--expect-fingerprint HEX]
+//       answers alignment queries over stdin/stdout (line-delimited
+//       JSON, see src/serve/serve_loop.h). SIGTERM/SIGINT drain
+//       in-flight queries, flush the run report (with a `serve`
+//       section), and exit 128+signal.
+//
+//   largeea_cli query       --index INDEX (--entity ID | --name STR)
+//                           [--k K] [--exact]
+//       one-shot query against an index artifact; prints the same JSON
+//       response line the serve protocol emits.
+//
+//   largeea_cli partition   --source A.tsv --target B.tsv --seeds S.tsv
+//                           [--batches K]
 //       reports METIS-CPS vs VPS partition quality
 #include <atomic>
 #include <chrono>
+#include <cinttypes>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -34,10 +58,12 @@
 #include "src/common/flags.h"
 #include "src/core/config.h"
 #include "src/core/large_ea.h"
+#include "src/core/pipeline_fingerprint.h"
 #include "src/gen/benchmark_gen.h"
 #include "src/kg/kg_io.h"
 #include "src/obs/json_writer.h"
 #include "src/obs/log.h"
+#include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
 #include "src/obs/report.h"
 #include "src/obs/trace.h"
@@ -46,6 +72,9 @@
 #include "src/partition/vps.h"
 #include "src/rt/fault_injection.h"
 #include "src/rt/io_util.h"
+#include "src/serve/index_artifact.h"
+#include "src/serve/index_manager.h"
+#include "src/serve/serve_loop.h"
 #include "src/shard/orchestrator.h"
 #include "src/shard/worker.h"
 #include "src/simd/simd.h"
@@ -73,10 +102,10 @@ void OnShutdownSignal(int sig) {
   g_shutdown_signal.store(sig, std::memory_order_relaxed);
 }
 
-void StartShutdownWatcher(const Config& config_in) {
+void StartShutdownWatcher(const Config& config_in, const char* tool) {
   std::signal(SIGTERM, OnShutdownSignal);
   std::signal(SIGINT, OnShutdownSignal);
-  std::thread([config = config_in]() {
+  std::thread([config = config_in, tool]() {
     int sig;
     while ((sig = g_shutdown_signal.load(std::memory_order_relaxed)) == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(25));
@@ -85,7 +114,7 @@ void StartShutdownWatcher(const Config& config_in) {
     std::fprintf(stderr, "largeea_cli: caught %s, flushing outputs\n", name);
     if (!config.report_out.empty()) {
       obs::RunReport report;
-      report.SetTool("largeea_cli align");
+      report.SetTool(tool);
       config.WriteTo(report);
       report.AddConfig("interrupted", name);
       report.IngestMemoryPhases();
@@ -256,12 +285,12 @@ void PrintProfileSummary() {
   }
 }
 
-int CmdAlign(const Flags& flags, Config config, int argc, char** argv) {
+int CmdRun(const Flags& flags, Config config, int argc, char** argv) {
   if (!config.trace_out.empty()) {
     obs::TraceRecorder::Get().Clear();
     obs::TraceRecorder::Get().Enable();
   }
-  StartShutdownWatcher(config);
+  StartShutdownWatcher(config, "largeea_cli run");
 
   const EaDataset dataset =
       LoadDatasetOrDie(flags, /*need_seeds=*/false, config.strict_io);
@@ -294,7 +323,7 @@ int CmdAlign(const Flags& flags, Config config, int argc, char** argv) {
     return 0;
   }
 
-  LARGEEA_LOG_INFO("align: %d+%d entities, model=%s, batches=%d, epochs=%d",
+  LARGEEA_LOG_INFO("run: %d+%d entities, model=%s, batches=%d, epochs=%d",
                    dataset.source.num_entities(),
                    dataset.target.num_entities(), config.model.c_str(),
                    options.structure_channel.num_batches,
@@ -351,7 +380,7 @@ int CmdAlign(const Flags& flags, Config config, int argc, char** argv) {
   }
 
   obs::RunReport report;
-  report.SetTool("largeea_cli align");
+  report.SetTool("largeea_cli run");
   report.SetDataset(dataset.name, dataset.source.num_entities(),
                     dataset.target.num_entities(),
                     dataset.source.num_triples(),
@@ -420,6 +449,210 @@ int CmdAlign(const Flags& flags, Config config, int argc, char** argv) {
   return 0;
 }
 
+// Serve-index options derived from the effective pipeline config: the
+// encoder/metric MUST be the pipeline's own (they define the embedding
+// space the stored target vectors live in); the HNSW shape is a
+// serve-side choice bound to binary-local flags.
+serve::ServeIndexOptions ServeOptionsFrom(const Config& config,
+                                          const Flags& flags) {
+  serve::ServeIndexOptions options;
+  options.encoder = config.pipeline.name_channel.nff.sens.encoder;
+  options.metric = config.pipeline.name_channel.nff.sens.metric;
+  options.hnsw.max_neighbors =
+      static_cast<int32_t>(flags.GetInt("hnsw-neighbors", 12));
+  options.hnsw.ef_construction =
+      static_cast<int32_t>(flags.GetInt("ef-construction", 80));
+  options.hnsw.ef_search = static_cast<int32_t>(flags.GetInt("ef-search", 64));
+  return options;
+}
+
+// --expect-fingerprint=<hex16> -> value, empty/absent -> nullopt.
+std::optional<uint64_t> ExpectedFingerprint(const Flags& flags) {
+  const std::string hex = flags.GetString("expect-fingerprint", "");
+  if (hex.empty()) return std::nullopt;
+  uint64_t value = 0;
+  if (std::sscanf(hex.c_str(), "%" SCNx64, &value) != 1) {
+    std::fprintf(stderr, "error: --expect-fingerprint is not hex: %s\n",
+                 hex.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+int CmdIndexBuild(const Flags& flags, Config config) {
+  const std::string out = flags.GetString("index-out", "");
+  if (out.empty()) return Fail("--index-out is required");
+  StartShutdownWatcher(config, "largeea_cli index-build");
+
+  const EaDataset dataset =
+      LoadDatasetOrDie(flags, /*need_seeds=*/false, config.strict_io);
+  // Same auto-LSH decision as `run`, so the fingerprint stamped into
+  // the artifact matches the one an equivalent `run` reports.
+  if (!flags.Has("use-lsh") &&
+      std::max(dataset.source.num_entities(),
+               dataset.target.num_entities()) > 8000) {
+    config.pipeline.name_channel.nff.sens.use_lsh = true;
+  }
+
+  auto run = RunLargeEa(dataset, config.pipeline);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const PipelineFingerprints fingerprints =
+      ComputePipelineFingerprints(dataset, config.pipeline);
+
+  std::vector<std::string> source_names, target_names;
+  source_names.reserve(dataset.source.num_entities());
+  for (int32_t e = 0; e < dataset.source.num_entities(); ++e) {
+    source_names.push_back(dataset.source.EntityName(e));
+  }
+  target_names.reserve(dataset.target.num_entities());
+  for (int32_t e = 0; e < dataset.target.num_entities(); ++e) {
+    target_names.push_back(dataset.target.EntityName(e));
+  }
+
+  auto index = serve::ServeIndex::Build(
+      run->fused, std::move(source_names), std::move(target_names),
+      fingerprints.fused, ServeOptionsFrom(config, flags));
+  if (!index.ok()) {
+    std::fprintf(stderr, "error: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  const Status saved = (*index)->Save(out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote serve index to %s: %ld+%ld entities, fingerprint %016" PRIx64
+      ", %.1fMB resident\n",
+      out.c_str(), static_cast<long>((*index)->num_source_entities()),
+      static_cast<long>((*index)->num_target_entities()),
+      fingerprints.fused,
+      static_cast<double>((*index)->MemoryBytes()) / (1 << 20));
+  return 0;
+}
+
+int CmdServe(const Flags& flags, const Config& config) {
+  const std::string path = flags.GetString("index", "");
+  if (path.empty()) return Fail("--index is required");
+
+  // Signals must wake the blocking stdin read: sigaction WITHOUT
+  // SA_RESTART, so read(2) fails with EINTR, getline() sees a failed
+  // stream, and the loop falls into its drain path (std::signal on
+  // glibc sets SA_RESTART, which would sleep until the next request).
+  struct sigaction action = {};
+  action.sa_handler = OnShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  if (!config.trace_out.empty()) {
+    obs::TraceRecorder::Get().Clear();
+    obs::TraceRecorder::Get().Enable();
+  }
+
+  serve::IndexManager manager;
+  const Status loaded = manager.LoadAndSwap(path, ExpectedFingerprint(flags));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  const auto index = manager.Current();
+  std::fprintf(stderr,
+               "largeea_cli serve: index %016" PRIx64
+               " (%ld targets), ready on stdin\n",
+               index->fingerprint(),
+               static_cast<long>(index->num_target_entities()));
+
+  serve::ServeLoopOptions loop_options;
+  loop_options.batch_size =
+      static_cast<int32_t>(flags.GetInt("serve-batch", 64));
+  loop_options.default_k = static_cast<int32_t>(flags.GetInt("k", 10));
+  serve::ServeLoop loop(&manager, loop_options);
+
+  const auto start = std::chrono::steady_clock::now();
+  const serve::ServeLoopStats stats =
+      loop.Run(std::cin, std::cout, &g_shutdown_signal);
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+  if (!config.report_out.empty()) {
+    obs::RunReport report;
+    report.SetTool("largeea_cli serve");
+    config.WriteTo(report);
+    report.AddConfig("index", path);
+    auto& histogram =
+        obs::MetricsRegistry::Get().GetHistogram("serve.query_us");
+    obs::RunReport::ServeStats serve_stats;
+    serve_stats.queries = stats.queries;
+    serve_stats.failed = stats.failed;
+    serve_stats.version_swaps = stats.swaps;
+    serve_stats.batches = stats.batches;
+    serve_stats.p50_us = histogram.Percentile(0.5);
+    serve_stats.p99_us = histogram.Percentile(0.99);
+    serve_stats.p999_us = histogram.Percentile(0.999);
+    report.SetServe(serve_stats);
+    report.SetTotal(seconds, -1);
+    report.IngestTraceTotals();
+    if (!report.WriteJson(config.report_out)) {
+      return Fail("failed to write --report-out");
+    }
+  }
+  if (!config.trace_out.empty()) {
+    (void)obs::TraceRecorder::Get().WriteChromeTrace(config.trace_out);
+  }
+
+  const int sig = g_shutdown_signal.load(std::memory_order_relaxed);
+  if (stats.saw_stop && sig != 0) {
+    std::fprintf(stderr,
+                 "largeea_cli serve: caught %s, drained %ld in-flight "
+                 "queries, exiting\n",
+                 sig == SIGTERM ? "SIGTERM" : "SIGINT",
+                 static_cast<long>(stats.queries));
+    return 128 + sig;
+  }
+  return 0;
+}
+
+int CmdQuery(const Flags& flags, const Config& config) {
+  const std::string path = flags.GetString("index", "");
+  if (path.empty()) return Fail("--index is required");
+  const bool has_entity = flags.Has("entity");
+  const bool has_name = flags.Has("name");
+  if (has_entity == has_name) {
+    return Fail("exactly one of --entity or --name is required");
+  }
+
+  serve::IndexManager manager;
+  const Status loaded = manager.LoadAndSwap(path, ExpectedFingerprint(flags));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+
+  // One request through the same protocol path the serve loop uses, so
+  // `query` output is byte-identical to a served response.
+  obs::JsonWriter request;
+  request.BeginObject().Key("op").String("query");
+  if (has_entity) {
+    request.Key("entity").Int(flags.GetInt("entity", 0));
+  } else {
+    request.Key("name").String(flags.GetString("name", ""));
+  }
+  request.Key("k").Int(flags.GetInt("k", 10));
+  if (flags.GetBool("exact", false)) request.Key("exact").Bool(true);
+  request.EndObject();
+
+  std::istringstream in(request.str() + "\n");
+  serve::ServeLoop loop(&manager, serve::ServeLoopOptions{});
+  const serve::ServeLoopStats stats = loop.Run(in, std::cout);
+  return stats.failed == 0 ? 0 : 1;
+}
+
 int CmdPartition(const Flags& flags, const Config& config) {
   const EaDataset dataset =
       LoadDatasetOrDie(flags, /*need_seeds=*/true, config.strict_io);
@@ -456,19 +689,40 @@ int CmdPartition(const Flags& flags, const Config& config) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: largeea_cli generate|align|partition [--flags]\n"
-                 "       largeea_cli --help\n");
+    std::fprintf(
+        stderr,
+        "usage: largeea_cli generate|run|index-build|serve|query|partition"
+        " [--flags]\n"
+        "       largeea_cli --help\n");
     return 2;
   }
-  const std::string command = argv[1];
+  std::string command = argv[1];
   if (command == "--help" || command == "-h") {
-    std::printf("usage: largeea_cli generate|align|partition [--flags]\n\n"
-                "Config flags (any command; align uses them all):\n%s",
-                ConfigHelp().c_str());
+    std::printf(
+        "usage: largeea_cli generate|run|index-build|serve|query|partition"
+        " [--flags]\n\n"
+        "Config flags (any command; run uses them all):\n%s",
+        ConfigHelp().c_str());
     return 0;
   }
-  const Flags flags(argc - 1, argv + 1);
+  // Legacy spellings: `align` and the original bare-flag invocation
+  // (no subcommand at all) both mean `run`. Kept as aliases so scripts
+  // and the shard orchestrator's re-invocations keep working.
+  int flag_argc = argc - 1;
+  char** flag_argv = argv + 1;
+  if (command.size() > 1 && command[0] == '-') {
+    std::fprintf(stderr,
+                 "largeea_cli: invoking without a subcommand is deprecated; "
+                 "assuming 'run' (see --help)\n");
+    command = "run";
+    flag_argc = argc;  // Flags skips element 0, which is now the binary.
+    flag_argv = argv;
+  } else if (command == "align") {
+    std::fprintf(stderr,
+                 "largeea_cli: 'align' is deprecated, use 'run'\n");
+    command = "run";
+  }
+  const Flags flags(flag_argc, flag_argv);
   // All commands share one configuration surface: every pipeline,
   // runtime, and I/O knob parses through largeea::Config exactly once.
   // Binary-local inputs (--source, --tier, ...) stay on `flags`.
@@ -494,9 +748,14 @@ int main(int argc, char** argv) {
   // LARGEEA_FAULTS_SHARD) arms named fault points in this process.
   (void)rt::ArmFaultsFromEnv(config->shard_worker);
   if (command == "generate") return CmdGenerate(flags);
-  if (command == "align") {
-    return CmdAlign(flags, std::move(*config), argc, argv);
+  if (command == "run") {
+    return CmdRun(flags, std::move(*config), argc, argv);
   }
+  if (command == "index-build") {
+    return CmdIndexBuild(flags, std::move(*config));
+  }
+  if (command == "serve") return CmdServe(flags, *config);
+  if (command == "query") return CmdQuery(flags, *config);
   if (command == "partition") return CmdPartition(flags, *config);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 2;

@@ -84,4 +84,38 @@ std::vector<int32_t> MinHashLsh::Query(
   return candidates;
 }
 
+std::vector<int32_t> MinHashLsh::QueryTop(
+    const std::vector<uint64_t>& signature, int32_t limit) const {
+  std::vector<int32_t> collisions;  // one entry per (band, id) collision
+  for (int32_t band = 0; band < num_bands_; ++band) {
+    const auto it = buckets_[band].find(BandKey(signature, band));
+    if (it == buckets_[band].end()) continue;
+    collisions.insert(collisions.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(collisions.begin(), collisions.end());
+
+  // Run-length encode into (id, band count); ids stay ascending.
+  std::vector<std::pair<int32_t, int32_t>> counted;
+  for (size_t i = 0; i < collisions.size();) {
+    size_t j = i;
+    while (j < collisions.size() && collisions[j] == collisions[i]) ++j;
+    counted.push_back({collisions[i], static_cast<int32_t>(j - i)});
+    i = j;
+  }
+  if (limit > 0 && static_cast<int32_t>(counted.size()) > limit) {
+    std::nth_element(counted.begin(), counted.begin() + limit, counted.end(),
+                     [](const std::pair<int32_t, int32_t>& a,
+                        const std::pair<int32_t, int32_t>& b) {
+                       if (a.second != b.second) return a.second > b.second;
+                       return a.first < b.first;
+                     });
+    counted.resize(limit);
+  }
+  std::vector<int32_t> ids;
+  ids.reserve(counted.size());
+  for (const auto& [id, count] : counted) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 }  // namespace largeea

@@ -54,6 +54,15 @@ class MinHashLsh {
   /// Returns the de-duplicated ids colliding with `signature`.
   std::vector<int32_t> Query(const std::vector<uint64_t>& signature) const;
 
+  /// Like Query(), but keeps at most `limit` ids, preferring those that
+  /// collide in more bands (a higher band count is a higher Jaccard
+  /// estimate). Ties and the returned order are id-ascending, so the
+  /// cut is deterministic. With `limit <= 0` or fewer collisions than
+  /// `limit`, identical to Query(). Serving uses this to bound the
+  /// re-rank cost of one query against a popular bucket.
+  std::vector<int32_t> QueryTop(const std::vector<uint64_t>& signature,
+                                int32_t limit) const;
+
  private:
   uint64_t BandKey(const std::vector<uint64_t>& signature,
                    int32_t band) const;

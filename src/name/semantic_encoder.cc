@@ -39,15 +39,41 @@ void SemanticEncoder::FitIdf(const std::vector<const KnowledgeGraph*>& kgs) {
   for (const KnowledgeGraph* kg : kgs) {
     LARGEEA_CHECK(kg != nullptr);
     for (EntityId e = 0; e < kg->num_entities(); ++e) {
-      ++idf_documents_;
-      seen_in_name.clear();
-      for (const std::string& token :
-           TokenizeName(kg->EntityName(e), options_.tokenizer)) {
-        const uint64_t h = TokenHash(token);
-        if (seen_in_name.insert(h).second) ++document_frequency[h];
-      }
+      CountNameFrequencies(kg->EntityName(e), document_frequency,
+                           seen_in_name);
     }
   }
+  FinishIdf(document_frequency);
+}
+
+void SemanticEncoder::FitIdfFromNames(
+    const std::vector<const std::vector<std::string>*>& corpora) {
+  std::unordered_map<uint64_t, int64_t> document_frequency;
+  idf_documents_ = 0;
+  std::unordered_set<uint64_t> seen_in_name;
+  for (const std::vector<std::string>* names : corpora) {
+    LARGEEA_CHECK(names != nullptr);
+    for (const std::string& name : *names) {
+      CountNameFrequencies(name, document_frequency, seen_in_name);
+    }
+  }
+  FinishIdf(document_frequency);
+}
+
+void SemanticEncoder::CountNameFrequencies(
+    std::string_view name,
+    std::unordered_map<uint64_t, int64_t>& document_frequency,
+    std::unordered_set<uint64_t>& seen_in_name) {
+  ++idf_documents_;
+  seen_in_name.clear();
+  for (const std::string& token : TokenizeName(name, options_.tokenizer)) {
+    const uint64_t h = TokenHash(token);
+    if (seen_in_name.insert(h).second) ++document_frequency[h];
+  }
+}
+
+void SemanticEncoder::FinishIdf(
+    const std::unordered_map<uint64_t, int64_t>& document_frequency) {
   idf_.clear();
   idf_.reserve(document_frequency.size());
   for (const auto& [hash, df] : document_frequency) {

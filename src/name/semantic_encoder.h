@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/types.h"
@@ -57,6 +58,14 @@ class SemanticEncoder {
   /// Call before encoding; both aligned KGs should be passed.
   void FitIdf(const std::vector<const KnowledgeGraph*>& kgs);
 
+  /// Same statistic computed from bare name lists (order across corpora
+  /// must match the FitIdf call being reproduced: source then target).
+  /// The serve index artifact stores name tables, not KGs, and refits
+  /// the query-side encoder at load — document frequency is a multiset
+  /// statistic, so the result is bit-identical to the pipeline's fit.
+  void FitIdfFromNames(
+      const std::vector<const std::vector<std::string>*>& corpora);
+
   /// Embeds one name into `out` (length dim()): weighted sum of hashed
   /// token features, L2-normalised. A token-less name embeds to zero.
   void EncodeName(std::string_view name, float* out) const;
@@ -76,6 +85,14 @@ class SemanticEncoder {
  private:
   /// Adds `weight` times the signed hashed feature of `token_hash`.
   void AddTokenFeature(uint64_t token_hash, float weight, float* out) const;
+
+  /// Shared per-name document-frequency accumulation for the two fits.
+  void CountNameFrequencies(
+      std::string_view name,
+      std::unordered_map<uint64_t, int64_t>& document_frequency,
+      std::unordered_set<uint64_t>& seen_in_name);
+  void FinishIdf(
+      const std::unordered_map<uint64_t, int64_t>& document_frequency);
 
   SemanticEncoderOptions options_;
   /// token hash -> IDF weight; empty when FitIdf was not called.

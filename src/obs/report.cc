@@ -35,6 +35,11 @@ void RunReport::SetEval(const EvalMetrics& metrics) {
   has_eval_ = true;
 }
 
+void RunReport::SetServe(const ServeStats& serve) {
+  serve_ = serve;
+  has_serve_ = true;
+}
+
 void RunReport::SetTotal(double seconds, int64_t peak_bytes) {
   total_seconds_ = seconds;
   total_peak_bytes_ = peak_bytes;
@@ -80,6 +85,18 @@ std::string RunReport::ToJson() const {
     w.Key("hits_at_5").Double(eval_.hits_at_5);
     w.Key("mrr").Double(eval_.mrr);
     w.Key("test_pairs").Int(eval_.num_test_pairs);
+    w.EndObject();
+  }
+
+  if (has_serve_) {
+    w.Key("serve").BeginObject();
+    w.Key("queries").Int(serve_.queries);
+    w.Key("failed").Int(serve_.failed);
+    w.Key("version_swaps").Int(serve_.version_swaps);
+    w.Key("batches").Int(serve_.batches);
+    w.Key("p50_us").Double(serve_.p50_us);
+    w.Key("p99_us").Double(serve_.p99_us);
+    w.Key("p999_us").Double(serve_.p999_us);
     w.EndObject();
   }
 

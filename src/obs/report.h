@@ -21,11 +21,13 @@
 //     "metrics": {"counters", "gauges", "histograms"}
 //   }
 //
-// Two sections are conditional: "eval" appears once SetEval() ran, and
-// "profile" (per-kernel seconds/bytes/GB-per-sec plus pool utilization,
-// see src/obs/profiler.h) appears only when the run was profiled
-// (`--profile`), so unprofiled reports stay byte-for-byte comparable
-// with pre-profiler ones.
+// Three sections are conditional: "eval" appears once SetEval() ran,
+// "serve" (queries answered, version swaps, latency percentiles)
+// appears once SetServe() ran, and "profile" (per-kernel
+// seconds/bytes/GB-per-sec plus pool utilization, see
+// src/obs/profiler.h) appears only when the run was profiled
+// (`--profile`), so unprofiled batch reports stay byte-for-byte
+// comparable with pre-profiler ones.
 #ifndef LARGEEA_OBS_REPORT_H_
 #define LARGEEA_OBS_REPORT_H_
 
@@ -57,6 +59,20 @@ class RunReport {
   void AddPhase(std::string name, double seconds, int64_t peak_bytes = -1);
 
   void SetEval(const EvalMetrics& metrics);
+
+  /// Serving-session totals (`largeea_cli serve`). Like eval, the
+  /// section is conditional: it appears only once SetServe() ran, so
+  /// batch-run reports are unchanged.
+  struct ServeStats {
+    int64_t queries = 0;        ///< query ops answered (ok or failed)
+    int64_t failed = 0;         ///< responses with ok:false
+    int64_t version_swaps = 0;  ///< successful index swaps
+    int64_t batches = 0;        ///< execution batches
+    double p50_us = 0.0;        ///< serve.query_us percentiles
+    double p99_us = 0.0;
+    double p999_us = 0.0;
+  };
+  void SetServe(const ServeStats& serve);
 
   /// End-to-end totals (the printed table's bottom line).
   void SetTotal(double seconds, int64_t peak_bytes);
@@ -106,6 +122,8 @@ class RunReport {
   std::vector<MemoryRow> memory_phases_;
   EvalMetrics eval_;
   bool has_eval_ = false;
+  ServeStats serve_;
+  bool has_serve_ = false;
   double total_seconds_ = 0.0;
   int64_t total_peak_bytes_ = -1;
 };

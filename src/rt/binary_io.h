@@ -1,0 +1,113 @@
+// Little-endian binary serialisation for runtime artifacts.
+//
+// The checkpoint layer's text formats round-trip floats via %.9g, which
+// is fine for row-sparse matrices but wasteful for the serving layer's
+// dense sections (embedding matrices, MinHash signatures, graph
+// adjacency). BinaryWriter/BinaryReader give those artifacts a compact
+// fixed-width little-endian encoding with Status-propagating bounds
+// checks, so a truncated or bit-rotted payload surfaces as a precise
+// error instead of undefined behaviour.
+//
+// The encoding has no self-description: reader and writer must agree on
+// the section order (the serve index artifact versions that agreement
+// through its header, src/serve/index_artifact.h).
+#ifndef LARGEEA_RT_BINARY_IO_H_
+#define LARGEEA_RT_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/rt/status.h"
+
+namespace largeea::rt {
+
+/// Appends fixed-width little-endian values to a growing byte string.
+class BinaryWriter {
+ public:
+  void U32(uint32_t v) { AppendRaw(&v, sizeof(v)); }
+  void U64(uint64_t v) { AppendRaw(&v, sizeof(v)); }
+  void I32(int32_t v) { AppendRaw(&v, sizeof(v)); }
+  void I64(int64_t v) { AppendRaw(&v, sizeof(v)); }
+  void F32(float v) { AppendRaw(&v, sizeof(v)); }
+  void F64(double v) { AppendRaw(&v, sizeof(v)); }
+
+  /// Length-prefixed (u64) byte string.
+  void Str(std::string_view s) {
+    U64(s.size());
+    out_.append(s.data(), s.size());
+  }
+
+  /// Length-prefixed (u64 element count) flat arrays.
+  void F32Array(const float* data, int64_t count) {
+    U64(static_cast<uint64_t>(count));
+    AppendRaw(data, static_cast<size_t>(count) * sizeof(float));
+  }
+  void U64Array(const std::vector<uint64_t>& v) {
+    U64(v.size());
+    AppendRaw(v.data(), v.size() * sizeof(uint64_t));
+  }
+  void I32Array(const std::vector<int32_t>& v) {
+    U64(v.size());
+    AppendRaw(v.data(), v.size() * sizeof(int32_t));
+  }
+  void StrArray(const std::vector<std::string>& v) {
+    U64(v.size());
+    for (const std::string& s : v) Str(s);
+  }
+
+  const std::string& bytes() const { return out_; }
+  std::string TakeBytes() { return std::move(out_); }
+
+ private:
+  void AppendRaw(const void* data, size_t n) {
+    out_.append(static_cast<const char*>(data), n);
+  }
+
+  std::string out_;
+};
+
+/// Consumes a byte view written by BinaryWriter. Every read is bounds-
+/// checked; running off the end is kDataLoss (truncation), an absurd
+/// length prefix is kDataLoss too (bit rot in a length field would
+/// otherwise ask for an allocation of garbage size).
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Status U32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status U64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status I32(int32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status I64(int64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status F32(float* v) { return ReadRaw(v, sizeof(*v)); }
+  Status F64(double* v) { return ReadRaw(v, sizeof(*v)); }
+
+  Status Str(std::string* s);
+  Status F32Array(std::vector<float>* v);
+  Status U64Array(std::vector<uint64_t>* v);
+  Status I32Array(std::vector<int32_t>* v);
+  Status StrArray(std::vector<std::string>* v);
+
+  /// Reads `count` floats straight into `out` (caller-sized, no length
+  /// prefix involved — used for matrix rows whose shape is known).
+  Status F32Into(float* out, int64_t count) {
+    return ReadRaw(out, static_cast<size_t>(count) * sizeof(float));
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  Status ReadRaw(void* out, size_t n);
+  /// Validates a length prefix against the bytes actually left.
+  Status CheckedLen(uint64_t* len, size_t element_size);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace largeea::rt
+
+#endif  // LARGEEA_RT_BINARY_IO_H_

@@ -1,0 +1,32 @@
+#include "src/serve/index_manager.h"
+
+#include <utility>
+
+#include "src/common/macros.h"
+#include "src/obs/metrics.h"
+
+namespace largeea::serve {
+
+std::shared_ptr<const ServeIndex> IndexManager::Swap(
+    std::shared_ptr<const ServeIndex> next) {
+  LARGEEA_CHECK(next != nullptr);
+  std::shared_ptr<const ServeIndex> prev;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    prev = std::move(current_);
+    current_ = std::move(next);
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  obs::MetricsRegistry::Get().GetCounter("serve.version_swaps").Add(1);
+  return prev;
+}
+
+Status IndexManager::LoadAndSwap(
+    const std::string& path, std::optional<uint64_t> expected_fingerprint) {
+  auto loaded = ServeIndex::Load(path, expected_fingerprint);
+  if (!loaded.ok()) return loaded.status();
+  Swap(std::move(loaded).value());
+  return OkStatus();
+}
+
+}  // namespace largeea::serve

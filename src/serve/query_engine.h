@@ -1,0 +1,80 @@
+// The serve-time query engine (DESIGN.md §15).
+//
+// Translates one alignment question into index reads against a single
+// version snapshot:
+//
+//   entity query  — "candidates for source entity e": a read of fused
+//                   row e (the batch pipeline's own answer, re-served);
+//   name query    — "candidates for raw name s": encode s with the
+//                   index's SENS encoder, shortlist by HNSW graph walk
+//                   ∪ MinHash/LSH string collisions, then exact-score
+//                   the whole shortlist and keep top-k (the NFF idea,
+//                   applied per query). `exact` forces the full-scan
+//                   reference path instead of the ANN shortlist — same
+//                   answer modulo ANN recall, used by tests/benchmarks.
+//
+// Execute() is const and thread-safe; it snapshots IndexManager::
+// Current() once, so a query is answered wholly by one index version
+// even while a swap lands mid-flight. Latency lands in the serve.*
+// histograms that feed the run report's serve section.
+#ifndef LARGEEA_SERVE_QUERY_ENGINE_H_
+#define LARGEEA_SERVE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/rt/status.h"
+#include "src/serve/index_manager.h"
+
+namespace largeea::serve {
+
+struct QueryRequest {
+  enum class Kind {
+    kEntity,  ///< top-k candidates for a source entity id
+    kName,    ///< top-k candidates for a raw (source-side) name string
+  };
+  Kind kind = Kind::kEntity;
+  EntityId entity = kInvalidEntity;
+  std::string name;
+  int32_t k = 10;
+  /// Name queries only: full-scan instead of the ANN shortlist.
+  bool exact = false;
+};
+
+struct Candidate {
+  EntityId target = kInvalidEntity;
+  std::string name;  ///< target entity name (denormalised for clients)
+  float score = 0.0f;
+};
+
+struct QueryResponse {
+  Status status;
+  std::vector<Candidate> candidates;  ///< best first, deterministic order
+  /// Version counter and fingerprint of the index that answered —
+  /// clients can detect mid-stream swaps.
+  int64_t index_version = 0;
+  uint64_t index_fingerprint = 0;
+};
+
+class QueryEngine {
+ public:
+  /// The manager is borrowed and must outlive the engine.
+  explicit QueryEngine(const IndexManager* manager);
+
+  /// Thread-safe. kUnavailable before the first index lands,
+  /// kInvalidArgument for out-of-range ids / k <= 0.
+  QueryResponse Execute(const QueryRequest& request) const;
+
+ private:
+  void ExecuteEntity(const ServeIndex& index, const QueryRequest& request,
+                     QueryResponse& response) const;
+  void ExecuteName(const ServeIndex& index, const QueryRequest& request,
+                   QueryResponse& response) const;
+
+  const IndexManager* manager_;
+};
+
+}  // namespace largeea::serve
+
+#endif  // LARGEEA_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,304 @@
+#include "src/sim/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/macros.h"
+#include "src/common/rng.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/topk_util.h"
+#include "src/simd/simd.h"
+
+namespace largeea {
+
+HnswIndex::HnswIndex(const Matrix& data, SimMetric metric)
+    : data_(&data), metric_(metric) {}
+
+HnswIndex::HnswIndex(const Matrix& data, SimMetric metric,
+                     const HnswOptions& options)
+    : data_(&data), metric_(metric), options_(options) {
+  LARGEEA_CHECK_GT(options.max_neighbors, 1);
+  LARGEEA_CHECK_GT(options.ef_construction, 0);
+  level_mult_ = 1.0 / std::log(static_cast<double>(options.max_neighbors));
+
+  const int64_t n = data.rows();
+  levels_.resize(n);
+  links_.resize(n);
+  if (n == 0) return;
+
+  obs::Span span("hnsw/build");
+  span.AddAttr("rows", n);
+
+  VisitedSet visited;
+  std::vector<std::pair<float, int32_t>> best;
+  std::vector<int32_t> selected;
+  // Sequential ascending-row insertion: the graph is a fold over rows
+  // 0..n-1, which together with the pure level function makes the
+  // finished structure a deterministic function of (data, options).
+  for (int32_t node = 0; node < n; ++node) {
+    const int32_t level = RandomLevel(node);
+    levels_[node] = level;
+    links_[node].resize(level + 1);
+
+    if (entry_point_ < 0) {
+      entry_point_ = node;
+      max_level_ = level;
+      continue;
+    }
+
+    const float* query = data_->Row(node);
+    int32_t ep = entry_point_;
+    // Greedy descent through layers above the new node's top level.
+    for (int32_t lc = max_level_; lc > level; --lc) {
+      SearchLayer(query, ep, /*ef=*/1, lc, best, visited);
+      if (!best.empty()) ep = best.front().second;
+    }
+    // Connect on every shared layer, top down.
+    for (int32_t lc = std::min(level, max_level_); lc >= 0; --lc) {
+      SearchLayer(query, ep, options_.ef_construction, lc, best, visited);
+      const int32_t m = lc == 0 ? 2 * options_.max_neighbors
+                                : options_.max_neighbors;
+      SelectNeighbors(best, m, selected);
+      links_[node][lc] = selected;
+      if (!best.empty()) ep = best.front().second;
+      // Back-links, pruning any neighbor that now exceeds its cap with
+      // the same heuristic (scored relative to that neighbor).
+      for (const int32_t nb : selected) {
+        std::vector<int32_t>& nb_links = links_[nb][lc];
+        nb_links.push_back(node);
+        if (static_cast<int32_t>(nb_links.size()) > m) {
+          const float* nb_vec = data_->Row(nb);
+          std::vector<std::pair<float, int32_t>> scored;
+          scored.reserve(nb_links.size());
+          for (const int32_t cand : nb_links) {
+            scored.push_back({Score(nb_vec, cand), cand});
+          }
+          std::sort(scored.begin(), scored.end(), TopKHeap::Better);
+          std::vector<int32_t> pruned;
+          SelectNeighbors(scored, m, pruned);
+          nb_links = std::move(pruned);
+        }
+      }
+    }
+    if (level > max_level_) {
+      entry_point_ = node;
+      max_level_ = level;
+    }
+  }
+  obs::MetricsRegistry::Get().GetCounter("hnsw.nodes_built").Add(n);
+}
+
+int32_t HnswIndex::RandomLevel(int32_t node) const {
+  // Keyed per node, not drawn from a shared stream: the level depends
+  // only on (seed, node), never on how many draws earlier nodes made.
+  Rng rng(options_.seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(node));
+  const double u = rng.UniformDouble();
+  // u == 0 would give log(0); the generator's smallest nonzero value
+  // caps the level at a sane bound anyway, but guard explicitly.
+  const double draw = u > 0.0 ? -std::log(u) * level_mult_ : 32.0;
+  return static_cast<int32_t>(std::min(draw, 32.0));
+}
+
+float HnswIndex::Score(const float* query, int32_t node) const {
+  return ScorePair(simd::Kernels(), query, data_->Row(node), data_->cols(),
+                   metric_);
+}
+
+void HnswIndex::SearchLayer(const float* query, int32_t entry, int32_t ef,
+                            int32_t level,
+                            std::vector<std::pair<float, int32_t>>& best,
+                            VisitedSet& visited) const {
+  visited.NewEpoch(levels_.size());
+  visited.TestAndSet(entry);
+
+  // `frontier` pops the highest-similarity unexpanded node first;
+  // `kept` holds the ef best results seen, worst first so the floor is
+  // O(1) to read. Both orderings break ties by TopKHeap::Better, so the
+  // expansion sequence is deterministic.
+  std::vector<std::pair<float, int32_t>> frontier;  // max-heap by Better
+  std::vector<std::pair<float, int32_t>> kept;      // min-heap by !Better
+  const auto frontier_less = [](const std::pair<float, int32_t>& a,
+                                const std::pair<float, int32_t>& b) {
+    return TopKHeap::Better(b, a);  // heap top = best
+  };
+  const auto kept_less = [](const std::pair<float, int32_t>& a,
+                            const std::pair<float, int32_t>& b) {
+    return TopKHeap::Better(a, b);  // heap top = worst kept
+  };
+
+  const std::pair<float, int32_t> start{Score(query, entry), entry};
+  frontier.push_back(start);
+  kept.push_back(start);
+
+  std::vector<int32_t> unvisited;
+  while (!frontier.empty()) {
+    std::pop_heap(frontier.begin(), frontier.end(), frontier_less);
+    const std::pair<float, int32_t> cur = frontier.back();
+    frontier.pop_back();
+    // The best unexpanded candidate is already worse than the worst
+    // kept result: the beam cannot improve further.
+    if (static_cast<int32_t>(kept.size()) >= ef &&
+        TopKHeap::Better(kept.front(), cur)) {
+      break;
+    }
+    // The walk is bound by the latency of gathering random rows from a
+    // matrix far larger than cache; mark this node's unvisited
+    // neighbors first and start all their fetches before scoring the
+    // first one, so the misses overlap instead of serialising.
+    unvisited.clear();
+    for (const int32_t nb : links_[cur.second][level]) {
+      if (visited.TestAndSet(nb)) continue;
+      unvisited.push_back(nb);
+      const float* row = data_->Row(nb);
+      for (int64_t off = 0; off < data_->cols(); off += 16) {
+        __builtin_prefetch(row + off);
+      }
+    }
+    for (const int32_t nb : unvisited) {
+      const std::pair<float, int32_t> cand{Score(query, nb), nb};
+      if (static_cast<int32_t>(kept.size()) < ef ||
+          TopKHeap::Better(cand, kept.front())) {
+        frontier.push_back(cand);
+        std::push_heap(frontier.begin(), frontier.end(), frontier_less);
+        kept.push_back(cand);
+        std::push_heap(kept.begin(), kept.end(), kept_less);
+        if (static_cast<int32_t>(kept.size()) > ef) {
+          std::pop_heap(kept.begin(), kept.end(), kept_less);
+          kept.pop_back();
+        }
+      }
+    }
+  }
+  best.swap(kept);
+  std::sort(best.begin(), best.end(), TopKHeap::Better);
+}
+
+void HnswIndex::SelectNeighbors(
+    const std::vector<std::pair<float, int32_t>>& sorted, int32_t m,
+    std::vector<int32_t>& out) const {
+  out.clear();
+  if (static_cast<int32_t>(sorted.size()) <= m) {
+    for (const auto& [score, id] : sorted) out.push_back(id);
+    return;
+  }
+  // Diversity heuristic from the HNSW paper: keep a candidate only if
+  // the query is its closest anchor among the already-kept set, so the
+  // kept edges spread across clusters instead of piling into one.
+  std::vector<int32_t> pruned;
+  for (const auto& [score, id] : sorted) {
+    if (static_cast<int32_t>(out.size()) >= m) break;
+    bool keep = true;
+    const float* vec = data_->Row(id);
+    for (const int32_t s : out) {
+      if (Score(vec, s) > score) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      out.push_back(id);
+    } else {
+      pruned.push_back(id);
+    }
+  }
+  // Fill from the pruned remainder (best first — `sorted` order) so
+  // every node keeps m edges and the graph stays navigable.
+  for (size_t i = 0; i < pruned.size() &&
+                     static_cast<int32_t>(out.size()) < m; ++i) {
+    out.push_back(pruned[i]);
+  }
+}
+
+void HnswIndex::QueryTopK(
+    const float* query, int32_t k,
+    std::vector<std::pair<float, int32_t>>& out) const {
+  out.clear();
+  if (entry_point_ < 0 || k <= 0) return;
+  LARGEEA_TRACE_HOT_SPAN("hnsw/query");
+
+  VisitedSet visited;
+  std::vector<std::pair<float, int32_t>> best;
+  int32_t ep = entry_point_;
+  for (int32_t lc = max_level_; lc > 0; --lc) {
+    SearchLayer(query, ep, /*ef=*/1, lc, best, visited);
+    if (!best.empty()) ep = best.front().second;
+  }
+  const int32_t ef = std::max(options_.ef_search, k);
+  SearchLayer(query, ep, ef, /*level=*/0, best, visited);
+
+  // Scores in `best` are already exact (ScorePair), so the re-rank is
+  // a deterministic top-k cut of the shortlist.
+  TopKHeap heap(k);
+  for (const auto& [score, id] : best) heap.Offer(id, score);
+  heap.Drain(out);
+}
+
+int64_t HnswIndex::num_edges() const {
+  int64_t edges = 0;
+  for (const auto& node : links_) {
+    for (const auto& layer : node) edges += static_cast<int64_t>(layer.size());
+  }
+  return edges;
+}
+
+void HnswIndex::Serialize(rt::BinaryWriter& w) const {
+  w.I32(options_.max_neighbors);
+  w.I32(options_.ef_construction);
+  w.I32(options_.ef_search);
+  w.U64(options_.seed);
+  w.I32(entry_point_);
+  w.I32(max_level_);
+  w.I32Array(levels_);
+  for (size_t node = 0; node < links_.size(); ++node) {
+    for (const std::vector<int32_t>& layer : links_[node]) {
+      w.I32Array(layer);
+    }
+  }
+}
+
+StatusOr<HnswIndex> HnswIndex::Deserialize(rt::BinaryReader& r,
+                                           const Matrix& data,
+                                           SimMetric metric) {
+  HnswIndex index(data, metric);
+  LARGEEA_RETURN_IF_ERROR(r.I32(&index.options_.max_neighbors));
+  LARGEEA_RETURN_IF_ERROR(r.I32(&index.options_.ef_construction));
+  LARGEEA_RETURN_IF_ERROR(r.I32(&index.options_.ef_search));
+  LARGEEA_RETURN_IF_ERROR(r.U64(&index.options_.seed));
+  if (index.options_.max_neighbors <= 1) {
+    return DataLossError("hnsw: implausible max_neighbors");
+  }
+  index.level_mult_ =
+      1.0 / std::log(static_cast<double>(index.options_.max_neighbors));
+  LARGEEA_RETURN_IF_ERROR(r.I32(&index.entry_point_));
+  LARGEEA_RETURN_IF_ERROR(r.I32(&index.max_level_));
+  LARGEEA_RETURN_IF_ERROR(r.I32Array(&index.levels_));
+  const int64_t n = static_cast<int64_t>(index.levels_.size());
+  if (n != data.rows()) {
+    return DataLossError("hnsw: graph has " + std::to_string(n) +
+                         " nodes but data matrix has " +
+                         std::to_string(data.rows()) + " rows");
+  }
+  if (n > 0 && (index.entry_point_ < 0 || index.entry_point_ >= n)) {
+    return DataLossError("hnsw: entry point out of range");
+  }
+  index.links_.resize(n);
+  for (int64_t node = 0; node < n; ++node) {
+    const int32_t level = index.levels_[node];
+    if (level < 0 || level > index.max_level_) {
+      return DataLossError("hnsw: node level out of range");
+    }
+    index.links_[node].resize(level + 1);
+    for (int32_t lc = 0; lc <= level; ++lc) {
+      LARGEEA_RETURN_IF_ERROR(r.I32Array(&index.links_[node][lc]));
+      for (const int32_t nb : index.links_[node][lc]) {
+        if (nb < 0 || nb >= n) {
+          return DataLossError("hnsw: neighbor id out of range");
+        }
+      }
+    }
+  }
+  return index;
+}
+
+}  // namespace largeea

@@ -1,21 +1,31 @@
 // Unified top-k similarity search over a fixed target set.
 //
-// Exact blocked search, approximate LSH search, and the memory-budgeted
-// streamed variants all answer the same question — "for these source
-// rows, which target rows score highest?" — so callers select a strategy
-// through options instead of branching on `use_lsh` at every site. A
-// SimilaritySearch is built once per target (the expensive part: LSH
-// index construction, tile layout) and queried per source block; every
-// strategy keeps the library's determinism contract, so swapping
-// strategies changes speed and memory, never which entries are exact.
+// Exact blocked search, approximate LSH search, the HNSW graph index,
+// and the memory-budgeted streamed variants all answer the same
+// question — "which target rows score highest?" — so callers select a
+// strategy through options instead of branching on `use_lsh` at every
+// site. A SimilaritySearch is built once per target (the expensive
+// part: LSH/HNSW index construction, tile layout) and then queried two
+// ways:
+//   * SearchInto — the batch path: score a block of source rows,
+//     accumulate per-row top-k into a SparseSimMatrix;
+//   * QueryTopK — the serving path: answer one query vector, now, on
+//     the calling thread.
+// Every strategy keeps the library's determinism contract: exact paths
+// are bit-identical regardless of segmentation/threads, approximate
+// paths (LSH, HNSW) produce a deterministic candidate set whose kept
+// entries carry exact scores, so swapping strategies changes recall and
+// speed, never the correctness of any entry that is returned.
 #ifndef LARGEEA_SIM_SIMILARITY_SEARCH_H_
 #define LARGEEA_SIM_SIMILARITY_SEARCH_H_
 
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "src/la/matrix.h"
+#include "src/sim/hnsw.h"
 #include "src/sim/lsh.h"
 #include "src/sim/sparse_sim.h"
 #include "src/sim/topk_search.h"
@@ -33,6 +43,11 @@ struct SimilaritySearchOptions {
   /// of scoring every target row (the DBP1M-tier setting).
   bool use_lsh = false;
   LshOptions lsh;
+  /// Approximate candidates from an HNSW graph walk — the serving-tier
+  /// setting: single-query latency is near-logarithmic in target size
+  /// instead of a full scan. Takes precedence over use_lsh.
+  bool use_hnsw = false;
+  HnswOptions hnsw;
   /// Exact in-memory path: the target is scored in this many row
   /// segments so only one block is hot at a time (no effect on results).
   int32_t num_segments = 1;
@@ -41,8 +56,10 @@ struct SimilaritySearchOptions {
 };
 
 /// Top-k search against a fixed target set. Implementations are
-/// immutable after construction; SearchInto may be called from one
-/// thread at a time (it parallelises internally on the par:: pool).
+/// immutable after construction. SearchInto may be called from one
+/// thread at a time (it parallelises internally on the par:: pool);
+/// QueryTopK is thread-safe and may be called concurrently with itself
+/// and with SearchInto — the serving layer depends on that.
 class SimilaritySearch {
  public:
   virtual ~SimilaritySearch() = default;
@@ -54,19 +71,37 @@ class SimilaritySearch {
   virtual void SearchInto(const MatrixRowRange& source,
                           std::span<const EntityId> row_ids,
                           SparseSimMatrix& out) const = 0;
+
+  /// Answers one query vector (length = target dim) with the top-k
+  /// target entries in deterministic (score desc, id asc) order,
+  /// writing {column entity id, exact score} pairs into `out` (cleared
+  /// first). Runs entirely on the calling thread — no pool fan-out — so
+  /// concurrent callers scale with their own thread count.
+  virtual void QueryTopK(std::span<const float> query, int32_t k,
+                         std::vector<SimEntry>& out) const = 0;
 };
 
-/// In-memory target: exact segmented search, or LSH when
-/// `options.use_lsh` (the index is built here, over all target rows).
-/// `col_ids[j]` is the entity id of target row j; the caller keeps
-/// `target` and `col_ids` alive for the search's lifetime.
+/// In-memory target: exact segmented search, LSH when `options.use_lsh`,
+/// or an HNSW graph when `options.use_hnsw` (index built here, over all
+/// target rows). `col_ids[j]` is the entity id of target row j; the
+/// caller keeps `target` and `col_ids` alive for the search's lifetime.
 std::unique_ptr<SimilaritySearch> MakeSimilaritySearch(
     const Matrix& target, std::span<const EntityId> col_ids,
     const SimilaritySearchOptions& options);
 
+/// Wraps an already-built HNSW graph (e.g. deserialised from a serve
+/// index artifact) as a SimilaritySearch, so the serving layer shares
+/// the batch interface without rebuilding the graph. `index` is
+/// borrowed — the caller keeps it (and `target`, which it was built
+/// over with `options.topk.metric`) alive for the search's lifetime.
+std::unique_ptr<SimilaritySearch> MakeHnswSimilaritySearch(
+    const Matrix& target, std::span<const EntityId> col_ids,
+    const SimilaritySearchOptions& options, const HnswIndex& index);
+
 /// Tiled target in a TileStore (the memory-budgeted path). Column ids
 /// are the target's absolute row indices. With `options.use_lsh` the
 /// LSH index is built incrementally, one tile resident at a time.
+/// (HNSW needs the full matrix resident; it has no streamed variant.)
 std::unique_ptr<SimilaritySearch> MakeStreamedSimilaritySearch(
     const stream::TileMatrix& target, const SimilaritySearchOptions& options);
 

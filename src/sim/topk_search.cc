@@ -12,12 +12,12 @@
 #include "src/obs/trace.h"
 #include "src/par/parallel_for.h"
 #include "src/sim/lsh.h"
+#include "src/sim/topk_util.h"
 #include "src/simd/simd.h"
 #include "src/stream/tile_store.h"
 #include "src/tune/tune_table.h"
 
 namespace largeea {
-namespace {
 
 // Source rows per parallel chunk come from the tune table. The scatter
 // below writes each result straight into its own SparseSimMatrix row
@@ -25,64 +25,10 @@ namespace {
 // the inputs — any grain (and any thread count) produces identical
 // bytes, which is what makes this parameter freely tunable and lets
 // the kernels run with no merge tail at all.
-
-// The kernel table is resolved once per call (one atomic load) and
-// passed down, so the per-candidate scoring never re-reads the
-// dispatch pointer inside the hot loop.
-float ScorePair(const simd::KernelTable& kt, const float* a, const float* b,
-                int64_t dim, SimMetric metric) {
-  switch (metric) {
-    case SimMetric::kManhattan:
-      return ManhattanSimilarity(kt.manhattan(a, b, dim));
-    case SimMetric::kDot:
-      return kt.dot(a, b, dim);
-  }
-  return 0.0f;  // unreachable
-}
-
-// Fixed-capacity top-k accumulator: a binary min-heap on (score, id).
-// Ties at the k-boundary break towards the smaller column id, so the
-// surviving set is a pure function of the candidate set — scan order
-// (and therefore segmentation or thread count) cannot change it.
-class TopKHeap {
- public:
-  explicit TopKHeap(int32_t k) : k_(k) {}
-
-  void Offer(int32_t id, float score) {
-    if (static_cast<int32_t>(heap_.size()) < k_) {
-      heap_.push_back({score, id});
-      std::push_heap(heap_.begin(), heap_.end(), Better);
-    } else if (Better({score, id}, heap_.front())) {
-      std::pop_heap(heap_.begin(), heap_.end(), Better);
-      heap_.back() = {score, id};
-      std::push_heap(heap_.begin(), heap_.end(), Better);
-    }
-  }
-
-  /// Empties the heap into `out` in deterministic (score desc, id asc)
-  /// order. `out` is cleared first.
-  void Drain(std::vector<std::pair<float, int32_t>>& out) {
-    out.clear();
-    out.swap(heap_);
-    std::sort(out.begin(), out.end(), Better);
-  }
-
-  void Clear() { heap_.clear(); }
-
- private:
-  /// Strict ranking: higher score first, then smaller id. Used both as
-  /// the heap comparator (front = worst kept item) and the drain order.
-  static bool Better(const std::pair<float, int32_t>& a,
-                     const std::pair<float, int32_t>& b) {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second < b.second;
-  }
-
-  int32_t k_;
-  std::vector<std::pair<float, int32_t>> heap_;
-};
-
-}  // namespace
+//
+// ScorePair and TopKHeap live in src/sim/topk_util.h so the
+// single-query path (QueryTopK, HNSW, serving) keeps byte-identical
+// keep-set semantics with these batch kernels.
 
 void ExactTopKInto(const MatrixRowRange& source,
                    std::span<const EntityId> row_ids,

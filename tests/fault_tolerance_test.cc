@@ -402,7 +402,7 @@ class ShardChaosTest : public ::testing::Test {
   /// --threads=1 keeps per-worker batch training sequential, which makes
   /// "the Nth structure.batch.train hit" a deterministic batch index.
   static std::vector<std::string> AlignArgs(const std::string& ckpt_dir) {
-    return {"align",
+    return {"run",
             "--source=" + *tsv_dir_ + "/source.tsv",
             "--target=" + *tsv_dir_ + "/target.tsv",
             "--seeds=" + *tsv_dir_ + "/train.tsv",
@@ -672,7 +672,7 @@ TEST_F(ShardChaosTest, CliShardedRunReportsShardMetrics) {
   const std::string report = ckpt + "/report.json";
   fs::create_directories(ckpt);
 
-  // End-to-end through the real binary: largeea_cli align --shards=2
+  // End-to-end through the real binary: largeea_cli run --shards=2
   // orchestrates itself (WorkerCommand resolves /proc/self/exe) and the
   // JSON run report carries the shard.* supervision counters.
   std::vector<std::string> argv = {LARGEEA_CLI_BIN};

@@ -15,6 +15,8 @@ key columns, so a re-ordered or extended sweep still gates correctly:
                                       autotune candidates, no gate)
     dag     -> (row,)                 schema-checked only (serial vs
                                       DAG wall clock, node timings)
+    serve   -> (targets, path)        on items_per_sec (QPS)
+                                      + recall_at_k on name_ann rows
 
 Profile rows carry the profiler's quality columns besides throughput;
 those are gated too: a kernel whose worker imbalance grows past the
@@ -53,6 +55,7 @@ KEY_COLUMNS = {
     "stream": ("budget_mb",),
     "tune": ("param", "candidate"),
     "dag": ("row",),
+    "serve": ("targets", "path"),
 }
 
 # The gated metric per bench (higher is better).
@@ -68,6 +71,11 @@ QUALITY_METRICS = {
     "profile": (
         ("imbalance_ratio", "lower", 0.25),
         ("utilization", "higher", 0.05),
+    ),
+    # ANN shortlist recall is part of the serving contract: a change
+    # that wins QPS by silently dropping recall must fail the gate.
+    "serve": (
+        ("recall_at_k", "higher", 0.02),
     ),
 }
 

@@ -21,7 +21,12 @@
 #   * BENCH_dag.json — serial vs operator-DAG executor on the full
 #     pipeline (bench_micro --mode=dag --json-out, DESIGN.md §14):
 #     both wall clocks, per-node timings, and the node-level critical
-#     path, with bit-identity asserted. DAG_SCALE tunes the dataset.
+#     path, with bit-identity asserted. DAG_SCALE tunes the dataset;
+#   * BENCH_serve.json — single-query latency/QPS of the serving layer
+#     (bench_micro --mode=serve --json-out, DESIGN.md §15): per index
+#     size, the entity path, the ANN name path, and the exact-scan name
+#     path, with recall@k and the ANN-vs-scan p50 speedup (asserted
+#     >= 10x at the largest size). SERVE_TARGETS tunes the sizes.
 #
 # Usage:
 #   tools/run_bench.sh                 # regenerate baselines in repo root
@@ -59,6 +64,7 @@ BUILD_DIR="${BUILD_DIR:-build}"
 STREAM_SCALE="${STREAM_SCALE:-0.2}"
 TUNE_SCALE="${TUNE_SCALE:-1.0}"
 DAG_SCALE="${DAG_SCALE:-0.2}"
+SERVE_TARGETS="${SERVE_TARGETS:-2000,8000,32000,256000}"
 GATE_TOLERANCE="${GATE_TOLERANCE:-0.15}"
 BENCH_RUNS="${BENCH_RUNS:-3}"
 
@@ -94,7 +100,7 @@ esac
 if [[ "${MODE}" == "gate-check" ]]; then
   exec python3 tools/bench_gate.py --check \
     BENCH_par.json BENCH_simd.json BENCH_profile.json BENCH_tune.json \
-    BENCH_dag.json
+    BENCH_dag.json BENCH_serve.json
 fi
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -163,3 +169,8 @@ echo "=== autotune candidate sweep ==="
 echo "=== DAG executor sweep ==="
 "${BUILD_DIR}/bench/bench_micro" --mode=dag \
   --json-out="${OUT_DIR}/BENCH_dag.json" --scale="${DAG_SCALE}"
+
+echo "=== serve sweep ==="
+"${BUILD_DIR}/bench/bench_micro" --mode=serve \
+  --json-out="${OUT_DIR}/BENCH_serve.json" \
+  --targets-list="${SERVE_TARGETS}" --min-time="${MIN_TIME}"
